@@ -1,0 +1,33 @@
+//! Bench regenerating Fig. 10: SYRK (SWS) and KMN (LWS) under CIAO-T/P/C.
+
+use ciao_harness::experiments::fig10;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("fig10_working_set");
+    group.sample_size(10);
+    for sched in fig10::fig10_schedulers() {
+        for bench in [Benchmark::Syrk, Benchmark::Kmn] {
+            group.bench_function(format!("{}/{}", bench.name(), sched.label()), |b| {
+                b.iter(|| runner.record(bench, sched).ipc)
+            });
+        }
+    }
+    group.finish();
+
+    let result = fig10::run(
+        &Runner::new(RunScale::Quick),
+        &fig10::fig10_benchmarks(),
+        &fig10::fig10_schedulers(),
+    );
+    let text = fig10::render(&result);
+    for block in text.split("==").filter(|b| b.contains("overall IPC")) {
+        println!("=={block}");
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench regenerating Fig. 11: sensitivity of CIAO-C to epoch length and
+//! high-cutoff threshold.
+
+use ciao_core::CiaoParams;
+use ciao_harness::experiments::fig11;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_sensitivity");
+    group.sample_size(10);
+    for epoch in fig11::EPOCHS {
+        let runner = Runner::new(RunScale::Tiny).with_params(CiaoParams::default().with_high_epoch(epoch));
+        group.bench_function(format!("syrk/epoch_{epoch}"), |b| {
+            b.iter(|| runner.record(Benchmark::Syrk, SchedulerKind::CiaoC).ipc)
+        });
+    }
+    group.finish();
+
+    let result = fig11::run(&Runner::new(RunScale::Quick), &[Benchmark::Atax, Benchmark::Syrk, Benchmark::Gesummv]);
+    println!("\n{}", fig11::render(&result));
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

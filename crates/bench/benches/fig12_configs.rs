@@ -1,0 +1,35 @@
+//! Bench regenerating Fig. 12: L1D configuration variants and doubled DRAM
+//! bandwidth.
+
+use ciao_harness::experiments::fig12;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuConfig;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_configs");
+    group.sample_size(10);
+    let configs: [(&str, GpuConfig); 3] = [
+        ("baseline", GpuConfig::gtx480()),
+        ("cap48k", GpuConfig::gtx480_cap()),
+        ("8way", GpuConfig::gtx480_8way()),
+    ];
+    for (label, cfg) in configs {
+        let runner = Runner::new(RunScale::Tiny).with_config(cfg);
+        group.bench_function(format!("syrk/GTO_{label}"), |b| {
+            b.iter(|| runner.record(Benchmark::Syrk, SchedulerKind::Gto).ipc)
+        });
+    }
+    group.finish();
+
+    let result = fig12::run(
+        &Runner::new(RunScale::Quick),
+        &[Benchmark::Atax, Benchmark::Syrk, Benchmark::Gesummv, Benchmark::Kmn],
+    );
+    println!("\n{}", fig12::render(&result));
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench regenerating Fig. 1: Backprop inter-warp interference (1a) and the
+//! Best-SWL vs CCWS comparison (1b).
+
+use ciao_harness::experiments::fig1;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("fig1_motivation");
+    group.sample_size(10);
+    group.bench_function("backprop/GTO_interference", |b| {
+        b.iter(|| runner.run_one(Benchmark::Backprop, SchedulerKind::Gto).interference.total())
+    });
+    group.bench_function("backprop/BestSWL", |b| {
+        b.iter(|| runner.record(Benchmark::Backprop, SchedulerKind::BestSwl).ipc)
+    });
+    group.bench_function("backprop/CCWS", |b| {
+        b.iter(|| runner.record(Benchmark::Backprop, SchedulerKind::Ccws).ipc)
+    });
+    group.finish();
+
+    let result = fig1::run(&Runner::new(RunScale::Quick), Benchmark::Backprop);
+    println!("\n{}", fig1::render(&result));
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench regenerating Fig. 4: non-uniform interference characterisation.
+
+use ciao_harness::experiments::fig4;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("fig4_interference");
+    group.sample_size(10);
+    group.bench_function("kmn/interference_matrix", |b| {
+        b.iter(|| runner.run_one(Benchmark::Kmn, SchedulerKind::Gto).interference.total())
+    });
+    group.finish();
+
+    let result = fig4::run(
+        &Runner::new(RunScale::Quick),
+        Benchmark::Kmn,
+        &[Benchmark::Kmn, Benchmark::Atax, Benchmark::Syrk, Benchmark::Gesummv],
+    );
+    println!("\n{}", fig4::render(&result));
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

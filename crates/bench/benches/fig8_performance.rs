@@ -1,0 +1,35 @@
+//! Bench regenerating Fig. 8: IPC of the seven schedulers normalised to GTO,
+//! plus per-class geometric means and shared-memory utilisation.
+//!
+//! Criterion times a representative subset (one benchmark per class under GTO
+//! and CIAO-C); the full figure is emitted once at the end of the run so
+//! `cargo bench` output contains the reproduced table.
+
+use ciao_harness::experiments::fig8;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("fig8_performance");
+    group.sample_size(10);
+    for bench in [Benchmark::Atax, Benchmark::Syrk, Benchmark::Backprop] {
+        for sched in [SchedulerKind::Gto, SchedulerKind::CiaoC] {
+            group.bench_function(format!("{}/{}", bench.name(), sched.label()), |b| {
+                b.iter(|| runner.record(bench, sched).ipc)
+            });
+        }
+    }
+    group.finish();
+
+    // Emit the reproduced figure (quick scale) once per bench invocation.
+    let report_runner = Runner::new(RunScale::Quick);
+    let benchmarks = [Benchmark::Atax, Benchmark::Kmn, Benchmark::Syrk, Benchmark::Gesummv, Benchmark::Backprop, Benchmark::Nn];
+    let result = fig8::run(&report_runner, &benchmarks, &SchedulerKind::all());
+    println!("\n{}", fig8::render(&result));
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench regenerating Fig. 9: ATAX and Backprop over time under Best-SWL,
+//! CCWS and CIAO-T.
+
+use ciao_harness::experiments::fig9;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("fig9_timeseries");
+    group.sample_size(10);
+    for sched in fig9::fig9_schedulers() {
+        group.bench_function(format!("atax/{}", sched.label()), |b| {
+            b.iter(|| runner.record(Benchmark::Atax, sched).ipc)
+        });
+    }
+    group.finish();
+
+    let result = fig9::run(
+        &Runner::new(RunScale::Quick),
+        &fig9::fig9_benchmarks(),
+        &fig9::fig9_schedulers(),
+    );
+    // The per-sample table is long; print only the overall-IPC summaries here.
+    let text = fig9::render("Fig. 9", &result);
+    for block in text.split("==").filter(|b| b.contains("overall IPC")) {
+        println!("=={block}");
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench regenerating the §V-F overhead analysis.
+
+use ciao_core::OverheadModel;
+use ciao_harness::experiments::overhead;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_analysis");
+    group.bench_function("report", |b| b.iter(|| OverheadModel::default().report()));
+    group.finish();
+
+    println!("\n{}", overhead::render(&overhead::run()));
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

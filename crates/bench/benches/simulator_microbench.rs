@@ -1,0 +1,69 @@
+//! Microbenchmarks of the substrate itself: cache access throughput, VTA
+//! updates, DRAM timing, shared-memory-cache lookups and end-to-end simulator
+//! cycles per second. These are not paper figures; they document the cost of
+//! the reproduction infrastructure.
+
+use ciao_core::SharedMemCache;
+use ciao_schedulers::vta::{Vta, VtaConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_mem::cache::{CacheConfig, SetAssocCache};
+use gpu_mem::dram::{Dram, DramConfig};
+use gpu_sim::redirect::RedirectCache;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    group.bench_function("l1d_access", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::l1d_gtx480());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(cache.access((i * 128) % (1 << 20), (i % 48) as u32, false))
+        })
+    });
+
+    group.bench_function("vta_record_and_check", |b| {
+        let mut vta = Vta::new(VtaConfig::ciao());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            vta.record_eviction((i % 48) as u32, (i * 128) % (1 << 16), ((i + 1) % 48) as u32);
+            black_box(vta.check_miss((i % 48) as u32, (i * 128) % (1 << 16)))
+        })
+    });
+
+    group.bench_function("dram_access", |b| {
+        let mut dram = Dram::new(DramConfig::gtx480());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(dram.access((i * 128) % (1 << 24), 128, i))
+        })
+    });
+
+    group.bench_function("shmem_cache_lookup_fill", |b| {
+        let mut cache = SharedMemCache::gtx480();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = (i * 128) % (1 << 18);
+            if let gpu_sim::redirect::RedirectLookup::Miss = cache.lookup(addr, (i % 48) as u32, false) {
+                cache.fill(addr, (i % 48) as u32);
+            }
+            black_box(cache.hits())
+        })
+    });
+
+    group.finish();
+
+    let mut end_to_end = c.benchmark_group("end_to_end");
+    end_to_end.sample_size(10);
+    end_to_end.bench_function("syrk_gto_tiny", |b| {
+        let runner = ciao_harness::runner::Runner::new(ciao_harness::runner::RunScale::Tiny);
+        b.iter(|| runner.record(ciao_workloads::Benchmark::Syrk, ciao_harness::schedulers::SchedulerKind::Gto).cycles)
+    });
+    end_to_end.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

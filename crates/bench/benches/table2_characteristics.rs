@@ -1,0 +1,27 @@
+//! Bench regenerating Table II: benchmark characteristics measured on the
+//! synthetic workloads vs the paper's reported values.
+
+use ciao_harness::experiments::table2;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let runner = Runner::new(RunScale::Tiny);
+    let mut group = c.benchmark_group("table2_characteristics");
+    group.sample_size(10);
+    group.bench_function("characterise/GESUMMV", |b| {
+        b.iter(|| runner.record(Benchmark::Gesummv, SchedulerKind::Gto).apki)
+    });
+    group.bench_function("characterise/Hotspot", |b| {
+        b.iter(|| runner.record(Benchmark::Hotspot, SchedulerKind::Gto).apki)
+    });
+    group.finish();
+
+    let result = table2::run(&Runner::new(RunScale::Quick), &Benchmark::all());
+    println!("\n{}", table2::render(&result));
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Criterion benchmark crate for the CIAO reproduction (see `benches/`).
+//!
+//! The library target is intentionally empty: every benchmark lives in
+//! `benches/*.rs` and reuses the experiment definitions from `ciao-harness`.

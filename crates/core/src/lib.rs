@@ -1,0 +1,57 @@
+//! # ciao-core — Cache Interference-Aware throughput-Oriented architecture and scheduling
+//!
+//! The paper's contribution, implemented on top of the `gpu-sim` /
+//! `gpu-mem` substrate:
+//!
+//! * [`params`] — the decision thresholds and epochs of §IV-A
+//!   (`high-cutoff` = 0.01, `low-cutoff` = 0.005, 5000- and 100-instruction
+//!   epochs) with builders for the sensitivity sweeps of Fig. 11.
+//! * [`detector`] — the cache-interference detector: per-warp VTA-hit
+//!   counters on top of the Victim Tag Array, the *interference list* with
+//!   its 2-bit saturating counters tracking the most recently and frequently
+//!   interfering warp per warp, the *pair list*, and the Individual
+//!   Re-reference Score (IRS) of Eq. 1.
+//! * [`translation`] — the address-translation unit of §IV-B that maps a
+//!   global address onto the shared-memory data-block and tag locations
+//!   (byte offset / bank / bank group / row bit slicing).
+//! * [`shmem_cache`] — the CIAO on-chip memory architecture: unused shared
+//!   memory organised as a direct-mapped cache with tags and 128-byte blocks
+//!   striped across the two 16-bank groups, exposed to the SM through the
+//!   `gpu_sim::RedirectCache` interface.
+//! * [`scheduler`] — CIAO warp scheduling (Algorithm 1) in its three
+//!   evaluated variants: CIAO-P (redirection only), CIAO-T (selective
+//!   throttling only) and CIAO-C (both).
+//! * [`overhead`] — the §V-F hardware-overhead model (storage bits, gate
+//!   counts, area and power estimates).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ciao_core::{CiaoParams, CiaoVariant};
+//! use gpu_sim::{GpuConfig, Simulator};
+//! use ciao_workloads::{Benchmark, ScaleConfig};
+//!
+//! let config = GpuConfig::gtx480().with_max_instructions(5_000);
+//! let sim = Simulator::new(config.clone());
+//! let kernel = Benchmark::Syrk.kernel(&ScaleConfig::tiny());
+//! let (scheduler, redirect) = CiaoVariant::Combined.build(&CiaoParams::default(), &config);
+//! let result = sim.run(Box::new(kernel), scheduler, redirect);
+//! assert!(result.stats.instructions > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod detector;
+pub mod overhead;
+pub mod params;
+pub mod scheduler;
+pub mod shmem_cache;
+pub mod translation;
+
+pub use detector::{InterferenceDetector, InterferenceList, PairList, PairRole};
+pub use overhead::{OverheadModel, OverheadReport};
+pub use params::CiaoParams;
+pub use scheduler::{CiaoScheduler, CiaoVariant};
+pub use shmem_cache::SharedMemCache;
+pub use translation::{ShmemLocation, TranslationUnit};

@@ -1,0 +1,105 @@
+//! CIAO decision thresholds and epochs (§IV-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the CIAO interference detector and scheduler.
+///
+/// The defaults are the values the paper selects after its sensitivity sweep
+/// (§IV-A and §V-E): `high-cutoff` = 0.01 (1%), `low-cutoff` = 0.005 (half of
+/// it), a 5000-instruction high-cutoff epoch and a 100-instruction low-cutoff
+/// epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiaoParams {
+    /// IRS threshold above which a warp is considered severely interfered,
+    /// triggering isolation or throttling of its top interferer.
+    pub high_cutoff: f64,
+    /// IRS threshold below which a previously triggering warp is considered
+    /// relieved, allowing reactivation / un-redirection.
+    pub low_cutoff: f64,
+    /// Instructions between evaluations of the high-cutoff condition.
+    pub high_epoch: u64,
+    /// Instructions between evaluations of the low-cutoff condition (shorter
+    /// than the high epoch so stalled warps are reactivated promptly, keeping
+    /// TLP high).
+    pub low_epoch: u64,
+}
+
+impl Default for CiaoParams {
+    fn default() -> Self {
+        CiaoParams { high_cutoff: 0.01, low_cutoff: 0.005, high_epoch: 5000, low_epoch: 100 }
+    }
+}
+
+impl CiaoParams {
+    /// Returns a copy with a different high-cutoff epoch (Fig. 11a sweeps
+    /// 1K, 5K, 10K and 50K instructions).
+    pub fn with_high_epoch(mut self, epoch: u64) -> Self {
+        self.high_epoch = epoch.max(1);
+        self.low_epoch = self.low_epoch.min(self.high_epoch);
+        self
+    }
+
+    /// Returns a copy with a different high-cutoff threshold, keeping the
+    /// low-cutoff at half of it (Fig. 11b sweeps 4%, 2%, 1% and 0.5%).
+    pub fn with_high_cutoff(mut self, cutoff: f64) -> Self {
+        self.high_cutoff = cutoff;
+        self.low_cutoff = cutoff / 2.0;
+        self
+    }
+
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.high_cutoff > 0.0) {
+            return Err("high_cutoff must be positive".into());
+        }
+        if !(self.low_cutoff > 0.0 && self.low_cutoff <= self.high_cutoff) {
+            return Err("low_cutoff must be positive and not exceed high_cutoff".into());
+        }
+        if self.high_epoch == 0 || self.low_epoch == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if self.low_epoch > self.high_epoch {
+            return Err("low epoch must not exceed the high epoch".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = CiaoParams::default();
+        assert!((p.high_cutoff - 0.01).abs() < 1e-12);
+        assert!((p.low_cutoff - 0.005).abs() < 1e-12);
+        assert_eq!(p.high_epoch, 5000);
+        assert_eq!(p.low_epoch, 100);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let p = CiaoParams::default().with_high_epoch(50_000);
+        assert_eq!(p.high_epoch, 50_000);
+        assert!(p.validate().is_ok());
+
+        let p = CiaoParams::default().with_high_cutoff(0.04);
+        assert!((p.low_cutoff - 0.02).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+
+        // Shrinking the high epoch below the low epoch clamps the low epoch.
+        let p = CiaoParams::default().with_high_epoch(50);
+        assert!(p.low_epoch <= p.high_epoch);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_combinations() {
+        assert!(CiaoParams { high_cutoff: 0.0, ..CiaoParams::default() }.validate().is_err());
+        assert!(CiaoParams { low_cutoff: 0.02, ..CiaoParams::default() }.validate().is_err());
+        assert!(CiaoParams { high_epoch: 0, ..CiaoParams::default() }.validate().is_err());
+        assert!(CiaoParams { low_epoch: 10_000, ..CiaoParams::default() }.validate().is_err());
+    }
+}

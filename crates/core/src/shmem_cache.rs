@@ -1,0 +1,305 @@
+//! CIAO on-chip memory architecture: unused shared memory as a cache (§IV-B).
+//!
+//! The structure is a **direct-mapped** cache (so a tag and its data block
+//! can be fetched with a single scratchpad access) whose capacity tracks the
+//! shared memory left unused by the resident CTAs. Tags and 128-byte data
+//! blocks are placed in opposite 16-bank groups by the
+//! [`TranslationUnit`](crate::translation::TranslationUnit), which makes a
+//! tag + data access conflict-free; the hit latency therefore equals the
+//! scratchpad latency.
+//!
+//! The structure plugs into the SM through `gpu_sim::RedirectCache`. The SM
+//! handles the orchestration (L1D probe + migration through the response
+//! queue, MSHR allocation with the translated address, L2 fetch); this module
+//! owns the tag state, the replacement behaviour, the SMMT reservation
+//! bookkeeping and the utilisation statistic reported in Fig. 8b.
+
+use crate::translation::TranslationUnit;
+use gpu_mem::cache::EvictedLine;
+use gpu_mem::smmt::Smmt;
+use gpu_mem::{Addr, Cycle, WarpId};
+use gpu_sim::redirect::{RedirectCache, RedirectLookup};
+use serde::{Deserialize, Serialize};
+
+/// One direct-mapped line of the shared-memory cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ShmemLine {
+    valid: bool,
+    block_addr: Addr,
+    owner: WarpId,
+}
+
+impl ShmemLine {
+    fn invalid() -> Self {
+        ShmemLine { valid: false, block_addr: 0, owner: 0 }
+    }
+}
+
+/// Statistics of the shared-memory cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShmemCacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lookups made while the structure had no capacity.
+    pub unavailable: u64,
+    /// Fills performed.
+    pub fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Capacity changes triggered by CTA launch/retire.
+    pub resizes: u64,
+}
+
+/// Unused shared memory organised as a direct-mapped cache.
+#[derive(Debug, Clone)]
+pub struct SharedMemCache {
+    /// Scratchpad size managed by the SMMT (total, including CTA usage).
+    scratchpad_bytes: u32,
+    /// Scratchpad access latency (hit latency of this cache).
+    latency: Cycle,
+    /// SMMT mirror used to reserve the unused space for CIAO.
+    smmt: Smmt,
+    /// Translation unit for the currently reserved region (None = no space).
+    translation: Option<TranslationUnit>,
+    lines: Vec<ShmemLine>,
+    stats: ShmemCacheStats,
+}
+
+impl SharedMemCache {
+    /// Creates the structure for a scratchpad of `scratchpad_bytes` with the
+    /// given access latency, initially assuming the whole scratchpad is
+    /// unused (the SM adjusts it via [`RedirectCache::set_capacity`] as CTAs
+    /// launch and retire).
+    pub fn new(scratchpad_bytes: u32, latency: Cycle) -> Self {
+        let mut cache = SharedMemCache {
+            scratchpad_bytes,
+            latency,
+            smmt: Smmt::new(scratchpad_bytes),
+            translation: None,
+            lines: Vec::new(),
+            stats: ShmemCacheStats::default(),
+        };
+        cache.rebuild(scratchpad_bytes as u64);
+        cache
+    }
+
+    /// Convenience constructor matching the Table I scratchpad (48 KB, 1 cycle).
+    pub fn gtx480() -> Self {
+        SharedMemCache::new(48 * 1024, 1)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &ShmemCacheStats {
+        &self.stats
+    }
+
+    /// Number of cache lines currently available.
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of valid lines currently held.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    fn rebuild(&mut self, unused_bytes: u64) {
+        self.stats.resizes += 1;
+        // Mirror the SMMT bookkeeping: release the previous CIAO reservation,
+        // model the CTA usage as a single opaque allocation, and re-reserve
+        // whatever is left for the cache.
+        self.smmt = Smmt::new(self.scratchpad_bytes);
+        let cta_used = self.scratchpad_bytes.saturating_sub(unused_bytes.min(u64::from(u32::MAX)) as u32);
+        if cta_used > 0 {
+            let _ = self.smmt.allocate_cta(0, cta_used);
+        }
+        let reserved = self.smmt.reserve_unused_for_ciao().ok();
+        self.translation = reserved.and_then(|r| TranslationUnit::new(r.size as u64, r.base / 128));
+        let lines = self.translation.map(|t| t.num_lines() as usize).unwrap_or(0);
+        self.lines = vec![ShmemLine::invalid(); lines];
+    }
+
+    fn line_index(&self, block_addr: Addr) -> Option<usize> {
+        self.translation.map(|t| t.translate(block_addr).line_index as usize)
+    }
+}
+
+impl RedirectCache for SharedMemCache {
+    fn lookup(&mut self, block_addr: Addr, _wid: WarpId, _is_write: bool) -> RedirectLookup {
+        let Some(idx) = self.line_index(block_addr) else {
+            self.stats.unavailable += 1;
+            return RedirectLookup::Unavailable;
+        };
+        let line = self.lines[idx];
+        if line.valid && line.block_addr == block_addr {
+            self.stats.hits += 1;
+            RedirectLookup::Hit { latency: self.latency }
+        } else {
+            self.stats.misses += 1;
+            RedirectLookup::Miss
+        }
+    }
+
+    fn fill(&mut self, block_addr: Addr, wid: WarpId) -> Option<EvictedLine> {
+        let idx = self.line_index(block_addr)?;
+        let previous = self.lines[idx];
+        self.lines[idx] = ShmemLine { valid: true, block_addr, owner: wid };
+        self.stats.fills += 1;
+        if previous.valid && previous.block_addr != block_addr {
+            self.stats.evictions += 1;
+            Some(EvictedLine { block_addr: previous.block_addr, owner: previous.owner, dirty: false })
+        } else {
+            None
+        }
+    }
+
+    fn utilization(&self) -> f64 {
+        if self.lines.is_empty() {
+            0.0
+        } else {
+            self.valid_lines() as f64 / self.lines.len() as f64
+        }
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.translation.map(|t| t.data_capacity_bytes()).unwrap_or(0)
+    }
+
+    fn hits(&self) -> u64 {
+        self.stats.hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            *l = ShmemLine::invalid();
+        }
+    }
+
+    fn set_capacity(&mut self, unused_bytes: u64) {
+        let current = self.capacity_bytes();
+        // Rebuild only when the usable capacity actually changes; the SM
+        // calls this after every CTA launch/retire.
+        let future = TranslationUnit::new(unused_bytes, 0).map(|t| t.data_capacity_bytes()).unwrap_or(0);
+        if future != current {
+            self.rebuild(unused_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = SharedMemCache::gtx480();
+        assert_eq!(c.lookup(0x8000, 1, false), RedirectLookup::Miss);
+        assert!(c.fill(0x8000, 1).is_none());
+        assert_eq!(c.lookup(0x8000, 2, false), RedirectLookup::Hit { latency: 1 });
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_evict_with_owner() {
+        let mut c = SharedMemCache::gtx480();
+        let lines = c.num_lines() as u64;
+        let a = 0x0;
+        let b = lines * 128; // maps onto the same line as `a`
+        c.fill(a, 3);
+        let ev = c.fill(b, 5).expect("conflict must evict");
+        assert_eq!(ev.block_addr, a);
+        assert_eq!(ev.owner, 3);
+        assert_eq!(c.lookup(a, 3, false), RedirectLookup::Miss);
+        assert_eq!(c.lookup(b, 5, false), RedirectLookup::Hit { latency: 1 });
+    }
+
+    #[test]
+    fn refilling_same_block_does_not_evict() {
+        let mut c = SharedMemCache::gtx480();
+        c.fill(0x100, 1);
+        assert!(c.fill(0x100, 2).is_none());
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_tracks_cta_usage() {
+        let mut c = SharedMemCache::gtx480();
+        let full = c.capacity_bytes();
+        assert!(full > 40 * 1024, "nearly the whole 48 KB should be usable, got {full}");
+        // CTAs occupy 40 KB: only ~8 KB left.
+        c.set_capacity(8 * 1024);
+        assert!(c.capacity_bytes() <= 8 * 1024);
+        assert!(c.capacity_bytes() > 4 * 1024);
+        // CTAs occupy everything: structure unavailable.
+        c.set_capacity(0);
+        assert_eq!(c.capacity_bytes(), 0);
+        assert_eq!(c.lookup(0x80, 0, false), RedirectLookup::Unavailable);
+        assert!(c.fill(0x80, 0).is_none());
+        // Space frees up again.
+        c.set_capacity(48 * 1024);
+        assert_eq!(c.capacity_bytes(), full);
+    }
+
+    #[test]
+    fn utilization_grows_with_fills() {
+        let mut c = SharedMemCache::new(8 * 1024, 1);
+        assert_eq!(c.utilization(), 0.0);
+        let n = c.num_lines() as u64;
+        for i in 0..n / 2 {
+            c.fill(i * 128, 0);
+        }
+        let u = c.utilization();
+        assert!(u > 0.4 && u <= 0.51, "expected about half utilised, got {u}");
+        c.invalidate_all();
+        assert_eq!(c.utilization(), 0.0);
+    }
+
+    #[test]
+    fn resize_invalidates_contents() {
+        let mut c = SharedMemCache::gtx480();
+        c.fill(0x80, 0);
+        c.set_capacity(16 * 1024);
+        assert_eq!(c.valid_lines(), 0);
+        assert!(c.stats().resizes >= 2);
+    }
+
+    #[test]
+    fn same_capacity_resize_is_a_no_op() {
+        let mut c = SharedMemCache::gtx480();
+        c.fill(0x80, 0);
+        let resizes = c.stats().resizes;
+        c.set_capacity(48 * 1024);
+        assert_eq!(c.stats().resizes, resizes, "identical capacity must not rebuild");
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    proptest! {
+        /// The structure never reports more valid lines than its capacity and
+        /// hit/miss/unavailable counts account for every lookup.
+        #[test]
+        fn accounting_invariants(ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300)) {
+            let mut c = SharedMemCache::new(4 * 1024, 1);
+            let mut lookups = 0u64;
+            for (block, do_fill) in ops {
+                let addr = block * 128;
+                if do_fill {
+                    c.fill(addr, (block % 48) as WarpId);
+                } else {
+                    lookups += 1;
+                    let _ = c.lookup(addr, (block % 48) as WarpId, false);
+                }
+                prop_assert!(c.valid_lines() <= c.num_lines());
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses + s.unavailable, lookups);
+        }
+    }
+}

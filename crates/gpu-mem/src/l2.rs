@@ -1,0 +1,209 @@
+//! Memory partition: L2 cache slice plus its DRAM channel.
+//!
+//! In the GTX 480 each memory partition pairs an L2 slice with a GDDR5
+//! channel. This module combines the generic [`SetAssocCache`] (configured
+//! per Table I: 768 KB, 8-way, write-allocate, write-back, LRU) with the
+//! [`Dram`] timing model and exposes a single `access` entry point returning
+//! the completion cycle of a request, so the SM-side code can treat "L1D miss
+//! goes downstream" as one call.
+
+use crate::addr::{block_addr, Addr};
+use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use crate::dram::{Dram, DramConfig, DramStats};
+use crate::{Cycle, WarpId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a memory partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// L2 slice configuration.
+    pub l2: CacheConfig,
+    /// DRAM channel configuration.
+    pub dram: DramConfig,
+    /// L2 hit latency in cycles (Fermi L2 round-trip is ~120 core cycles
+    /// including interconnect; the interconnect part is modelled separately,
+    /// so this is the array access itself).
+    pub l2_latency: Cycle,
+}
+
+impl PartitionConfig {
+    /// The Table I configuration.
+    pub fn gtx480() -> Self {
+        PartitionConfig { l2: CacheConfig::l2_gtx480(), dram: DramConfig::gtx480(), l2_latency: 90 }
+    }
+
+    /// Table I configuration with the doubled DRAM bandwidth of Fig. 12b.
+    pub fn gtx480_2x_bandwidth() -> Self {
+        PartitionConfig { dram: DramConfig::gtx480_2x_bandwidth(), ..Self::gtx480() }
+    }
+}
+
+/// Statistics of a memory partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// L2 hit/miss statistics.
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Requests served.
+    pub requests: u64,
+    /// Sum of request latencies (for mean-latency reporting).
+    pub total_latency: Cycle,
+}
+
+impl PartitionStats {
+    /// Mean latency of a request through the partition.
+    pub fn mean_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.requests as f64
+        }
+    }
+}
+
+/// An L2 slice + DRAM channel pair.
+#[derive(Debug, Clone)]
+pub struct MemoryPartition {
+    config: PartitionConfig,
+    l2: SetAssocCache,
+    dram: Dram,
+    requests: u64,
+    total_latency: Cycle,
+}
+
+impl MemoryPartition {
+    /// Builds a partition from `config`.
+    pub fn new(config: PartitionConfig) -> Self {
+        let l2 = SetAssocCache::new(config.l2.clone());
+        let dram = Dram::new(config.dram);
+        MemoryPartition { config, l2, dram, requests: 0, total_latency: 0 }
+    }
+
+    /// The partition configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats {
+            l2: *self.l2.stats(),
+            dram: *self.dram.stats(),
+            requests: self.requests,
+            total_latency: self.total_latency,
+        }
+    }
+
+    /// Current DRAM bandwidth utilisation (0..1) — consulted by the
+    /// statPCAL-style bypass policy.
+    pub fn dram_bandwidth_utilization(&self, now: Cycle) -> f64 {
+        self.dram.bandwidth_utilization(now)
+    }
+
+    /// Serves a read or write arriving at the L2 at cycle `now` on behalf of
+    /// warp `wid`; returns the cycle at which the response is available at
+    /// the partition's output port.
+    pub fn access(&mut self, addr: Addr, wid: WarpId, is_write: bool, now: Cycle) -> Cycle {
+        let block = block_addr(addr);
+        self.requests += 1;
+        let res = self.l2.access(block, wid, is_write);
+        let mut done = now + self.config.l2_latency;
+        if res.outcome.is_miss() {
+            // Fetch (or write-allocate fetch) from DRAM.
+            done = self.dram.access(block, self.config.l2.line_size, done);
+        }
+        if let Some(ev) = res.evicted {
+            if ev.dirty {
+                // Dirty write-back consumes DRAM bandwidth but is off the
+                // critical path of the requesting warp.
+                self.dram.access(ev.block_addr, self.config.l2.line_size, done);
+            }
+        }
+        let latency = done - now;
+        self.total_latency += latency;
+        done
+    }
+
+    /// Serves a request that *bypasses* the L2 and goes straight to DRAM
+    /// (statPCAL bypass path).
+    pub fn access_bypass(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        let block = block_addr(addr);
+        self.requests += 1;
+        let done = self.dram.access(block, self.config.l2.line_size, now);
+        self.total_latency += done - now;
+        done
+    }
+
+    /// Invalidates the whole L2 (between kernels) and resets DRAM timing.
+    pub fn reset(&mut self) {
+        self.l2.flush();
+        self.l2.reset_stats();
+        self.dram.reset();
+        self.requests = 0;
+        self.total_latency = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn l2_hit_faster_than_miss() {
+        let mut p = MemoryPartition::new(PartitionConfig::gtx480());
+        let miss_done = p.access(0x1000, 0, false, 0);
+        let t = miss_done + 10;
+        let hit_done = p.access(0x1000, 0, false, t);
+        assert!(hit_done - t < miss_done, "L2 hit must be far cheaper than the cold miss");
+        assert_eq!(p.stats().l2.read_hits, 1);
+    }
+
+    #[test]
+    fn bypass_skips_l2() {
+        let mut p = MemoryPartition::new(PartitionConfig::gtx480());
+        p.access_bypass(0x2000, 0);
+        assert_eq!(p.stats().l2.accesses(), 0);
+        assert_eq!(p.stats().dram.accesses, 1);
+    }
+
+    #[test]
+    fn double_bandwidth_serves_streams_faster() {
+        let run = |cfg: PartitionConfig| {
+            let mut p = MemoryPartition::new(cfg);
+            let mut done = 0;
+            for i in 0..512u64 {
+                // Distinct blocks spanning many rows: all L2 misses.
+                done = p.access(i * 4096, 0, false, 0);
+            }
+            done
+        };
+        assert!(run(PartitionConfig::gtx480_2x_bandwidth()) < run(PartitionConfig::gtx480()));
+    }
+
+    #[test]
+    fn mean_latency_reported() {
+        let mut p = MemoryPartition::new(PartitionConfig::gtx480());
+        p.access(0, 0, false, 0);
+        assert!(p.stats().mean_latency() > 0.0);
+        p.reset();
+        assert_eq!(p.stats().requests, 0);
+    }
+
+    proptest! {
+        /// Completion is always strictly after arrival and hits never touch DRAM.
+        #[test]
+        fn latency_positive(addrs in proptest::collection::vec(0u64..(1 << 22), 1..128)) {
+            let mut p = MemoryPartition::new(PartitionConfig::gtx480());
+            let mut now = 0;
+            for a in addrs {
+                let done = p.access(a, 0, false, now);
+                prop_assert!(done > now);
+                now = done;
+            }
+            let s = p.stats();
+            prop_assert_eq!(s.dram.accesses, s.l2.misses() + s.l2.writebacks);
+        }
+    }
+}

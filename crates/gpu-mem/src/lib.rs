@@ -1,0 +1,61 @@
+//! # gpu-mem — GPU memory-hierarchy substrate
+//!
+//! This crate implements the on-chip and off-chip memory system of a
+//! Fermi-class GPU streaming multiprocessor (SM), sufficient to reproduce the
+//! evaluation of *CIAO: Cache Interference-Aware Throughput-Oriented
+//! Architecture and Scheduling for GPUs* (IPDPS 2018):
+//!
+//! * [`addr`] — address arithmetic, 128-byte block math and the XOR-based
+//!   set-index hashing the paper layers on top of the baseline GPGPU-Sim
+//!   configuration.
+//! * [`cache`] — a generic set-associative cache with per-line warp-ID
+//!   tracking (needed by the Victim Tag Array and the interference detector),
+//!   configurable replacement and write policies; used for both the 16 KB L1D
+//!   and the 768 KB L2 of Table I.
+//! * [`mshr`] — miss-status holding registers, including the extra
+//!   translated-shared-memory-address field CIAO adds (§IV-B).
+//! * [`shared_memory`] — the 32-bank scratchpad with a bank-conflict model and
+//!   the per-CTA Shared Memory Management Table ([`smmt`]).
+//! * [`dram`] — a GDDR5-like DRAM model (banked timing, finite bandwidth).
+//! * [`l2`] — memory partition: L2 slice plus its DRAM channel.
+//! * [`queues`] — bounded response/write queues used on the L1D↔L2 datapath.
+//! * [`interconnect`] — the SM↔partition interconnect (latency + bandwidth).
+//!
+//! All components are deterministic and cycle-based: methods take the current
+//! cycle and return completion cycles, so a simulator driver (the `gpu-sim`
+//! crate) can schedule events without this crate owning a clock.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod interconnect;
+pub mod l2;
+pub mod mshr;
+pub mod queues;
+pub mod shared_memory;
+pub mod smmt;
+
+pub use addr::{block_addr, block_index, Addr, SetIndexFunction, LINE_SIZE};
+pub use cache::{
+    AccessOutcome, CacheAccess, CacheConfig, CacheStats, EvictedLine, ReplacementPolicy,
+    SetAssocCache, WriteAllocPolicy, WritePolicy,
+};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use interconnect::Interconnect;
+pub use l2::{MemoryPartition, PartitionConfig, PartitionStats};
+pub use mshr::{Mshr, MshrAllocation, MshrEntry, MshrError};
+pub use queues::{BoundedQueue, ResponseEntry, ResponseSource};
+pub use shared_memory::{SharedMemory, SharedMemoryConfig};
+pub use smmt::{Smmt, SmmtEntry, SmmtError, SmmtPurpose};
+
+/// A simulation cycle index.
+pub type Cycle = u64;
+
+/// A warp identifier (unique within one SM).
+pub type WarpId = u32;
+
+/// A cooperative-thread-array (thread block) identifier.
+pub type CtaId = u32;

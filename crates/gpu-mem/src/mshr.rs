@@ -1,0 +1,299 @@
+//! Miss-Status Holding Registers (MSHRs).
+//!
+//! The L1D of the modelled SM tracks outstanding misses in a small MSHR file.
+//! Requests to a block that already has an outstanding miss are *merged* into
+//! the existing entry instead of generating new downstream traffic.
+//!
+//! CIAO extends each MSHR entry with the *translated shared-memory address*
+//! of the request (§IV-B, "Datapath connection"): when the unused shared
+//! memory space serves as a cache for an isolated warp, a shared-memory miss
+//! reserves an MSHR entry carrying both the global address and the translated
+//! shared-memory address, so the L2 response can be steered directly into the
+//! shared-memory data array. The same entry also carries an optional pointer
+//! into the response queue used by the L1D→shared-memory migration path.
+
+use crate::addr::Addr;
+use crate::{Cycle, WarpId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies where the fill data for an entry should be placed on return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FillTarget {
+    /// Normal path: fill the L1D cache.
+    L1d,
+    /// CIAO path: fill the shared-memory cache at the translated address.
+    SharedMemory {
+        /// Translated shared-memory byte address produced by the CIAO
+        /// address-translation unit.
+        shared_addr: u32,
+    },
+}
+
+/// A single outstanding miss.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrEntry {
+    /// Block-aligned global address being fetched.
+    pub block_addr: Addr,
+    /// Warps whose requests merged into this entry, in arrival order.
+    pub waiting_warps: Vec<WarpId>,
+    /// Where the data should be placed when the response arrives.
+    pub fill_target: FillTarget,
+    /// Cycle at which the first (allocating) request arrived.
+    pub issue_cycle: Cycle,
+    /// Set when the data is being migrated out of the L1D through the
+    /// response queue rather than fetched from L2 (§IV-B, coherence path).
+    pub response_queue_slot: Option<usize>,
+}
+
+/// Outcome of [`Mshr::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MshrAllocation {
+    /// A new entry was created; the caller must send a fetch downstream.
+    New,
+    /// The request was merged into an existing entry; no new fetch needed.
+    Merged,
+}
+
+/// Reasons an allocation can fail (structural hazards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MshrError {
+    /// All MSHR entries are in use.
+    Full,
+    /// The entry for this block exists but its merge list is full.
+    MergeListFull,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrError::Full => write!(f, "all MSHR entries are in use"),
+            MshrError::MergeListFull => write!(f, "MSHR merge list is full for this block"),
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+/// Aggregate MSHR statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// New entries allocated.
+    pub allocations: u64,
+    /// Requests merged into existing entries.
+    pub merges: u64,
+    /// Allocation failures due to a full MSHR file.
+    pub full_stalls: u64,
+    /// Allocation failures due to a full merge list.
+    pub merge_stalls: u64,
+}
+
+/// The MSHR file.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    max_entries: usize,
+    max_merged: usize,
+    entries: HashMap<Addr, MshrEntry>,
+    stats: MshrStats,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `max_entries` entries, each able to merge up
+    /// to `max_merged` requests (including the allocating one).
+    pub fn new(max_entries: usize, max_merged: usize) -> Self {
+        assert!(max_entries > 0 && max_merged > 0);
+        Mshr { max_entries, max_merged, entries: HashMap::new(), stats: MshrStats::default() }
+    }
+
+    /// The default Fermi-like configuration: 32 entries, 8 merged requests.
+    pub fn fermi_l1d() -> Self {
+        Mshr::new(32, 8)
+    }
+
+    /// Number of entries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no more entries can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.max_entries
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MshrStats {
+        &self.stats
+    }
+
+    /// True if a miss to `block_addr` is already outstanding.
+    pub fn probe(&self, block_addr: Addr) -> bool {
+        self.entries.contains_key(&block_addr)
+    }
+
+    /// Returns the entry for `block_addr`, if outstanding.
+    pub fn entry(&self, block_addr: Addr) -> Option<&MshrEntry> {
+        self.entries.get(&block_addr)
+    }
+
+    /// Registers a miss for `block_addr` by warp `wid`.
+    ///
+    /// Returns whether a new downstream fetch must be generated or the
+    /// request merged into an existing one, or an error when a structural
+    /// hazard prevents the allocation (the caller should then replay the
+    /// access on a later cycle, which is how the SM models MSHR back-pressure).
+    pub fn allocate(
+        &mut self,
+        block_addr: Addr,
+        wid: WarpId,
+        now: Cycle,
+        fill_target: FillTarget,
+    ) -> Result<MshrAllocation, MshrError> {
+        if let Some(entry) = self.entries.get_mut(&block_addr) {
+            if entry.waiting_warps.len() >= self.max_merged {
+                self.stats.merge_stalls += 1;
+                return Err(MshrError::MergeListFull);
+            }
+            entry.waiting_warps.push(wid);
+            self.stats.merges += 1;
+            return Ok(MshrAllocation::Merged);
+        }
+        if self.entries.len() >= self.max_entries {
+            self.stats.full_stalls += 1;
+            return Err(MshrError::Full);
+        }
+        self.entries.insert(
+            block_addr,
+            MshrEntry {
+                block_addr,
+                waiting_warps: vec![wid],
+                fill_target,
+                issue_cycle: now,
+                response_queue_slot: None,
+            },
+        );
+        self.stats.allocations += 1;
+        Ok(MshrAllocation::New)
+    }
+
+    /// Records the response-queue slot holding data being migrated from the
+    /// L1D for this block (CIAO coherence path, §IV-B).
+    pub fn set_response_queue_slot(&mut self, block_addr: Addr, slot: usize) -> bool {
+        if let Some(e) = self.entries.get_mut(&block_addr) {
+            e.response_queue_slot = Some(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes the outstanding miss for `block_addr`, removing and
+    /// returning its entry (with the full list of warps to wake up).
+    pub fn fill(&mut self, block_addr: Addr) -> Option<MshrEntry> {
+        self.entries.remove(&block_addr)
+    }
+
+    /// Drops every outstanding entry (used between kernels).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_then_merge_then_fill() {
+        let mut m = Mshr::new(4, 4);
+        assert_eq!(m.allocate(0x100, 1, 10, FillTarget::L1d).unwrap(), MshrAllocation::New);
+        assert_eq!(m.allocate(0x100, 2, 11, FillTarget::L1d).unwrap(), MshrAllocation::Merged);
+        assert!(m.probe(0x100));
+        assert_eq!(m.in_flight(), 1);
+        let e = m.fill(0x100).unwrap();
+        assert_eq!(e.waiting_warps, vec![1, 2]);
+        assert_eq!(e.issue_cycle, 10);
+        assert!(!m.probe(0x100));
+        assert_eq!(m.stats().allocations, 1);
+        assert_eq!(m.stats().merges, 1);
+    }
+
+    #[test]
+    fn full_mshr_rejects() {
+        let mut m = Mshr::new(2, 2);
+        m.allocate(0x000, 0, 0, FillTarget::L1d).unwrap();
+        m.allocate(0x080, 0, 0, FillTarget::L1d).unwrap();
+        assert_eq!(m.allocate(0x100, 0, 0, FillTarget::L1d), Err(MshrError::Full));
+        assert!(m.is_full());
+        assert_eq!(m.stats().full_stalls, 1);
+    }
+
+    #[test]
+    fn merge_list_limit_enforced() {
+        let mut m = Mshr::new(2, 2);
+        m.allocate(0x000, 0, 0, FillTarget::L1d).unwrap();
+        m.allocate(0x000, 1, 0, FillTarget::L1d).unwrap();
+        assert_eq!(m.allocate(0x000, 2, 0, FillTarget::L1d), Err(MshrError::MergeListFull));
+        assert_eq!(m.stats().merge_stalls, 1);
+    }
+
+    #[test]
+    fn shared_memory_fill_target_preserved() {
+        let mut m = Mshr::fermi_l1d();
+        m.allocate(0x2000, 5, 3, FillTarget::SharedMemory { shared_addr: 0x440 }).unwrap();
+        let e = m.entry(0x2000).unwrap();
+        assert_eq!(e.fill_target, FillTarget::SharedMemory { shared_addr: 0x440 });
+    }
+
+    #[test]
+    fn response_queue_slot_recorded() {
+        let mut m = Mshr::fermi_l1d();
+        m.allocate(0x2000, 5, 3, FillTarget::L1d).unwrap();
+        assert!(m.set_response_queue_slot(0x2000, 7));
+        assert_eq!(m.entry(0x2000).unwrap().response_queue_slot, Some(7));
+        assert!(!m.set_response_queue_slot(0x3000, 1));
+    }
+
+    #[test]
+    fn fill_unknown_block_returns_none() {
+        let mut m = Mshr::fermi_l1d();
+        assert!(m.fill(0xdead_0000).is_none());
+    }
+
+    proptest! {
+        /// The MSHR never leaks entries: after filling every allocated block
+        /// the file is empty, and in-flight never exceeds the capacity.
+        #[test]
+        fn no_leaks(blocks in proptest::collection::vec(0u64..64, 1..200)) {
+            let mut m = Mshr::new(16, 8);
+            let mut outstanding = std::collections::HashSet::new();
+            for (i, b) in blocks.iter().enumerate() {
+                let addr = b * 128;
+                match m.allocate(addr, (i % 48) as WarpId, i as Cycle, FillTarget::L1d) {
+                    Ok(_) => { outstanding.insert(addr); }
+                    Err(_) => {}
+                }
+                prop_assert!(m.in_flight() <= 16);
+            }
+            for addr in &outstanding {
+                prop_assert!(m.fill(*addr).is_some());
+            }
+            prop_assert_eq!(m.in_flight(), 0);
+        }
+
+        /// Merged warps are returned in arrival order and never exceed the
+        /// merge capacity.
+        #[test]
+        fn merge_order_preserved(warps in proptest::collection::vec(0u32..48, 1..20)) {
+            let mut m = Mshr::new(4, 64);
+            let mut expected = Vec::new();
+            for (i, w) in warps.iter().enumerate() {
+                if m.allocate(0x80, *w, i as Cycle, FillTarget::L1d).is_ok() {
+                    expected.push(*w);
+                }
+            }
+            let entry = m.fill(0x80).unwrap();
+            prop_assert_eq!(entry.waiting_warps, expected);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Bounded queues used on the L1D ↔ L2 datapath.
+//!
+//! The SM pipeline of Figure 7a contains a *write queue* (WQ) carrying
+//! write-through/write-back traffic towards L2 and a *response queue* (RespQ)
+//! buffering fill data returning from L2. CIAO's on-chip memory architecture
+//! additionally uses the response queue as the staging area for data migrated
+//! from the L1D to the shared-memory cache (§IV-B "Performance optimization
+//! and coherence"): the L1D evicts the block into the response queue and the
+//! shared memory later fetches it from there, guided by the pointer stored in
+//! the MSHR entry.
+
+use crate::addr::Addr;
+use crate::{Cycle, WarpId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Where the data sitting in a response-queue entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseSource {
+    /// Fill data returned by the L2 / DRAM.
+    L2Fill,
+    /// Block evicted from the L1D as part of CIAO's L1D→shared-memory
+    /// migration (single-copy coherence guarantee).
+    L1dMigration,
+}
+
+/// One entry of the response queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseEntry {
+    /// Block-aligned global address of the data.
+    pub block_addr: Addr,
+    /// Source of the data.
+    pub source: ResponseSource,
+    /// Warp waiting for the data (first requester).
+    pub wid: WarpId,
+    /// Cycle at which the data becomes consumable.
+    pub ready_at: Cycle,
+}
+
+/// A bounded FIFO queue with occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    items: VecDeque<T>,
+    /// Total number of push attempts rejected because the queue was full.
+    rejected: u64,
+    /// Total number of successful pushes.
+    pushed: u64,
+    /// High-water mark of occupancy.
+    max_occupancy: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue { capacity, items: VecDeque::new(), rejected: 0, pushed: 0, max_occupancy: 0 }
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more items can be pushed.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Number of rejected pushes (back-pressure events).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of successful pushes.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Highest occupancy observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Attempts to push an item; returns it back if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<usize, T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        Ok(self.items.len() - 1)
+    }
+
+    /// Pops the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first item matching `pred` (used by the
+    /// shared-memory fill path to pull a specific migrated block out of the
+    /// response queue regardless of its position).
+    pub fn take_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        let idx = self.items.iter().position(|x| pred(x))?;
+        self.items.remove(idx)
+    }
+
+    /// Clears the queue.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut q = BoundedQueue::new(2);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.rejected(), 1);
+        q.pop();
+        assert!(q.push('c').is_ok());
+    }
+
+    #[test]
+    fn take_first_matching() {
+        let mut q = BoundedQueue::new(8);
+        for entry in [
+            ResponseEntry { block_addr: 0x000, source: ResponseSource::L2Fill, wid: 0, ready_at: 5 },
+            ResponseEntry { block_addr: 0x080, source: ResponseSource::L1dMigration, wid: 1, ready_at: 6 },
+            ResponseEntry { block_addr: 0x100, source: ResponseSource::L2Fill, wid: 2, ready_at: 7 },
+        ] {
+            q.push(entry).unwrap();
+        }
+        let taken = q.take_first(|e| e.block_addr == 0x080).unwrap();
+        assert_eq!(taken.source, ResponseSource::L1dMigration);
+        assert_eq!(q.len(), 2);
+        assert!(q.take_first(|e| e.block_addr == 0x080).is_none());
+        // Remaining order preserved.
+        assert_eq!(q.pop().unwrap().block_addr, 0x000);
+        assert_eq!(q.pop().unwrap().block_addr, 0x100);
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.max_occupancy(), 2);
+        assert_eq!(q.pushed(), 3);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity and pushes + rejections account
+        /// for every attempt.
+        #[test]
+        fn bounded_invariant(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut q = BoundedQueue::new(5);
+            let mut attempts = 0u64;
+            for push in ops {
+                if push {
+                    attempts += 1;
+                    let _ = q.push(0u32);
+                } else {
+                    q.pop();
+                }
+                prop_assert!(q.len() <= q.capacity());
+            }
+            prop_assert_eq!(q.pushed() + q.rejected(), attempts);
+        }
+
+        /// FIFO: popping yields items in push order.
+        #[test]
+        fn fifo_property(items in proptest::collection::vec(any::<u32>(), 1..50)) {
+            let mut q = BoundedQueue::new(items.len());
+            for &i in &items {
+                q.push(i).unwrap();
+            }
+            let mut out = Vec::new();
+            while let Some(x) = q.pop() {
+                out.push(x);
+            }
+            prop_assert_eq!(out, items);
+        }
+    }
+}

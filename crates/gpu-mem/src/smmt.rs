@@ -1,0 +1,277 @@
+//! Shared Memory Management Table (SMMT).
+//!
+//! §II-A: each SM keeps an independent SMMT where each CTA reserves one entry
+//! recording the base address and size of its shared-memory allocation.
+//!
+//! §IV-B ("Determination of unused shared memory space"): when a CTA is
+//! launched, CIAO consults the SMMT to find how much scratchpad is unused and
+//! inserts an additional entry reserving that space for its own tag+data
+//! blocks, making the repurposing transparent to the programmer. This module
+//! implements both the baseline CTA allocation bookkeeping and the CIAO
+//! reservation entry.
+
+use crate::CtaId;
+use serde::{Deserialize, Serialize};
+
+/// What an SMMT entry's space is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmmtPurpose {
+    /// Programmer-visible per-CTA shared memory.
+    Cta(CtaId),
+    /// Space reserved by CIAO to hold redirected cache blocks and their tags.
+    CiaoCache,
+}
+
+/// One SMMT entry: a contiguous region of the scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmmtEntry {
+    /// Purpose of the reservation.
+    pub purpose: SmmtPurpose,
+    /// Base byte address within the scratchpad.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+impl SmmtEntry {
+    /// Exclusive end address of the region.
+    pub fn end(&self) -> u32 {
+        self.base + self.size
+    }
+}
+
+/// Errors returned by SMMT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmmtError {
+    /// Not enough contiguous free space for the requested allocation.
+    OutOfSpace,
+    /// The CTA already holds an allocation.
+    AlreadyAllocated,
+    /// No allocation found for the CTA / for the CIAO reservation.
+    NotFound,
+}
+
+impl std::fmt::Display for SmmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmmtError::OutOfSpace => write!(f, "insufficient free shared memory"),
+            SmmtError::AlreadyAllocated => write!(f, "CTA already has a shared-memory allocation"),
+            SmmtError::NotFound => write!(f, "no matching SMMT entry"),
+        }
+    }
+}
+
+impl std::error::Error for SmmtError {}
+
+/// The Shared Memory Management Table of one SM.
+#[derive(Debug, Clone, Default)]
+pub struct Smmt {
+    total_size: u32,
+    entries: Vec<SmmtEntry>,
+}
+
+impl Smmt {
+    /// Creates an SMMT managing a scratchpad of `total_size` bytes.
+    pub fn new(total_size: u32) -> Self {
+        Smmt { total_size, entries: Vec::new() }
+    }
+
+    /// Total scratchpad capacity managed by this table.
+    pub fn total_size(&self) -> u32 {
+        self.total_size
+    }
+
+    /// Current entries (CTA allocations plus at most one CIAO reservation).
+    pub fn entries(&self) -> &[SmmtEntry] {
+        &self.entries
+    }
+
+    /// Bytes currently allocated (all purposes).
+    pub fn allocated(&self) -> u32 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+
+    /// Bytes currently allocated to CTAs (programmer-visible usage). This is
+    /// the quantity behind the `Fsmem` column of Table II.
+    pub fn cta_allocated(&self) -> u32 {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.purpose, SmmtPurpose::Cta(_)))
+            .map(|e| e.size)
+            .sum()
+    }
+
+    /// Bytes not allocated to anything.
+    pub fn unused(&self) -> u32 {
+        self.total_size - self.allocated()
+    }
+
+    /// Finds the lowest free contiguous region of at least `size` bytes.
+    fn find_free(&self, size: u32) -> Option<u32> {
+        if size == 0 {
+            return Some(0);
+        }
+        let mut regions: Vec<(u32, u32)> = self.entries.iter().map(|e| (e.base, e.end())).collect();
+        regions.sort_unstable();
+        let mut cursor = 0u32;
+        for (base, end) in regions {
+            if base >= cursor && base - cursor >= size {
+                return Some(cursor);
+            }
+            cursor = cursor.max(end);
+        }
+        if self.total_size >= cursor && self.total_size - cursor >= size {
+            Some(cursor)
+        } else {
+            None
+        }
+    }
+
+    /// Allocates `size` bytes of shared memory for CTA `cta` (kernel launch).
+    pub fn allocate_cta(&mut self, cta: CtaId, size: u32) -> Result<SmmtEntry, SmmtError> {
+        if self.entries.iter().any(|e| e.purpose == SmmtPurpose::Cta(cta)) {
+            return Err(SmmtError::AlreadyAllocated);
+        }
+        let base = self.find_free(size).ok_or(SmmtError::OutOfSpace)?;
+        let entry = SmmtEntry { purpose: SmmtPurpose::Cta(cta), base, size };
+        self.entries.push(entry);
+        Ok(entry)
+    }
+
+    /// Releases the allocation of CTA `cta` (CTA completion).
+    pub fn free_cta(&mut self, cta: CtaId) -> Result<SmmtEntry, SmmtError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.purpose == SmmtPurpose::Cta(cta))
+            .ok_or(SmmtError::NotFound)?;
+        Ok(self.entries.swap_remove(idx))
+    }
+
+    /// Reserves *all* currently unused space for the CIAO shared-memory cache
+    /// and returns the reservation entry (§IV-B). Any previous CIAO
+    /// reservation is released first, so the reservation always reflects the
+    /// current CTA occupancy.
+    pub fn reserve_unused_for_ciao(&mut self) -> Result<SmmtEntry, SmmtError> {
+        self.release_ciao().ok();
+        let size = self.unused();
+        if size == 0 {
+            return Err(SmmtError::OutOfSpace);
+        }
+        let base = self.find_free(size).ok_or(SmmtError::OutOfSpace)?;
+        let entry = SmmtEntry { purpose: SmmtPurpose::CiaoCache, base, size };
+        self.entries.push(entry);
+        Ok(entry)
+    }
+
+    /// Releases the CIAO reservation (e.g. before launching another CTA that
+    /// needs programmer-visible shared memory).
+    pub fn release_ciao(&mut self) -> Result<SmmtEntry, SmmtError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.purpose == SmmtPurpose::CiaoCache)
+            .ok_or(SmmtError::NotFound)?;
+        Ok(self.entries.swap_remove(idx))
+    }
+
+    /// Returns the current CIAO reservation, if any.
+    pub fn ciao_reservation(&self) -> Option<SmmtEntry> {
+        self.entries.iter().copied().find(|e| e.purpose == SmmtPurpose::CiaoCache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cta_allocation_and_free() {
+        let mut t = Smmt::new(48 * 1024);
+        let a = t.allocate_cta(0, 8 * 1024).unwrap();
+        assert_eq!(a.base, 0);
+        let b = t.allocate_cta(1, 4 * 1024).unwrap();
+        assert_eq!(b.base, 8 * 1024);
+        assert_eq!(t.cta_allocated(), 12 * 1024);
+        assert_eq!(t.unused(), 36 * 1024);
+        t.free_cta(0).unwrap();
+        assert_eq!(t.unused(), 44 * 1024);
+        // Freed space is reused.
+        let c = t.allocate_cta(2, 6 * 1024).unwrap();
+        assert_eq!(c.base, 0);
+    }
+
+    #[test]
+    fn double_allocation_rejected() {
+        let mut t = Smmt::new(1024);
+        t.allocate_cta(3, 128).unwrap();
+        assert_eq!(t.allocate_cta(3, 128), Err(SmmtError::AlreadyAllocated));
+    }
+
+    #[test]
+    fn out_of_space() {
+        let mut t = Smmt::new(1024);
+        t.allocate_cta(0, 1000).unwrap();
+        assert_eq!(t.allocate_cta(1, 100), Err(SmmtError::OutOfSpace));
+    }
+
+    #[test]
+    fn ciao_reservation_takes_all_unused() {
+        let mut t = Smmt::new(48 * 1024);
+        t.allocate_cta(0, 16 * 1024).unwrap();
+        let r = t.reserve_unused_for_ciao().unwrap();
+        assert_eq!(r.size, 32 * 1024);
+        assert_eq!(t.unused(), 0);
+        // Re-reserving after a CTA frees re-sizes the reservation.
+        t.free_cta(0).unwrap();
+        let r2 = t.reserve_unused_for_ciao().unwrap();
+        assert_eq!(r2.size, 48 * 1024);
+        assert_eq!(t.ciao_reservation().unwrap().size, 48 * 1024);
+    }
+
+    #[test]
+    fn ciao_reservation_fails_when_fully_used() {
+        let mut t = Smmt::new(1024);
+        t.allocate_cta(0, 1024).unwrap();
+        assert_eq!(t.reserve_unused_for_ciao(), Err(SmmtError::OutOfSpace));
+    }
+
+    #[test]
+    fn free_unknown_cta_is_error() {
+        let mut t = Smmt::new(1024);
+        assert_eq!(t.free_cta(9), Err(SmmtError::NotFound));
+        assert_eq!(t.release_ciao(), Err(SmmtError::NotFound));
+    }
+
+    proptest! {
+        /// Allocations never overlap and never exceed the scratchpad size.
+        #[test]
+        fn no_overlap(sizes in proptest::collection::vec(1u32..8 * 1024, 1..12)) {
+            let mut t = Smmt::new(48 * 1024);
+            for (i, s) in sizes.iter().enumerate() {
+                let _ = t.allocate_cta(i as CtaId, *s);
+            }
+            let entries = t.entries().to_vec();
+            for (i, a) in entries.iter().enumerate() {
+                prop_assert!(a.end() <= 48 * 1024);
+                for b in entries.iter().skip(i + 1) {
+                    let disjoint = a.end() <= b.base || b.end() <= a.base;
+                    prop_assert!(disjoint, "overlapping entries {a:?} {b:?}");
+                }
+            }
+            prop_assert!(t.allocated() <= t.total_size());
+        }
+
+        /// unused() + allocated() always equals the total capacity.
+        #[test]
+        fn space_conservation(sizes in proptest::collection::vec(1u32..4096, 1..16)) {
+            let mut t = Smmt::new(48 * 1024);
+            for (i, s) in sizes.iter().enumerate() {
+                let _ = t.allocate_cta(i as CtaId, *s);
+            }
+            let _ = t.reserve_unused_for_ciao();
+            prop_assert_eq!(t.allocated() + t.unused(), t.total_size());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Memory-access coalescer.
+//!
+//! A Fermi-class LSU merges the per-lane addresses of one warp-wide memory
+//! instruction into the minimal set of 128-byte block transactions (§II-A:
+//! "all 32 L1D cache banks operate in tandem for a single contiguous 128-byte
+//! L1D cache request"). A perfectly coalesced access therefore produces one
+//! transaction; a fully divergent one produces up to 32.
+
+use crate::trace::MemPattern;
+use gpu_mem::addr::{block_addr, Addr};
+
+/// Coalesces the per-lane addresses of `pattern` into unique 128-byte block
+/// addresses, preserving first-touch order (the order transactions are issued
+/// to the L1D, which matters for replacement state).
+pub fn coalesce(pattern: &MemPattern) -> Vec<Addr> {
+    let mut blocks: Vec<Addr> = Vec::new();
+    match pattern {
+        MemPattern::Strided { base, stride, lanes } => {
+            for i in 0..*lanes as i64 {
+                let a = block_addr((*base as i64 + i * stride) as Addr);
+                if !blocks.contains(&a) {
+                    blocks.push(a);
+                }
+            }
+        }
+        MemPattern::Scatter(addrs) => {
+            for &a in addrs {
+                let a = block_addr(a);
+                if !blocks.contains(&a) {
+                    blocks.push(a);
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// Degree of coalescing: transactions generated per active lane (1.0 = fully
+/// divergent, 1/32 = perfectly coalesced).
+pub fn divergence_ratio(pattern: &MemPattern) -> f64 {
+    let lanes = pattern.active_lanes().max(1);
+    coalesce(pattern).len() as f64 / lanes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_mem::LINE_SIZE;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_coalesced_single_block() {
+        let p = MemPattern::Strided { base: 0x1000, stride: 4, lanes: 32 };
+        assert_eq!(coalesce(&p), vec![0x1000]);
+        assert!((divergence_ratio(&p) - 1.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misaligned_coalesced_access_spans_two_blocks() {
+        let p = MemPattern::Strided { base: 0x1000 + 64, stride: 4, lanes: 32 };
+        assert_eq!(coalesce(&p), vec![0x1000, 0x1080]);
+    }
+
+    #[test]
+    fn fully_divergent_one_block_per_lane() {
+        let p = MemPattern::Strided { base: 0, stride: LINE_SIZE as i64, lanes: 32 };
+        assert_eq!(coalesce(&p).len(), 32);
+        assert!((divergence_ratio(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_deduplicates_blocks() {
+        let p = MemPattern::Scatter(vec![0, 4, 8, 128, 132, 4096]);
+        assert_eq!(coalesce(&p), vec![0, 128, 4096]);
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let p = MemPattern::Scatter(vec![4096, 0, 4097]);
+        assert_eq!(coalesce(&p), vec![4096, 0]);
+    }
+
+    proptest! {
+        /// Coalescing never produces more transactions than active lanes and
+        /// every produced address is block-aligned and unique.
+        #[test]
+        fn coalesce_invariants(addrs in proptest::collection::vec(0u64..(1 << 30), 1..32)) {
+            let p = MemPattern::Scatter(addrs.clone());
+            let blocks = coalesce(&p);
+            prop_assert!(blocks.len() <= addrs.len());
+            let unique: std::collections::HashSet<_> = blocks.iter().collect();
+            prop_assert_eq!(unique.len(), blocks.len());
+            for b in &blocks {
+                prop_assert_eq!(b % LINE_SIZE, 0);
+            }
+            // Every lane address falls in one of the produced blocks.
+            for a in &addrs {
+                prop_assert!(blocks.contains(&block_addr(*a)));
+            }
+        }
+    }
+}

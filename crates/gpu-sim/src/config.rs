@@ -1,0 +1,210 @@
+//! Machine configuration (Table I of the paper) and its evaluation variants.
+
+use gpu_mem::cache::CacheConfig;
+use gpu_mem::l2::PartitionConfig;
+use gpu_mem::shared_memory::SharedMemoryConfig;
+use gpu_mem::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the simulated GPU (one SM plus its slice of the
+/// memory system).
+///
+/// Defaults mirror Table I: 15 SMs with up to 1536 threads (48 warps of 32
+/// threads) each, a 16 KB 4-way L1D with 128-byte lines, 48 KB of shared
+/// memory with 32 banks, a 768 KB 8-way L2, and GDDR5 DRAM with 16 banks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of SMs on the chip (15 on the GTX 480). The simulator models a
+    /// single SM with a per-SM slice of memory bandwidth; chip-level IPC is
+    /// per-SM IPC × `num_sms` under the paper's homogeneous-workload setup.
+    pub num_sms: usize,
+    /// Maximum resident warps per SM (1536 threads / 32 lanes = 48).
+    pub max_warps_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// L1D cache configuration.
+    pub l1d: CacheConfig,
+    /// Shared-memory scratchpad configuration.
+    pub shared_mem: SharedMemoryConfig,
+    /// Memory partition (L2 + DRAM) configuration.
+    pub partition: PartitionConfig,
+    /// Number of L1D MSHR entries.
+    pub mshr_entries: usize,
+    /// Maximum requests merged per MSHR entry.
+    pub mshr_merge: usize,
+    /// SM↔L2 interconnect latency in cycles.
+    pub interconnect_latency: Cycle,
+    /// SM↔L2 interconnect bandwidth in bytes per cycle.
+    pub interconnect_bytes_per_cycle: f64,
+    /// Response-queue capacity (entries).
+    pub response_queue_entries: usize,
+    /// Time-series sampling interval, in dynamic instructions (the x-axis of
+    /// Figs. 9 and 10 is instruction count).
+    pub sample_interval_insts: u64,
+    /// Hard cap on simulated dynamic instructions (`None` = run to completion).
+    pub max_instructions: Option<u64>,
+    /// Hard cap on simulated cycles (`None` = run to completion).
+    pub max_cycles: Option<u64>,
+}
+
+impl GpuConfig {
+    /// The baseline GTX 480-like configuration of Table I (with the XOR
+    /// set-index hashing enhancement of §V-A).
+    pub fn gtx480() -> Self {
+        GpuConfig {
+            num_sms: 15,
+            max_warps_per_sm: 48,
+            warp_size: 32,
+            l1d: CacheConfig::l1d_gtx480(),
+            shared_mem: SharedMemoryConfig::gtx480(),
+            partition: PartitionConfig::gtx480(),
+            mshr_entries: 32,
+            mshr_merge: 8,
+            interconnect_latency: 20,
+            interconnect_bytes_per_cycle: 32.0,
+            response_queue_entries: 64,
+            sample_interval_insts: 10_000,
+            max_instructions: None,
+            max_cycles: Some(50_000_000),
+        }
+    }
+
+    /// `GTO-cap` of Fig. 12a: L1D grown to 48 KB, shared memory shrunk to 16 KB.
+    pub fn gtx480_cap() -> Self {
+        GpuConfig {
+            l1d: CacheConfig::l1d_48k(),
+            shared_mem: SharedMemoryConfig::gtx480_small(),
+            ..Self::gtx480()
+        }
+    }
+
+    /// `GTO-8way` of Fig. 12a: L1D associativity raised to 8.
+    pub fn gtx480_8way() -> Self {
+        GpuConfig { l1d: CacheConfig::l1d_8way(), ..Self::gtx480() }
+    }
+
+    /// The doubled-DRAM-bandwidth machine of Fig. 12b (177 → 340 GB/s).
+    pub fn gtx480_2x_bandwidth() -> Self {
+        GpuConfig { partition: PartitionConfig::gtx480_2x_bandwidth(), ..Self::gtx480() }
+    }
+
+    /// Maximum number of resident threads per SM.
+    pub fn max_threads_per_sm(&self) -> usize {
+        self.max_warps_per_sm * self.warp_size
+    }
+
+    /// Returns a copy with the dynamic-instruction cap set, which the
+    /// experiment harness uses to bound simulation time.
+    pub fn with_max_instructions(mut self, n: u64) -> Self {
+        self.max_instructions = Some(n);
+        self
+    }
+
+    /// Returns a copy with the time-series sampling interval set.
+    pub fn with_sample_interval(mut self, insts: u64) -> Self {
+        self.sample_interval_insts = insts.max(1);
+        self
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::gtx480()
+    }
+}
+
+/// Renders the configuration as the rows of Table I (used by the harness's
+/// `table1` command so the reproduced configuration is auditable).
+pub fn table1_rows(cfg: &GpuConfig) -> Vec<(String, String)> {
+    vec![
+        (
+            "# of SMs/threads".into(),
+            format!("{}, max {} per SM", cfg.num_sms, cfg.max_threads_per_sm()),
+        ),
+        (
+            "L1D cache".into(),
+            format!(
+                "{}KB w/ {}B lines, {} ways, write no-allocate, {}-cycle latency and LRU",
+                cfg.l1d.size_bytes / 1024,
+                cfg.l1d.line_size,
+                cfg.l1d.associativity,
+                cfg.l1d.latency
+            ),
+        ),
+        (
+            "Shared memory".into(),
+            format!(
+                "{}KB, {}-cycle latency and {} banks",
+                cfg.shared_mem.size_bytes / 1024,
+                cfg.shared_mem.latency,
+                cfg.shared_mem.num_banks
+            ),
+        ),
+        (
+            "L2 cache".into(),
+            format!(
+                "{}KB w/ {}B lines, {} ways, write allocation, write-back and LRU",
+                cfg.partition.l2.size_bytes / 1024,
+                cfg.partition.l2.line_size,
+                cfg.partition.l2.associativity
+            ),
+        ),
+        (
+            "DRAM".into(),
+            format!(
+                "GDDR5 w/ {} banks, tCL={}, tRCD={}, and tRAS={}",
+                cfg.partition.dram.num_banks,
+                cfg.partition.dram.t_cl,
+                cfg.partition.dram.t_rcd,
+                cfg.partition.dram.t_ras
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_baseline_values() {
+        let c = GpuConfig::gtx480();
+        assert_eq!(c.num_sms, 15);
+        assert_eq!(c.max_threads_per_sm(), 1536);
+        assert_eq!(c.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.l1d.associativity, 4);
+        assert_eq!(c.shared_mem.size_bytes, 48 * 1024);
+        assert_eq!(c.partition.l2.size_bytes, 768 * 1024);
+        assert_eq!(c.partition.dram.num_banks, 16);
+        assert_eq!(c.partition.dram.t_cl, 12);
+        assert_eq!(c.partition.dram.t_rcd, 12);
+        assert_eq!(c.partition.dram.t_ras, 28);
+    }
+
+    #[test]
+    fn fig12_variants() {
+        let cap = GpuConfig::gtx480_cap();
+        assert_eq!(cap.l1d.size_bytes, 48 * 1024);
+        assert_eq!(cap.shared_mem.size_bytes, 16 * 1024);
+        let w8 = GpuConfig::gtx480_8way();
+        assert_eq!(w8.l1d.associativity, 8);
+        assert_eq!(w8.l1d.size_bytes, 16 * 1024);
+        let bw = GpuConfig::gtx480_2x_bandwidth();
+        assert!(bw.partition.dram.bytes_per_cycle > GpuConfig::gtx480().partition.dram.bytes_per_cycle * 1.5);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = GpuConfig::gtx480().with_max_instructions(1000).with_sample_interval(0);
+        assert_eq!(c.max_instructions, Some(1000));
+        assert_eq!(c.sample_interval_insts, 1);
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        let rows = table1_rows(&GpuConfig::gtx480());
+        assert_eq!(rows.len(), 5);
+        assert!(rows[1].1.contains("16KB"));
+        assert!(rows[4].1.contains("tCL=12"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Kernel and CTA launch model.
+//!
+//! A [`Kernel`] describes a grid of CTAs (thread blocks); each CTA contributes
+//! a fixed number of warps and may reserve shared memory. The SM launches as
+//! many CTAs as fit its warp and shared-memory capacity; when a CTA's warps
+//! all finish, the next pending CTA is launched in its place. This is the
+//! mechanism behind the varying "number of active warps" curves of Figs. 9
+//! and 10 and behind the `Fsmem` (fraction of shared memory used) column of
+//! Table II.
+
+use crate::trace::WarpProgram;
+use gpu_mem::CtaId;
+
+/// Static description of a kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInfo {
+    /// Human-readable benchmark/kernel name.
+    pub name: String,
+    /// Total number of CTAs in the grid.
+    pub num_ctas: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+    /// Programmer-allocated shared memory per CTA, in bytes.
+    pub shared_mem_per_cta: u32,
+}
+
+impl KernelInfo {
+    /// Total warps launched by the kernel.
+    pub fn total_warps(&self) -> usize {
+        self.num_ctas * self.warps_per_cta
+    }
+}
+
+/// A kernel: static launch geometry plus a factory for per-warp programs.
+pub trait Kernel: Send {
+    /// Launch geometry and metadata.
+    fn info(&self) -> KernelInfo;
+
+    /// Builds the operation stream of warp `warp_in_cta` of CTA `cta`.
+    ///
+    /// Must be deterministic so that re-simulating under a different
+    /// scheduler replays identical traces.
+    fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram>;
+}
+
+/// A kernel built from a closure, convenient for tests and examples.
+pub struct ClosureKernel<F>
+where
+    F: Fn(CtaId, usize) -> Box<dyn WarpProgram> + Send + Sync,
+{
+    info: KernelInfo,
+    factory: F,
+}
+
+impl<F> ClosureKernel<F>
+where
+    F: Fn(CtaId, usize) -> Box<dyn WarpProgram> + Send + Sync,
+{
+    /// Creates a kernel from launch geometry and a warp-program factory.
+    pub fn new(info: KernelInfo, factory: F) -> Self {
+        ClosureKernel { info, factory }
+    }
+}
+
+impl<F> Kernel for ClosureKernel<F>
+where
+    F: Fn(CtaId, usize) -> Box<dyn WarpProgram> + Send + Sync,
+{
+    fn info(&self) -> KernelInfo {
+        self.info.clone()
+    }
+
+    fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram> {
+        (self.factory)(cta, warp_in_cta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{VecProgram, WarpOp};
+
+    #[test]
+    fn kernel_info_totals() {
+        let info = KernelInfo {
+            name: "test".into(),
+            num_ctas: 6,
+            warps_per_cta: 8,
+            shared_mem_per_cta: 1024,
+        };
+        assert_eq!(info.total_warps(), 48);
+    }
+
+    #[test]
+    fn closure_kernel_builds_programs() {
+        let info = KernelInfo { name: "k".into(), num_ctas: 2, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let k = ClosureKernel::new(info.clone(), |cta, _w| {
+            Box::new(VecProgram::new(vec![WarpOp::coalesced_load(cta as u64 * 4096)]))
+        });
+        assert_eq!(k.info(), info);
+        let mut p0 = k.warp_program(0, 0);
+        let mut p1 = k.warp_program(1, 0);
+        match (p0.next_op().unwrap(), p1.next_op().unwrap()) {
+            (WarpOp::Load { pattern: a, .. }, WarpOp::Load { pattern: b, .. }) => {
+                assert_ne!(a, b, "different CTAs should get different traces");
+            }
+            _ => panic!("expected loads"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # gpu-sim — cycle-approximate GPU SM simulator
+//!
+//! A trace-driven, cycle-approximate model of a Fermi-class GPU streaming
+//! multiprocessor (SM), built on the memory-hierarchy substrate of `gpu-mem`.
+//! It is the substrate standing in for GPGPU-Sim 3.2.2 in this reproduction
+//! of the CIAO paper (IPDPS 2018): the experiments of the paper depend on
+//! which warps' requests reach the L1D, in what order, where the misses go,
+//! and how long the warps stall — all of which this simulator models — rather
+//! than on the exact micro-operations of the SIMT pipeline.
+//!
+//! Main pieces:
+//!
+//! * [`config`] — the Table I machine configuration (GTX 480-like) and its
+//!   Fig. 12 variants.
+//! * [`trace`] — warp-level operation streams ([`trace::WarpOp`]) produced by
+//!   workload generators (`ciao-workloads`) through the
+//!   [`trace::WarpProgram`] trait.
+//! * [`coalescer`] — lane addresses → 128-byte block transactions.
+//! * [`warp`], [`kernel`] — warp/CTA/kernel state machines and launch rules.
+//! * [`scheduler`] — the [`scheduler::WarpScheduler`] policy interface plus
+//!   the baseline GTO and loose-round-robin schedulers. CCWS, Best-SWL,
+//!   statPCAL (crate `ciao-schedulers`) and CIAO-T/P/C (crate `ciao-core`)
+//!   implement the same interface.
+//! * [`redirect`] — the [`redirect::RedirectCache`] interface through which
+//!   CIAO's shared-memory-as-cache plugs into the SM datapath.
+//! * [`sm`] — the per-cycle SM model: issue, scoreboarding, L1D/MSHR/L2/DRAM
+//!   traversal, barriers, CTA launch/retire.
+//! * [`stats`] — counters, time series (Figs. 9/10) and the inter-warp
+//!   interference matrix (Figs. 1a/4a).
+//! * [`simulator`] — one-call driver producing a [`simulator::SimResult`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coalescer;
+pub mod config;
+pub mod kernel;
+pub mod redirect;
+pub mod scheduler;
+pub mod simulator;
+pub mod sm;
+pub mod stats;
+pub mod trace;
+pub mod warp;
+
+pub use config::GpuConfig;
+pub use coalescer::coalesce;
+pub use kernel::{Kernel, KernelInfo};
+pub use redirect::{RedirectCache, RedirectLookup};
+pub use scheduler::{
+    CacheEvent, CacheEventOutcome, CacheKind, GtoScheduler, LrrScheduler, MemRoute, SchedulerCtx,
+    SchedulerMetrics, WarpScheduler,
+};
+pub use simulator::{SimResult, Simulator};
+pub use sm::Sm;
+pub use stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
+pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
+pub use warp::{Warp, WarpState};
+
+/// Re-export of the cycle type used across the simulator.
+pub use gpu_mem::Cycle;
+/// Re-export of the warp identifier type.
+pub use gpu_mem::WarpId;
+/// Re-export of the CTA identifier type.
+pub use gpu_mem::CtaId;
+/// Re-export of the global address type.
+pub use gpu_mem::Addr;

@@ -1,0 +1,310 @@
+//! Warp-scheduler policy interface and the baseline schedulers.
+//!
+//! The SM consults a [`WarpScheduler`] every cycle to pick which ready warp
+//! issues next, asks it how to *route* each warp's global-memory accesses
+//! (L1D, redirect cache, or L1D bypass), and feeds it the cache events it
+//! needs to build locality/interference estimators (VTA hits, evictions).
+//!
+//! The baselines implemented here:
+//!
+//! * [`GtoScheduler`] — greedy-then-oldest, the base policy every other
+//!   scheduler in the paper builds on ("CCWS, Best-SWL, and CIAO-P/T/C
+//!   leverage GTO to decide the order of execution of warps", §V-A).
+//! * [`LrrScheduler`] — loose round-robin, kept as a sanity baseline.
+//!
+//! CCWS, Best-SWL and statPCAL live in `ciao-schedulers`; CIAO-T/P/C live in
+//! `ciao-core`. They all implement this trait.
+
+use crate::warp::Warp;
+use gpu_mem::cache::EvictedLine;
+use gpu_mem::{Addr, Cycle, WarpId};
+use serde::{Deserialize, Serialize};
+
+/// Which on-chip structure a warp's global-memory accesses should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemRoute {
+    /// Normal path through the L1D cache.
+    L1d,
+    /// CIAO path: the redirect cache carved out of unused shared memory.
+    RedirectCache,
+    /// statPCAL-style path: bypass the L1D and go straight to L2/DRAM.
+    Bypass,
+}
+
+/// Which cache produced a [`CacheEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheKind {
+    /// The L1D cache.
+    L1d,
+    /// The redirect (shared-memory) cache.
+    Redirect,
+}
+
+/// Outcome recorded in a [`CacheEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheEventOutcome {
+    /// The access hit; `owner` is the warp that originally filled the line.
+    Hit {
+        /// Warp that brought the line into the cache.
+        owner: WarpId,
+    },
+    /// The access missed.
+    Miss,
+}
+
+/// One L1D / redirect-cache access event, as observed by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Which cache the event happened in.
+    pub kind: CacheKind,
+    /// Warp performing the access.
+    pub wid: WarpId,
+    /// Block-aligned address accessed.
+    pub block_addr: Addr,
+    /// Whether the access was a write.
+    pub is_write: bool,
+    /// Hit/miss outcome.
+    pub outcome: CacheEventOutcome,
+    /// Line evicted by the fill triggered by this access, if any. The evicted
+    /// line's `owner` is the *interfered* warp; `wid` is the *interfering*
+    /// warp (§III-A terminology).
+    pub evicted: Option<EvictedLine>,
+    /// Cycle at which the event occurred.
+    pub now: Cycle,
+}
+
+/// Read-only context handed to the scheduler when it picks a warp.
+pub struct SchedulerCtx<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// All warps resident on the SM (indexed by warp id).
+    pub warps: &'a [Warp],
+    /// Indices into `warps` of the warps able to issue this cycle (ready and
+    /// not finished); throttling decisions are the scheduler's own business.
+    pub ready: &'a [usize],
+    /// Total dynamic instructions executed on this SM so far.
+    pub instructions_executed: u64,
+    /// Number of warps that have not yet finished their programs.
+    pub active_warps: usize,
+    /// DRAM data-bus utilisation estimate in `[0, 1]` (consulted by
+    /// bandwidth-aware bypass policies such as statPCAL).
+    pub dram_utilization: f64,
+}
+
+/// Counters a scheduler exposes for reporting (harness figures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerMetrics {
+    /// VTA hits observed so far (locality lost to interference).
+    pub vta_hits: u64,
+    /// Number of warps currently prevented from issuing by the policy.
+    pub throttled_warps: usize,
+    /// Number of warps currently routed to the redirect cache.
+    pub isolated_warps: usize,
+    /// Number of warps currently routed to the bypass path.
+    pub bypassed_warps: usize,
+}
+
+/// A warp-scheduling (and memory-routing) policy.
+pub trait WarpScheduler: Send {
+    /// Short policy name used in reports ("GTO", "CCWS", "CIAO-C", ...).
+    fn name(&self) -> &'static str;
+
+    /// Picks the warp (an index into `ctx.warps`) to issue this cycle, or
+    /// `None` to idle. Implementations must only return indices contained in
+    /// `ctx.ready` and must respect their own throttling decisions.
+    fn pick(&mut self, ctx: &SchedulerCtx<'_>) -> Option<usize>;
+
+    /// Notifies the scheduler that warp `wid` issued an operation.
+    fn on_issue(&mut self, _wid: WarpId, _is_mem: bool, _now: Cycle) {}
+
+    /// Feeds the scheduler an L1D / redirect-cache event.
+    fn on_cache_event(&mut self, _ev: &CacheEvent) {}
+
+    /// Notifies the scheduler that a (new) warp was launched into slot `wid`.
+    /// Warp slots are reused across CTA waves, so schedulers that keep
+    /// per-slot state (throttle flags, scores, finished markers) must reset
+    /// it here.
+    fn on_warp_launched(&mut self, _wid: WarpId, _now: Cycle) {}
+
+    /// Notifies the scheduler that warp `wid` finished its program.
+    fn on_warp_finished(&mut self, _wid: WarpId, _now: Cycle) {}
+
+    /// Asks where warp `wid`'s next global-memory access should go.
+    fn route(&mut self, _wid: WarpId) -> MemRoute {
+        MemRoute::L1d
+    }
+
+    /// True if the policy currently prevents warp `wid` from issuing.
+    fn is_throttled(&self, _wid: WarpId) -> bool {
+        false
+    }
+
+    /// When true, a throttled warp is only prevented from issuing
+    /// *global-memory* instructions (loads/stores); compute, barrier and
+    /// scratchpad instructions still issue. This is CCWS's and statPCAL's
+    /// behaviour — they gate the LD/ST unit, not the whole warp — whereas
+    /// Best-SWL and CIAO-T stall the warp entirely (the default).
+    fn throttles_loads_only(&self) -> bool {
+        false
+    }
+
+    /// Policy-specific counters for reporting.
+    fn metrics(&self) -> SchedulerMetrics {
+        SchedulerMetrics::default()
+    }
+}
+
+/// Greedy-then-oldest scheduler.
+///
+/// Keeps issuing from the most recently issued warp as long as it stays
+/// ready; otherwise falls back to the oldest (lowest launch sequence) ready
+/// warp. This is the GTO baseline of §V-A (with the set-index hashing
+/// enhancement living in the cache model rather than the scheduler).
+#[derive(Debug, Default)]
+pub struct GtoScheduler {
+    last_issued: Option<usize>,
+}
+
+impl GtoScheduler {
+    /// Creates a GTO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpScheduler for GtoScheduler {
+    fn name(&self) -> &'static str {
+        "GTO"
+    }
+
+    fn pick(&mut self, ctx: &SchedulerCtx<'_>) -> Option<usize> {
+        // Greedy: stick with the last issued warp if it is still ready.
+        if let Some(last) = self.last_issued {
+            if ctx.ready.contains(&last) {
+                return Some(last);
+            }
+        }
+        // Oldest: smallest launch sequence among ready warps.
+        let oldest = ctx
+            .ready
+            .iter()
+            .copied()
+            .min_by_key(|&i| ctx.warps[i].launch_seq)?;
+        self.last_issued = Some(oldest);
+        Some(oldest)
+    }
+
+    fn on_issue(&mut self, _wid: WarpId, _is_mem: bool, _now: Cycle) {}
+}
+
+/// Loose round-robin scheduler: issues from ready warps in cyclic order.
+#[derive(Debug, Default)]
+pub struct LrrScheduler {
+    next: usize,
+}
+
+impl LrrScheduler {
+    /// Creates a loose round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpScheduler for LrrScheduler {
+    fn name(&self) -> &'static str {
+        "LRR"
+    }
+
+    fn pick(&mut self, ctx: &SchedulerCtx<'_>) -> Option<usize> {
+        if ctx.ready.is_empty() {
+            return None;
+        }
+        let n = ctx.warps.len().max(1);
+        for offset in 0..n {
+            let candidate = (self.next + offset) % n;
+            if ctx.ready.contains(&candidate) {
+                self.next = (candidate + 1) % n;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecProgram;
+    use crate::warp::Warp;
+
+    fn make_warps(n: usize) -> Vec<Warp> {
+        (0..n)
+            .map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![]))))
+            .collect()
+    }
+
+    fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize]) -> SchedulerCtx<'a> {
+        SchedulerCtx {
+            now: 0,
+            warps,
+            ready,
+            instructions_executed: 0,
+            active_warps: warps.len(),
+            dram_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn gto_prefers_oldest_initially() {
+        let warps = make_warps(4);
+        let mut s = GtoScheduler::new();
+        let ready = vec![2, 1, 3];
+        assert_eq!(s.pick(&ctx(&warps, &ready)), Some(1));
+    }
+
+    #[test]
+    fn gto_is_greedy_on_same_warp() {
+        let warps = make_warps(4);
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1, 2, 3])), Some(0));
+        // Warp 0 still ready: keep issuing from it even if others are ready.
+        assert_eq!(s.pick(&ctx(&warps, &[1, 0, 3])), Some(0));
+        // Warp 0 no longer ready: fall back to the oldest ready warp.
+        assert_eq!(s.pick(&ctx(&warps, &[3, 2])), Some(2));
+        // And become greedy on that one.
+        assert_eq!(s.pick(&ctx(&warps, &[3, 2])), Some(2));
+    }
+
+    #[test]
+    fn gto_returns_none_when_nothing_ready() {
+        let warps = make_warps(2);
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick(&ctx(&warps, &[])), None);
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let warps = make_warps(3);
+        let mut s = LrrScheduler::new();
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1, 2])), Some(0));
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1, 2])), Some(1));
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1, 2])), Some(2));
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1, 2])), Some(0));
+    }
+
+    #[test]
+    fn lrr_skips_unready() {
+        let warps = make_warps(3);
+        let mut s = LrrScheduler::new();
+        assert_eq!(s.pick(&ctx(&warps, &[1])), Some(1));
+        assert_eq!(s.pick(&ctx(&warps, &[0, 1])), Some(0));
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.route(0), MemRoute::L1d);
+        assert!(!s.is_throttled(0));
+        assert_eq!(s.metrics(), SchedulerMetrics::default());
+    }
+}

@@ -1,0 +1,885 @@
+//! The streaming-multiprocessor (SM) model.
+//!
+//! One [`Sm`] owns the warp slots, the L1D, the shared-memory scratchpad and
+//! its SMMT, the MSHR file, the interconnect slice and the memory partition,
+//! plus the pluggable warp scheduler and (optionally) a redirect cache. Each
+//! call to [`Sm::step`] advances the model by one cycle:
+//!
+//! 1. memory responses that completed by this cycle wake their warps and fill
+//!    the L1D or the redirect cache,
+//! 2. CTA-wide barriers whose warps all arrived are released,
+//! 3. the scheduler picks one ready, non-throttled warp and its next
+//!    operation is issued (compute, barrier, shared-memory access, or global
+//!    memory access routed to the L1D, the redirect cache, or the bypass path
+//!    according to the scheduler's routing decision),
+//! 4. statistics and the instruction-indexed time series are updated.
+//!
+//! The SM reports every L1D / redirect-cache access to the scheduler as a
+//! [`CacheEvent`] so locality- and interference-aware policies (CCWS, CIAO)
+//! can maintain their Victim Tag Arrays without the SM knowing about them.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::coalescer::coalesce;
+use crate::config::GpuConfig;
+use crate::kernel::Kernel;
+use crate::redirect::{RedirectCache, RedirectLookup};
+use crate::scheduler::{
+    CacheEvent, CacheEventOutcome, CacheKind, MemRoute, SchedulerCtx, WarpScheduler,
+};
+use crate::stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
+use crate::trace::{MemPattern, MemSpace, WarpOp};
+use crate::warp::{Warp, WarpState};
+use gpu_mem::cache::SetAssocCache;
+use gpu_mem::interconnect::Interconnect;
+use gpu_mem::l2::MemoryPartition;
+use gpu_mem::mshr::{FillTarget, Mshr};
+use gpu_mem::shared_memory::SharedMemory;
+use gpu_mem::smmt::Smmt;
+use gpu_mem::{Addr, CtaId, Cycle, WarpId};
+
+/// A memory-system completion event scheduled for a future cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ResponseEvent {
+    /// An outstanding MSHR miss for this block completed.
+    MshrFill(Addr),
+    /// A bypassed request for this warp completed (no MSHR entry).
+    WakeWarp(WarpId),
+}
+
+/// A CTA currently resident on the SM.
+#[derive(Debug, Clone)]
+struct ResidentCta {
+    cta: CtaId,
+    warp_slots: Vec<usize>,
+}
+
+/// Snapshot used to compute per-interval time-series values.
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleSnapshot {
+    instructions: u64,
+    cycle: Cycle,
+    interference: u64,
+    l1d_accesses: u64,
+    l1d_hits: u64,
+}
+
+/// The streaming multiprocessor.
+pub struct Sm {
+    config: GpuConfig,
+    scheduler: Box<dyn WarpScheduler>,
+    redirect: Option<Box<dyn RedirectCache>>,
+
+    l1d: SetAssocCache,
+    shared_mem: SharedMemory,
+    smmt: Smmt,
+    mshr: Mshr,
+    interconnect: Interconnect,
+    partition: MemoryPartition,
+
+    warps: Vec<Warp>,
+    resident: Vec<ResidentCta>,
+    next_cta: usize,
+    total_ctas: usize,
+    warps_per_cta: usize,
+    shared_mem_per_cta: u32,
+    launch_seq: u64,
+
+    kernel: Box<dyn Kernel>,
+
+    pending: BinaryHeap<Reverse<(Cycle, ResponseEvent)>>,
+    cycle: Cycle,
+    stats: SmStats,
+    time_series: TimeSeries,
+    interference: InterferenceMatrix,
+    snapshot: SampleSnapshot,
+    ready_scratch: Vec<usize>,
+}
+
+impl Sm {
+    /// Builds an SM executing `kernel` under `scheduler`, with an optional
+    /// redirect cache installed on the global-memory datapath.
+    pub fn new(
+        config: GpuConfig,
+        kernel: Box<dyn Kernel>,
+        scheduler: Box<dyn WarpScheduler>,
+        redirect: Option<Box<dyn RedirectCache>>,
+    ) -> Self {
+        let info = kernel.info();
+        let l1d = SetAssocCache::new(config.l1d.clone());
+        let shared_mem = SharedMemory::new(config.shared_mem);
+        let smmt = Smmt::new(config.shared_mem.size_bytes);
+        let mshr = Mshr::new(config.mshr_entries, config.mshr_merge);
+        let interconnect = Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
+        let partition = MemoryPartition::new(config.partition.clone());
+        let interference = InterferenceMatrix::new(config.max_warps_per_sm);
+
+        let mut sm = Sm {
+            config,
+            scheduler,
+            redirect,
+            l1d,
+            shared_mem,
+            smmt,
+            mshr,
+            interconnect,
+            partition,
+            warps: Vec::new(),
+            resident: Vec::new(),
+            next_cta: 0,
+            total_ctas: info.num_ctas,
+            warps_per_cta: info.warps_per_cta.max(1),
+            shared_mem_per_cta: info.shared_mem_per_cta,
+            launch_seq: 0,
+            kernel,
+            pending: BinaryHeap::new(),
+            cycle: 0,
+            stats: SmStats::default(),
+            time_series: TimeSeries::default(),
+            interference,
+            snapshot: SampleSnapshot::default(),
+            ready_scratch: Vec::new(),
+        };
+        sm.launch_ctas();
+        sm.update_redirect_capacity();
+        sm
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Aggregate statistics (finalised lazily; call after `run`).
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// The instruction-indexed time series collected so far.
+    pub fn time_series(&self) -> &TimeSeries {
+        &self.time_series
+    }
+
+    /// The inter-warp interference matrix collected so far.
+    pub fn interference_matrix(&self) -> &InterferenceMatrix {
+        &self.interference
+    }
+
+    /// The installed scheduler (for metrics queries).
+    pub fn scheduler(&self) -> &dyn WarpScheduler {
+        self.scheduler.as_ref()
+    }
+
+    /// True when every CTA of the kernel has been launched and finished.
+    pub fn is_done(&self) -> bool {
+        self.next_cta >= self.total_ctas && self.resident.is_empty()
+    }
+
+    /// True when a configured instruction or cycle cap has been reached.
+    pub fn hit_cap(&self) -> bool {
+        if let Some(max_i) = self.config.max_instructions {
+            if self.stats.instructions >= max_i {
+                return true;
+            }
+        }
+        if let Some(max_c) = self.config.max_cycles {
+            if self.cycle >= max_c {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs until the kernel finishes or a cap is reached, returning the
+    /// number of cycles simulated.
+    pub fn run(&mut self) -> Cycle {
+        while !self.is_done() && !self.hit_cap() {
+            self.step();
+        }
+        self.finalize_stats();
+        self.cycle
+    }
+
+    /// Advances the SM by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        self.process_responses(now);
+        self.release_barriers();
+        self.retire_and_launch_ctas();
+
+        // Collect issuable warps; detect warps whose program just ended.
+        let mut finished_now: Vec<usize> = Vec::new();
+        self.ready_scratch.clear();
+        let mut any_ready_ignoring_throttle = false;
+        for i in 0..self.warps.len() {
+            if self.warps[i].is_finished() || !self.warps[i].is_ready(now) {
+                continue;
+            }
+            let (next_is_global_mem, next_is_barrier) = match self.warps[i].peek_op() {
+                None => {
+                    finished_now.push(i);
+                    continue;
+                }
+                Some(op) => (op.is_global_mem(), matches!(op, WarpOp::Barrier)),
+            };
+            any_ready_ignoring_throttle = true;
+            let wid = self.warps[i].id;
+            // Barrier instructions are never gated by throttling: stalling a
+            // warp that its CTA is waiting for at a barrier would deadlock
+            // the CTA (real schedulers are barrier-aware for the same reason).
+            if !next_is_barrier
+                && self.scheduler.is_throttled(wid)
+                && (next_is_global_mem || !self.scheduler.throttles_loads_only())
+            {
+                self.warps[i].throttled_cycles += 1;
+                continue;
+            }
+            self.ready_scratch.push(i);
+        }
+        for i in finished_now {
+            self.finish_warp(i, now);
+        }
+
+        let picked = {
+            let ready = std::mem::take(&mut self.ready_scratch);
+            let ctx = SchedulerCtx {
+                now,
+                warps: &self.warps,
+                ready: &ready,
+                instructions_executed: self.stats.instructions,
+                active_warps: self.warps.iter().filter(|w| !w.is_finished()).count(),
+                dram_utilization: self.partition.dram_bandwidth_utilization(now.max(1)),
+            };
+            // The scheduler is consulted even when nothing is ready: policies
+            // that maintain throttle/token sets (Best-SWL, CCWS, statPCAL,
+            // CIAO) use the call to refresh their state, otherwise an SM
+            // whose only runnable warps are currently throttled would stay
+            // idle forever.
+            let picked = self.scheduler.pick(&ctx);
+            // Defensive: only honour picks that were actually offered.
+            let picked = picked.filter(|i| ready.contains(i));
+            self.ready_scratch = ready;
+            picked
+        };
+
+        match picked {
+            Some(idx) => self.issue(idx, now),
+            None => {
+                if any_ready_ignoring_throttle {
+                    self.stats.throttle_only_cycles += 1;
+                }
+                self.stats.idle_cycles += 1;
+            }
+        }
+
+        self.maybe_sample(now);
+        self.cycle += 1;
+    }
+
+    // ----- CTA management ---------------------------------------------------
+
+    fn launch_ctas(&mut self) {
+        while self.next_cta < self.total_ctas {
+            let used_slots: usize = self.resident.iter().map(|c| c.warp_slots.len()).sum();
+            if used_slots + self.warps_per_cta > self.config.max_warps_per_sm {
+                break;
+            }
+            if self.shared_mem_per_cta > 0
+                && self.smmt.allocate_cta(self.next_cta as CtaId, self.shared_mem_per_cta).is_err()
+            {
+                break;
+            }
+            let cta = self.next_cta as CtaId;
+            let mut slots = Vec::with_capacity(self.warps_per_cta);
+            for w in 0..self.warps_per_cta {
+                let program = self.kernel.warp_program(cta, w);
+                let slot = self.free_slot(&slots);
+                let warp = Warp::new(slot as WarpId, cta, self.launch_seq, program);
+                self.launch_seq += 1;
+                if slot == self.warps.len() {
+                    self.warps.push(warp);
+                } else {
+                    self.warps[slot] = warp;
+                }
+                self.scheduler.on_warp_launched(slot as WarpId, self.cycle);
+                slots.push(slot);
+            }
+            self.resident.push(ResidentCta { cta, warp_slots: slots });
+            self.next_cta += 1;
+        }
+        self.stats.max_resident_ctas = self.stats.max_resident_ctas.max(self.resident.len());
+        self.stats.peak_cta_shared_mem = self.stats.peak_cta_shared_mem.max(self.smmt.cta_allocated());
+    }
+
+    fn free_slot(&self, also_taken: &[usize]) -> usize {
+        let occupied: std::collections::HashSet<usize> = self
+            .resident
+            .iter()
+            .flat_map(|c| c.warp_slots.iter().copied())
+            .chain(also_taken.iter().copied())
+            .collect();
+        (0..self.warps.len()).find(|i| !occupied.contains(i)).unwrap_or(self.warps.len())
+    }
+
+    fn retire_and_launch_ctas(&mut self) {
+        let mut retired = false;
+        let mut i = 0;
+        while i < self.resident.len() {
+            let all_done = self.resident[i].warp_slots.iter().all(|&s| self.warps[s].is_finished());
+            if all_done {
+                let cta = self.resident[i].cta;
+                if self.shared_mem_per_cta > 0 {
+                    let _ = self.smmt.free_cta(cta);
+                }
+                self.resident.swap_remove(i);
+                retired = true;
+            } else {
+                i += 1;
+            }
+        }
+        if retired {
+            self.launch_ctas();
+            self.update_redirect_capacity();
+        }
+    }
+
+    fn update_redirect_capacity(&mut self) {
+        if let Some(r) = self.redirect.as_mut() {
+            let unused = self.config.shared_mem.size_bytes.saturating_sub(self.smmt.cta_allocated());
+            r.set_capacity(unused as u64);
+        }
+    }
+
+    fn finish_warp(&mut self, idx: usize, now: Cycle) {
+        let wid = self.warps[idx].id;
+        self.warps[idx].finish();
+        self.scheduler.on_warp_finished(wid, now);
+    }
+
+    // ----- barriers -----------------------------------------------------------
+
+    fn release_barriers(&mut self) {
+        for cta_idx in 0..self.resident.len() {
+            let slots = self.resident[cta_idx].warp_slots.clone();
+            let all_arrived = slots.iter().all(|&s| {
+                matches!(self.warps[s].state, WarpState::AtBarrier) || self.warps[s].is_finished()
+            });
+            let any_waiting = slots.iter().any(|&s| matches!(self.warps[s].state, WarpState::AtBarrier));
+            if all_arrived && any_waiting {
+                for &s in &slots {
+                    if matches!(self.warps[s].state, WarpState::AtBarrier) {
+                        self.warps[s].release_barrier();
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- memory responses ---------------------------------------------------
+
+    fn process_responses(&mut self, now: Cycle) {
+        while let Some(&Reverse((when, _))) = self.pending.peek() {
+            if when > now {
+                break;
+            }
+            let Reverse((_, ev)) = self.pending.pop().expect("peeked");
+            match ev {
+                ResponseEvent::MshrFill(block) => {
+                    if let Some(entry) = self.mshr.fill(block) {
+                        if let FillTarget::SharedMemory { .. } = entry.fill_target {
+                            if let Some(r) = self.redirect.as_mut() {
+                                let wid = entry.waiting_warps.first().copied().unwrap_or(0);
+                                if let Some(ev) = r.fill(block, wid) {
+                                    if ev.owner != wid {
+                                        self.stats.redirect_cross_warp_evictions += 1;
+                                        self.interference.record(ev.owner, wid);
+                                    }
+                                    self.notify_event(CacheKind::Redirect, wid, block, false, CacheEventOutcome::Miss, Some(ev), now);
+                                }
+                            }
+                        }
+                        for wid in entry.waiting_warps {
+                            if let Some(w) = self.warps.get_mut(wid as usize) {
+                                w.complete_mem();
+                            }
+                        }
+                    }
+                }
+                ResponseEvent::WakeWarp(wid) => {
+                    if let Some(w) = self.warps.get_mut(wid as usize) {
+                        w.complete_mem();
+                    }
+                }
+            }
+        }
+    }
+
+    fn notify_event(
+        &mut self,
+        kind: CacheKind,
+        wid: WarpId,
+        block_addr: Addr,
+        is_write: bool,
+        outcome: CacheEventOutcome,
+        evicted: Option<gpu_mem::cache::EvictedLine>,
+        now: Cycle,
+    ) {
+        let ev = CacheEvent { kind, wid, block_addr, is_write, outcome, evicted, now };
+        self.scheduler.on_cache_event(&ev);
+    }
+
+    // ----- issue --------------------------------------------------------------
+
+    fn issue(&mut self, idx: usize, now: Cycle) {
+        let op = match self.warps[idx].take_op() {
+            Some(op) => op,
+            None => return,
+        };
+        let wid = self.warps[idx].id;
+        let is_mem = op.is_global_mem();
+        self.stats.instructions += 1;
+        match op {
+            WarpOp::Compute { cycles } => {
+                self.warps[idx].start_compute(now + cycles.max(1) as Cycle);
+            }
+            WarpOp::Barrier => {
+                self.stats.barriers += 1;
+                self.warps[idx].enter_barrier();
+            }
+            WarpOp::Load { space: MemSpace::Shared, pattern } | WarpOp::Store { space: MemSpace::Shared, pattern } => {
+                self.stats.shared_mem_instructions += 1;
+                let lanes: Vec<u32> = pattern.lane_addresses().iter().map(|&a| (a % self.config.shared_mem.size_bytes as u64) as u32).collect();
+                let lat = self.shared_mem.access(&lanes);
+                self.warps[idx].start_compute(now + lat);
+            }
+            WarpOp::Load { space: MemSpace::Global, pattern } => {
+                self.issue_global(idx, wid, &pattern, false, now);
+            }
+            WarpOp::Store { space: MemSpace::Global, pattern } => {
+                self.issue_global(idx, wid, &pattern, true, now);
+            }
+        }
+        self.scheduler.on_issue(wid, is_mem, now);
+    }
+
+    fn issue_global(&mut self, idx: usize, wid: WarpId, pattern: &MemPattern, is_write: bool, now: Cycle) {
+        self.stats.mem_instructions += 1;
+        let blocks = coalesce(pattern);
+        // Structural back-pressure: if the MSHR file cannot possibly hold the
+        // worst case number of new entries, replay the whole instruction on a
+        // later cycle (the warp keeps its pending op and stays ready).
+        if !is_write {
+            let free = self.config.mshr_entries - self.mshr.in_flight();
+            if blocks.len() > free + blocks.iter().filter(|b| self.mshr.probe(**b)).count() {
+                // Put the op back and charge one cycle of replay delay.
+                self.stats.instructions -= 1;
+                self.stats.mem_instructions -= 1;
+                self.warps[idx].state = WarpState::Executing { until: now + 1 };
+                self.requeue_op(idx, pattern.clone(), is_write);
+                return;
+            }
+        }
+
+        self.stats.mem_transactions += blocks.len() as u64;
+        self.warps[idx].mem_transactions += blocks.len() as u64;
+
+        let route = self.scheduler.route(wid);
+        let mut outstanding = 0u32;
+        let mut immediate_latency: Cycle = self.config.l1d.latency;
+
+        for &block in &blocks {
+            match (route, is_write) {
+                (MemRoute::Bypass, false) => {
+                    self.stats.bypassed_requests += 1;
+                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                    let done = self.partition.access_bypass(block, arrive);
+                    self.pending.push(Reverse((done, ResponseEvent::WakeWarp(wid))));
+                    outstanding += 1;
+                }
+                (MemRoute::Bypass, true) => {
+                    self.stats.bypassed_requests += 1;
+                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                    self.partition.access_bypass(block, arrive);
+                }
+                (MemRoute::RedirectCache, w) if self.redirect.is_some() => {
+                    if let Some(extra) = self.access_redirect(wid, block, w, now, &mut outstanding) {
+                        immediate_latency = immediate_latency.max(extra);
+                    }
+                }
+                _ => {
+                    let extra = self.access_l1d(wid, block, is_write, now, &mut outstanding);
+                    immediate_latency = immediate_latency.max(extra);
+                }
+            }
+        }
+        self.warps[idx].start_mem(outstanding, now + immediate_latency);
+    }
+
+    fn requeue_op(&mut self, idx: usize, pattern: MemPattern, is_write: bool) {
+        // Reconstruct the op and stash it back as pending so it replays.
+        let op = if is_write {
+            WarpOp::Store { space: MemSpace::Global, pattern }
+        } else {
+            WarpOp::Load { space: MemSpace::Global, pattern }
+        };
+        // `take_op` already consumed the pending op; restore it.
+        self.warps[idx].restore_op(op);
+    }
+
+    /// Normal L1D path for one block. Returns the immediate latency to charge
+    /// if the access completes without an outstanding miss.
+    fn access_l1d(&mut self, wid: WarpId, block: Addr, is_write: bool, now: Cycle, outstanding: &mut u32) -> Cycle {
+        let res = self.l1d.access(block, wid, is_write);
+        if let Some(ev) = res.evicted {
+            if ev.owner != wid {
+                self.stats.cross_warp_evictions += 1;
+                self.interference.record(ev.owner, wid);
+            }
+        }
+        let outcome = match res.outcome {
+            gpu_mem::cache::AccessOutcome::Hit => CacheEventOutcome::Hit { owner: res.hit_owner.unwrap_or(wid) },
+            _ => CacheEventOutcome::Miss,
+        };
+        self.notify_event(CacheKind::L1d, wid, block, is_write, outcome, res.evicted, now);
+
+        match res.outcome {
+            gpu_mem::cache::AccessOutcome::Hit => {
+                if is_write {
+                    // Write-through: the write still consumes downstream bandwidth,
+                    // but does not block the warp.
+                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                    self.partition.access(block, wid, true, arrive);
+                }
+                self.config.l1d.latency
+            }
+            gpu_mem::cache::AccessOutcome::MissNoAllocate => {
+                // Global store miss under write-no-allocate: forward downstream.
+                let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                self.partition.access(block, wid, true, arrive);
+                self.config.l1d.latency
+            }
+            gpu_mem::cache::AccessOutcome::Miss => {
+                match self.mshr.allocate(block, wid, now, FillTarget::L1d) {
+                    Ok(gpu_mem::mshr::MshrAllocation::New) => {
+                        let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                        let done = self.partition.access(block, wid, false, arrive);
+                        self.pending.push(Reverse((done, ResponseEvent::MshrFill(block))));
+                        *outstanding += 1;
+                    }
+                    Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
+                        *outstanding += 1;
+                    }
+                    Err(_) => {
+                        // Should be rare thanks to the pre-check; model as a
+                        // pipeline bubble: charge a long immediate latency.
+                        return self.config.l1d.latency + 20;
+                    }
+                }
+                self.config.l1d.latency
+            }
+        }
+    }
+
+    /// CIAO redirect path for one block (§IV-B). Returns the immediate
+    /// latency to charge when the access completes without an outstanding
+    /// miss, or `None` if it fell back to the L1D path internally.
+    fn access_redirect(
+        &mut self,
+        wid: WarpId,
+        block: Addr,
+        is_write: bool,
+        now: Cycle,
+        outstanding: &mut u32,
+    ) -> Option<Cycle> {
+        // Coherence: check the L1D tag array first; a resident copy is
+        // migrated (evict to response queue, invalidate, fill the shared
+        // memory), which hides the cold miss.
+        if self.l1d.probe(block) {
+            let _ = self.l1d.invalidate(block);
+            self.stats.l1d_migrations += 1;
+            if let Some(r) = self.redirect.as_mut() {
+                if let Some(ev) = r.fill(block, wid) {
+                    if ev.owner != wid {
+                        self.stats.redirect_cross_warp_evictions += 1;
+                        self.interference.record(ev.owner, wid);
+                    }
+                }
+            }
+            self.stats.redirect_hits += 1;
+            self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Hit { owner: wid }, None, now);
+            // Serialized tag check + scratchpad write.
+            return Some(self.config.l1d.latency + self.config.shared_mem.latency);
+        }
+
+        let lookup = self.redirect.as_mut().expect("caller checked").lookup(block, wid, is_write);
+        match lookup {
+            RedirectLookup::Hit { latency } => {
+                self.stats.redirect_hits += 1;
+                self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Hit { owner: wid }, None, now);
+                if is_write {
+                    // Write-through downstream, off the critical path.
+                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                    self.partition.access(block, wid, true, arrive);
+                }
+                Some(latency)
+            }
+            RedirectLookup::Miss => {
+                self.stats.redirect_misses += 1;
+                self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Miss, None, now);
+                if is_write {
+                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                    self.partition.access(block, wid, true, arrive);
+                    return Some(self.config.shared_mem.latency);
+                }
+                match self.mshr.allocate(block, wid, now, FillTarget::SharedMemory { shared_addr: 0 }) {
+                    Ok(gpu_mem::mshr::MshrAllocation::New) => {
+                        let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
+                        let done = self.partition.access(block, wid, false, arrive);
+                        self.pending.push(Reverse((done, ResponseEvent::MshrFill(block))));
+                        *outstanding += 1;
+                    }
+                    Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
+                        *outstanding += 1;
+                    }
+                    Err(_) => return Some(self.config.shared_mem.latency + 20),
+                }
+                Some(self.config.shared_mem.latency)
+            }
+            RedirectLookup::Unavailable => {
+                // No capacity: fall back to the normal L1D path.
+                Some(self.access_l1d(wid, block, is_write, now, outstanding))
+            }
+        }
+    }
+
+    // ----- sampling and finalisation -------------------------------------------
+
+    fn maybe_sample(&mut self, now: Cycle) {
+        let interval = self.config.sample_interval_insts;
+        if self.stats.instructions < self.snapshot.instructions + interval {
+            return;
+        }
+        let d_inst = self.stats.instructions - self.snapshot.instructions;
+        let d_cycles = (now - self.snapshot.cycle).max(1);
+        let interference_now = self.stats.cross_warp_evictions + self.stats.redirect_cross_warp_evictions;
+        let d_interference = interference_now - self.snapshot.interference;
+        let l1d = self.l1d.stats();
+        let d_acc = l1d.accesses() - self.snapshot.l1d_accesses;
+        let d_hits = l1d.hits() - self.snapshot.l1d_hits;
+        let active = self
+            .warps
+            .iter()
+            .filter(|w| !w.is_finished() && !self.scheduler.is_throttled(w.id))
+            .count();
+        self.time_series.push(TimeSeriesPoint {
+            instructions: self.stats.instructions,
+            cycle: now,
+            ipc: d_inst as f64 / d_cycles as f64,
+            active_warps: active,
+            interference: d_interference,
+            l1d_hit_rate: if d_acc == 0 { 0.0 } else { d_hits as f64 / d_acc as f64 },
+        });
+        self.snapshot = SampleSnapshot {
+            instructions: self.stats.instructions,
+            cycle: now,
+            interference: interference_now,
+            l1d_accesses: l1d.accesses(),
+            l1d_hits: l1d.hits(),
+        };
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1d = *self.l1d.stats();
+        let pstats = self.partition.stats();
+        self.stats.l2 = pstats.l2;
+        self.stats.dram = pstats.dram;
+        if let Some(r) = self.redirect.as_ref() {
+            self.stats.redirect_utilization = r.utilization();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ClosureKernel, KernelInfo};
+    use crate::scheduler::GtoScheduler;
+    use crate::trace::{VecProgram, WarpOp};
+
+    fn simple_kernel(ctas: usize, warps: usize, ops_per_warp: usize) -> Box<dyn Kernel> {
+        let info = KernelInfo {
+            name: "unit".into(),
+            num_ctas: ctas,
+            warps_per_cta: warps,
+            shared_mem_per_cta: 0,
+        };
+        Box::new(ClosureKernel::new(info, move |cta, w| {
+            let mut ops = Vec::new();
+            for i in 0..ops_per_warp {
+                let addr = (cta as u64 * 64 + w as u64 * 8 + i as u64) * 128;
+                ops.push(WarpOp::coalesced_load(addr));
+                ops.push(WarpOp::alu());
+            }
+            Box::new(VecProgram::new(ops))
+        }))
+    }
+
+    fn small_config() -> GpuConfig {
+        GpuConfig::gtx480().with_sample_interval(50)
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut sm = Sm::new(small_config(), simple_kernel(2, 4, 10), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        assert!(sm.is_done());
+        let s = sm.stats();
+        // 2 CTAs * 4 warps * 20 ops each
+        assert_eq!(s.instructions, 2 * 4 * 20);
+        assert_eq!(s.mem_instructions, 2 * 4 * 10);
+        assert!(s.cycles > 0);
+        assert!(s.ipc() > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronises_cta() {
+        let info = KernelInfo { name: "bar".into(), num_ctas: 1, warps_per_cta: 2, shared_mem_per_cta: 0 };
+        let kernel = ClosureKernel::new(info, |_cta, w| {
+            let mut ops = vec![];
+            if w == 0 {
+                // Warp 0 does a long memory op before the barrier.
+                ops.push(WarpOp::coalesced_load(0x10000));
+            }
+            ops.push(WarpOp::Barrier);
+            ops.push(WarpOp::alu());
+            Box::new(VecProgram::new(ops))
+        });
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        assert!(sm.is_done());
+        assert_eq!(sm.stats().barriers, 2);
+    }
+
+    #[test]
+    fn cta_launch_respects_warp_capacity() {
+        // 4 CTAs of 24 warps each: only 2 fit at a time on a 48-warp SM.
+        let mut sm = Sm::new(small_config(), simple_kernel(4, 24, 2), Box::new(GtoScheduler::new()), None);
+        assert_eq!(sm.stats.max_resident_ctas.max(sm.resident.len()), 2);
+        sm.run();
+        assert!(sm.is_done());
+        assert_eq!(sm.stats().instructions, 4 * 24 * 4);
+    }
+
+    #[test]
+    fn shared_mem_limits_cta_residency() {
+        let info = KernelInfo { name: "smem".into(), num_ctas: 4, warps_per_cta: 2, shared_mem_per_cta: 30 * 1024 };
+        let kernel = ClosureKernel::new(info, |_c, _w| Box::new(VecProgram::new(vec![WarpOp::alu()])));
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        // 30 KB per CTA on a 48 KB scratchpad: only one CTA resident at a time.
+        assert_eq!(sm.resident.len(), 1);
+        sm.run();
+        assert!(sm.is_done());
+        assert_eq!(sm.stats().peak_cta_shared_mem, 30 * 1024);
+    }
+
+    #[test]
+    fn instruction_cap_stops_simulation() {
+        let cfg = small_config().with_max_instructions(37);
+        let mut sm = Sm::new(cfg, simple_kernel(1, 8, 1000), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        assert!(!sm.is_done());
+        assert!(sm.stats().instructions >= 37);
+        assert!(sm.stats().instructions < 37 + 8);
+    }
+
+    #[test]
+    fn repeated_loads_hit_in_l1d() {
+        let info = KernelInfo { name: "hits".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let kernel = ClosureKernel::new(info, |_c, _w| {
+            let mut ops = Vec::new();
+            for _ in 0..50 {
+                ops.push(WarpOp::coalesced_load(0x8000));
+            }
+            Box::new(VecProgram::new(ops))
+        });
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        let s = sm.stats();
+        assert_eq!(s.l1d.misses(), 1);
+        assert_eq!(s.l1d.hits(), 49);
+    }
+
+    #[test]
+    fn thrashing_warps_record_interference() {
+        // The Figure 3a scenario: warp 0 re-references a small block set (it
+        // has data locality), while warp 1 streams a large array through the
+        // same cache, evicting warp 0's lines; warp 0's refills in turn evict
+        // warp 1's freshly inserted lines.
+        let info = KernelInfo { name: "thrash".into(), num_ctas: 1, warps_per_cta: 2, shared_mem_per_cta: 0 };
+        let kernel = ClosureKernel::new(info, |_c, w| {
+            let mut ops = Vec::new();
+            if w == 0 {
+                for _rep in 0..64 {
+                    for i in 0..64u64 {
+                        ops.push(WarpOp::coalesced_load(i * 128));
+                    }
+                }
+            } else {
+                for i in 0..4096u64 {
+                    ops.push(WarpOp::coalesced_load((1 << 20) + i * 128));
+                }
+            }
+            Box::new(VecProgram::new(ops))
+        });
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        let s = sm.stats();
+        assert!(s.cross_warp_evictions > 0, "expected cross-warp evictions");
+        assert!(sm.interference_matrix().total() > 0);
+    }
+
+    #[test]
+    fn time_series_sampled() {
+        let cfg = small_config().with_sample_interval(10);
+        let mut sm = Sm::new(cfg, simple_kernel(1, 4, 50), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        assert!(!sm.time_series().is_empty());
+        let pts = sm.time_series().points();
+        for w in pts.windows(2) {
+            assert!(w[1].instructions > w[0].instructions);
+            assert!(w[1].cycle >= w[0].cycle);
+        }
+    }
+
+    #[test]
+    fn stores_do_not_block_warp() {
+        let info = KernelInfo { name: "stores".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let kernel = ClosureKernel::new(info, |_c, _w| {
+            let ops = (0..20u64).map(|i| WarpOp::coalesced_store(i * 128)).collect();
+            Box::new(VecProgram::new(ops))
+        });
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        // 20 stores with no load stalls should finish quickly (well under the
+        // DRAM round-trip × 20 it would take if stores blocked).
+        assert!(sm.stats().cycles < 500, "stores should not serialise on DRAM, took {}", sm.stats().cycles);
+    }
+
+    #[test]
+    fn shared_memory_ops_execute() {
+        let info = KernelInfo { name: "shmem".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 1024 };
+        let kernel = ClosureKernel::new(info, |_c, _w| {
+            let ops = vec![
+                WarpOp::Load { space: MemSpace::Shared, pattern: MemPattern::Strided { base: 0, stride: 4, lanes: 32 } },
+                WarpOp::Store { space: MemSpace::Shared, pattern: MemPattern::Strided { base: 0, stride: 256, lanes: 8 } },
+            ];
+            Box::new(VecProgram::new(ops))
+        });
+        let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
+        sm.run();
+        assert_eq!(sm.stats().shared_mem_instructions, 2);
+        assert_eq!(sm.stats().mem_instructions, 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Simulation statistics: aggregate counters, instruction-indexed time series
+//! (Figs. 9 and 10) and the inter-warp interference matrix (Figs. 1a and 4a).
+
+use gpu_mem::cache::CacheStats;
+use gpu_mem::dram::DramStats;
+use gpu_mem::{Cycle, WarpId};
+use serde::{Deserialize, Serialize};
+
+/// One sample of the instruction-indexed time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesPoint {
+    /// Total dynamic instructions executed when the sample was taken.
+    pub instructions: u64,
+    /// Cycle at which the sample was taken.
+    pub cycle: Cycle,
+    /// IPC over the sampling interval (instructions / cycles in interval).
+    pub ipc: f64,
+    /// Number of warps neither finished nor throttled at sampling time.
+    pub active_warps: usize,
+    /// Cross-warp L1D (plus redirect-cache) evictions during the interval —
+    /// the "interference" curves of Figs. 9c and 10c.
+    pub interference: u64,
+    /// L1D hit rate over the interval.
+    pub l1d_hit_rate: f64,
+}
+
+/// Instruction-indexed time series of simulator behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<TimeSeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Appends a sample.
+    pub fn push(&mut self, p: TimeSeriesPoint) {
+        self.points.push(p);
+    }
+
+    /// The recorded samples, in order.
+    pub fn points(&self) -> &[TimeSeriesPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean IPC across samples (unweighted).
+    pub fn mean_ipc(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.ipc).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Mean number of active warps across samples.
+    pub fn mean_active_warps(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.active_warps as f64).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// Counts of cross-warp evictions: `matrix[victim][evictor]` is the number of
+/// times `evictor` evicted a line owned by `victim`.
+///
+/// This is the quantity visualised in Fig. 1a (Backprop) and Fig. 4a (KMEANS
+/// warps interfering with one victim warp).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceMatrix {
+    num_warps: usize,
+    counts: Vec<u64>,
+}
+
+impl InterferenceMatrix {
+    /// Creates an all-zero matrix for `num_warps` warps.
+    pub fn new(num_warps: usize) -> Self {
+        InterferenceMatrix { num_warps, counts: vec![0; num_warps * num_warps] }
+    }
+
+    /// Number of warps tracked.
+    pub fn num_warps(&self) -> usize {
+        self.num_warps
+    }
+
+    /// Records that `evictor` evicted a line owned by `victim`.
+    pub fn record(&mut self, victim: WarpId, evictor: WarpId) {
+        let (v, e) = (victim as usize, evictor as usize);
+        if v < self.num_warps && e < self.num_warps {
+            self.counts[v * self.num_warps + e] += 1;
+        }
+    }
+
+    /// Number of times `evictor` evicted data of `victim`.
+    pub fn count(&self, victim: WarpId, evictor: WarpId) -> u64 {
+        let (v, e) = (victim as usize, evictor as usize);
+        if v < self.num_warps && e < self.num_warps {
+            self.counts[v * self.num_warps + e]
+        } else {
+            0
+        }
+    }
+
+    /// Total interference events suffered by `victim` (row sum).
+    pub fn suffered_by(&self, victim: WarpId) -> u64 {
+        let v = victim as usize;
+        if v >= self.num_warps {
+            return 0;
+        }
+        self.counts[v * self.num_warps..(v + 1) * self.num_warps].iter().sum()
+    }
+
+    /// Total interference events caused by `evictor` (column sum).
+    pub fn caused_by(&self, evictor: WarpId) -> u64 {
+        let e = evictor as usize;
+        if e >= self.num_warps {
+            return 0;
+        }
+        (0..self.num_warps).map(|v| self.counts[v * self.num_warps + e]).sum()
+    }
+
+    /// Total cross-warp interference events (self-evictions excluded if the
+    /// caller never records them; this method just sums everything recorded).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The warp that most interfered with `victim`, with its count.
+    pub fn worst_interferer(&self, victim: WarpId) -> Option<(WarpId, u64)> {
+        let v = victim as usize;
+        if v >= self.num_warps {
+            return None;
+        }
+        (0..self.num_warps)
+            .map(|e| (e as WarpId, self.counts[v * self.num_warps + e]))
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+
+    /// Minimum and maximum per-(victim, evictor) interference frequency over
+    /// pairs with at least one event — the quantity plotted in Fig. 4b.
+    pub fn min_max_nonzero(&self) -> Option<(u64, u64)> {
+        let nz: Vec<u64> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        if nz.is_empty() {
+            None
+        } else {
+            Some((*nz.iter().min().unwrap(), *nz.iter().max().unwrap()))
+        }
+    }
+
+    /// The matrix normalised to its maximum entry (the colour scale of Fig. 1a).
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+        (0..self.num_warps)
+            .map(|v| (0..self.num_warps).map(|e| self.counts[v * self.num_warps + e] as f64 / max).collect())
+            .collect()
+    }
+}
+
+/// Aggregate statistics of one SM simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Dynamic warp instructions issued.
+    pub instructions: u64,
+    /// Global-memory block transactions issued to the memory system.
+    pub mem_transactions: u64,
+    /// Warp instructions that were global-memory loads or stores.
+    pub mem_instructions: u64,
+    /// Shared-memory (scratchpad, programmer-managed) instructions issued.
+    pub shared_mem_instructions: u64,
+    /// Barrier instructions executed.
+    pub barriers: u64,
+    /// Cycles in which no warp could issue.
+    pub idle_cycles: Cycle,
+    /// Cycles in which at least one warp was ready but the scheduler
+    /// throttled every ready warp.
+    pub throttle_only_cycles: Cycle,
+    /// L1D statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics (the SM's slice).
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Redirect-cache hits (CIAO-P path).
+    pub redirect_hits: u64,
+    /// Redirect-cache misses (CIAO-P path).
+    pub redirect_misses: u64,
+    /// Blocks migrated from the L1D to the redirect cache (coherence path).
+    pub l1d_migrations: u64,
+    /// Requests that bypassed the L1D (statPCAL path).
+    pub bypassed_requests: u64,
+    /// Cross-warp evictions observed in the L1D (the paper's notion of
+    /// cache interference).
+    pub cross_warp_evictions: u64,
+    /// Cross-warp evictions observed in the redirect cache.
+    pub redirect_cross_warp_evictions: u64,
+    /// Maximum number of CTAs resident at once.
+    pub max_resident_ctas: usize,
+    /// Shared-memory bytes allocated to CTAs at peak (programmer usage).
+    pub peak_cta_shared_mem: u32,
+    /// Final utilisation of the redirect cache (Fig. 8b).
+    pub redirect_utilization: f64,
+}
+
+impl SmStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1D accesses per kilo-instruction (the APKI column of Table II).
+    pub fn apki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_transactions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Redirect-cache hit rate.
+    pub fn redirect_hit_rate(&self) -> f64 {
+        let total = self.redirect_hits + self.redirect_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.redirect_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn time_series_means() {
+        let mut ts = TimeSeries::default();
+        assert!(ts.is_empty());
+        ts.push(TimeSeriesPoint { instructions: 100, cycle: 200, ipc: 0.5, active_warps: 10, interference: 3, l1d_hit_rate: 0.4 });
+        ts.push(TimeSeriesPoint { instructions: 200, cycle: 300, ipc: 1.0, active_warps: 20, interference: 1, l1d_hit_rate: 0.6 });
+        assert_eq!(ts.len(), 2);
+        assert!((ts.mean_ipc() - 0.75).abs() < 1e-12);
+        assert!((ts.mean_active_warps() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_matrix_records_and_summarises() {
+        let mut m = InterferenceMatrix::new(4);
+        m.record(1, 2);
+        m.record(1, 2);
+        m.record(1, 3);
+        m.record(0, 1);
+        assert_eq!(m.count(1, 2), 2);
+        assert_eq!(m.suffered_by(1), 3);
+        assert_eq!(m.caused_by(2), 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.worst_interferer(1), Some((2, 2)));
+        assert_eq!(m.worst_interferer(3), None);
+        assert_eq!(m.min_max_nonzero(), Some((1, 2)));
+    }
+
+    #[test]
+    fn interference_matrix_normalisation() {
+        let mut m = InterferenceMatrix::new(2);
+        m.record(0, 1);
+        m.record(0, 1);
+        m.record(1, 0);
+        let n = m.normalized();
+        assert!((n[0][1] - 1.0).abs() < 1e-12);
+        assert!((n[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_warps_ignored() {
+        let mut m = InterferenceMatrix::new(2);
+        m.record(5, 1);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.count(5, 1), 0);
+        assert_eq!(m.suffered_by(9), 0);
+        assert_eq!(m.caused_by(9), 0);
+    }
+
+    #[test]
+    fn sm_stats_derived_metrics() {
+        let s = SmStats { cycles: 1000, instructions: 500, mem_transactions: 50, ..Default::default() };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.apki() - 100.0).abs() < 1e-12);
+        assert_eq!(SmStats::default().ipc(), 0.0);
+        assert_eq!(SmStats::default().apki(), 0.0);
+        assert_eq!(SmStats::default().redirect_hit_rate(), 0.0);
+    }
+
+    proptest! {
+        /// Row sums plus column sums are consistent with the total.
+        #[test]
+        fn matrix_sum_consistency(events in proptest::collection::vec((0u32..8, 0u32..8), 0..200)) {
+            let mut m = InterferenceMatrix::new(8);
+            for (v, e) in &events {
+                m.record(*v, *e);
+            }
+            let total = m.total();
+            let by_rows: u64 = (0..8).map(|v| m.suffered_by(v)).sum();
+            let by_cols: u64 = (0..8).map(|e| m.caused_by(e)).sum();
+            prop_assert_eq!(total, events.len() as u64);
+            prop_assert_eq!(by_rows, total);
+            prop_assert_eq!(by_cols, total);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! `ciao-harness` — command-line front end reproducing every table and figure
+//! of the CIAO paper.
+//!
+//! ```text
+//! ciao-harness <experiment> [--quick|--tiny] [--out DIR]
+//!
+//! experiments: table1 table2 fig1 fig4 fig8 fig9 fig10 fig11 fig12 overhead all
+//! ```
+//!
+//! Text reports go to stdout; when `--out DIR` is given, each experiment also
+//! writes `<experiment>.txt` and `<experiment>.json` into the directory.
+
+use ciao_harness::experiments::{fig1, fig10, fig11, fig12, fig4, fig8, fig9, overhead, table1, table2};
+use ciao_harness::report::write_json;
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use serde::Serialize;
+use std::path::PathBuf;
+
+struct Options {
+    experiment: String,
+    scale: RunScale,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut experiment = String::from("all");
+    let mut scale = RunScale::Full;
+    let mut out_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--tiny" => scale = RunScale::Tiny,
+            "--full" => scale = RunScale::Full,
+            "--out" => out_dir = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|all> [--quick|--tiny|--full] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options { experiment, scale, out_dir }
+}
+
+fn emit<T: Serialize>(opts: &Options, name: &str, text: &str, value: &T) {
+    println!("{text}");
+    if let Some(dir) = &opts.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return;
+        }
+        if let Err(e) = std::fs::write(dir.join(format!("{name}.txt")), text) {
+            eprintln!("warning: cannot write {name}.txt: {e}");
+        }
+        if let Err(e) = write_json(&dir.join(format!("{name}.json")), value) {
+            eprintln!("warning: cannot write {name}.json: {e}");
+        }
+    }
+}
+
+fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
+    match name {
+        "table1" => {
+            let r = table1::run(&runner.effective_config());
+            emit(opts, "table1", &table1::render(&r), &r);
+        }
+        "table2" => {
+            let r = table2::run(runner, &Benchmark::all());
+            emit(opts, "table2", &table2::render(&r), &r);
+        }
+        "fig1" | "fig1a" | "fig1b" => {
+            let r = fig1::run(runner, Benchmark::Backprop);
+            emit(opts, "fig1", &fig1::render(&r), &r);
+        }
+        "fig4" | "fig4a" | "fig4b" => {
+            let r = fig4::run(runner, Benchmark::Kmn, &Benchmark::memory_intensive());
+            emit(opts, "fig4", &fig4::render(&r), &r);
+        }
+        "fig8" | "fig8a" | "fig8b" => {
+            let r = fig8::run(runner, &Benchmark::all(), &SchedulerKind::all());
+            emit(opts, "fig8", &fig8::render(&r), &r);
+        }
+        "fig9" => {
+            let r = fig9::run(runner, &fig9::fig9_benchmarks(), &fig9::fig9_schedulers());
+            emit(opts, "fig9", &fig9::render("Fig. 9", &r), &r);
+        }
+        "fig10" => {
+            let r = fig10::run(runner, &fig10::fig10_benchmarks(), &fig10::fig10_schedulers());
+            emit(opts, "fig10", &fig10::render(&r), &r);
+        }
+        "fig11" | "fig11a" | "fig11b" => {
+            let r = fig11::run(runner, &fig11::sensitivity_benchmarks());
+            emit(opts, "fig11", &fig11::render(&r), &r);
+        }
+        "fig12" | "fig12a" | "fig12b" => {
+            let r = fig12::run(runner, &Benchmark::memory_intensive());
+            emit(opts, "fig12", &fig12::render(&r), &r);
+        }
+        "overhead" => {
+            let r = overhead::run();
+            emit(opts, "overhead", &overhead::render(&r), &r);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let runner = Runner::new(opts.scale);
+    eprintln!(
+        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} worker threads",
+        opts.scale,
+        opts.scale.max_instructions(),
+        runner.threads
+    );
+    if opts.experiment == "all" {
+        for name in ["table1", "table2", "fig1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead"] {
+            eprintln!("[ciao-harness] running {name} ...");
+            run_experiment(&opts, name, &runner);
+        }
+    } else {
+        run_experiment(&opts, &opts.experiment, &runner);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 1 (motivation, Backprop):
+//!
+//! * **1a** — which warps interfere with which: the normalised inter-warp
+//!   interference matrix restricted to the most-affected warps;
+//! * **1b** — IPC, L1D hit rate and mean active warps of Best-SWL and CCWS,
+//!   normalised to Best-SWL, showing that similar hit rates do not imply
+//!   similar performance once TLP is sacrificed.
+
+use crate::report::Table;
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Result of the Fig. 1a interference characterisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1aResult {
+    /// Warp IDs of the most-interfered warps (matrix row/column labels).
+    pub warps: Vec<u32>,
+    /// Interference matrix normalised to its maximum entry, restricted to
+    /// `warps` (rows = victims, columns = evictors).
+    pub normalized: Vec<Vec<f64>>,
+    /// Total cross-warp evictions observed.
+    pub total_events: u64,
+}
+
+/// One scheduler's entry of Fig. 1b.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1bEntry {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// IPC (absolute).
+    pub ipc: f64,
+    /// L1D hit rate.
+    pub hit_rate: f64,
+    /// Mean active warps.
+    pub active_warps: f64,
+}
+
+/// Combined Fig. 1 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// The benchmark used (Backprop in the paper).
+    pub benchmark: String,
+    /// Fig. 1a data.
+    pub interference: Fig1aResult,
+    /// Fig. 1b data (Best-SWL and CCWS).
+    pub comparison: Vec<Fig1bEntry>,
+}
+
+/// Number of warps shown in the Fig. 1a heat map.
+const HEATMAP_WARPS: usize = 13;
+
+/// Runs the Fig. 1 experiment on `benchmark` (Backprop in the paper).
+pub fn run(runner: &Runner, benchmark: Benchmark) -> Fig1Result {
+    // Fig. 1a: interference under the baseline GTO scheduler.
+    let base = runner.run_one(benchmark, SchedulerKind::Gto);
+    let matrix = &base.interference;
+    // Pick the warps that suffered the most interference, mirroring the
+    // paper's selection of the hottest warps.
+    let mut by_suffering: Vec<(u32, u64)> =
+        (0..matrix.num_warps() as u32).map(|w| (w, matrix.suffered_by(w))).collect();
+    by_suffering.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    let warps: Vec<u32> = by_suffering.iter().take(HEATMAP_WARPS).map(|&(w, _)| w).collect();
+    let full = matrix.normalized();
+    let normalized: Vec<Vec<f64>> = warps
+        .iter()
+        .map(|&v| warps.iter().map(|&e| full[v as usize][e as usize]).collect())
+        .collect();
+    let interference = Fig1aResult { warps, normalized, total_events: matrix.total() };
+
+    // Fig. 1b: Best-SWL vs CCWS.
+    let comparison = [SchedulerKind::BestSwl, SchedulerKind::Ccws]
+        .iter()
+        .map(|&s| {
+            let res = runner.run_one(benchmark, s);
+            Fig1bEntry {
+                scheduler: s.label().to_string(),
+                ipc: res.ipc(),
+                hit_rate: res.l1d_hit_rate(),
+                active_warps: res.time_series.mean_active_warps(),
+            }
+        })
+        .collect();
+
+    Fig1Result { benchmark: benchmark.name().to_string(), interference, comparison }
+}
+
+/// Renders both panels.
+pub fn render(result: &Fig1Result) -> String {
+    let mut out = String::new();
+    let mut heat = Table::new(
+        format!("Fig. 1a: {} inter-warp interference (normalised)", result.benchmark),
+        &[""],
+    );
+    // Header row of evictor warp ids.
+    let mut header = vec!["victim\\evictor".to_string()];
+    header.extend(result.interference.warps.iter().map(|w| format!("W{w}")));
+    heat.row(header);
+    for (i, &v) in result.interference.warps.iter().enumerate() {
+        let mut row = vec![format!("W{v}")];
+        row.extend(result.interference.normalized[i].iter().map(|x| format!("{x:.2}")));
+        heat.row(row);
+    }
+    out.push_str(&heat.render());
+    out.push('\n');
+
+    let mut cmp = Table::new(
+        format!("Fig. 1b: {} under Best-SWL and CCWS", result.benchmark),
+        &["Scheduler", "IPC", "L1D hit rate", "Active warps"],
+    );
+    for e in &result.comparison {
+        cmp.row(vec![
+            e.scheduler.clone(),
+            format!("{:.3}", e.ipc),
+            format!("{:.3}", e.hit_rate),
+            format!("{:.1}", e.active_warps),
+        ]);
+    }
+    out.push_str(&cmp.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn produces_heatmap_and_comparison() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, Benchmark::Backprop);
+        assert_eq!(result.benchmark, "Backprop");
+        assert_eq!(result.interference.warps.len(), HEATMAP_WARPS);
+        assert_eq!(result.interference.normalized.len(), HEATMAP_WARPS);
+        assert!(result.interference.normalized.iter().flatten().all(|&x| (0.0..=1.0).contains(&x)));
+        assert_eq!(result.comparison.len(), 2);
+        assert!(result.comparison.iter().all(|e| e.ipc > 0.0));
+        let text = render(&result);
+        assert!(text.contains("Fig. 1a"));
+        assert!(text.contains("Best-SWL"));
+        assert!(text.contains("CCWS"));
+    }
+}

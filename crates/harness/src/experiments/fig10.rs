@@ -1,0 +1,52 @@
+//! Figure 10: behaviour over time of SYRK (small working set) and KMN (large
+//! working set) under the three CIAO variants — the working-set-size
+//! sensitivity of §V-D. Shares the time-series machinery of [`super::fig9`].
+
+use crate::experiments::fig9::{self, TimeSeriesResult};
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+
+/// The benchmarks of Fig. 10 (SYRK and KMN).
+pub fn fig10_benchmarks() -> Vec<Benchmark> {
+    vec![Benchmark::Syrk, Benchmark::Kmn]
+}
+
+/// The schedulers of Fig. 10 (CIAO-T, CIAO-P, CIAO-C).
+pub fn fig10_schedulers() -> Vec<SchedulerKind> {
+    SchedulerKind::ciao_family()
+}
+
+/// Runs the Fig. 10 experiment.
+pub fn run(runner: &Runner, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> TimeSeriesResult {
+    fig9::run(runner, benchmarks, schedulers)
+}
+
+/// Renders the Fig. 10 report.
+pub fn render(result: &TimeSeriesResult) -> String {
+    fig9::render("Fig. 10", result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn ciao_variants_compared_on_both_classes() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, &[Benchmark::Syrk], &fig10_schedulers());
+        assert_eq!(result.series.len(), 3);
+        let labels: Vec<&str> = result.series.iter().map(|s| s.scheduler.as_str()).collect();
+        assert!(labels.contains(&"CIAO-T"));
+        assert!(labels.contains(&"CIAO-P"));
+        assert!(labels.contains(&"CIAO-C"));
+        assert!(render(&result).contains("Fig. 10"));
+    }
+
+    #[test]
+    fn default_selection_matches_paper() {
+        assert_eq!(fig10_benchmarks(), vec![Benchmark::Syrk, Benchmark::Kmn]);
+        assert_eq!(fig10_schedulers().len(), 3);
+    }
+}

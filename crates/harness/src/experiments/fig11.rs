@@ -1,0 +1,144 @@
+//! Figure 11: sensitivity of CIAO-C to its two tuning knobs.
+//!
+//! * **11a** — the high-cutoff epoch length (1K / 5K / 10K / 50K instructions);
+//! * **11b** — the high-cutoff threshold (4% / 2% / 1% / 0.5%), with the low
+//!   cutoff fixed at half the high cutoff.
+//!
+//! IPC is reported normalised to the default setting (5K instructions, 1%),
+//! which is how the paper argues the scheme is robust (within ~15% across
+//! epochs, ~5% across thresholds).
+
+use crate::report::Table;
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_core::CiaoParams;
+use ciao_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The epoch values swept in Fig. 11a.
+pub const EPOCHS: [u64; 4] = [1_000, 5_000, 10_000, 50_000];
+/// The high-cutoff thresholds swept in Fig. 11b.
+pub const CUTOFFS: [f64; 4] = [0.04, 0.02, 0.01, 0.005];
+
+/// Sensitivity results for one knob.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Knob values, rendered as strings ("1000", "0.04", ...).
+    pub settings: Vec<String>,
+    /// benchmark → (setting → IPC normalised to the default setting).
+    pub normalized_ipc: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+/// Combined Fig. 11 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// Fig. 11a: epoch sweep.
+    pub epochs: SweepResult,
+    /// Fig. 11b: threshold sweep.
+    pub cutoffs: SweepResult,
+}
+
+fn sweep<F>(runner: &Runner, benchmarks: &[Benchmark], settings: &[String], make_params: F) -> SweepResult
+where
+    F: Fn(&str) -> CiaoParams,
+{
+    let default_params = CiaoParams::default();
+    let mut normalized_ipc: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for &b in benchmarks {
+        // Baseline: the default parameters.
+        let base_runner = runner.clone().with_params(default_params);
+        let base_ipc = base_runner.record(b, SchedulerKind::CiaoC).ipc.max(1e-12);
+        let mut per_setting = BTreeMap::new();
+        for setting in settings {
+            let params = make_params(setting);
+            let r = runner.clone().with_params(params);
+            let ipc = r.record(b, SchedulerKind::CiaoC).ipc;
+            per_setting.insert(setting.clone(), ipc / base_ipc);
+        }
+        normalized_ipc.insert(b.name().to_string(), per_setting);
+    }
+    SweepResult { settings: settings.to_vec(), normalized_ipc }
+}
+
+/// Runs both sweeps over `benchmarks` (the paper uses the seven
+/// memory-intensive benchmarks of `ciao_workloads::characteristics::sensitivity_set`).
+pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig11Result {
+    let epoch_settings: Vec<String> = EPOCHS.iter().map(|e| e.to_string()).collect();
+    let epochs = sweep(runner, benchmarks, &epoch_settings, |s| {
+        CiaoParams::default().with_high_epoch(s.parse().expect("numeric epoch"))
+    });
+    let cutoff_settings: Vec<String> = CUTOFFS.iter().map(|c| format!("{c}")).collect();
+    let cutoffs = sweep(runner, benchmarks, &cutoff_settings, |s| {
+        CiaoParams::default().with_high_cutoff(s.parse().expect("numeric cutoff"))
+    });
+    Fig11Result { epochs, cutoffs }
+}
+
+/// The benchmarks used in the paper's sensitivity study.
+pub fn sensitivity_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::Atax,
+        Benchmark::Gesummv,
+        Benchmark::Syr2k,
+        Benchmark::Syrk,
+        Benchmark::Bicg,
+        Benchmark::Mvt,
+        Benchmark::Kmeans,
+    ]
+}
+
+fn render_sweep(title: &str, sweep: &SweepResult) -> String {
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(sweep.settings.iter().cloned());
+    let mut t = Table::new(title, &[]);
+    t.row(header);
+    for (bench, per_setting) in &sweep.normalized_ipc {
+        let mut row = vec![bench.clone()];
+        for s in &sweep.settings {
+            row.push(format!("{:.3}", per_setting.get(s).copied().unwrap_or(0.0)));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders both panels.
+pub fn render(result: &Fig11Result) -> String {
+    let mut out = String::new();
+    out.push_str(&render_sweep("Fig. 11a: IPC vs high-cutoff epoch (normalised to 5000)", &result.epochs));
+    out.push('\n');
+    out.push_str(&render_sweep("Fig. 11b: IPC vs high-cutoff threshold (normalised to 1%)", &result.cutoffs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn sweeps_produce_normalised_values_near_one() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, &[Benchmark::Syrk]);
+        assert_eq!(result.epochs.settings.len(), 4);
+        assert_eq!(result.cutoffs.settings.len(), 4);
+        let syrk_epochs = &result.epochs.normalized_ipc["SYRK"];
+        // The default setting (5000) must normalise to exactly 1.0.
+        assert!((syrk_epochs["5000"] - 1.0).abs() < 1e-9);
+        // All settings should stay within a broad robustness band.
+        for v in syrk_epochs.values() {
+            assert!(*v > 0.3 && *v < 3.0, "epoch sensitivity out of range: {v}");
+        }
+        let syrk_cutoffs = &result.cutoffs.normalized_ipc["SYRK"];
+        assert!((syrk_cutoffs["0.01"] - 1.0).abs() < 1e-9);
+        let text = render(&result);
+        assert!(text.contains("Fig. 11a"));
+        assert!(text.contains("Fig. 11b"));
+    }
+
+    #[test]
+    fn paper_sensitivity_set_has_seven_benchmarks() {
+        assert_eq!(sensitivity_benchmarks().len(), 7);
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 12: IPC under different L1D cache and DRAM configurations.
+//!
+//! * **12a** — GTO on the baseline machine, GTO with a 48 KB L1D (`GTO-cap`),
+//!   GTO with an 8-way L1D (`GTO-8way`), and CIAO-C on the baseline,
+//!   normalised to baseline GTO;
+//! * **12b** — statPCAL and CIAO-C with doubled DRAM bandwidth, normalised to
+//!   their own baseline-bandwidth runs.
+
+use crate::report::{geometric_mean, Table};
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use gpu_sim::GpuConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Combined Fig. 12 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Result {
+    /// Fig. 12a: benchmark → (configuration label → IPC normalised to GTO).
+    pub cache_configs: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Fig. 12b: benchmark → (scheduler label → IPC with 2× DRAM bandwidth,
+    /// normalised to the same scheduler at 1× bandwidth).
+    pub bandwidth: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Geometric means over the benchmarks for each Fig. 12a configuration.
+    pub cache_config_geomeans: BTreeMap<String, f64>,
+    /// Geometric means for the Fig. 12b series.
+    pub bandwidth_geomeans: BTreeMap<String, f64>,
+}
+
+/// The configuration labels of Fig. 12a.
+pub const CACHE_CONFIG_LABELS: [&str; 4] = ["GTO", "GTO-cap", "GTO-8way", "CIAO-C"];
+
+/// Runs the Fig. 12 experiment over `benchmarks` (the paper uses the LWS and
+/// SWS classes).
+pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
+    let mut cache_configs: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut bandwidth: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+
+    for &b in benchmarks {
+        // --- Fig. 12a ---
+        let gto_base = runner.record(b, SchedulerKind::Gto).ipc.max(1e-12);
+        let gto_cap = runner
+            .clone()
+            .with_config(GpuConfig::gtx480_cap())
+            .record(b, SchedulerKind::Gto)
+            .ipc;
+        let gto_8way = runner
+            .clone()
+            .with_config(GpuConfig::gtx480_8way())
+            .record(b, SchedulerKind::Gto)
+            .ipc;
+        let ciao_c = runner.record(b, SchedulerKind::CiaoC).ipc;
+        let mut per_config = BTreeMap::new();
+        per_config.insert("GTO".to_string(), 1.0);
+        per_config.insert("GTO-cap".to_string(), gto_cap / gto_base);
+        per_config.insert("GTO-8way".to_string(), gto_8way / gto_base);
+        per_config.insert("CIAO-C".to_string(), ciao_c / gto_base);
+        cache_configs.insert(b.name().to_string(), per_config);
+
+        // --- Fig. 12b ---
+        let mut per_sched = BTreeMap::new();
+        for s in [SchedulerKind::StatPcal, SchedulerKind::CiaoC] {
+            let base = runner.record(b, s).ipc.max(1e-12);
+            let doubled = runner
+                .clone()
+                .with_config(GpuConfig::gtx480_2x_bandwidth())
+                .record(b, s)
+                .ipc;
+            per_sched.insert(format!("{}-2X", s.label()), doubled / base);
+        }
+        bandwidth.insert(b.name().to_string(), per_sched);
+    }
+
+    let geomean_of = |map: &BTreeMap<String, BTreeMap<String, f64>>, key: &str| {
+        geometric_mean(&map.values().filter_map(|m| m.get(key).copied()).collect::<Vec<_>>())
+    };
+    let cache_config_geomeans = CACHE_CONFIG_LABELS
+        .iter()
+        .map(|&l| (l.to_string(), geomean_of(&cache_configs, l)))
+        .collect();
+    let bandwidth_geomeans = ["statPCAL-2X", "CIAO-C-2X"]
+        .iter()
+        .map(|&l| (l.to_string(), geomean_of(&bandwidth, l)))
+        .collect();
+
+    Fig12Result { cache_configs, bandwidth, cache_config_geomeans, bandwidth_geomeans }
+}
+
+/// Renders both panels.
+pub fn render(result: &Fig12Result) -> String {
+    let mut out = String::new();
+    let mut a = Table::new("Fig. 12a: IPC vs L1D configuration (normalised to GTO)", &[]);
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(CACHE_CONFIG_LABELS.iter().map(|s| s.to_string()));
+    a.row(header);
+    for (bench, per_config) in &result.cache_configs {
+        let mut row = vec![bench.clone()];
+        for label in CACHE_CONFIG_LABELS {
+            row.push(format!("{:.2}", per_config.get(label).copied().unwrap_or(0.0)));
+        }
+        a.row(row);
+    }
+    let mut row = vec!["geomean".to_string()];
+    for label in CACHE_CONFIG_LABELS {
+        row.push(format!("{:.2}", result.cache_config_geomeans.get(label).copied().unwrap_or(0.0)));
+    }
+    a.row(row);
+    out.push_str(&a.render());
+    out.push('\n');
+
+    let mut b = Table::new(
+        "Fig. 12b: IPC with 2x DRAM bandwidth (normalised to 1x of the same scheduler)",
+        &["Benchmark", "statPCAL-2X", "CIAO-C-2X"],
+    );
+    for (bench, per_sched) in &result.bandwidth {
+        b.row(vec![
+            bench.clone(),
+            format!("{:.2}", per_sched.get("statPCAL-2X").copied().unwrap_or(0.0)),
+            format!("{:.2}", per_sched.get("CIAO-C-2X").copied().unwrap_or(0.0)),
+        ]);
+    }
+    b.row(vec![
+        "geomean".to_string(),
+        format!("{:.2}", result.bandwidth_geomeans.get("statPCAL-2X").copied().unwrap_or(0.0)),
+        format!("{:.2}", result.bandwidth_geomeans.get("CIAO-C-2X").copied().unwrap_or(0.0)),
+    ]);
+    out.push_str(&b.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn produces_all_configurations() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, &[Benchmark::Syrk]);
+        let syrk = &result.cache_configs["SYRK"];
+        assert!((syrk["GTO"] - 1.0).abs() < 1e-12);
+        for label in CACHE_CONFIG_LABELS {
+            assert!(syrk[label] > 0.0, "{label} must have a positive normalised IPC");
+        }
+        let bw = &result.bandwidth["SYRK"];
+        assert!(bw["statPCAL-2X"] > 0.0);
+        assert!(bw["CIAO-C-2X"] > 0.0);
+        let text = render(&result);
+        assert!(text.contains("Fig. 12a"));
+        assert!(text.contains("Fig. 12b"));
+        assert!(text.contains("geomean"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 4: non-uniform cache interference.
+//!
+//! * **4a** — for one heavily interfered warp of KMEANS, how often each other
+//!   warp interfered with it (a long-tailed distribution: one warp dominates,
+//!   many never interfere), which justifies tracking only the most recently
+//!   and frequently interfering warp per warp;
+//! * **4b** — the minimum and maximum pairwise interference frequency per
+//!   workload, showing the same skew across every evaluated benchmark.
+
+use crate::runner::Runner;
+use crate::report::Table;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 4a data: interference suffered by one victim warp.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4aResult {
+    /// The benchmark used (KMN / KMEANS in the paper).
+    pub benchmark: String,
+    /// The victim warp examined (the most interfered warp of the run).
+    pub victim: u32,
+    /// (interfering warp, eviction count) pairs, sorted by count descending,
+    /// zero-count warps excluded.
+    pub interferers: Vec<(u32, u64)>,
+    /// Number of warps that never interfered with the victim.
+    pub non_interfering_warps: usize,
+}
+
+/// One benchmark's row of Fig. 4b.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4bRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Minimum non-zero pairwise interference count.
+    pub min: u64,
+    /// Maximum pairwise interference count.
+    pub max: u64,
+}
+
+/// Combined Fig. 4 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Fig. 4a data.
+    pub single_warp: Fig4aResult,
+    /// Fig. 4b rows.
+    pub min_max: Vec<Fig4bRow>,
+}
+
+/// Runs Fig. 4a on `focus` (KMN in the paper) and Fig. 4b on `benchmarks`.
+pub fn run(runner: &Runner, focus: Benchmark, benchmarks: &[Benchmark]) -> Fig4Result {
+    let res = runner.run_one(focus, SchedulerKind::Gto);
+    let matrix = &res.interference;
+    let victim = (0..matrix.num_warps() as u32)
+        .max_by_key(|&w| matrix.suffered_by(w))
+        .unwrap_or(0);
+    let mut interferers: Vec<(u32, u64)> = (0..matrix.num_warps() as u32)
+        .map(|e| (e, matrix.count(victim, e)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    interferers.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let non_interfering_warps = matrix.num_warps() - interferers.len();
+    let single_warp = Fig4aResult {
+        benchmark: focus.name().to_string(),
+        victim,
+        interferers,
+        non_interfering_warps,
+    };
+
+    let min_max = benchmarks
+        .iter()
+        .map(|&b| {
+            let r = runner.run_one(b, SchedulerKind::Gto);
+            let (min, max) = r.interference.min_max_nonzero().unwrap_or((0, 0));
+            Fig4bRow { benchmark: b.name().to_string(), min, max }
+        })
+        .collect();
+
+    Fig4Result { single_warp, min_max }
+}
+
+/// Renders both panels.
+pub fn render(result: &Fig4Result) -> String {
+    let mut out = String::new();
+    let mut a = Table::new(
+        format!(
+            "Fig. 4a: warps interfering with W{} of {} ({} warps never interfere)",
+            result.single_warp.victim, result.single_warp.benchmark, result.single_warp.non_interfering_warps
+        ),
+        &["Interfering warp", "Evictions"],
+    );
+    for (w, c) in result.single_warp.interferers.iter().take(16) {
+        a.row(vec![format!("W{w}"), c.to_string()]);
+    }
+    out.push_str(&a.render());
+    out.push('\n');
+    let mut b = Table::new("Fig. 4b: min/max pairwise interference per workload", &["Benchmark", "Min", "Max"]);
+    for row in &result.min_max {
+        b.row(vec![row.benchmark.clone(), row.min.to_string(), row.max.to_string()]);
+    }
+    out.push_str(&b.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn interference_is_skewed() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, Benchmark::Kmn, &[Benchmark::Kmn, Benchmark::Syrk]);
+        // The victim warp must have at least one interferer and the
+        // distribution must be non-uniform (the paper's key observation).
+        assert!(!result.single_warp.interferers.is_empty());
+        let counts: Vec<u64> = result.single_warp.interferers.iter().map(|&(_, c)| c).collect();
+        assert!(counts[0] >= *counts.last().unwrap());
+        assert_eq!(result.min_max.len(), 2);
+        for row in &result.min_max {
+            assert!(row.max >= row.min);
+        }
+        let text = render(&result);
+        assert!(text.contains("Fig. 4a"));
+        assert!(text.contains("Fig. 4b"));
+    }
+}

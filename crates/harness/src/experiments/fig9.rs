@@ -1,0 +1,139 @@
+//! Figure 9: behaviour over time of ATAX and Backprop under Best-SWL, CCWS
+//! and CIAO-T — dynamic IPC, number of active warps and cache interference as
+//! a function of executed instructions.
+
+use crate::report::Table;
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use gpu_sim::stats::TimeSeriesPoint;
+use serde::{Deserialize, Serialize};
+
+/// One (benchmark, scheduler) time series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesEntry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Sampled points (instruction-indexed).
+    pub points: Vec<TimeSeriesPoint>,
+    /// Overall IPC of the run.
+    pub ipc: f64,
+}
+
+/// The Fig. 9 (or Fig. 10, which shares the structure) result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeriesResult {
+    /// One entry per (benchmark, scheduler) pair.
+    pub series: Vec<SeriesEntry>,
+}
+
+/// Runs the time-series comparison for the given benchmarks and schedulers.
+pub fn run(runner: &Runner, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> TimeSeriesResult {
+    let mut series = Vec::new();
+    for &b in benchmarks {
+        for &s in schedulers {
+            let res = runner.run_one(b, s);
+            series.push(SeriesEntry {
+                benchmark: b.name().to_string(),
+                scheduler: s.label().to_string(),
+                points: res.time_series.points().to_vec(),
+                ipc: res.ipc(),
+            });
+        }
+    }
+    TimeSeriesResult { series }
+}
+
+/// The schedulers compared in Fig. 9 (Best-SWL, CCWS, CIAO-T).
+pub fn fig9_schedulers() -> Vec<SchedulerKind> {
+    vec![SchedulerKind::BestSwl, SchedulerKind::Ccws, SchedulerKind::CiaoT]
+}
+
+/// The benchmarks of Fig. 9 (ATAX and Backprop).
+pub fn fig9_benchmarks() -> Vec<Benchmark> {
+    vec![Benchmark::Atax, Benchmark::Backprop]
+}
+
+/// Renders the time series as one table per benchmark.
+pub fn render(title: &str, result: &TimeSeriesResult) -> String {
+    let mut out = String::new();
+    let mut benchmarks: Vec<String> = Vec::new();
+    for s in &result.series {
+        if !benchmarks.contains(&s.benchmark) {
+            benchmarks.push(s.benchmark.clone());
+        }
+    }
+    for b in &benchmarks {
+        let entries: Vec<&SeriesEntry> = result.series.iter().filter(|s| &s.benchmark == b).collect();
+        let mut header = vec!["Instructions".to_string()];
+        for e in &entries {
+            header.push(format!("{} IPC", e.scheduler));
+            header.push(format!("{} warps", e.scheduler));
+            header.push(format!("{} intf", e.scheduler));
+        }
+        let mut t = Table::new(format!("{title}: {b} over time"), &[]);
+        t.row(header);
+        let rows = entries.iter().map(|e| e.points.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let insts = entries
+                .iter()
+                .filter_map(|e| e.points.get(i))
+                .map(|p| p.instructions)
+                .next()
+                .unwrap_or(0);
+            let mut row = vec![insts.to_string()];
+            for e in &entries {
+                match e.points.get(i) {
+                    Some(p) => {
+                        row.push(format!("{:.2}", p.ipc));
+                        row.push(p.active_warps.to_string());
+                        row.push(p.interference.to_string());
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
+            t.row(row);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut summary = Table::new(format!("{title}: {b} overall IPC"), &["Scheduler", "IPC"]);
+        for e in &entries {
+            summary.row(vec![e.scheduler.clone(), format!("{:.3}", e.ipc)]);
+        }
+        out.push_str(&summary.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn produces_time_series_per_pair() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, &[Benchmark::Atax], &[SchedulerKind::BestSwl, SchedulerKind::CiaoT]);
+        assert_eq!(result.series.len(), 2);
+        for s in &result.series {
+            assert!(!s.points.is_empty(), "{} should produce samples", s.scheduler);
+            assert!(s.ipc > 0.0);
+        }
+        let text = render("Fig. 9", &result);
+        assert!(text.contains("ATAX over time"));
+        assert!(text.contains("overall IPC"));
+    }
+
+    #[test]
+    fn default_selection_matches_paper() {
+        assert_eq!(fig9_benchmarks(), vec![Benchmark::Atax, Benchmark::Backprop]);
+        assert_eq!(fig9_schedulers().len(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! §V-F: hardware-overhead analysis.
+
+use ciao_core::{OverheadModel, OverheadReport};
+use serde::{Deserialize, Serialize};
+
+/// The overhead experiment result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadResult {
+    /// The model inputs used.
+    pub model: OverheadModel,
+    /// The computed report.
+    pub report: OverheadReport,
+}
+
+/// Computes the overhead report with the default GTX 480 constants.
+pub fn run() -> OverheadResult {
+    let model = OverheadModel::default();
+    OverheadResult { report: model.report(), model }
+}
+
+/// Renders the report.
+pub fn render(result: &OverheadResult) -> String {
+    let mut out = String::from("== Overhead analysis (Section V-F) ==\n");
+    for line in result.report.lines() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_stays_within_paper_bounds() {
+        let result = run();
+        assert!(result.report.area_fraction < 0.02);
+        assert!(result.report.power_fraction < 0.005);
+        let text = render(&result);
+        assert!(text.contains("Overhead analysis"));
+        assert!(text.contains("mm2"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Table I: the simulated machine configuration.
+
+use crate::report::Table;
+use gpu_sim::config::{table1_rows, GpuConfig};
+use serde::{Deserialize, Serialize};
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// (parameter, value) rows.
+    pub rows: Vec<(String, String)>,
+}
+
+/// Builds Table I for a machine configuration.
+pub fn run(config: &GpuConfig) -> Table1Result {
+    Table1Result { rows: table1_rows(config) }
+}
+
+/// Renders the table.
+pub fn render(result: &Table1Result) -> String {
+    let mut t = Table::new("Table I: GPGPU-Sim-equivalent configuration", &["Parameter", "Value"]);
+    for (k, v) in &result.rows {
+        t.row(vec![k.clone(), v.clone()]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1_values() {
+        let r = run(&GpuConfig::gtx480());
+        let text = render(&r);
+        assert!(text.contains("15, max 1536 per SM"));
+        assert!(text.contains("16KB"));
+        assert!(text.contains("48KB"));
+        assert!(text.contains("768KB"));
+        assert!(text.contains("tCL=12"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Table II: benchmark characteristics — paper values alongside the values
+//! measured on the synthetic workloads (APKI, barriers, class, Fsmem).
+
+use crate::report::Table;
+use crate::runner::{RunRecord, Runner};
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// One row of the reproduced Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Class label from the paper.
+    pub class: String,
+    /// APKI reported in the paper.
+    pub paper_apki: f64,
+    /// APKI measured on the synthetic workload (under GTO).
+    pub measured_apki: f64,
+    /// Best-SWL warp count from the paper.
+    pub nwrp: usize,
+    /// Shared-memory usage fraction from the paper.
+    pub paper_fsmem: f64,
+    /// Peak programmer shared-memory bytes observed in simulation.
+    pub measured_cta_shared_mem: u32,
+    /// Whether the paper lists the benchmark as using barriers.
+    pub barriers: bool,
+}
+
+/// The reproduced Table II.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One row per benchmark, in Table II order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Measures the characteristics of the given benchmarks under GTO.
+pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Table2Result {
+    let rows = benchmarks
+        .iter()
+        .map(|&b| {
+            let res = runner.run_one(b, SchedulerKind::Gto);
+            let record = RunRecord::from_result(b, SchedulerKind::Gto, &res);
+            let info = b.info();
+            Table2Row {
+                benchmark: b.name().to_string(),
+                class: info.class.label().to_string(),
+                paper_apki: info.apki,
+                measured_apki: record.apki,
+                nwrp: info.nwrp,
+                paper_fsmem: info.fsmem,
+                measured_cta_shared_mem: res.stats.peak_cta_shared_mem,
+                barriers: info.barriers,
+            }
+        })
+        .collect();
+    Table2Result { rows }
+}
+
+/// Renders the table.
+pub fn render(result: &Table2Result) -> String {
+    let mut t = Table::new(
+        "Table II: benchmark characteristics (paper vs. synthetic workload)",
+        &["Benchmark", "Class", "APKI(paper)", "APKI(meas)", "Nwrp", "Fsmem(paper)", "CTA shmem(meas)", "Bar."],
+    );
+    for r in &result.rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            r.class.clone(),
+            format!("{:.0}", r.paper_apki),
+            format!("{:.1}", r.measured_apki),
+            r.nwrp.to_string(),
+            format!("{:.0}%", r.paper_fsmem * 100.0),
+            format!("{}B", r.measured_cta_shared_mem),
+            if r.barriers { "Y" } else { "N" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn measures_characteristics_for_a_subset() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(&runner, &[Benchmark::Gesummv, Benchmark::Hotspot]);
+        assert_eq!(result.rows.len(), 2);
+        let gesummv = &result.rows[0];
+        let hotspot = &result.rows[1];
+        // The memory-intensive benchmark must measure far higher APKI than the
+        // compute-intensive one, mirroring the paper's ordering.
+        assert!(gesummv.measured_apki > 5.0 * hotspot.measured_apki.max(0.1),
+                "GESUMMV {} vs Hotspot {}", gesummv.measured_apki, hotspot.measured_apki);
+        // Hotspot reserves programmer shared memory, GESUMMV does not.
+        assert!(hotspot.measured_cta_shared_mem > 0);
+        assert_eq!(gesummv.measured_cta_shared_mem, 0);
+        let text = render(&result);
+        assert!(text.contains("GESUMMV"));
+        assert!(text.contains("Hotspot"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ciao-harness — experiment harness for the CIAO reproduction
+//!
+//! One module per table/figure of the paper's evaluation (§V), plus the
+//! shared machinery to build scheduler configurations, run simulations in
+//! parallel and render reports:
+//!
+//! | paper artefact | module | harness command |
+//! |---|---|---|
+//! | Table I (machine configuration) | [`experiments::table1`] | `table1` |
+//! | Table II (benchmark characteristics) | [`experiments::table2`] | `table2` |
+//! | Fig. 1a/1b (motivation: Backprop) | [`experiments::fig1`] | `fig1` |
+//! | Fig. 4a/4b (interference characterisation) | [`experiments::fig4`] | `fig4` |
+//! | Fig. 8a/8b (overall performance, shared-memory utilisation) | [`experiments::fig8`] | `fig8` |
+//! | Fig. 9 (ATAX / Backprop over time) | [`experiments::fig9`] | `fig9` |
+//! | Fig. 10 (SYRK / KMN over time) | [`experiments::fig10`] | `fig10` |
+//! | Fig. 11a/11b (sensitivity) | [`experiments::fig11`] | `fig11` |
+//! | Fig. 12a/12b (cache / DRAM configurations) | [`experiments::fig12`] | `fig12` |
+//! | §V-F (overhead analysis) | [`experiments::overhead`] | `overhead` |
+//!
+//! Every experiment returns a serialisable result structure plus a plain-text
+//! rendering, so `cargo bench` (crate `ciao-bench`) and the `ciao-harness`
+//! binary share the exact same code paths.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod schedulers;
+
+pub use report::{geometric_mean, Table};
+pub use runner::{RunRecord, RunScale, Runner};
+pub use schedulers::SchedulerKind;

@@ -1,0 +1,270 @@
+//! Simulation runner: builds (benchmark × scheduler × configuration) runs and
+//! executes them, optionally in parallel across worker threads.
+
+use crate::schedulers::SchedulerKind;
+use ciao_core::CiaoParams;
+use ciao_workloads::{Benchmark, ScaleConfig};
+use gpu_sim::{GpuConfig, SimResult, Simulator};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// How large each simulation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunScale {
+    /// Tiny runs for unit tests and doc examples.
+    Tiny,
+    /// Reduced runs for smoke benches and quick sanity checks.
+    Quick,
+    /// The runs used for the numbers recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl RunScale {
+    /// The workload scale for this run size.
+    pub fn workload_scale(self) -> ScaleConfig {
+        match self {
+            RunScale::Tiny => ScaleConfig::tiny(),
+            RunScale::Quick => ScaleConfig::quick(),
+            RunScale::Full => ScaleConfig::full(),
+        }
+    }
+
+    /// The per-run dynamic-instruction cap.
+    pub fn max_instructions(self) -> u64 {
+        match self {
+            RunScale::Tiny => 6_000,
+            RunScale::Quick => 40_000,
+            RunScale::Full => 200_000,
+        }
+    }
+
+    /// The time-series sampling interval (in instructions).
+    pub fn sample_interval(self) -> u64 {
+        match self {
+            RunScale::Tiny => 500,
+            RunScale::Quick => 2_000,
+            RunScale::Full => 5_000,
+        }
+    }
+}
+
+/// One (benchmark, scheduler) simulation outcome, with the metrics every
+/// figure needs pre-extracted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark simulated.
+    pub benchmark: String,
+    /// Benchmark class label ("LWS"/"SWS"/"CI").
+    pub class: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1D hit rate.
+    pub l1d_hit_rate: f64,
+    /// Measured accesses per kilo-instruction.
+    pub apki: f64,
+    /// Mean number of active warps over the run's time series.
+    pub mean_active_warps: f64,
+    /// Cross-warp evictions (L1D + shared-memory cache).
+    pub interference_events: u64,
+    /// VTA hits reported by the scheduler (0 for schedulers without a VTA).
+    pub vta_hits: u64,
+    /// Shared-memory cache utilisation at the end of the run (Fig. 8b).
+    pub redirect_utilization: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions simulated.
+    pub instructions: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from a raw simulation result.
+    pub fn from_result(benchmark: Benchmark, scheduler: SchedulerKind, res: &SimResult) -> Self {
+        RunRecord {
+            benchmark: benchmark.name().to_string(),
+            class: benchmark.class().label().to_string(),
+            scheduler: scheduler.label().to_string(),
+            ipc: res.ipc(),
+            l1d_hit_rate: res.l1d_hit_rate(),
+            apki: res.stats.apki(),
+            mean_active_warps: res.time_series.mean_active_warps(),
+            interference_events: res.stats.cross_warp_evictions + res.stats.redirect_cross_warp_evictions,
+            vta_hits: res.scheduler_metrics.vta_hits,
+            redirect_utilization: res.stats.redirect_utilization,
+            cycles: res.cycles,
+            instructions: res.stats.instructions,
+        }
+    }
+}
+
+/// The simulation runner.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Machine configuration used for every run (unless overridden per call).
+    pub config: GpuConfig,
+    /// CIAO parameters used for the CIAO variants.
+    pub params: CiaoParams,
+    /// Run size.
+    pub scale: RunScale,
+    /// Number of worker threads for matrix runs.
+    pub threads: usize,
+}
+
+impl Runner {
+    /// Creates a runner for the given scale with the Table I configuration.
+    pub fn new(scale: RunScale) -> Self {
+        Runner {
+            config: GpuConfig::gtx480(),
+            params: CiaoParams::default(),
+            scale,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+
+    /// Overrides the machine configuration (Fig. 12 variants).
+    pub fn with_config(mut self, config: GpuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the CIAO parameters (Fig. 11 sweeps).
+    pub fn with_params(mut self, params: CiaoParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The effective GPU configuration for a run (adds caps and sampling).
+    pub fn effective_config(&self) -> GpuConfig {
+        self.config
+            .clone()
+            .with_max_instructions(self.scale.max_instructions())
+            .with_sample_interval(self.scale.sample_interval())
+    }
+
+    /// Runs one (benchmark, scheduler) pair and returns the full result.
+    pub fn run_one(&self, benchmark: Benchmark, scheduler: SchedulerKind) -> SimResult {
+        let config = self.effective_config();
+        let sim = Simulator::new(config.clone());
+        let kernel = benchmark.kernel(&self.scale.workload_scale());
+        let (sched, redirect) = scheduler.build(benchmark, &config, &self.params);
+        sim.run(Box::new(kernel), sched, redirect)
+    }
+
+    /// Runs one pair and returns the condensed record.
+    pub fn record(&self, benchmark: Benchmark, scheduler: SchedulerKind) -> RunRecord {
+        let res = self.run_one(benchmark, scheduler);
+        RunRecord::from_result(benchmark, scheduler, &res)
+    }
+
+    /// Runs the full (benchmarks × schedulers) matrix, in parallel, returning
+    /// records in a deterministic (benchmark-major) order.
+    pub fn run_matrix(&self, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> Vec<RunRecord> {
+        let jobs: Vec<(usize, Benchmark, SchedulerKind)> = benchmarks
+            .iter()
+            .flat_map(|&b| schedulers.iter().map(move |&s| (b, s)))
+            .enumerate()
+            .map(|(i, (b, s))| (i, b, s))
+            .collect();
+        let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
+        let next: Mutex<usize> = Mutex::new(0);
+        let workers = self.threads.clamp(1, jobs.len().max(1));
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let idx = {
+                        let mut n = next.lock();
+                        if *n >= jobs.len() {
+                            break;
+                        }
+                        let idx = *n;
+                        *n += 1;
+                        idx
+                    };
+                    let (slot, benchmark, scheduler) = jobs[idx];
+                    let record = self.record(benchmark, scheduler);
+                    results.lock()[slot] = Some(record);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        results.into_inner().into_iter().map(|r| r.expect("every job ran")).collect()
+    }
+}
+
+/// Normalises each benchmark's IPC to the named baseline scheduler, returning
+/// `(benchmark, scheduler, normalised_ipc)` tuples (the Fig. 8a / Fig. 12
+/// presentation).
+pub fn normalize_to(records: &[RunRecord], baseline: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        let base = records
+            .iter()
+            .find(|b| b.benchmark == r.benchmark && b.scheduler == baseline)
+            .map(|b| b.ipc)
+            .unwrap_or(0.0);
+        let norm = if base > 0.0 { r.ipc / base } else { 0.0 };
+        out.push((r.benchmark.clone(), r.scheduler.clone(), norm));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(RunScale::Tiny.max_instructions() < RunScale::Quick.max_instructions());
+        assert!(RunScale::Quick.max_instructions() < RunScale::Full.max_instructions());
+    }
+
+    #[test]
+    fn run_one_produces_consistent_record() {
+        let runner = Runner::new(RunScale::Tiny);
+        let rec = runner.record(Benchmark::Syrk, SchedulerKind::Gto);
+        assert_eq!(rec.benchmark, "SYRK");
+        assert_eq!(rec.scheduler, "GTO");
+        assert_eq!(rec.class, "SWS");
+        assert!(rec.ipc > 0.0);
+        assert!(rec.instructions > 0);
+        assert!(rec.cycles > 0);
+    }
+
+    #[test]
+    fn matrix_runs_every_pair_in_order() {
+        let mut runner = Runner::new(RunScale::Tiny);
+        runner.threads = 2;
+        let benchmarks = [Benchmark::Syrk, Benchmark::Nn];
+        let schedulers = [SchedulerKind::Gto, SchedulerKind::CiaoC];
+        let records = runner.run_matrix(&benchmarks, &schedulers);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].benchmark, "SYRK");
+        assert_eq!(records[0].scheduler, "GTO");
+        assert_eq!(records[3].benchmark, "NN");
+        assert_eq!(records[3].scheduler, "CIAO-C");
+    }
+
+    #[test]
+    fn normalisation_uses_the_baseline() {
+        let records = vec![
+            RunRecord { benchmark: "A".into(), class: "LWS".into(), scheduler: "GTO".into(), ipc: 2.0, l1d_hit_rate: 0.0, apki: 0.0, mean_active_warps: 0.0, interference_events: 0, vta_hits: 0, redirect_utilization: 0.0, cycles: 1, instructions: 1 },
+            RunRecord { benchmark: "A".into(), class: "LWS".into(), scheduler: "X".into(), ipc: 3.0, l1d_hit_rate: 0.0, apki: 0.0, mean_active_warps: 0.0, interference_events: 0, vta_hits: 0, redirect_utilization: 0.0, cycles: 1, instructions: 1 },
+        ];
+        let norm = normalize_to(&records, "GTO");
+        assert!((norm[0].2 - 1.0).abs() < 1e-12);
+        assert!((norm[1].2 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let runner = Runner::new(RunScale::Tiny);
+        let a = runner.record(Benchmark::Nn, SchedulerKind::CiaoC);
+        let b = runner.record(Benchmark::Nn, SchedulerKind::CiaoC);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert!((a.ipc - b.ipc).abs() < 1e-12);
+    }
+}

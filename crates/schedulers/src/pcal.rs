@@ -1,0 +1,243 @@
+//! statPCAL-style priority-based cache allocation with L1D bypass.
+//!
+//! The bypass baseline of §V-A: a fixed set of *token-holding* warps uses the
+//! L1D normally (like static wavefront limiting), while the remaining warps
+//! are allowed to execute but their global accesses *bypass* the L1D and go
+//! straight to L2/DRAM whenever spare memory bandwidth exists. When the
+//! memory system is already saturated, the non-token warps are throttled
+//! instead, because bypassing would only add latency. This recovers TLP
+//! relative to Best-SWL but, as the paper observes, the bypassed requests
+//! still pay the long DRAM latency, which limits its benefit for LWS and SWS
+//! workloads (Fig. 8a) unless DRAM bandwidth is doubled (Fig. 12b).
+
+use gpu_mem::{Cycle, WarpId};
+use gpu_sim::scheduler::{MemRoute, SchedulerCtx, SchedulerMetrics, WarpScheduler};
+use serde::{Deserialize, Serialize};
+
+/// statPCAL tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcalConfig {
+    /// Number of token-holding warps that may use the L1D.
+    pub tokens: usize,
+    /// Non-token warps may run (bypassing the L1D) while DRAM bandwidth
+    /// utilisation stays below this threshold; above it they are throttled.
+    pub bypass_bandwidth_threshold: f64,
+    /// Number of warp slots on the SM.
+    pub num_warps: usize,
+}
+
+impl PcalConfig {
+    /// Default parameters: tokens follow the profiled Best-SWL limit.
+    pub fn with_tokens(tokens: usize) -> Self {
+        PcalConfig { tokens: tokens.max(1), bypass_bandwidth_threshold: 0.7, num_warps: 48 }
+    }
+}
+
+/// The statPCAL scheduler.
+pub struct PcalScheduler {
+    config: PcalConfig,
+    /// Token holders (by warp slot).
+    token: Vec<bool>,
+    finished: Vec<bool>,
+    /// Most recent DRAM bandwidth utilisation seen in `pick`.
+    last_utilization: f64,
+    last_issued: Option<usize>,
+    dirty: bool,
+}
+
+impl PcalScheduler {
+    /// Creates a statPCAL scheduler.
+    pub fn new(config: PcalConfig) -> Self {
+        PcalScheduler {
+            token: vec![false; config.num_warps],
+            finished: vec![false; config.num_warps],
+            last_utilization: 0.0,
+            last_issued: None,
+            dirty: true,
+            config,
+        }
+    }
+
+    /// Whether warp `wid` currently holds a token (uses the L1D).
+    pub fn holds_token(&self, wid: WarpId) -> bool {
+        if self.dirty {
+            (wid as usize) < self.config.tokens
+        } else {
+            self.token.get(wid as usize).copied().unwrap_or(false)
+        }
+    }
+
+    fn recompute(&mut self, ctx: &SchedulerCtx<'_>) {
+        for t in self.token.iter_mut() {
+            *t = false;
+        }
+        let mut candidates: Vec<usize> = ctx
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| !w.is_finished() && !self.finished.get(*i).copied().unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        candidates.sort_by_key(|&i| ctx.warps[i].launch_seq);
+        for &i in candidates.iter().take(self.config.tokens) {
+            if let Some(slot) = self.token.get_mut(ctx.warps[i].id as usize) {
+                *slot = true;
+            }
+        }
+        self.dirty = false;
+    }
+
+    fn bandwidth_available(&self) -> bool {
+        self.last_utilization < self.config.bypass_bandwidth_threshold
+    }
+}
+
+impl WarpScheduler for PcalScheduler {
+    fn name(&self) -> &'static str {
+        "statPCAL"
+    }
+
+    fn pick(&mut self, ctx: &SchedulerCtx<'_>) -> Option<usize> {
+        self.last_utilization = ctx.dram_utilization;
+        if self.dirty {
+            self.recompute(ctx);
+        }
+        if let Some(last) = self.last_issued {
+            if ctx.ready.contains(&last) {
+                return Some(last);
+            }
+        }
+        // Token warps first (oldest), then bypassing warps.
+        let pick = ctx
+            .ready
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                let wid = ctx.warps[i].id as usize;
+                let has_token = self.token.get(wid).copied().unwrap_or(false);
+                (if has_token { 0u8 } else { 1u8 }, ctx.warps[i].launch_seq)
+            })?;
+        self.last_issued = Some(pick);
+        Some(pick)
+    }
+
+    fn on_warp_launched(&mut self, wid: WarpId, _now: Cycle) {
+        // Slot reuse across CTA waves: the new occupant has not finished.
+        if let Some(f) = self.finished.get_mut(wid as usize) {
+            *f = false;
+        }
+        self.dirty = true;
+    }
+
+    fn on_warp_finished(&mut self, wid: WarpId, _now: Cycle) {
+        if let Some(f) = self.finished.get_mut(wid as usize) {
+            *f = true;
+        }
+        self.dirty = true;
+    }
+
+    fn route(&mut self, wid: WarpId) -> MemRoute {
+        if self.holds_token(wid) {
+            MemRoute::L1d
+        } else {
+            MemRoute::Bypass
+        }
+    }
+
+    fn is_throttled(&self, wid: WarpId) -> bool {
+        if self.holds_token(wid) {
+            false
+        } else {
+            // Non-token warps run only while spare bandwidth exists.
+            !self.bandwidth_available()
+        }
+    }
+
+    fn throttles_loads_only(&self) -> bool {
+        // Non-token warps are only barred from issuing memory requests when
+        // the memory system is saturated; their compute still proceeds.
+        true
+    }
+
+    fn metrics(&self) -> SchedulerMetrics {
+        let tokens = if self.dirty {
+            self.config.tokens.min(self.config.num_warps)
+        } else {
+            self.token.iter().filter(|&&t| t).count()
+        };
+        let non_token = self.config.num_warps.saturating_sub(tokens);
+        SchedulerMetrics {
+            vta_hits: 0,
+            throttled_warps: if self.bandwidth_available() { 0 } else { non_token },
+            isolated_warps: 0,
+            bypassed_warps: non_token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::trace::VecProgram;
+    use gpu_sim::warp::Warp;
+
+    fn warps(n: usize) -> Vec<Warp> {
+        (0..n).map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![])))).collect()
+    }
+
+    fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize], util: f64) -> SchedulerCtx<'a> {
+        SchedulerCtx { now: 0, warps, ready, instructions_executed: 0, active_warps: warps.len(), dram_utilization: util }
+    }
+
+    #[test]
+    fn token_warps_use_l1d_others_bypass() {
+        let mut s = PcalScheduler::new(PcalConfig { tokens: 2, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let w = warps(4);
+        s.pick(&ctx(&w, &[0, 1, 2, 3], 0.1));
+        assert_eq!(s.route(0), MemRoute::L1d);
+        assert_eq!(s.route(1), MemRoute::L1d);
+        assert_eq!(s.route(2), MemRoute::Bypass);
+        assert_eq!(s.route(3), MemRoute::Bypass);
+        assert_eq!(s.metrics().bypassed_warps, 2);
+    }
+
+    #[test]
+    fn non_token_warps_run_only_with_spare_bandwidth() {
+        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let w = warps(4);
+        s.pick(&ctx(&w, &[0, 1, 2, 3], 0.2));
+        assert!(!s.is_throttled(3), "spare bandwidth: bypass warps may run");
+        s.pick(&ctx(&w, &[0, 1, 2, 3], 0.95));
+        assert!(s.is_throttled(3), "saturated bandwidth: bypass warps throttle");
+        assert!(!s.is_throttled(0), "token warps never throttle");
+    }
+
+    #[test]
+    fn token_warps_preferred_in_pick() {
+        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let w = warps(4);
+        assert_eq!(s.pick(&ctx(&w, &[2, 0, 3], 0.0)), Some(0));
+        // Greedy on the chosen warp while it stays ready.
+        assert_eq!(s.pick(&ctx(&w, &[0, 2], 0.0)), Some(0));
+    }
+
+    #[test]
+    fn tokens_move_to_older_waiting_warps_when_holder_finishes() {
+        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let mut w = warps(4);
+        s.pick(&ctx(&w, &[0, 1, 2, 3], 0.0));
+        assert!(s.holds_token(0));
+        assert!(!s.holds_token(1));
+        w[0].finish();
+        s.on_warp_finished(0, 0);
+        s.pick(&ctx(&w, &[1, 2, 3], 0.0));
+        assert!(s.holds_token(1));
+        assert_eq!(s.route(1), MemRoute::L1d);
+    }
+
+    #[test]
+    fn with_tokens_constructor_clamps() {
+        assert_eq!(PcalConfig::with_tokens(0).tokens, 1);
+        assert_eq!(PcalConfig::with_tokens(6).tokens, 6);
+    }
+}

@@ -1,0 +1,262 @@
+//! Victim Tag Array (VTA).
+//!
+//! §II-C of the paper: every cache line's tag carries the warp ID (WID) of
+//! the warp that brought the data in. When a line owned by warp *v* is
+//! evicted by warp *e*, the evicted block's tag together with *e* is stored
+//! in the VTA entry set belonging to *v* (the entry is indexed by the WID
+//! stored in the evicted tag). When a later memory request of warp *v* misses
+//! in the L1D but finds its tag in *v*'s VTA entries, that is a **VTA hit**:
+//! the miss would have been a hit had the interference not occurred, i.e. the
+//! warp had *potential of data locality*.
+//!
+//! CCWS uses VTA hits to compute lost-locality scores; CIAO reuses the same
+//! structure (with half the entries per warp, §V-F) to identify which warp
+//! caused the lost locality — the `last_evictor` field of [`VtaHit`] — and to
+//! drive its interference list.
+
+use gpu_mem::{Addr, WarpId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Geometry of the victim tag array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VtaConfig {
+    /// Number of victim tags retained per warp (FIFO replacement; Table I
+    /// lists 8 tags/set × 48 sets for CCWS, and §V-F states CIAO uses half
+    /// the per-warp entries CCWS uses).
+    pub entries_per_warp: usize,
+    /// Number of warps tracked (one entry set each).
+    pub num_warps: usize,
+}
+
+impl VtaConfig {
+    /// The CCWS configuration of Table I: 16 victim tags per warp, 48 warps.
+    pub fn ccws() -> Self {
+        VtaConfig { entries_per_warp: 16, num_warps: 48 }
+    }
+
+    /// The CIAO configuration of §V-F: 8 victim tags per warp, 48 warps.
+    pub fn ciao() -> Self {
+        VtaConfig { entries_per_warp: 8, num_warps: 48 }
+    }
+}
+
+/// One victim record: which block was evicted and who evicted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct VictimTag {
+    block_addr: Addr,
+    evictor: WarpId,
+}
+
+/// Result of a VTA lookup that hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VtaHit {
+    /// The warp whose lost locality was detected.
+    pub victim: WarpId,
+    /// The warp that evicted the data (the *interfering* warp of §III-A).
+    pub last_evictor: WarpId,
+    /// The block whose reuse was lost.
+    pub block_addr: Addr,
+}
+
+/// Per-warp victim tag arrays with FIFO replacement.
+#[derive(Debug, Clone)]
+pub struct Vta {
+    config: VtaConfig,
+    entries: Vec<VecDeque<VictimTag>>,
+    /// Total VTA hits observed (all warps).
+    total_hits: u64,
+    /// Per-warp VTA-hit counters (the `VTACount0-k` registers of Fig. 6).
+    hits_per_warp: Vec<u64>,
+    /// Total victim insertions.
+    insertions: u64,
+}
+
+impl Vta {
+    /// Builds an empty VTA.
+    pub fn new(config: VtaConfig) -> Self {
+        Vta {
+            config,
+            entries: vec![VecDeque::with_capacity(config.entries_per_warp); config.num_warps],
+            total_hits: 0,
+            hits_per_warp: vec![0; config.num_warps],
+            insertions: 0,
+        }
+    }
+
+    /// The configuration of this VTA.
+    pub fn config(&self) -> &VtaConfig {
+        &self.config
+    }
+
+    /// Records that `evictor` evicted `block_addr`, which was owned by
+    /// `victim` (called on every L1D/redirect-cache eviction event).
+    pub fn record_eviction(&mut self, victim: WarpId, block_addr: Addr, evictor: WarpId) {
+        let Some(set) = self.entries.get_mut(victim as usize) else {
+            return;
+        };
+        // Refresh an existing tag rather than duplicating it.
+        if let Some(pos) = set.iter().position(|t| t.block_addr == block_addr) {
+            set.remove(pos);
+        } else if set.len() >= self.config.entries_per_warp {
+            set.pop_front();
+        }
+        set.push_back(VictimTag { block_addr, evictor });
+        self.insertions += 1;
+    }
+
+    /// Checks a miss of warp `wid` to `block_addr` against the warp's victim
+    /// tags. On a hit, the tag is consumed and the hit is counted.
+    pub fn check_miss(&mut self, wid: WarpId, block_addr: Addr) -> Option<VtaHit> {
+        let set = self.entries.get_mut(wid as usize)?;
+        let pos = set.iter().position(|t| t.block_addr == block_addr)?;
+        let tag = set.remove(pos).expect("position valid");
+        self.total_hits += 1;
+        self.hits_per_warp[wid as usize] += 1;
+        Some(VtaHit { victim: wid, last_evictor: tag.evictor, block_addr })
+    }
+
+    /// Total VTA hits across all warps.
+    pub fn total_hits(&self) -> u64 {
+        self.total_hits
+    }
+
+    /// VTA hits of one warp (the per-warp counter used in Eq. 1).
+    pub fn hits_of(&self, wid: WarpId) -> u64 {
+        self.hits_per_warp.get(wid as usize).copied().unwrap_or(0)
+    }
+
+    /// Total victim insertions (for occupancy statistics).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Number of victim tags currently stored for `wid`.
+    pub fn occupancy_of(&self, wid: WarpId) -> usize {
+        self.entries.get(wid as usize).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Clears all victim tags and counters (between kernels).
+    pub fn reset(&mut self) {
+        for set in &mut self.entries {
+            set.clear();
+        }
+        self.hits_per_warp.iter_mut().for_each(|h| *h = 0);
+        self.total_hits = 0;
+        self.insertions = 0;
+    }
+
+    /// Estimated storage cost in bits (used by the overhead analysis, §V-F):
+    /// each entry stores a 25-bit tag plus a 6-bit WID.
+    pub fn storage_bits(&self) -> u64 {
+        (self.config.entries_per_warp * self.config.num_warps) as u64 * (25 + 6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eviction_then_rereference_is_a_hit() {
+        let mut vta = Vta::new(VtaConfig::ciao());
+        vta.record_eviction(3, 0x1000, 7);
+        let hit = vta.check_miss(3, 0x1000).expect("hit");
+        assert_eq!(hit.victim, 3);
+        assert_eq!(hit.last_evictor, 7);
+        assert_eq!(vta.total_hits(), 1);
+        assert_eq!(vta.hits_of(3), 1);
+        // Consumed: checking again misses.
+        assert!(vta.check_miss(3, 0x1000).is_none());
+    }
+
+    #[test]
+    fn hits_are_per_victim_warp() {
+        let mut vta = Vta::new(VtaConfig::ciao());
+        vta.record_eviction(3, 0x1000, 7);
+        // Another warp missing on the same block is not a VTA hit for it.
+        assert!(vta.check_miss(5, 0x1000).is_none());
+        assert_eq!(vta.hits_of(5), 0);
+    }
+
+    #[test]
+    fn fifo_capacity_enforced() {
+        let mut vta = Vta::new(VtaConfig { entries_per_warp: 2, num_warps: 4 });
+        vta.record_eviction(0, 0x000, 1);
+        vta.record_eviction(0, 0x080, 1);
+        vta.record_eviction(0, 0x100, 2); // evicts the 0x000 record
+        assert_eq!(vta.occupancy_of(0), 2);
+        assert!(vta.check_miss(0, 0x000).is_none());
+        assert!(vta.check_miss(0, 0x080).is_some());
+        assert!(vta.check_miss(0, 0x100).is_some());
+    }
+
+    #[test]
+    fn duplicate_eviction_refreshes_instead_of_duplicating() {
+        let mut vta = Vta::new(VtaConfig { entries_per_warp: 2, num_warps: 2 });
+        vta.record_eviction(0, 0x100, 1);
+        vta.record_eviction(0, 0x100, 1);
+        assert_eq!(vta.occupancy_of(0), 1);
+    }
+
+    #[test]
+    fn last_evictor_tracks_most_recent() {
+        let mut vta = Vta::new(VtaConfig::ciao());
+        vta.record_eviction(0, 0x200, 5);
+        vta.record_eviction(0, 0x200, 9);
+        assert_eq!(vta.check_miss(0, 0x200).unwrap().last_evictor, 9);
+    }
+
+    #[test]
+    fn out_of_range_warps_are_ignored() {
+        let mut vta = Vta::new(VtaConfig { entries_per_warp: 2, num_warps: 2 });
+        vta.record_eviction(10, 0x100, 1);
+        assert!(vta.check_miss(10, 0x100).is_none());
+        assert_eq!(vta.hits_of(10), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut vta = Vta::new(VtaConfig::ciao());
+        vta.record_eviction(0, 0x80, 1);
+        vta.check_miss(0, 0x80);
+        vta.reset();
+        assert_eq!(vta.total_hits(), 0);
+        assert_eq!(vta.insertions(), 0);
+        assert_eq!(vta.occupancy_of(0), 0);
+    }
+
+    #[test]
+    fn storage_cost_matches_overhead_analysis() {
+        // §V-F: CIAO keeps 8 entries per warp for 48 warps.
+        let vta = Vta::new(VtaConfig::ciao());
+        assert_eq!(vta.storage_bits(), 8 * 48 * 31);
+        // CCWS keeps twice as many.
+        assert_eq!(Vta::new(VtaConfig::ccws()).storage_bits(), 2 * vta.storage_bits());
+    }
+
+    proptest! {
+        /// Occupancy never exceeds the configured capacity and total hits
+        /// equal the sum of per-warp hits.
+        #[test]
+        fn occupancy_and_hit_accounting(
+            events in proptest::collection::vec((0u32..8, 0u64..64, 0u32..8, any::<bool>()), 1..300)
+        ) {
+            let mut vta = Vta::new(VtaConfig { entries_per_warp: 4, num_warps: 8 });
+            for (victim, block, evictor, probe) in events {
+                let addr = block * 128;
+                if probe {
+                    let _ = vta.check_miss(victim, addr);
+                } else {
+                    vta.record_eviction(victim, addr, evictor);
+                }
+                for w in 0..8u32 {
+                    prop_assert!(vta.occupancy_of(w) <= 4);
+                }
+            }
+            let sum: u64 = (0..8u32).map(|w| vta.hits_of(w)).sum();
+            prop_assert_eq!(sum, vta.total_hits());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The [`Benchmark`] enum: one variant per Table II row, with constructors
+//! for the corresponding synthetic kernel and accessors for the paper's
+//! reported characteristics.
+
+use crate::characteristics::{lookup, BenchmarkClass, BenchmarkInfo};
+use crate::kernel::WorkloadKernel;
+use crate::suites::{mars, polybench, rodinia};
+use serde::{Deserialize, Serialize};
+
+/// Controls how large the synthetic runs are, trading fidelity for speed.
+///
+/// The default corresponds to the runs used in EXPERIMENTS.md; `quick()` is
+/// used by unit/integration tests and CI-style smoke benches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Dynamic operations each warp executes (per phase the budget is split).
+    pub ops_per_warp: usize,
+    /// Multiplier applied to every region size (1.0 = the sizes the suite
+    /// modules were calibrated with).
+    pub footprint_scale: f64,
+}
+
+impl ScaleConfig {
+    /// The full-size configuration used for the reported experiments.
+    pub fn full() -> Self {
+        ScaleConfig { ops_per_warp: 3000, footprint_scale: 1.0 }
+    }
+
+    /// A reduced configuration for tests and smoke runs (~4x faster).
+    pub fn quick() -> Self {
+        ScaleConfig { ops_per_warp: 700, footprint_scale: 1.0 }
+    }
+
+    /// A tiny configuration for property tests and doc examples.
+    pub fn tiny() -> Self {
+        ScaleConfig { ops_per_warp: 120, footprint_scale: 0.5 }
+    }
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The 21 benchmarks of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Atax,
+    Bicg,
+    Mvt,
+    Kmn,
+    Kmeans,
+    Gesummv,
+    Syr2k,
+    Syrk,
+    Ii,
+    Pvc,
+    Ss,
+    Sm,
+    Wc,
+    Gaussian,
+    Conv2d,
+    Corr,
+    Backprop,
+    Hotspot,
+    Lud,
+    Nn,
+    Nw,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table II order.
+    pub fn all() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![
+            Atax, Bicg, Mvt, Kmn, Kmeans, Gesummv, Syr2k, Syrk, Ii, Pvc, Ss, Wc, Sm, Gaussian,
+            Conv2d, Corr, Backprop, Hotspot, Lud, Nn, Nw,
+        ]
+    }
+
+    /// The memory-intensive benchmarks used by the sensitivity study (Fig. 11)
+    /// and the configuration study (Fig. 12): the LWS and SWS classes.
+    pub fn memory_intensive() -> Vec<Benchmark> {
+        Benchmark::all()
+            .into_iter()
+            .filter(|b| b.class() != BenchmarkClass::Ci)
+            .collect()
+    }
+
+    /// The paper's name for the benchmark (Table II spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Atax => "ATAX",
+            Benchmark::Bicg => "BICG",
+            Benchmark::Mvt => "MVT",
+            Benchmark::Kmn => "KMN",
+            Benchmark::Kmeans => "Kmeans",
+            Benchmark::Gesummv => "GESUMMV",
+            Benchmark::Syr2k => "SYR2K",
+            Benchmark::Syrk => "SYRK",
+            Benchmark::Ii => "II",
+            Benchmark::Pvc => "PVC",
+            Benchmark::Ss => "SS",
+            Benchmark::Sm => "SM",
+            Benchmark::Wc => "WC",
+            Benchmark::Gaussian => "Gaussian",
+            Benchmark::Conv2d => "2DCONV",
+            Benchmark::Corr => "CORR",
+            Benchmark::Backprop => "Backprop",
+            Benchmark::Hotspot => "Hotspot",
+            Benchmark::Lud => "Lud",
+            Benchmark::Nn => "NN",
+            Benchmark::Nw => "NW",
+        }
+    }
+
+    /// Parses a paper-style benchmark name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The Table II row for this benchmark.
+    pub fn info(self) -> &'static BenchmarkInfo {
+        lookup(self.name()).expect("every benchmark has a Table II row")
+    }
+
+    /// The working-set class (Table II).
+    pub fn class(self) -> BenchmarkClass {
+        self.info().class
+    }
+
+    /// The best static wavefront-limiting value `Nwrp` (Table II), used to
+    /// configure Best-SWL.
+    pub fn best_swl_warps(self) -> usize {
+        self.info().nwrp
+    }
+
+    /// Builds the synthetic kernel reproducing this benchmark's behaviour.
+    pub fn kernel(self, scale: &ScaleConfig) -> WorkloadKernel {
+        match self {
+            Benchmark::Atax => polybench::atax(scale),
+            Benchmark::Bicg => polybench::bicg(scale),
+            Benchmark::Mvt => polybench::mvt(scale),
+            Benchmark::Gesummv => polybench::gesummv(scale),
+            Benchmark::Syr2k => polybench::syr2k(scale),
+            Benchmark::Syrk => polybench::syrk(scale),
+            Benchmark::Conv2d => polybench::conv2d(scale),
+            Benchmark::Corr => polybench::corr(scale),
+            Benchmark::Kmn => mars::kmn(scale),
+            Benchmark::Ii => mars::ii(scale),
+            Benchmark::Pvc => mars::pvc(scale),
+            Benchmark::Ss => mars::ss(scale),
+            Benchmark::Sm => mars::sm(scale),
+            Benchmark::Wc => mars::wc(scale),
+            Benchmark::Kmeans => rodinia::kmeans(scale),
+            Benchmark::Gaussian => rodinia::gaussian(scale),
+            Benchmark::Backprop => rodinia::backprop(scale),
+            Benchmark::Hotspot => rodinia::hotspot(scale),
+            Benchmark::Lud => rodinia::lud(scale),
+            Benchmark::Nn => rodinia::nn(scale),
+            Benchmark::Nw => rodinia::nw(scale),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::Kernel;
+
+    #[test]
+    fn twenty_one_variants() {
+        assert_eq!(Benchmark::all().len(), 21);
+        let unique: std::collections::HashSet<_> = Benchmark::all().into_iter().collect();
+        assert_eq!(unique.len(), 21);
+    }
+
+    #[test]
+    fn every_benchmark_has_table2_info_and_builds_a_kernel() {
+        let scale = ScaleConfig::tiny();
+        for b in Benchmark::all() {
+            let info = b.info();
+            assert_eq!(info.name, b.name());
+            let kernel = b.kernel(&scale);
+            assert_eq!(kernel.info().name, b.name());
+            assert!(kernel.info().total_warps() > 0);
+            assert!(b.best_swl_warps() >= 1);
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(Benchmark::from_name("does-not-exist"), None);
+    }
+
+    #[test]
+    fn memory_intensive_excludes_ci() {
+        let mi = Benchmark::memory_intensive();
+        assert_eq!(mi.len(), 13);
+        assert!(mi.iter().all(|b| b.class() != BenchmarkClass::Ci));
+    }
+
+    #[test]
+    fn scale_configs_ordered_by_size() {
+        assert!(ScaleConfig::full().ops_per_warp > ScaleConfig::quick().ops_per_warp);
+        assert!(ScaleConfig::quick().ops_per_warp > ScaleConfig::tiny().ops_per_warp);
+        assert_eq!(ScaleConfig::default(), ScaleConfig::full());
+    }
+
+    #[test]
+    fn class_partition_matches_table2() {
+        use BenchmarkClass::*;
+        let count = |c: BenchmarkClass| Benchmark::all().iter().filter(|b| b.class() == c).count();
+        assert_eq!(count(Lws), 5);
+        assert_eq!(count(Sws), 8);
+        assert_eq!(count(Ci), 8);
+    }
+}

@@ -1,0 +1,147 @@
+//! Table II of the paper: benchmark characteristics.
+//!
+//! `APKI` is L1D accesses per kilo-instruction, `Nwrp` the number of active
+//! warps giving the best performance under static wavefront limiting
+//! (Best-SWL), and `Fsmem` the fraction of shared memory used by the
+//! application on the baseline GPU. The class column groups benchmarks into
+//! large-working-set (LWS), small-working-set (SWS) and compute-intensive
+//! (CI) applications, which is the axis along which the paper's results are
+//! presented (Fig. 8).
+
+use serde::{Deserialize, Serialize};
+
+/// Working-set class of a benchmark (Table II, "Class").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkClass {
+    /// Large working set: thrashes the L1D and the shared-memory cache alike.
+    Lws,
+    /// Small working set: fits in L1D + repurposed shared memory.
+    Sws,
+    /// Compute-intensive: few memory accesses per instruction.
+    Ci,
+}
+
+impl BenchmarkClass {
+    /// Short label used in tables and figures ("LWS", "SWS", "CI").
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchmarkClass::Lws => "LWS",
+            BenchmarkClass::Sws => "SWS",
+            BenchmarkClass::Ci => "CI",
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkInfo {
+    /// Benchmark name as used in the paper.
+    pub name: &'static str,
+    /// Benchmark suite the application comes from.
+    pub suite: &'static str,
+    /// L1D accesses per kilo-instruction reported in Table II.
+    pub apki: f64,
+    /// Input size reported in Table II.
+    pub input: &'static str,
+    /// Number of active warps achieving the highest performance for Best-SWL.
+    pub nwrp: usize,
+    /// Fraction of shared memory used by the application (0.0–1.0).
+    pub fsmem: f64,
+    /// Whether the application uses CTA-wide barriers.
+    pub barriers: bool,
+    /// Working-set class.
+    pub class: BenchmarkClass,
+}
+
+/// The 21 rows of Table II.
+pub const TABLE2: &[BenchmarkInfo] = &[
+    BenchmarkInfo { name: "ATAX", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
+    BenchmarkInfo { name: "BICG", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
+    BenchmarkInfo { name: "MVT", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
+    BenchmarkInfo { name: "KMN", suite: "Mars", apki: 46.0, input: "168KB", nwrp: 4, fsmem: 0.01, barriers: true, class: BenchmarkClass::Lws },
+    BenchmarkInfo { name: "Kmeans", suite: "Rodinia", apki: 85.0, input: "101MB", nwrp: 2, fsmem: 0.00, barriers: true, class: BenchmarkClass::Lws },
+    BenchmarkInfo { name: "GESUMMV", suite: "PolyBench", apki: 136.0, input: "128MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "SYR2K", suite: "PolyBench", apki: 108.0, input: "48MB", nwrp: 6, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "SYRK", suite: "PolyBench", apki: 94.0, input: "512KB", nwrp: 6, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "II", suite: "Mars", apki: 75.0, input: "28MB", nwrp: 4, fsmem: 0.00, barriers: true, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "PVC", suite: "Mars", apki: 64.0, input: "13MB", nwrp: 48, fsmem: 0.33, barriers: true, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "SS", suite: "Mars", apki: 34.0, input: "23MB", nwrp: 48, fsmem: 0.50, barriers: true, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "SM", suite: "Mars", apki: 140.0, input: "1MB", nwrp: 48, fsmem: 0.01, barriers: true, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "WC", suite: "Mars", apki: 19.0, input: "88KB", nwrp: 48, fsmem: 0.01, barriers: true, class: BenchmarkClass::Sws },
+    BenchmarkInfo { name: "Gaussian", suite: "Rodinia", apki: 18.0, input: "339KB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "2DCONV", suite: "PolyBench", apki: 9.0, input: "64MB", nwrp: 36, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "CORR", suite: "PolyBench", apki: 10.0, input: "2MB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "Backprop", suite: "Rodinia", apki: 3.0, input: "5MB", nwrp: 36, fsmem: 0.13, barriers: true, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "Hotspot", suite: "Rodinia", apki: 1.0, input: "2MB", nwrp: 48, fsmem: 0.19, barriers: true, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "Lud", suite: "Rodinia", apki: 2.0, input: "25KB", nwrp: 38, fsmem: 0.50, barriers: true, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "NN", suite: "Rodinia", apki: 8.0, input: "334KB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
+    BenchmarkInfo { name: "NW", suite: "Rodinia", apki: 5.0, input: "32MB", nwrp: 48, fsmem: 0.35, barriers: true, class: BenchmarkClass::Ci },
+];
+
+/// Looks a benchmark up by (case-insensitive) name.
+pub fn lookup(name: &str) -> Option<&'static BenchmarkInfo> {
+    TABLE2.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// All benchmarks of a given class, in Table II order.
+pub fn by_class(class: BenchmarkClass) -> Vec<&'static BenchmarkInfo> {
+    TABLE2.iter().filter(|b| b.class == class).collect()
+}
+
+/// The memory-intensive benchmarks used in the sensitivity study of Fig. 11
+/// (ATAX, GESUMMV, SYR2K, SYRK, BICG, MVT, Kmeans).
+pub fn sensitivity_set() -> Vec<&'static BenchmarkInfo> {
+    ["ATAX", "GESUMMV", "SYR2K", "SYRK", "BICG", "MVT", "Kmeans"]
+        .iter()
+        .map(|n| lookup(n).expect("sensitivity benchmark present"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_benchmarks() {
+        assert_eq!(TABLE2.len(), 21);
+    }
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(by_class(BenchmarkClass::Lws).len(), 5);
+        assert_eq!(by_class(BenchmarkClass::Sws).len(), 8);
+        assert_eq!(by_class(BenchmarkClass::Ci).len(), 8);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(lookup("atax").unwrap().apki, 64.0);
+        assert_eq!(lookup("BACKPROP").unwrap().fsmem, 0.13);
+        assert!(lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn sensitivity_set_has_seven_entries() {
+        let s = sensitivity_set();
+        assert_eq!(s.len(), 7);
+        assert!(s.iter().all(|b| b.apki >= 46.0), "sensitivity set is memory-intensive");
+    }
+
+    #[test]
+    fn fsmem_within_bounds_and_ci_benchmarks_have_low_apki() {
+        for b in TABLE2 {
+            assert!((0.0..=1.0).contains(&b.fsmem), "{}", b.name);
+            assert!(b.nwrp >= 1 && b.nwrp <= 48, "{}", b.name);
+            if b.class == BenchmarkClass::Ci {
+                assert!(b.apki <= 18.0, "{} is CI but has APKI {}", b.name, b.apki);
+            }
+        }
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(BenchmarkClass::Lws.label(), "LWS");
+        assert_eq!(BenchmarkClass::Sws.label(), "SWS");
+        assert_eq!(BenchmarkClass::Ci.label(), "CI");
+    }
+}

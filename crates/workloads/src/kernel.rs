@@ -1,0 +1,176 @@
+//! Workload kernel: ties a benchmark's launch geometry to its per-warp
+//! pattern specifications.
+//!
+//! A warp's behaviour is described as one or more *phases*, each a
+//! [`PatternSpec`]; phases execute back to back. Multi-phase warps reproduce
+//! applications such as ATAX whose kernels switch from a memory-intensive
+//! phase to a compute-intensive phase mid-execution (Fig. 9 of the paper).
+
+use crate::program::PatternProgram;
+use crate::spec::PatternSpec;
+use gpu_mem::CtaId;
+use gpu_sim::kernel::{Kernel, KernelInfo};
+use gpu_sim::trace::{WarpOp, WarpProgram};
+use std::sync::Arc;
+
+/// A `WarpProgram` that runs a sequence of [`PatternProgram`] phases.
+pub struct PhasedProgram {
+    phases: Vec<PatternProgram>,
+    current: usize,
+}
+
+impl PhasedProgram {
+    /// Builds a program from phase specs (must be non-empty).
+    pub fn new(specs: Vec<PatternSpec>) -> Self {
+        assert!(!specs.is_empty(), "a warp needs at least one phase");
+        PhasedProgram { phases: specs.into_iter().map(PatternProgram::new).collect(), current: 0 }
+    }
+}
+
+impl WarpProgram for PhasedProgram {
+    fn next_op(&mut self) -> Option<WarpOp> {
+        while self.current < self.phases.len() {
+            if let Some(op) = self.phases[self.current].next_op() {
+                return Some(op);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.phases[self.current.min(self.phases.len() - 1)..].iter().filter_map(|p| p.remaining_hint()).sum())
+    }
+}
+
+/// A kernel whose warps execute spec-driven synthetic programs.
+///
+/// The spec factory receives `(cta, warp_in_cta)` and must be deterministic;
+/// it returns the warp's phases in execution order.
+pub struct WorkloadKernel {
+    info: KernelInfo,
+    spec_factory: Arc<dyn Fn(CtaId, usize) -> Vec<PatternSpec> + Send + Sync>,
+}
+
+impl WorkloadKernel {
+    /// Creates a workload kernel from launch geometry and a spec factory.
+    pub fn new<F>(info: KernelInfo, spec_factory: F) -> Self
+    where
+        F: Fn(CtaId, usize) -> Vec<PatternSpec> + Send + Sync + 'static,
+    {
+        WorkloadKernel { info, spec_factory: Arc::new(spec_factory) }
+    }
+
+    /// Convenience constructor for single-phase workloads.
+    pub fn single_phase<F>(info: KernelInfo, spec_factory: F) -> Self
+    where
+        F: Fn(CtaId, usize) -> PatternSpec + Send + Sync + 'static,
+    {
+        WorkloadKernel { info, spec_factory: Arc::new(move |c, w| vec![spec_factory(c, w)]) }
+    }
+
+    /// Builds the phase specs of a particular warp (exposed for tests and
+    /// workload analysis).
+    pub fn specs_of(&self, cta: CtaId, warp_in_cta: usize) -> Vec<PatternSpec> {
+        (self.spec_factory)(cta, warp_in_cta)
+    }
+}
+
+impl Kernel for WorkloadKernel {
+    fn info(&self) -> KernelInfo {
+        self.info.clone()
+    }
+
+    fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram> {
+        Box::new(PhasedProgram::new((self.spec_factory)(cta, warp_in_cta)))
+    }
+}
+
+/// Derives a stable per-warp seed from a benchmark seed, CTA and warp index.
+pub fn warp_seed(benchmark_seed: u64, cta: CtaId, warp_in_cta: usize) -> u64 {
+    // SplitMix64-style mixing keeps neighbouring warps decorrelated.
+    let mut z = benchmark_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + cta as u64))
+        .wrapping_add(0x94d0_49bb_1331_11ebu64.wrapping_mul(1 + warp_in_cta as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RegionSpec;
+
+    fn info() -> KernelInfo {
+        KernelInfo { name: "wk".into(), num_ctas: 2, warps_per_cta: 3, shared_mem_per_cta: 512 }
+    }
+
+    fn factory(cta: CtaId, w: usize) -> PatternSpec {
+        let mut s = PatternSpec::compute_only(100, warp_seed(7, cta, w));
+        s.mem_ratio = 0.4;
+        s.regions.push(RegionSpec::private_stream((cta as u64 * 8 + w as u64) << 16, 8 * 1024));
+        s
+    }
+
+    #[test]
+    fn kernel_exposes_info_and_programs() {
+        let k = WorkloadKernel::single_phase(info(), factory);
+        assert_eq!(k.info().total_warps(), 6);
+        let mut p = k.warp_program(0, 0);
+        assert!(p.next_op().is_some());
+    }
+
+    #[test]
+    fn specs_differ_across_warps_but_are_stable() {
+        let k = WorkloadKernel::single_phase(info(), factory);
+        assert_ne!(k.specs_of(0, 0)[0].seed, k.specs_of(0, 1)[0].seed);
+        assert_ne!(k.specs_of(0, 0)[0].seed, k.specs_of(1, 0)[0].seed);
+        assert_eq!(k.specs_of(1, 2), k.specs_of(1, 2));
+    }
+
+    #[test]
+    fn phased_program_runs_phases_in_order() {
+        let compute = PatternSpec::compute_only(5, 1);
+        let mut mem = PatternSpec::compute_only(5, 2);
+        mem.mem_ratio = 1.0;
+        mem.regions.push(RegionSpec::private_stream(0, 4096));
+        let mut p = PhasedProgram::new(vec![compute, mem]);
+        assert_eq!(p.remaining_hint(), Some(10));
+        let mut ops = Vec::new();
+        while let Some(op) = p.next_op() {
+            ops.push(op);
+        }
+        assert_eq!(ops.len(), 10);
+        assert!(ops[..5].iter().all(|o| matches!(o, WarpOp::Compute { .. })));
+        assert!(ops[5..].iter().all(|o| o.is_global_mem()));
+    }
+
+    #[test]
+    fn multi_phase_factory_supported() {
+        let k = WorkloadKernel::new(info(), |c, w| {
+            vec![PatternSpec::compute_only(3, warp_seed(1, c, w)), PatternSpec::compute_only(4, warp_seed(2, c, w))]
+        });
+        assert_eq!(k.specs_of(0, 0).len(), 2);
+        let mut p = k.warp_program(0, 0);
+        let mut n = 0;
+        while p.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn warp_seed_mixing_is_stable_and_spread() {
+        assert_eq!(warp_seed(1, 2, 3), warp_seed(1, 2, 3));
+        let seeds: std::collections::HashSet<u64> =
+            (0..16u32).flat_map(|c| (0..8usize).map(move |w| warp_seed(99, c, w))).collect();
+        assert_eq!(seeds.len(), 16 * 8, "seeds must be unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedProgram::new(vec![]);
+    }
+}

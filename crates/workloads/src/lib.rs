@@ -1,0 +1,46 @@
+//! # ciao-workloads — synthetic benchmark generators
+//!
+//! The CIAO paper evaluates 21 benchmarks from PolyBench, Mars and Rodinia
+//! (Table II). Their CUDA binaries cannot be executed by a standalone Rust
+//! simulator, so this crate provides *synthetic trace generators* that
+//! reproduce the properties those benchmarks exercise in the paper's
+//! evaluation:
+//!
+//! * memory intensity (the APKI column of Table II),
+//! * working-set class — large working set (LWS), small working set (SWS) or
+//!   compute-intensive (CI),
+//! * inter-warp data sharing and locality potential (which drives the cache
+//!   interference CIAO targets),
+//! * programmer shared-memory usage (the `Fsmem` column),
+//! * barrier usage and the best static warp-limiting value `Nwrp`.
+//!
+//! Each benchmark is described by a [`spec::PatternSpec`] built by one of the
+//! suite modules ([`suites::polybench`], [`suites::mars`],
+//! [`suites::rodinia`]) and executed by the generic [`program::PatternProgram`]
+//! generator, which produces a deterministic per-warp stream of
+//! `gpu_sim::WarpOp`s.
+//!
+//! The [`Benchmark`] enum is the public entry point:
+//!
+//! ```
+//! use ciao_workloads::{Benchmark, ScaleConfig};
+//! let kernel = Benchmark::Atax.kernel(&ScaleConfig::quick());
+//! assert!(kernel.info().total_warps() > 0);
+//! # use gpu_sim::Kernel;
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod benchmarks;
+pub mod characteristics;
+pub mod kernel;
+pub mod program;
+pub mod spec;
+pub mod suites;
+
+pub use benchmarks::{Benchmark, ScaleConfig};
+pub use characteristics::{BenchmarkClass, BenchmarkInfo, TABLE2};
+pub use kernel::WorkloadKernel;
+pub use program::PatternProgram;
+pub use spec::{Divergence, PatternSpec, RegionAccess, RegionSpec};

@@ -1,0 +1,286 @@
+//! Generic spec-driven warp program generator.
+//!
+//! [`PatternProgram`] expands a [`PatternSpec`] into a deterministic stream
+//! of `WarpOp`s on the fly (no trace materialisation), using a per-warp
+//! `StdRng` seeded from the spec so every re-simulation of the same benchmark
+//! replays the same trace regardless of scheduler.
+
+use crate::spec::{Divergence, PatternSpec, RegionAccess, RegionSpec};
+use gpu_mem::Addr;
+use gpu_sim::trace::{MemPattern, MemSpace, WarpOp, WarpProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-region cursor state.
+#[derive(Debug, Clone, Copy)]
+struct RegionCursor {
+    offset: u64,
+}
+
+/// A `WarpProgram` generated from a [`PatternSpec`].
+pub struct PatternProgram {
+    spec: PatternSpec,
+    rng: StdRng,
+    cursors: Vec<RegionCursor>,
+    weight_total: f64,
+    emitted: usize,
+    /// Scratchpad size used to wrap shared-memory lane addresses.
+    shared_mem_bytes: u32,
+}
+
+impl PatternProgram {
+    /// Builds a program from `spec`. Panics (in debug builds) if the spec is
+    /// malformed; see [`PatternSpec::validate`].
+    pub fn new(spec: PatternSpec) -> Self {
+        debug_assert!(spec.validate().is_empty(), "invalid spec: {:?}", spec.validate());
+        let rng = StdRng::seed_from_u64(spec.seed);
+        let cursors = spec.regions.iter().map(|_| RegionCursor { offset: 0 }).collect();
+        let weight_total = spec.regions.iter().map(|r| r.weight).sum::<f64>().max(f64::MIN_POSITIVE);
+        PatternProgram { spec, rng, cursors, weight_total, emitted: 0, shared_mem_bytes: 48 * 1024 }
+    }
+
+    /// The spec driving this program.
+    pub fn spec(&self) -> &PatternSpec {
+        &self.spec
+    }
+
+    fn pick_region(&mut self) -> usize {
+        let mut x = self.rng.gen::<f64>() * self.weight_total;
+        for (i, r) in self.spec.regions.iter().enumerate() {
+            if x < r.weight {
+                return i;
+            }
+            x -= r.weight;
+        }
+        self.spec.regions.len() - 1
+    }
+
+    fn advance_cursor(rng: &mut StdRng, cursor: &mut RegionCursor, region: &RegionSpec) -> u64 {
+        match region.access {
+            RegionAccess::Stream { advance } | RegionAccess::Reuse { advance } => {
+                let off = cursor.offset;
+                cursor.offset = (cursor.offset + advance) % region.size;
+                off
+            }
+            RegionAccess::Random => {
+                let blocks = (region.size / 128).max(1);
+                (rng.gen_range(0..blocks)) * 128
+            }
+        }
+    }
+
+    fn mem_pattern(&mut self, region_idx: usize) -> MemPattern {
+        let region = self.spec.regions[region_idx];
+        let offset = Self::advance_cursor(&mut self.rng, &mut self.cursors[region_idx], &region);
+        let base: Addr = region.base + offset;
+        match region.divergence {
+            Divergence::Coalesced => MemPattern::Strided { base, stride: 4, lanes: 32 },
+            Divergence::Strided { lane_stride } => {
+                MemPattern::Strided { base, stride: lane_stride as i64, lanes: 32 }
+            }
+            Divergence::Scatter { lanes } => {
+                let blocks = (region.size / 128).max(1);
+                let addrs = (0..lanes)
+                    .map(|_| region.base + self.rng.gen_range(0..blocks) * 128)
+                    .collect();
+                MemPattern::Scatter(addrs)
+            }
+        }
+    }
+
+    fn global_mem_op(&mut self) -> WarpOp {
+        let region_idx = self.pick_region();
+        let pattern = self.mem_pattern(region_idx);
+        if self.rng.gen::<f64>() < self.spec.store_ratio {
+            WarpOp::Store { space: MemSpace::Global, pattern }
+        } else {
+            WarpOp::Load { space: MemSpace::Global, pattern }
+        }
+    }
+
+    fn shared_mem_op(&mut self) -> WarpOp {
+        let base = self.rng.gen_range(0..self.shared_mem_bytes.max(128) as u64 / 128) * 128;
+        let pattern = MemPattern::Strided { base, stride: 4, lanes: 32 };
+        if self.rng.gen::<f64>() < 0.5 {
+            WarpOp::Load { space: MemSpace::Shared, pattern }
+        } else {
+            WarpOp::Store { space: MemSpace::Shared, pattern }
+        }
+    }
+
+    fn compute_op(&mut self) -> WarpOp {
+        let (lo, hi) = self.spec.compute_latency;
+        WarpOp::Compute { cycles: self.rng.gen_range(lo..=hi) }
+    }
+}
+
+impl WarpProgram for PatternProgram {
+    fn next_op(&mut self) -> Option<WarpOp> {
+        if self.emitted >= self.spec.total_ops {
+            return None;
+        }
+        self.emitted += 1;
+
+        if let Some(every) = self.spec.barrier_every {
+            if every > 0 && self.emitted % every == 0 {
+                return Some(WarpOp::Barrier);
+            }
+        }
+
+        let x = self.rng.gen::<f64>();
+        let op = if x < self.spec.mem_ratio && !self.spec.regions.is_empty() {
+            self.global_mem_op()
+        } else if x < self.spec.mem_ratio + self.spec.shared_mem_ratio {
+            self.shared_mem_op()
+        } else {
+            self.compute_op()
+        };
+        Some(op)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.spec.total_ops - self.emitted) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RegionSpec;
+
+    fn mem_spec(seed: u64) -> PatternSpec {
+        let mut s = PatternSpec::compute_only(2000, seed);
+        s.mem_ratio = 0.5;
+        s.store_ratio = 0.2;
+        s.regions.push(RegionSpec::private_stream(0, 64 * 1024));
+        s.regions.push(RegionSpec::shared_reuse(1 << 22, 8 * 1024, 0.5));
+        s
+    }
+
+    fn drain(mut p: PatternProgram) -> Vec<WarpOp> {
+        let mut ops = Vec::new();
+        while let Some(op) = p.next_op() {
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[test]
+    fn emits_exactly_total_ops() {
+        let ops = drain(PatternProgram::new(mem_spec(1)));
+        assert_eq!(ops.len(), 2000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = drain(PatternProgram::new(mem_spec(42)));
+        let b = drain(PatternProgram::new(mem_spec(42)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = drain(PatternProgram::new(mem_spec(1)));
+        let b = drain(PatternProgram::new(mem_spec(2)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mem_ratio_roughly_respected() {
+        let ops = drain(PatternProgram::new(mem_spec(3)));
+        let mem = ops.iter().filter(|o| o.is_global_mem()).count() as f64 / ops.len() as f64;
+        assert!((0.4..0.6).contains(&mem), "observed global-mem ratio {mem}");
+    }
+
+    #[test]
+    fn store_ratio_roughly_respected() {
+        let ops = drain(PatternProgram::new(mem_spec(4)));
+        let (mut loads, mut stores) = (0usize, 0usize);
+        for op in &ops {
+            match op {
+                WarpOp::Load { space: MemSpace::Global, .. } => loads += 1,
+                WarpOp::Store { space: MemSpace::Global, .. } => stores += 1,
+                _ => {}
+            }
+        }
+        let ratio = stores as f64 / (loads + stores) as f64;
+        assert!((0.1..0.3).contains(&ratio), "observed store ratio {ratio}");
+    }
+
+    #[test]
+    fn barriers_inserted_at_interval() {
+        let mut s = PatternSpec::compute_only(100, 9);
+        s.barrier_every = Some(10);
+        let ops = drain(PatternProgram::new(s));
+        let barriers = ops.iter().filter(|o| matches!(o, WarpOp::Barrier)).count();
+        assert_eq!(barriers, 10);
+    }
+
+    #[test]
+    fn compute_only_spec_has_no_memory_ops() {
+        let ops = drain(PatternProgram::new(PatternSpec::compute_only(500, 11)));
+        assert!(ops.iter().all(|o| matches!(o, WarpOp::Compute { .. })));
+    }
+
+    #[test]
+    fn shared_mem_ratio_generates_scratchpad_ops() {
+        let mut s = PatternSpec::compute_only(2000, 5);
+        s.shared_mem_ratio = 0.3;
+        let ops = drain(PatternProgram::new(s));
+        let shared = ops.iter().filter(|o| o.is_shared_mem()).count() as f64 / ops.len() as f64;
+        assert!((0.2..0.4).contains(&shared), "observed shared ratio {shared}");
+    }
+
+    #[test]
+    fn stream_region_advances_and_wraps() {
+        let mut s = PatternSpec::compute_only(64, 6);
+        s.mem_ratio = 1.0;
+        s.regions.push(RegionSpec {
+            base: 0x1000,
+            size: 512,
+            weight: 1.0,
+            access: RegionAccess::Stream { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        let ops = drain(PatternProgram::new(s));
+        let bases: Vec<Addr> = ops
+            .iter()
+            .filter_map(|o| match o {
+                WarpOp::Load { pattern: MemPattern::Strided { base, .. }, .. }
+                | WarpOp::Store { pattern: MemPattern::Strided { base, .. }, .. } => Some(*base),
+                _ => None,
+            })
+            .collect();
+        assert!(!bases.is_empty());
+        // All bases stay within the region and revisit the start (wrap).
+        assert!(bases.iter().all(|&b| (0x1000..0x1000 + 512).contains(&b)));
+        assert!(bases.iter().filter(|&&b| b == 0x1000).count() >= 2, "expected wrap-around reuse");
+    }
+
+    #[test]
+    fn scatter_divergence_emits_scatter_patterns() {
+        let mut s = PatternSpec::compute_only(200, 8);
+        s.mem_ratio = 1.0;
+        s.regions.push(RegionSpec {
+            base: 0,
+            size: 1 << 20,
+            weight: 1.0,
+            access: RegionAccess::Random,
+            divergence: Divergence::Scatter { lanes: 16 },
+        });
+        let ops = drain(PatternProgram::new(s));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            WarpOp::Load { pattern: MemPattern::Scatter(_), .. } | WarpOp::Store { pattern: MemPattern::Scatter(_), .. }
+        )));
+    }
+
+    #[test]
+    fn remaining_hint_counts_down() {
+        let mut p = PatternProgram::new(PatternSpec::compute_only(5, 0));
+        assert_eq!(p.remaining_hint(), Some(5));
+        p.next_op();
+        p.next_op();
+        assert_eq!(p.remaining_hint(), Some(3));
+    }
+}

@@ -1,0 +1,238 @@
+//! Pattern specifications: a compact, declarative description of a warp's
+//! dynamic behaviour from which [`crate::program::PatternProgram`] generates
+//! the operation stream.
+//!
+//! A specification is a weighted set of memory *regions*, each with its own
+//! access behaviour (streaming, re-referencing a working set, or random), an
+//! intra-warp divergence model, plus the scalar knobs that set memory
+//! intensity, barrier frequency and scratchpad usage. The suite modules build
+//! one spec per (benchmark, CTA, warp); the same spec always expands to the
+//! same operation stream.
+
+use gpu_mem::Addr;
+use serde::{Deserialize, Serialize};
+
+/// How the lanes of one warp spread within a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Divergence {
+    /// All 32 lanes fall into one 128-byte block (stride 4).
+    Coalesced,
+    /// Lanes are separated by a fixed byte stride (e.g. row-major accesses of
+    /// a column: stride = row pitch), producing several blocks per access.
+    Strided {
+        /// Byte distance between consecutive lanes.
+        lane_stride: u32,
+    },
+    /// Lanes scatter pseudo-randomly within the region (index-array access,
+    /// the SpMV-style irregularity discussed in §VI).
+    Scatter {
+        /// Number of active lanes issuing scattered addresses.
+        lanes: u8,
+    },
+}
+
+/// How successive accesses of a warp move through a region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RegionAccess {
+    /// Stream through the region once (or wrap around), advancing by
+    /// `advance` bytes per access: negligible temporal reuse.
+    Stream {
+        /// Bytes to advance between consecutive accesses.
+        advance: u64,
+    },
+    /// Sweep a working set repeatedly: strong temporal reuse, i.e. "high
+    /// potential of data locality" in the paper's terms.
+    Reuse {
+        /// Bytes to advance between consecutive accesses within the sweep.
+        advance: u64,
+    },
+    /// Pick a pseudo-random block-aligned offset on every access.
+    Random,
+}
+
+/// One memory region a warp accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Base global address of the region.
+    pub base: Addr,
+    /// Region size in bytes (must be at least one cache line).
+    pub size: u64,
+    /// Relative probability of an access targeting this region.
+    pub weight: f64,
+    /// Temporal behaviour within the region.
+    pub access: RegionAccess,
+    /// Spatial (intra-warp) behaviour.
+    pub divergence: Divergence,
+}
+
+impl RegionSpec {
+    /// A private, perfectly coalesced streaming region.
+    pub fn private_stream(base: Addr, size: u64) -> Self {
+        RegionSpec {
+            base,
+            size,
+            weight: 1.0,
+            access: RegionAccess::Stream { advance: 128 },
+            divergence: Divergence::Coalesced,
+        }
+    }
+
+    /// A shared region that warps re-reference (high locality potential).
+    pub fn shared_reuse(base: Addr, size: u64, weight: f64) -> Self {
+        RegionSpec {
+            base,
+            size,
+            weight,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        }
+    }
+}
+
+/// Complete description of one warp's behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternSpec {
+    /// Total dynamic operations the warp executes (including barriers).
+    pub total_ops: usize,
+    /// Probability that an operation is a global-memory access.
+    pub mem_ratio: f64,
+    /// Of the global-memory accesses, the fraction that are stores.
+    pub store_ratio: f64,
+    /// Probability that an operation is a programmer shared-memory
+    /// (scratchpad) access — models the `Fsmem`-style scratchpad traffic.
+    pub shared_mem_ratio: f64,
+    /// Latency range (inclusive) of compute operations, in cycles.
+    pub compute_latency: (u32, u32),
+    /// Weighted memory regions (at least one when `mem_ratio > 0`).
+    pub regions: Vec<RegionSpec>,
+    /// Insert a CTA barrier every `n` operations (`None` = no barriers).
+    pub barrier_every: Option<usize>,
+    /// Seed mixed into the per-warp RNG (derived from benchmark + CTA + warp).
+    pub seed: u64,
+}
+
+impl PatternSpec {
+    /// A minimal compute-only spec (useful as a building block and in tests).
+    pub fn compute_only(total_ops: usize, seed: u64) -> Self {
+        PatternSpec {
+            total_ops,
+            mem_ratio: 0.0,
+            store_ratio: 0.0,
+            shared_mem_ratio: 0.0,
+            compute_latency: (1, 4),
+            regions: Vec::new(),
+            barrier_every: None,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency; returns a list of problems (empty when
+    /// the spec is well-formed). Suite builders assert this in debug builds.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.total_ops == 0 {
+            problems.push("total_ops must be positive".into());
+        }
+        for r in [self.mem_ratio, self.store_ratio, self.shared_mem_ratio] {
+            if !(0.0..=1.0).contains(&r) {
+                problems.push(format!("ratio {r} outside [0, 1]"));
+            }
+        }
+        if self.mem_ratio + self.shared_mem_ratio > 1.0 + 1e-9 {
+            problems.push("mem_ratio + shared_mem_ratio exceeds 1".into());
+        }
+        if self.compute_latency.0 == 0 || self.compute_latency.0 > self.compute_latency.1 {
+            problems.push("compute_latency range invalid".into());
+        }
+        if self.mem_ratio > 0.0 && self.regions.is_empty() {
+            problems.push("mem_ratio > 0 requires at least one region".into());
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.size < 128 {
+                problems.push(format!("region {i} smaller than one cache line"));
+            }
+            if r.weight <= 0.0 {
+                problems.push(format!("region {i} has non-positive weight"));
+            }
+            match r.access {
+                RegionAccess::Stream { advance } | RegionAccess::Reuse { advance } => {
+                    if advance == 0 {
+                        problems.push(format!("region {i} has zero advance"));
+                    }
+                }
+                RegionAccess::Random => {}
+            }
+            if let Divergence::Scatter { lanes } = r.divergence {
+                if lanes == 0 || lanes > 32 {
+                    problems.push(format!("region {i} has invalid scatter lane count"));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Approximate number of bytes the warp touches across all its regions
+    /// (the per-warp working-set estimate used by tests and reports).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_only_is_valid() {
+        let s = PatternSpec::compute_only(100, 7);
+        assert!(s.validate().is_empty());
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn helpers_build_valid_regions() {
+        let mut s = PatternSpec::compute_only(100, 0);
+        s.mem_ratio = 0.5;
+        s.regions.push(RegionSpec::private_stream(0, 64 * 1024));
+        s.regions.push(RegionSpec::shared_reuse(1 << 20, 16 * 1024, 0.5));
+        assert!(s.validate().is_empty());
+        assert_eq!(s.footprint_bytes(), 80 * 1024);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut s = PatternSpec::compute_only(0, 0);
+        s.mem_ratio = 1.5;
+        s.shared_mem_ratio = 0.2;
+        s.compute_latency = (0, 0);
+        assert!(s.validate().len() >= 3);
+
+        let mut s2 = PatternSpec::compute_only(10, 0);
+        s2.mem_ratio = 0.3;
+        assert!(s2.validate().iter().any(|p| p.contains("at least one region")));
+
+        let mut s3 = PatternSpec::compute_only(10, 0);
+        s3.mem_ratio = 0.3;
+        s3.regions.push(RegionSpec {
+            base: 0,
+            size: 64,
+            weight: 0.0,
+            access: RegionAccess::Stream { advance: 0 },
+            divergence: Divergence::Scatter { lanes: 0 },
+        });
+        let problems = s3.validate();
+        assert!(problems.iter().any(|p| p.contains("smaller than one cache line")));
+        assert!(problems.iter().any(|p| p.contains("non-positive weight")));
+        assert!(problems.iter().any(|p| p.contains("zero advance")));
+        assert!(problems.iter().any(|p| p.contains("scatter lane count")));
+    }
+
+    #[test]
+    fn ratio_budget_enforced() {
+        let mut s = PatternSpec::compute_only(10, 0);
+        s.mem_ratio = 0.7;
+        s.shared_mem_ratio = 0.5;
+        s.regions.push(RegionSpec::private_stream(0, 4096));
+        assert!(s.validate().iter().any(|p| p.contains("exceeds 1")));
+    }
+}

@@ -1,0 +1,203 @@
+//! Mars (MapReduce-on-GPU) workloads: KMN, II, PVC, SS, SM, WC.
+//!
+//! MapReduce kernels hash keys into buckets and emit key/value pairs, which
+//! shows up architecturally as scatter-type accesses into shared hash/index
+//! structures plus per-warp input streaming, CTA barriers between map/reduce
+//! stages, and — for PVC and SS — substantial programmer use of shared memory
+//! (the Fsmem column of Table II), which is exactly the space CIAO cannot
+//! repurpose.
+
+use crate::benchmarks::ScaleConfig;
+use crate::kernel::{warp_seed, WorkloadKernel};
+use crate::spec::{Divergence, RegionAccess, RegionSpec};
+use crate::suites::{
+    base_spec, irregular_region, private_base, private_stream_region, scaled_size,
+    shared_reuse_region,
+};
+use gpu_sim::kernel::KernelInfo;
+
+fn info(name: &str, num_ctas: usize, warps_per_cta: usize, shared_mem_per_cta: u32) -> KernelInfo {
+    KernelInfo { name: name.into(), num_ctas, warps_per_cta, shared_mem_per_cta }
+}
+
+fn gw(cta: u32, w: usize, warps_per_cta: usize) -> u64 {
+    cta as u64 * warps_per_cta as u64 + w as u64
+}
+
+/// KMN (Mars k-means): large irregular working set — every warp streams its
+/// input points and scatters into a large shared centroid/assignment
+/// structure. LWS class: the combined footprint overwhelms shared memory too.
+pub fn kmn(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("KMN", 12, 8, 512), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x6A17, cta, w), 0.42, 0.15, (1, 3));
+        s.regions.push(private_stream_region(g, 24 * 1024, &scale, 1.0));
+        s.regions.push(irregular_region(192 * 1024, &scale, 0.55, 16));
+        s.regions.push(shared_reuse_region(4 * 1024, &scale, 0.35));
+        s.barrier_every = Some(200);
+        s
+    })
+}
+
+/// II (inverted index): scatter-heavy but with a compact dictionary that fits
+/// once isolated (SWS class).
+pub fn ii(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("II", 6, 8, 256), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x1100, cta, w), 0.46, 0.20, (1, 3));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 0.8,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(irregular_region(24 * 1024, &scale, 0.6, 8));
+        s.barrier_every = Some(250);
+        s
+    })
+}
+
+/// PVC (page-view count): one third of the scratchpad is programmer-allocated,
+/// limiting the space CIAO can borrow; best SWL keeps all 48 warps active.
+pub fn pvc(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 4 resident CTAs × 4 KB ≈ 16 KB ≈ 33% of the 48 KB scratchpad.
+    WorkloadKernel::single_phase(info("PVC", 8, 12, 4 * 1024), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x9FC0, cta, w), 0.30, 0.18, (1, 4));
+        s.shared_mem_ratio = 0.12;
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(768, &scale),
+            weight: 0.7,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(irregular_region(20 * 1024, &scale, 0.5, 8));
+        s.barrier_every = Some(300);
+        s
+    })
+}
+
+/// SS (similarity score): half of the scratchpad is programmer-allocated.
+pub fn ss(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 4 resident CTAs × 6 KB ≈ 24 KB ≈ 50% of the scratchpad.
+    WorkloadKernel::single_phase(info("SS", 8, 12, 6 * 1024), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x55AA, cta, w), 0.22, 0.12, (1, 4));
+        s.shared_mem_ratio = 0.18;
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 0.8,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(irregular_region(16 * 1024, &scale, 0.4, 8));
+        s.barrier_every = Some(300);
+        s
+    })
+}
+
+/// SM (string match): very memory-intensive scanning with a small dictionary.
+pub fn sm(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("SM", 8, 12, 512), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x53AD, cta, w), 0.60, 0.10, (1, 2));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(8 * 1024, &scale, 0.8));
+        s.barrier_every = Some(400);
+        s
+    })
+}
+
+/// WC (word count): light memory intensity with scattered bucket updates.
+pub fn wc(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("WC", 8, 12, 512), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x77C0, cta, w), 0.16, 0.25, (1, 4));
+        s.regions.push(private_stream_region(g, 2 * 1024, &scale, 0.6));
+        s.regions.push(irregular_region(12 * 1024, &scale, 0.5, 8));
+        s.barrier_every = Some(350);
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::Kernel;
+    use gpu_sim::trace::WarpOp;
+
+    fn all(scale: &ScaleConfig) -> Vec<WorkloadKernel> {
+        vec![kmn(scale), ii(scale), pvc(scale), ss(scale), sm(scale), wc(scale)]
+    }
+
+    #[test]
+    fn every_kernel_has_valid_specs() {
+        let scale = ScaleConfig::quick();
+        for k in all(&scale) {
+            let info = k.info();
+            for cta in 0..info.num_ctas.min(2) as u32 {
+                for w in 0..info.warps_per_cta.min(4) {
+                    for spec in k.specs_of(cta, w) {
+                        assert!(spec.validate().is_empty(), "{}: {:?}", info.name, spec.validate());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_mars_kernels_use_barriers() {
+        let scale = ScaleConfig::quick();
+        for k in all(&scale) {
+            let spec = &k.specs_of(0, 0)[0];
+            assert!(spec.barrier_every.is_some(), "{} must use barriers", k.info().name);
+        }
+    }
+
+    #[test]
+    fn pvc_and_ss_reserve_programmer_shared_memory() {
+        let scale = ScaleConfig::quick();
+        assert_eq!(pvc(&scale).info().shared_mem_per_cta, 4 * 1024);
+        assert_eq!(ss(&scale).info().shared_mem_per_cta, 6 * 1024);
+        assert!(kmn(&scale).info().shared_mem_per_cta <= 1024);
+    }
+
+    #[test]
+    fn scatter_accesses_are_generated() {
+        let k = kmn(&ScaleConfig::quick());
+        let mut p = k.warp_program(0, 0);
+        let mut saw_scatter = false;
+        while let Some(op) = p.next_op() {
+            if let WarpOp::Load { pattern: gpu_sim::trace::MemPattern::Scatter(_), .. } = op {
+                saw_scatter = true;
+                break;
+            }
+        }
+        assert!(saw_scatter, "KMN must emit scattered accesses");
+    }
+
+    #[test]
+    fn kmn_footprint_is_lws_sized() {
+        let scale = ScaleConfig::default();
+        let fp = kmn(&scale).specs_of(0, 0)[0].footprint_bytes();
+        // Must exceed L1D + scratchpad so that redirection alone cannot fix it.
+        assert!(fp > 64 * 1024, "KMN footprint {fp}");
+        let fp_ss = ss(&scale).specs_of(0, 0)[0].footprint_bytes();
+        assert!(fp_ss < 64 * 1024, "SS footprint {fp_ss} should be SWS-sized");
+    }
+}

@@ -1,0 +1,143 @@
+//! Benchmark suite implementations.
+//!
+//! One module per source suite of Table II: [`polybench`] (linear-algebra
+//! kernels), [`mars`] (MapReduce workloads) and [`rodinia`] (heterogeneous
+//! compute kernels). Each module exposes one constructor per benchmark that
+//! returns a ready-to-run [`WorkloadKernel`].
+//!
+//! The constructors share the conventions defined here:
+//!
+//! * the global address space is partitioned into a *matrix/stream* area
+//!   (per-warp private regions), a *vector/lookup* area shared by all warps
+//!   (the data with "high potential of data locality" whose reuse is
+//!   destroyed by interference), and an *irregular* area for scatter-heavy
+//!   MapReduce workloads;
+//! * per-warp seeds are derived with [`crate::kernel::warp_seed`] so traces
+//!   are deterministic and scheduler-independent;
+//! * all sizes scale with [`crate::ScaleConfig`] so the harness can trade
+//!   fidelity for speed without changing workload shape.
+
+pub mod mars;
+pub mod polybench;
+pub mod rodinia;
+
+use crate::benchmarks::ScaleConfig;
+use crate::spec::{Divergence, PatternSpec, RegionAccess, RegionSpec};
+use gpu_mem::Addr;
+
+/// Base address of per-warp private streaming data (matrices, input arrays).
+pub const STREAM_AREA: Addr = 0x1000_0000;
+/// Base address of globally shared, re-referenced data (vectors, centroids).
+pub const SHARED_AREA: Addr = 0x4000_0000;
+/// Base address of irregularly accessed data (hash tables, index arrays).
+pub const IRREGULAR_AREA: Addr = 0x8000_0000;
+
+/// Spacing between per-warp private regions, large enough that private
+/// regions never overlap even at the largest footprint scale.
+pub const PRIVATE_SPACING: u64 = 1 << 22;
+
+/// Returns the base address of the private region of global warp `gw`.
+pub fn private_base(gw: u64) -> Addr {
+    STREAM_AREA + gw * PRIVATE_SPACING
+}
+
+/// Builds the skeleton of a spec: operation count, memory intensity, compute
+/// latency and seed. Regions are added by the caller.
+pub fn base_spec(
+    scale: &ScaleConfig,
+    seed: u64,
+    mem_ratio: f64,
+    store_ratio: f64,
+    compute_latency: (u32, u32),
+) -> PatternSpec {
+    PatternSpec {
+        total_ops: scale.ops_per_warp,
+        mem_ratio,
+        store_ratio,
+        shared_mem_ratio: 0.0,
+        compute_latency,
+        regions: Vec::new(),
+        barrier_every: None,
+        seed,
+    }
+}
+
+/// A per-warp private region streamed once (negligible temporal reuse),
+/// scaled by the footprint factor.
+pub fn private_stream_region(gw: u64, bytes: u64, scale: &ScaleConfig, weight: f64) -> RegionSpec {
+    RegionSpec {
+        base: private_base(gw),
+        size: scaled_size(bytes, scale),
+        weight,
+        access: RegionAccess::Stream { advance: 128 },
+        divergence: Divergence::Coalesced,
+    }
+}
+
+/// A globally shared region that warps sweep repeatedly (high locality
+/// potential — the data CIAO tries to keep resident).
+pub fn shared_reuse_region(bytes: u64, scale: &ScaleConfig, weight: f64) -> RegionSpec {
+    RegionSpec {
+        base: SHARED_AREA,
+        size: scaled_size(bytes, scale),
+        weight,
+        access: RegionAccess::Reuse { advance: 128 },
+        divergence: Divergence::Coalesced,
+    }
+}
+
+/// A globally shared region accessed at pseudo-random block offsets with
+/// divergent lanes (MapReduce hash tables, SpMV index arrays).
+pub fn irregular_region(bytes: u64, scale: &ScaleConfig, weight: f64, lanes: u8) -> RegionSpec {
+    RegionSpec {
+        base: IRREGULAR_AREA,
+        size: scaled_size(bytes, scale),
+        weight,
+        access: RegionAccess::Random,
+        divergence: Divergence::Scatter { lanes },
+    }
+}
+
+/// Applies the footprint scale, keeping sizes block-aligned and non-zero.
+pub fn scaled_size(bytes: u64, scale: &ScaleConfig) -> u64 {
+    (((bytes as f64 * scale.footprint_scale) as u64) / 128).max(1) * 128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_regions_do_not_overlap() {
+        let scale = ScaleConfig::default();
+        for gw in 0..96u64 {
+            let r = private_stream_region(gw, 256 * 1024, &scale, 1.0);
+            assert!(r.size <= PRIVATE_SPACING);
+            let next = private_base(gw + 1);
+            assert!(r.base + r.size <= next);
+        }
+    }
+
+    #[test]
+    fn scaled_size_is_block_aligned_and_positive() {
+        let mut scale = ScaleConfig::default();
+        scale.footprint_scale = 0.001;
+        let s = scaled_size(4096, &scale);
+        assert_eq!(s % 128, 0);
+        assert!(s >= 128);
+    }
+
+    #[test]
+    fn base_spec_is_valid_once_region_added() {
+        let scale = ScaleConfig::default();
+        let mut s = base_spec(&scale, 1, 0.4, 0.1, (1, 4));
+        s.regions.push(shared_reuse_region(8192, &scale, 1.0));
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn areas_are_disjoint() {
+        assert!(STREAM_AREA + 96 * PRIVATE_SPACING < SHARED_AREA);
+        assert!(SHARED_AREA + (1 << 26) < IRREGULAR_AREA);
+    }
+}

@@ -1,0 +1,246 @@
+//! PolyBench workloads: ATAX, BICG, MVT, GESUMMV, SYR2K, SYRK, 2DCONV, CORR.
+//!
+//! The linear-algebra kernels share a common structure: every warp streams
+//! through its own slice of a large matrix (no temporal reuse) while
+//! repeatedly re-referencing one or more shared vectors (strong reuse). The
+//! interference phenomenon of §II-B arises exactly here: streaming accesses
+//! of other warps keep evicting the vector data a warp is about to reuse.
+//!
+//! * The LWS members (ATAX, BICG, MVT) have per-warp matrix slices so large
+//!   that even the repurposed shared memory cannot hold the combined traffic.
+//! * The SWS members (GESUMMV, SYR2K, SYRK) have small per-warp working sets
+//!   that fit comfortably in L1D + unused shared memory once they are
+//!   separated from each other.
+//! * 2DCONV and CORR are the compute-intensive members.
+
+use crate::benchmarks::ScaleConfig;
+use crate::kernel::{warp_seed, WorkloadKernel};
+use crate::spec::{Divergence, RegionAccess, RegionSpec};
+use crate::suites::{
+    base_spec, private_base, private_stream_region, scaled_size, shared_reuse_region, SHARED_AREA,
+};
+use gpu_sim::kernel::KernelInfo;
+
+fn info(name: &str, num_ctas: usize, warps_per_cta: usize, shared_mem_per_cta: u32) -> KernelInfo {
+    KernelInfo { name: name.into(), num_ctas, warps_per_cta, shared_mem_per_cta }
+}
+
+fn gw(cta: u32, w: usize, warps_per_cta: usize) -> u64 {
+    cta as u64 * warps_per_cta as u64 + w as u64
+}
+
+/// ATAX: `y = Aᵀ(Ax)`. Large working set, two distinct execution phases
+/// (memory-intensive then compute-intensive, Fig. 9), best SWL limit 2.
+pub fn atax(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::new(info("ATAX", 12, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        // Phase 1: stream the matrix slice while re-referencing the shared x
+        // vector — memory-intensive, interference-prone.
+        let mut p1 = base_spec(&scale, warp_seed(0xA7A1, cta, w), 0.50, 0.10, (1, 3));
+        p1.total_ops = (scale.ops_per_warp * 3) / 5;
+        p1.regions.push(private_stream_region(g, 48 * 1024, &scale, 1.0));
+        p1.regions.push(shared_reuse_region(10 * 1024, &scale, 0.9));
+        // Phase 2: reduction/compute phase with high data locality on a small
+        // per-warp tile.
+        let mut p2 = base_spec(&scale, warp_seed(0xA7A2, cta, w), 0.08, 0.05, (2, 6));
+        p2.total_ops = scale.ops_per_warp - p1.total_ops;
+        p2.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(4 * 1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        vec![p1, p2]
+    })
+}
+
+/// BICG: two matrix-vector products sharing the matrix. Large working set.
+pub fn bicg(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("BICG", 12, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0xB1C6, cta, w), 0.48, 0.08, (1, 3));
+        s.regions.push(private_stream_region(g, 48 * 1024, &scale, 1.0));
+        s.regions.push(shared_reuse_region(8 * 1024, &scale, 0.45));
+        s.regions.push(RegionSpec {
+            base: SHARED_AREA + (1 << 22),
+            size: scaled_size(8 * 1024, &scale),
+            weight: 0.45,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s
+    })
+}
+
+/// MVT: two independent matrix-vector products. Large working set.
+pub fn mvt(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("MVT", 12, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x33F7, cta, w), 0.46, 0.10, (1, 3));
+        s.regions.push(private_stream_region(g, 40 * 1024, &scale, 1.0));
+        s.regions.push(shared_reuse_region(12 * 1024, &scale, 0.8));
+        s
+    })
+}
+
+/// GESUMMV: scalar-vector-matrix multiply with a small reusable working set
+/// per warp (SWS class, APKI 136 — the most memory-intensive benchmark).
+pub fn gesummv(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("GESUMMV", 6, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x6E50, cta, w), 0.62, 0.08, (1, 2));
+        // Per-warp tile that the warp re-references heavily.
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(6 * 1024, &scale, 0.8));
+        s
+    })
+}
+
+/// SYR2K: symmetric rank-2k update; small per-warp tiles with high reuse.
+pub fn syr2k(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("SYR2K", 6, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x5272, cta, w), 0.55, 0.12, (1, 3));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1280, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(12 * 1024, &scale, 0.7));
+        s
+    })
+}
+
+/// SYRK: symmetric rank-k update; like SYR2K with a slightly smaller tile.
+pub fn syrk(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("SYRK", 6, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x5253, cta, w), 0.52, 0.10, (1, 3));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(10 * 1024, &scale, 0.7));
+        s
+    })
+}
+
+/// 2DCONV: 2-D convolution, compute-intensive with a small stencil footprint.
+pub fn conv2d(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("2DCONV", 9, 4, 0), move |cta, w| {
+        let g = gw(cta, w, 4);
+        let mut s = base_spec(&scale, warp_seed(0x2DC0, cta, w), 0.07, 0.25, (2, 6));
+        s.regions.push(private_stream_region(g, 6 * 1024, &scale, 1.0));
+        s.regions.push(shared_reuse_region(4 * 1024, &scale, 0.4));
+        s
+    })
+}
+
+/// CORR: correlation matrix computation, compute-intensive.
+pub fn corr(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("CORR", 12, 4, 0), move |cta, w| {
+        let g = gw(cta, w, 4);
+        let mut s = base_spec(&scale, warp_seed(0xC022, cta, w), 0.08, 0.15, (2, 6));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(2 * 1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(6 * 1024, &scale, 0.5));
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::Kernel;
+
+    fn all(scale: &ScaleConfig) -> Vec<WorkloadKernel> {
+        vec![
+            atax(scale),
+            bicg(scale),
+            mvt(scale),
+            gesummv(scale),
+            syr2k(scale),
+            syrk(scale),
+            conv2d(scale),
+            corr(scale),
+        ]
+    }
+
+    #[test]
+    fn every_kernel_has_valid_specs() {
+        let scale = ScaleConfig::quick();
+        for k in all(&scale) {
+            let info = k.info();
+            for cta in 0..info.num_ctas.min(3) as u32 {
+                for w in 0..info.warps_per_cta {
+                    for spec in k.specs_of(cta, w) {
+                        assert!(spec.validate().is_empty(), "{}: {:?}", info.name, spec.validate());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atax_is_two_phase() {
+        let k = atax(&ScaleConfig::quick());
+        let phases = k.specs_of(0, 0);
+        assert_eq!(phases.len(), 2);
+        assert!(phases[0].mem_ratio > phases[1].mem_ratio, "phase 1 must be the memory-intensive one");
+    }
+
+    #[test]
+    fn lws_members_have_larger_footprints_than_sws_members() {
+        let scale = ScaleConfig::default();
+        let lws = atax(&scale).specs_of(0, 0)[0].footprint_bytes();
+        let sws = gesummv(&scale).specs_of(0, 0)[0].footprint_bytes();
+        assert!(lws > 3 * sws, "ATAX footprint {lws} vs GESUMMV {sws}");
+    }
+
+    #[test]
+    fn ci_members_have_low_memory_intensity() {
+        let scale = ScaleConfig::default();
+        for k in [conv2d(&scale), corr(&scale)] {
+            let spec = &k.specs_of(0, 0)[0];
+            assert!(spec.mem_ratio <= 0.1, "{} mem_ratio {}", k.info().name, spec.mem_ratio);
+        }
+    }
+
+    #[test]
+    fn programs_terminate() {
+        let scale = ScaleConfig::quick();
+        let k = syrk(&scale);
+        let mut p = k.warp_program(0, 0);
+        let mut count = 0;
+        while p.next_op().is_some() {
+            count += 1;
+            assert!(count <= scale.ops_per_warp + 1);
+        }
+        assert_eq!(count, scale.ops_per_warp);
+    }
+}

@@ -1,0 +1,235 @@
+//! Rodinia workloads: Kmeans, Gaussian, Backprop, Hotspot, Lud, NN, NW.
+//!
+//! * **Kmeans** is the LWS representative: every warp streams its feature
+//!   rows while all warps re-reference the shared centroid table.
+//! * **Backprop** is the compute-intensive-but-miss-prone case of Fig. 1: a
+//!   minority of warps carry most of the data locality *and* interfere with
+//!   one another on the same shared weight tiles, which is what makes
+//!   locality-aware throttling (CCWS) counter-productive on it.
+//! * Hotspot, Lud and NW use sizeable programmer shared-memory allocations
+//!   (Fsmem = 19%, 50% and 35%), shrinking the space CIAO can borrow.
+//! * Gaussian and NN are low-APKI compute kernels.
+
+use crate::benchmarks::ScaleConfig;
+use crate::kernel::{warp_seed, WorkloadKernel};
+use crate::spec::{Divergence, RegionAccess, RegionSpec};
+use crate::suites::{
+    base_spec, private_base, private_stream_region, scaled_size, shared_reuse_region, SHARED_AREA,
+};
+use gpu_sim::kernel::KernelInfo;
+
+fn info(name: &str, num_ctas: usize, warps_per_cta: usize, shared_mem_per_cta: u32) -> KernelInfo {
+    KernelInfo { name: name.into(), num_ctas, warps_per_cta, shared_mem_per_cta }
+}
+
+fn gw(cta: u32, w: usize, warps_per_cta: usize) -> u64 {
+    cta as u64 * warps_per_cta as u64 + w as u64
+}
+
+/// Kmeans: feature-row streaming plus centroid-table reuse; LWS class with
+/// best SWL limit 2.
+pub fn kmeans(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("Kmeans", 12, 8, 0), move |cta, w| {
+        let g = gw(cta, w, 8);
+        let mut s = base_spec(&scale, warp_seed(0x6B3A, cta, w), 0.52, 0.08, (1, 3));
+        s.regions.push(private_stream_region(g, 56 * 1024, &scale, 1.0));
+        s.regions.push(shared_reuse_region(6 * 1024, &scale, 0.6));
+        s.barrier_every = Some(500);
+        s
+    })
+}
+
+/// Gaussian elimination: compute-intensive row reductions over a small matrix.
+pub fn gaussian(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("Gaussian", 12, 4, 0), move |cta, w| {
+        let g = gw(cta, w, 4);
+        let mut s = base_spec(&scale, warp_seed(0x6A55, cta, w), 0.12, 0.20, (2, 5));
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(3 * 1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.regions.push(shared_reuse_region(4 * 1024, &scale, 0.4));
+        s
+    })
+}
+
+/// Backprop: compute-intensive overall, but a minority of warps repeatedly
+/// access overlapping weight tiles and thrash each other (Fig. 1a). Uses 13%
+/// of shared memory and CTA barriers between layers.
+pub fn backprop(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 3 resident CTAs × 2 KB ≈ 6 KB ≈ 13% of the 48 KB scratchpad.
+    WorkloadKernel::single_phase(info("Backprop", 9, 12, 2 * 1024), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let hot = g % 6 < 2; // a third of the warps carry the locality
+        let mut s = base_spec(
+            &scale,
+            warp_seed(0xBAC6, cta, w),
+            if hot { 0.18 } else { 0.04 },
+            0.15,
+            (2, 5),
+        );
+        s.shared_mem_ratio = 0.06;
+        if hot {
+            // Hot warps share two overlapping weight tiles: high locality
+            // potential, high mutual interference.
+            let tile = (g % 6) as u64;
+            s.regions.push(RegionSpec {
+                base: SHARED_AREA + tile * scaled_size(8 * 1024, &scale),
+                size: scaled_size(20 * 1024, &scale),
+                weight: 1.0,
+                access: RegionAccess::Reuse { advance: 128 },
+                divergence: Divergence::Coalesced,
+            });
+        } else {
+            s.regions.push(private_stream_region(g, 2 * 1024, &scale, 1.0));
+        }
+        s.barrier_every = Some(400);
+        s
+    })
+}
+
+/// Hotspot: stencil kernel keeping its tile in programmer shared memory
+/// (Fsmem 19%), hence very few global accesses per instruction.
+pub fn hotspot(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 3 resident CTAs × 3 KB ≈ 9 KB ≈ 19% of the scratchpad.
+    WorkloadKernel::single_phase(info("Hotspot", 9, 12, 3 * 1024), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x407 + 1, cta, w), 0.02, 0.30, (2, 6));
+        s.shared_mem_ratio = 0.20;
+        s.regions.push(private_stream_region(g, 1024, &scale, 1.0));
+        s.barrier_every = Some(250);
+        s
+    })
+}
+
+/// LUD: blocked LU decomposition living almost entirely in shared memory
+/// (Fsmem 50%).
+pub fn lud(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 3 resident CTAs × 8 KB ≈ 24 KB ≈ 50% of the scratchpad.
+    WorkloadKernel::single_phase(info("Lud", 6, 12, 8 * 1024), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x10D, cta, w), 0.03, 0.20, (2, 6));
+        s.shared_mem_ratio = 0.25;
+        s.regions.push(RegionSpec {
+            base: private_base(g),
+            size: scaled_size(1024, &scale),
+            weight: 1.0,
+            access: RegionAccess::Reuse { advance: 128 },
+            divergence: Divergence::Coalesced,
+        });
+        s.barrier_every = Some(200);
+        s
+    })
+}
+
+/// NN (nearest neighbour): a light streaming scan of record data.
+pub fn nn(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    WorkloadKernel::single_phase(info("NN", 12, 4, 0), move |cta, w| {
+        let g = gw(cta, w, 4);
+        let mut s = base_spec(&scale, warp_seed(0x4E4E, cta, w), 0.09, 0.10, (2, 5));
+        s.regions.push(private_stream_region(g, 4 * 1024, &scale, 1.0));
+        s.regions.push(shared_reuse_region(2 * 1024, &scale, 0.3));
+        s
+    })
+}
+
+/// NW (Needleman-Wunsch): wavefront dynamic programming with 35% of the
+/// scratchpad holding the score tile.
+pub fn nw(scale: &ScaleConfig) -> WorkloadKernel {
+    let scale = scale.clone();
+    // 3 resident CTAs × 5.5 KB ≈ 16.5 KB ≈ 35% of the scratchpad.
+    WorkloadKernel::single_phase(info("NW", 9, 12, 5632), move |cta, w| {
+        let g = gw(cta, w, 12);
+        let mut s = base_spec(&scale, warp_seed(0x4E57, cta, w), 0.05, 0.25, (2, 5));
+        s.shared_mem_ratio = 0.15;
+        s.regions.push(private_stream_region(g, 2 * 1024, &scale, 1.0));
+        s.barrier_every = Some(150);
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::Kernel;
+
+    fn all(scale: &ScaleConfig) -> Vec<WorkloadKernel> {
+        vec![
+            kmeans(scale),
+            gaussian(scale),
+            backprop(scale),
+            hotspot(scale),
+            lud(scale),
+            nn(scale),
+            nw(scale),
+        ]
+    }
+
+    #[test]
+    fn every_kernel_has_valid_specs() {
+        let scale = ScaleConfig::quick();
+        for k in all(&scale) {
+            let info = k.info();
+            for cta in 0..info.num_ctas.min(2) as u32 {
+                for w in 0..info.warps_per_cta.min(4) {
+                    for spec in k.specs_of(cta, w) {
+                        assert!(spec.validate().is_empty(), "{}: {:?}", info.name, spec.validate());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backprop_has_heterogeneous_warps() {
+        let scale = ScaleConfig::quick();
+        let k = backprop(&scale);
+        let ratios: Vec<f64> = (0..12).map(|w| k.specs_of(0, w)[0].mem_ratio).collect();
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let min = ratios.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 3.0 * min, "hot and cold warps must differ: {ratios:?}");
+    }
+
+    #[test]
+    fn backprop_hot_warps_share_overlapping_tiles() {
+        let scale = ScaleConfig::quick();
+        let k = backprop(&scale);
+        // Warps 0 and 1 of CTA 0 are hot (g % 6 < 2) and their tiles overlap.
+        let a = &k.specs_of(0, 0)[0].regions[0];
+        let b = &k.specs_of(0, 1)[0].regions[0];
+        let a_range = a.base..a.base + a.size;
+        assert!(a_range.contains(&b.base) || (b.base..b.base + b.size).contains(&a.base));
+    }
+
+    #[test]
+    fn ci_kernels_have_low_memory_intensity() {
+        let scale = ScaleConfig::default();
+        for k in [gaussian(&scale), hotspot(&scale), lud(&scale), nn(&scale), nw(&scale)] {
+            let spec = &k.specs_of(0, 2)[0];
+            assert!(spec.mem_ratio <= 0.15, "{} mem_ratio {}", k.info().name, spec.mem_ratio);
+        }
+    }
+
+    #[test]
+    fn fsmem_heavy_kernels_reserve_scratchpad() {
+        let scale = ScaleConfig::default();
+        assert!(lud(&scale).info().shared_mem_per_cta >= 8 * 1024);
+        assert!(nw(&scale).info().shared_mem_per_cta >= 5 * 1024);
+        assert_eq!(kmeans(&scale).info().shared_mem_per_cta, 0);
+    }
+
+    #[test]
+    fn kmeans_is_lws_sized() {
+        let fp = kmeans(&ScaleConfig::default()).specs_of(0, 0)[0].footprint_bytes();
+        assert!(fp > 48 * 1024, "Kmeans per-warp footprint {fp}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate one benchmark under the baseline GTO scheduler and
+//! under CIAO-C, and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ciao_suite::prelude::*;
+
+fn main() {
+    // A reduced-scale run so the example finishes in seconds; use
+    // `RunScale::Full` to reproduce the EXPERIMENTS.md numbers.
+    let runner = Runner::new(RunScale::Quick);
+    let benchmark = Benchmark::Syrk;
+
+    println!("benchmark: {} (class {})", benchmark.name(), benchmark.class().label());
+    println!("machine:   GTX480-like, 16KB L1D / 48KB shared memory / 768KB L2\n");
+
+    let mut baseline_ipc = 0.0;
+    for scheduler in [
+        SchedulerKind::Gto,
+        SchedulerKind::Ccws,
+        SchedulerKind::BestSwl,
+        SchedulerKind::CiaoT,
+        SchedulerKind::CiaoP,
+        SchedulerKind::CiaoC,
+    ] {
+        let record = runner.record(benchmark, scheduler);
+        if scheduler == SchedulerKind::Gto {
+            baseline_ipc = record.ipc;
+        }
+        println!(
+            "{:<9} ipc {:.3}  (vs GTO {:+5.1}%)  L1D hit rate {:.2}  interference events {:>6}  shmem-cache util {:.2}",
+            scheduler.label(),
+            record.ipc,
+            (record.ipc / baseline_ipc - 1.0) * 100.0,
+            record.l1d_hit_rate,
+            record.interference_events,
+            record.redirect_utilization,
+        );
+    }
+
+    println!("\nCIAO-C should recover most of the locality that inter-warp interference");
+    println!("destroys under GTO, without throttling TLP the way CCWS/Best-SWL do.");
+}

@@ -1,0 +1,41 @@
+//! Scheduler comparison across benchmark classes: a miniature Fig. 8a.
+//!
+//! Runs one representative benchmark from each working-set class (LWS, SWS,
+//! CI) under all seven schedulers of the paper and prints the normalised IPC
+//! matrix plus per-class conclusions.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_comparison
+//! ```
+
+use ciao_suite::harness::experiments::fig8;
+use ciao_suite::harness::geometric_mean;
+use ciao_suite::prelude::*;
+
+fn main() {
+    let runner = Runner::new(RunScale::Quick);
+    // One representative per class (Fig. 10 uses the same LWS/SWS pair).
+    let benchmarks = [Benchmark::Kmn, Benchmark::Syrk, Benchmark::Backprop];
+    let schedulers = SchedulerKind::all();
+
+    println!("running {} simulations ...", benchmarks.len() * schedulers.len());
+    let result = fig8::run(&runner, &benchmarks, &schedulers);
+    println!("\n{}", fig8::render(&result));
+
+    // Highlight the headline claims of the paper on this subset.
+    let norm_of = |bench: &str, sched: &str| {
+        result
+            .normalized
+            .iter()
+            .find(|(b, s, _)| b == bench && s == sched)
+            .map(|&(_, _, v)| v)
+            .unwrap_or(0.0)
+    };
+    let ciao_c: Vec<f64> = benchmarks.iter().map(|b| norm_of(b.name(), "CIAO-C")).collect();
+    let ccws: Vec<f64> = benchmarks.iter().map(|b| norm_of(b.name(), "CCWS")).collect();
+    println!(
+        "geomean over the subset: CIAO-C {:.2}x vs CCWS {:.2}x (paper: +54% for CIAO-C over CCWS on the full suite)",
+        geometric_mean(&ciao_c),
+        geometric_mean(&ccws)
+    );
+}

@@ -1,0 +1,92 @@
+//! Property-based integration tests: randomised workloads run end-to-end
+//! through the simulator under every scheduler, checking the invariants that
+//! must hold for *any* workload, not just the Table II benchmarks.
+
+use ciao_suite::prelude::*;
+use ciao_suite::sim::kernel::{ClosureKernel, KernelInfo};
+use ciao_suite::sim::trace::{VecProgram, WarpOp};
+use ciao_suite::sim::Kernel;
+use proptest::prelude::*;
+
+/// Builds a random but deterministic kernel description.
+fn arbitrary_kernel(
+    ctas: usize,
+    warps_per_cta: usize,
+    ops: usize,
+    mem_every: usize,
+    seed: u64,
+) -> Box<dyn Kernel> {
+    let info = KernelInfo {
+        name: format!("prop-{seed}"),
+        num_ctas: ctas,
+        warps_per_cta,
+        shared_mem_per_cta: 0,
+    };
+    Box::new(ClosureKernel::new(info, move |cta, w| {
+        let mut v = Vec::with_capacity(ops);
+        for i in 0..ops {
+            if mem_every > 0 && i % mem_every == 0 {
+                // Mix of private streaming and a shared hot region so some
+                // runs exhibit interference.
+                let addr = if i % (2 * mem_every) == 0 {
+                    (seed % 64) * 128 + (i as u64 % 32) * 128
+                } else {
+                    (1 << 24) + (cta as u64 * 64 + w as u64 * 8 + i as u64) * 128
+                };
+                v.push(WarpOp::coalesced_load(addr));
+            } else {
+                v.push(WarpOp::Compute { cycles: 1 + (i as u32 % 4) });
+            }
+        }
+        Box::new(VecProgram::new(v))
+    }))
+}
+
+fn run_with(kernel: Box<dyn Kernel>, sched: SchedulerKind) -> SimResult {
+    let config = GpuConfig::gtx480().with_max_instructions(20_000).with_sample_interval(1_000);
+    let sim = Simulator::new(config.clone());
+    let (s, redirect) = sched.build(Benchmark::Syrk, &config, &ciao_suite::ciao::CiaoParams::default());
+    sim.run(kernel, s, redirect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Every scheduler finishes every random workload, executes exactly the
+    /// same number of instructions, and keeps the L1D statistics consistent.
+    #[test]
+    fn all_schedulers_complete_random_workloads(
+        ctas in 1usize..4,
+        warps in 1usize..6,
+        ops in 8usize..80,
+        mem_every in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let expected_instructions = (ctas * warps * ops) as u64;
+        let mut counts = Vec::new();
+        for sched in [SchedulerKind::Gto, SchedulerKind::Ccws, SchedulerKind::BestSwl,
+                      SchedulerKind::StatPcal, SchedulerKind::CiaoT, SchedulerKind::CiaoP, SchedulerKind::CiaoC] {
+            let res = run_with(arbitrary_kernel(ctas, warps, ops, mem_every, seed), sched);
+            prop_assert!(!res.capped, "{} hit a cap on a small workload", res.scheduler);
+            prop_assert_eq!(res.stats.instructions, expected_instructions,
+                "{} executed the wrong amount of work", res.scheduler);
+            prop_assert_eq!(res.stats.l1d.hits() + res.stats.l1d.misses(), res.stats.l1d.accesses());
+            prop_assert!(res.cycles > 0);
+            counts.push(res.stats.instructions);
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The interference matrix is consistent with the cross-warp eviction
+    /// counter for any workload and scheduler.
+    #[test]
+    fn interference_accounting_is_consistent(
+        warps in 2usize..8,
+        ops in 16usize..64,
+        seed in 0u64..1000,
+    ) {
+        let res = run_with(arbitrary_kernel(1, warps, ops, 1, seed), SchedulerKind::Gto);
+        let matrix_total = res.interference.total();
+        prop_assert_eq!(matrix_total, res.stats.cross_warp_evictions + res.stats.redirect_cross_warp_evictions);
+    }
+}
