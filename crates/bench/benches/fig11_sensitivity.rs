@@ -12,14 +12,18 @@ fn bench_fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_sensitivity");
     group.sample_size(10);
     for epoch in fig11::EPOCHS {
-        let runner = Runner::new(RunScale::Tiny).with_params(CiaoParams::default().with_high_epoch(epoch));
+        let runner =
+            Runner::new(RunScale::Tiny).with_params(CiaoParams::default().with_high_epoch(epoch));
         group.bench_function(format!("syrk/epoch_{epoch}"), |b| {
             b.iter(|| runner.record(Benchmark::Syrk, SchedulerKind::CiaoC).ipc)
         });
     }
     group.finish();
 
-    let result = fig11::run(&Runner::new(RunScale::Quick), &[Benchmark::Atax, Benchmark::Syrk, Benchmark::Gesummv]);
+    let result = fig11::run(
+        &Runner::new(RunScale::Quick),
+        &[Benchmark::Atax, Benchmark::Syrk, Benchmark::Gesummv],
+    );
     println!("\n{}", fig11::render(&result));
 }
 

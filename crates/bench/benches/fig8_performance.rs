@@ -26,7 +26,14 @@ fn bench_fig8(c: &mut Criterion) {
 
     // Emit the reproduced figure (quick scale) once per bench invocation.
     let report_runner = Runner::new(RunScale::Quick);
-    let benchmarks = [Benchmark::Atax, Benchmark::Kmn, Benchmark::Syrk, Benchmark::Gesummv, Benchmark::Backprop, Benchmark::Nn];
+    let benchmarks = [
+        Benchmark::Atax,
+        Benchmark::Kmn,
+        Benchmark::Syrk,
+        Benchmark::Gesummv,
+        Benchmark::Backprop,
+        Benchmark::Nn,
+    ];
     let result = fig8::run(&report_runner, &benchmarks, &SchedulerKind::all());
     println!("\n{}", fig8::render(&result));
 }

@@ -47,7 +47,9 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             let addr = (i * 128) % (1 << 18);
-            if let gpu_sim::redirect::RedirectLookup::Miss = cache.lookup(addr, (i % 48) as u32, false) {
+            if let gpu_sim::redirect::RedirectLookup::Miss =
+                cache.lookup(addr, (i % 48) as u32, false)
+            {
                 cache.fill(addr, (i % 48) as u32);
             }
             black_box(cache.hits())
@@ -60,7 +62,14 @@ fn bench_substrate(c: &mut Criterion) {
     end_to_end.sample_size(10);
     end_to_end.bench_function("syrk_gto_tiny", |b| {
         let runner = ciao_harness::runner::Runner::new(ciao_harness::runner::RunScale::Tiny);
-        b.iter(|| runner.record(ciao_workloads::Benchmark::Syrk, ciao_harness::schedulers::SchedulerKind::Gto).cycles)
+        b.iter(|| {
+            runner
+                .record(
+                    ciao_workloads::Benchmark::Syrk,
+                    ciao_harness::schedulers::SchedulerKind::Gto,
+                )
+                .cycles
+        })
     });
     end_to_end.finish();
 }

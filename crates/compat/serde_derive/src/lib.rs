@@ -1,0 +1,397 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim. Parses the derive input with the bare `proc_macro`
+//! token API (no `syn`/`quote`, which are unavailable without a registry) and
+//! emits impls of the shim's `to_value`/`from_value` traits.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, newtype/tuple, or struct-like. Generic types and
+//! `#[serde(...)]` attributes are intentionally unsupported and panic with a
+//! clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the shim's `Serialize` (`to_value`) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the shim's `Deserialize` (`from_value`) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    match next_ident(&mut it).as_deref() {
+        Some("struct") => {
+            let name = next_ident(&mut it).expect("serde_derive: struct name");
+            reject_generics(&mut it, &name);
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected token after struct {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        Some("enum") => {
+            let name = next_ident(&mut it).expect("serde_derive: enum name");
+            reject_generics(&mut it, &name);
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    }
+}
+
+/// Skips `#[...]` attributes (doc comments included) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn next_ident(it: &mut Tokens) -> Option<String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn reject_generics(it: &mut Tokens, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type {name} is not supported by the offline shim");
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(name) = next_ident(&mut it) else { break };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field {name}, got {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut it);
+    }
+    fields
+}
+
+/// Consumes a type expression up to (and including) the next top-level comma.
+/// Commas inside `<...>` (e.g. `HashMap<String, u64>`) are not separators.
+fn skip_type_until_comma(it: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated fields of a tuple struct/variant.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut it);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(name) = next_ident(&mut it) else { break };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                it.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_top_level_fields(g.stream()));
+                it.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_type_until_comma(&mut it);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let mut out = String::from("::serde::Value::Object(::std::vec![");
+    for (key, value_expr) in pairs {
+        let _ = write!(out, "(::std::string::String::from(\"{key}\"), {value_expr}),");
+    }
+    out.push_str("])");
+    out
+}
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<(String, String)> = names
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            object_literal(&pairs)
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut out = String::from("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            out.push_str("])");
+            out
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    out,
+                    "{name}::{vn} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                );
+            }
+            Fields::Named(fields) => {
+                let bindings = fields.join(", ");
+                let pairs: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                    .collect();
+                let inner = object_literal(&pairs);
+                let tagged = object_literal(&[(vn.clone(), inner)]);
+                let _ = writeln!(out, "{name}::{vn} {{ {bindings} }} => {tagged},");
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let bindings = binds.join(", ");
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let mut arr = String::from("::serde::Value::Array(::std::vec![");
+                    for b in &binds {
+                        let _ = write!(arr, "::serde::Serialize::to_value({b}),");
+                    }
+                    arr.push_str("])");
+                    arr
+                };
+                let tagged = object_literal(&[(vn.clone(), inner)]);
+                let _ = writeln!(out, "{name}::{vn}({bindings}) => {tagged},");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn deserialize_named_fields(path: &str, fields: &[String], source: &str) -> String {
+    let mut out = format!("::std::result::Result::Ok({path} {{\n");
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\").ok_or_else(|| \
+             ::serde::DeError::new(\"missing field `{f}`\"))?)?,"
+        );
+    }
+    out.push_str("})");
+    out
+}
+
+fn deserialize_tuple_fields(path: &str, n: usize, source: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({path}(::serde::Deserialize::from_value({source})?))"
+        );
+    }
+    let mut out = format!(
+        "match {source} {{\n\
+         ::serde::Value::Array(items) if items.len() == {n} => \
+         ::std::result::Result::Ok({path}("
+    );
+    for i in 0..n {
+        let _ = write!(out, "::serde::Deserialize::from_value(&items[{i}])?,");
+    }
+    let _ = write!(
+        out,
+        ")),\n_ => ::std::result::Result::Err(::serde::DeError::new(\
+         \"expected {n}-element array for {path}\")),\n}}"
+    );
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => deserialize_named_fields(name, names, "v"),
+        Fields::Tuple(n) => deserialize_tuple_fields(name, *n, "v"),
+        Fields::Unit => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::new(\
+             \"expected null for unit struct {name}\")) }}"
+        ),
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = writeln!(unit_arms, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),");
+            }
+            Fields::Named(fields) => {
+                let body = deserialize_named_fields(&format!("{name}::{vn}"), fields, "inner");
+                let _ = writeln!(payload_arms, "\"{vn}\" => {{ {body} }},");
+            }
+            Fields::Tuple(n) => {
+                let body = deserialize_tuple_fields(&format!("{name}::{vn}"), *n, "inner");
+                let _ = writeln!(payload_arms, "\"{vn}\" => {{ {body} }},");
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"unknown variant `{{other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         let (tag, inner) = &pairs[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n\
+         {payload_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"unknown variant `{{other}}` for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"expected enum {name}, got {{other:?}}\"))),\n\
+         }}"
+    )
+}

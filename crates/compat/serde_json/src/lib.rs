@@ -1,0 +1,406 @@
+//! Minimal offline stand-in for `serde_json`, matching the API surface this
+//! workspace uses: [`to_string_pretty`] and [`from_str`]. Operates on the
+//! [`serde::Value`] tree produced by the sibling `serde` shim.
+
+#![deny(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Error for serialization or parsing failures.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes a value as compact (single-line) JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value_compact(out, val);
+            }
+            out.push('}');
+        }
+        scalar => write_value(out, scalar, 0),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            if !items.is_empty() {
+                self.expect(b',')?;
+            }
+            items.push(self.parse_value()?);
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            if !pairs.is_empty() {
+                self.expect(b',')?;
+                self.skip_ws();
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut code = self.parse_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a low surrogate escape must
+                                // follow immediately (UTF-16 pair encoding of
+                                // non-BMP characters, as emitted by e.g.
+                                // Python's json.dumps).
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error("unpaired high surrogate".into()));
+                                }
+                                let low = self.parse_hex4(self.pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                self.pos += 6;
+                            } else if (0xDC00..=0xDFFF).contains(&code) {
+                                return Err(Error("unpaired low surrogate".into()));
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error("invalid utf-8 in string".into()))?,
+                    );
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self.bytes.get(at..at + 4).ok_or_else(|| Error("truncated \\u escape".into()))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(|e| Error(e.to_string()))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::Int).map_err(|e| Error(e.to_string()))
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(|e| Error(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_vec() {
+        let json = to_string_pretty(&vec![1i32, 2, 3]).unwrap();
+        let back: Vec<i32> = from_str(&json).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parses_nested_object() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x\n"], "b": null}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        match v.get("a") {
+            Some(Value::Array(items)) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        // A surrogate-pair escape is how ensure_ascii serializers emit U+1F600.
+        let input = "\"\\ud83d\\ude00!\"";
+        let back: String = from_str(input).unwrap();
+        assert_eq!(back, "\u{1F600}!");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(from_str::<String>(r#""\ude00""#).is_err(), "unpaired low surrogate");
+    }
+
+    #[test]
+    fn rejects_out_of_range_floats_as_ints() {
+        assert!(from_str::<u8>("300.0").is_err());
+        assert!(from_str::<i32>("-3000000000.0").is_err());
+        let x: u8 = from_str("250.0").unwrap();
+        assert_eq!(x, 250);
+    }
+
+    #[test]
+    fn to_string_is_compact() {
+        assert_eq!(to_string(&vec![1i32, 2, 3]).unwrap(), "[1,2,3]");
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::Bool(true)]))]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[true]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let json = to_string_pretty(&"he\"llo\n".to_string()).unwrap();
+        assert_eq!(json, "\"he\\\"llo\\n\"");
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, "he\"llo\n");
+    }
+}

@@ -143,7 +143,10 @@ impl InterferenceDetector {
     /// VTA configuration.
     pub fn new(num_warps: usize) -> Self {
         InterferenceDetector {
-            vta: Vta::new(VtaConfig { entries_per_warp: VtaConfig::ciao().entries_per_warp, num_warps }),
+            vta: Vta::new(VtaConfig {
+                entries_per_warp: VtaConfig::ciao().entries_per_warp,
+                num_warps,
+            }),
             interference_list: InterferenceList::new(num_warps),
             pair_list: PairList::new(num_warps),
             num_warps,

@@ -98,7 +98,8 @@ impl OverheadModel {
         let vta_hit_counter_bits = self.warps_per_sm as u64 * 32;
         let interference_list_bits = self.list_entries as u64 * 8;
         let pair_list_bits = self.list_entries as u64 * 12;
-        let counter_and_list_bits_per_sm = vta_hit_counter_bits + interference_list_bits + pair_list_bits;
+        let counter_and_list_bits_per_sm =
+            vta_hit_counter_bits + interference_list_bits + pair_list_bits;
         let counter_and_list_area_mm2 =
             counter_and_list_bits_per_sm as f64 * self.num_sms as f64 * self.mm2_per_sram_bit;
 

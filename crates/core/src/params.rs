@@ -49,10 +49,11 @@ impl CiaoParams {
 
     /// Validates the parameter combination.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.high_cutoff > 0.0) {
+        if self.high_cutoff.is_nan() || self.high_cutoff <= 0.0 {
             return Err("high_cutoff must be positive".into());
         }
-        if !(self.low_cutoff > 0.0 && self.low_cutoff <= self.high_cutoff) {
+        if self.low_cutoff.is_nan() || self.low_cutoff <= 0.0 || self.low_cutoff > self.high_cutoff
+        {
             return Err("low_cutoff must be positive and not exceed high_cutoff".into());
         }
         if self.high_epoch == 0 || self.low_epoch == 0 {

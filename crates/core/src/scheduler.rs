@@ -76,7 +76,10 @@ impl CiaoVariant {
     ) -> (Box<dyn WarpScheduler>, Option<Box<dyn RedirectCache>>) {
         let scheduler = Box::new(CiaoScheduler::new(self, *params, config.max_warps_per_sm));
         let redirect: Option<Box<dyn RedirectCache>> = if self.can_isolate() {
-            Some(Box::new(SharedMemCache::new(config.shared_mem.size_bytes, config.shared_mem.latency)))
+            Some(Box::new(SharedMemCache::new(
+                config.shared_mem.size_bytes,
+                config.shared_mem.latency,
+            )))
         } else {
             None
         };
@@ -204,7 +207,8 @@ impl CiaoScheduler {
         if let Some(&candidate) = self.stall_stack.last() {
             let release = match self.detector.pair_list().get(candidate, PairRole::Stall) {
                 Some(k) => {
-                    let k_active = (k as usize) < self.num_warps && !self.flags[k as usize].finished;
+                    let k_active =
+                        (k as usize) < self.num_warps && !self.flags[k as usize].finished;
                     let irs_k = self.detector.irs(k, instructions, active_warps);
                     !(irs_k > self.params.low_cutoff && k_active)
                 }
@@ -224,7 +228,8 @@ impl CiaoScheduler {
             }
             let release = match self.detector.pair_list().get(w, PairRole::Redirect) {
                 Some(k) => {
-                    let k_active = (k as usize) < self.num_warps && !self.flags[k as usize].finished;
+                    let k_active =
+                        (k as usize) < self.num_warps && !self.flags[k as usize].finished;
                     let irs_k = self.detector.irs(k, instructions, active_warps);
                     !(irs_k > self.params.low_cutoff && k_active)
                 }
@@ -304,7 +309,9 @@ impl WarpScheduler for CiaoScheduler {
     }
 
     fn route(&mut self, wid: WarpId) -> MemRoute {
-        if self.variant.can_isolate() && self.flags.get(wid as usize).map(|f| f.isolated).unwrap_or(false) {
+        if self.variant.can_isolate()
+            && self.flags.get(wid as usize).map(|f| f.isolated).unwrap_or(false)
+        {
             MemRoute::RedirectCache
         } else {
             MemRoute::L1d
@@ -334,7 +341,9 @@ mod tests {
     use gpu_sim::warp::Warp;
 
     fn warps(n: usize) -> Vec<Warp> {
-        (0..n).map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![])))).collect()
+        (0..n)
+            .map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![]))))
+            .collect()
     }
 
     fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize], insts: u64) -> SchedulerCtx<'a> {
@@ -357,7 +366,11 @@ mod tests {
             block_addr: addr,
             is_write: false,
             outcome: CacheEventOutcome::Miss,
-            evicted: Some(EvictedLine { block_addr: addr + 0x10_0000, owner: victim, dirty: false }),
+            evicted: Some(EvictedLine {
+                block_addr: addr + 0x10_0000,
+                owner: victim,
+                dirty: false,
+            }),
             now: 0,
         });
         s.on_cache_event(&CacheEvent {
@@ -378,8 +391,12 @@ mod tests {
 
     #[test]
     fn variant_capabilities() {
-        assert!(CiaoVariant::PartitionOnly.can_isolate() && !CiaoVariant::PartitionOnly.can_throttle());
-        assert!(!CiaoVariant::ThrottleOnly.can_isolate() && CiaoVariant::ThrottleOnly.can_throttle());
+        assert!(
+            CiaoVariant::PartitionOnly.can_isolate() && !CiaoVariant::PartitionOnly.can_throttle()
+        );
+        assert!(
+            !CiaoVariant::ThrottleOnly.can_isolate() && CiaoVariant::ThrottleOnly.can_throttle()
+        );
         assert!(CiaoVariant::Combined.can_isolate() && CiaoVariant::Combined.can_throttle());
         assert_eq!(CiaoVariant::Combined.label(), "CIAO-C");
     }

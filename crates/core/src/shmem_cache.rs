@@ -111,7 +111,8 @@ impl SharedMemCache {
         // model the CTA usage as a single opaque allocation, and re-reserve
         // whatever is left for the cache.
         self.smmt = Smmt::new(self.scratchpad_bytes);
-        let cta_used = self.scratchpad_bytes.saturating_sub(unused_bytes.min(u64::from(u32::MAX)) as u32);
+        let cta_used =
+            self.scratchpad_bytes.saturating_sub(unused_bytes.min(u64::from(u32::MAX)) as u32);
         if cta_used > 0 {
             let _ = self.smmt.allocate_cta(0, cta_used);
         }
@@ -149,7 +150,11 @@ impl RedirectCache for SharedMemCache {
         self.stats.fills += 1;
         if previous.valid && previous.block_addr != block_addr {
             self.stats.evictions += 1;
-            Some(EvictedLine { block_addr: previous.block_addr, owner: previous.owner, dirty: false })
+            Some(EvictedLine {
+                block_addr: previous.block_addr,
+                owner: previous.owner,
+                dirty: false,
+            })
         } else {
             None
         }
@@ -185,7 +190,8 @@ impl RedirectCache for SharedMemCache {
         let current = self.capacity_bytes();
         // Rebuild only when the usable capacity actually changes; the SM
         // calls this after every CTA launch/retire.
-        let future = TranslationUnit::new(unused_bytes, 0).map(|t| t.data_capacity_bytes()).unwrap_or(0);
+        let future =
+            TranslationUnit::new(unused_bytes, 0).map(|t| t.data_capacity_bytes()).unwrap_or(0);
         if future != current {
             self.rebuild(unused_bytes);
         }

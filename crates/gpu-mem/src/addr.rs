@@ -145,7 +145,10 @@ mod tests {
     fn xor_hash_same_block_same_set() {
         let f = SetIndexFunction::XorHash;
         // Two addresses in the same 128-byte block must land in the same set.
-        assert_eq!(f.set_index(0x1234_0000, 32, LINE_SIZE), f.set_index(0x1234_007f, 32, LINE_SIZE));
+        assert_eq!(
+            f.set_index(0x1234_0000, 32, LINE_SIZE),
+            f.set_index(0x1234_007f, 32, LINE_SIZE)
+        );
     }
 
     proptest! {

@@ -137,7 +137,15 @@ struct Line {
 
 impl Line {
     fn invalid() -> Self {
-        Line { valid: false, dirty: false, tag: 0, block_addr: 0, owner: 0, last_use: 0, alloc_seq: 0 }
+        Line {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            block_addr: 0,
+            owner: 0,
+            last_use: 0,
+            alloc_seq: 0,
+        }
     }
 }
 
@@ -256,7 +264,14 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> Self {
         let num_sets = config.num_sets();
         let sets = vec![vec![Line::invalid(); config.associativity]; num_sets];
-        SetAssocCache { config, num_sets, sets, access_seq: 0, alloc_seq: 0, stats: CacheStats::default() }
+        SetAssocCache {
+            config,
+            num_sets,
+            sets,
+            access_seq: 0,
+            alloc_seq: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -330,9 +345,17 @@ impl SetAssocCache {
 
         // Miss path.
         if is_write && self.config.write_alloc == WriteAllocPolicy::WriteNoAllocate {
-            return CacheAccess { outcome: AccessOutcome::MissNoAllocate, evicted: None, hit_owner: None };
+            return CacheAccess {
+                outcome: AccessOutcome::MissNoAllocate,
+                evicted: None,
+                hit_owner: None,
+            };
         }
-        let evicted = self.fill_internal(addr, wid, is_write && self.config.write_policy == WritePolicy::WriteBack);
+        let evicted = self.fill_internal(
+            addr,
+            wid,
+            is_write && self.config.write_policy == WritePolicy::WriteBack,
+        );
         CacheAccess { outcome: AccessOutcome::Miss, evicted, hit_owner: None }
     }
 
@@ -408,7 +431,11 @@ impl SetAssocCache {
         let (set, tag) = self.set_and_tag(addr);
         for line in &mut self.sets[set] {
             if line.valid && line.tag == tag {
-                let out = EvictedLine { block_addr: line.block_addr, owner: line.owner, dirty: line.dirty };
+                let out = EvictedLine {
+                    block_addr: line.block_addr,
+                    owner: line.owner,
+                    dirty: line.dirty,
+                };
                 *line = Line::invalid();
                 return Some(out);
             }

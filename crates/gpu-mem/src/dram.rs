@@ -243,10 +243,7 @@ mod tests {
         let cfg = DramConfig::gtx480();
         // 8 requests across 8 different banks.
         let mut d1 = Dram::new(cfg);
-        let parallel_done = (0..8u64)
-            .map(|i| d1.access(i * cfg.row_size, 128, 0))
-            .max()
-            .unwrap();
+        let parallel_done = (0..8u64).map(|i| d1.access(i * cfg.row_size, 128, 0)).max().unwrap();
         // 8 requests to the same bank, different rows.
         let mut d2 = Dram::new(cfg);
         let serial_done = (0..8u64)

@@ -269,10 +269,7 @@ mod tests {
             let mut outstanding = std::collections::HashSet::new();
             for (i, b) in blocks.iter().enumerate() {
                 let addr = b * 128;
-                match m.allocate(addr, (i % 48) as WarpId, i as Cycle, FillTarget::L1d) {
-                    Ok(_) => { outstanding.insert(addr); }
-                    Err(_) => {}
-                }
+                if m.allocate(addr, (i % 48) as WarpId, i as Cycle, FillTarget::L1d).is_ok() { outstanding.insert(addr); }
                 prop_assert!(m.in_flight() <= 16);
             }
             for addr in &outstanding {

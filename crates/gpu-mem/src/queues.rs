@@ -122,8 +122,8 @@ impl<T> BoundedQueue<T> {
     /// Removes and returns the first item matching `pred` (used by the
     /// shared-memory fill path to pull a specific migrated block out of the
     /// response queue regardless of its position).
-    pub fn take_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
-        let idx = self.items.iter().position(|x| pred(x))?;
+    pub fn take_first<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
         self.items.remove(idx)
     }
 
@@ -166,9 +166,24 @@ mod tests {
     fn take_first_matching() {
         let mut q = BoundedQueue::new(8);
         for entry in [
-            ResponseEntry { block_addr: 0x000, source: ResponseSource::L2Fill, wid: 0, ready_at: 5 },
-            ResponseEntry { block_addr: 0x080, source: ResponseSource::L1dMigration, wid: 1, ready_at: 6 },
-            ResponseEntry { block_addr: 0x100, source: ResponseSource::L2Fill, wid: 2, ready_at: 7 },
+            ResponseEntry {
+                block_addr: 0x000,
+                source: ResponseSource::L2Fill,
+                wid: 0,
+                ready_at: 5,
+            },
+            ResponseEntry {
+                block_addr: 0x080,
+                source: ResponseSource::L1dMigration,
+                wid: 1,
+                ready_at: 6,
+            },
+            ResponseEntry {
+                block_addr: 0x100,
+                source: ResponseSource::L2Fill,
+                wid: 2,
+                ready_at: 7,
+            },
         ] {
             q.push(entry).unwrap();
         }

@@ -190,7 +190,10 @@ mod tests {
         assert_eq!(w8.l1d.associativity, 8);
         assert_eq!(w8.l1d.size_bytes, 16 * 1024);
         let bw = GpuConfig::gtx480_2x_bandwidth();
-        assert!(bw.partition.dram.bytes_per_cycle > GpuConfig::gtx480().partition.dram.bytes_per_cycle * 1.5);
+        assert!(
+            bw.partition.dram.bytes_per_cycle
+                > GpuConfig::gtx480().partition.dram.bytes_per_cycle * 1.5
+        );
     }
 
     #[test]

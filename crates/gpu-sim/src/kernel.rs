@@ -93,7 +93,8 @@ mod tests {
 
     #[test]
     fn closure_kernel_builds_programs() {
-        let info = KernelInfo { name: "k".into(), num_ctas: 2, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let info =
+            KernelInfo { name: "k".into(), num_ctas: 2, warps_per_cta: 1, shared_mem_per_cta: 0 };
         let k = ClosureKernel::new(info.clone(), |cta, _w| {
             Box::new(VecProgram::new(vec![WarpOp::coalesced_load(cta as u64 * 4096)]))
         });

@@ -43,8 +43,8 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
-pub use config::GpuConfig;
 pub use coalescer::coalesce;
+pub use config::GpuConfig;
 pub use kernel::{Kernel, KernelInfo};
 pub use redirect::{RedirectCache, RedirectLookup};
 pub use scheduler::{
@@ -57,11 +57,11 @@ pub use stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
 pub use warp::{Warp, WarpState};
 
+/// Re-export of the global address type.
+pub use gpu_mem::Addr;
+/// Re-export of the CTA identifier type.
+pub use gpu_mem::CtaId;
 /// Re-export of the cycle type used across the simulator.
 pub use gpu_mem::Cycle;
 /// Re-export of the warp identifier type.
 pub use gpu_mem::WarpId;
-/// Re-export of the CTA identifier type.
-pub use gpu_mem::CtaId;
-/// Re-export of the global address type.
-pub use gpu_mem::Addr;

@@ -185,11 +185,7 @@ impl WarpScheduler for GtoScheduler {
             }
         }
         // Oldest: smallest launch sequence among ready warps.
-        let oldest = ctx
-            .ready
-            .iter()
-            .copied()
-            .min_by_key(|&i| ctx.warps[i].launch_seq)?;
+        let oldest = ctx.ready.iter().copied().min_by_key(|&i| ctx.warps[i].launch_seq)?;
         self.last_issued = Some(oldest);
         Some(oldest)
     }

@@ -97,10 +97,15 @@ mod tests {
     use crate::trace::{VecProgram, WarpOp};
 
     fn kernel(n_ops: usize) -> Box<dyn Kernel> {
-        let info = KernelInfo { name: "drv".into(), num_ctas: 2, warps_per_cta: 4, shared_mem_per_cta: 0 };
+        let info =
+            KernelInfo { name: "drv".into(), num_ctas: 2, warps_per_cta: 4, shared_mem_per_cta: 0 };
         Box::new(ClosureKernel::new(info, move |cta, w| {
             let ops = (0..n_ops)
-                .map(|i| WarpOp::coalesced_load(((cta as u64 * 29 + w as u64 * 7 + i as u64) % 4096) * 128))
+                .map(|i| {
+                    WarpOp::coalesced_load(
+                        ((cta as u64 * 29 + w as u64 * 7 + i as u64) % 4096) * 128,
+                    )
+                })
                 .collect();
             Box::new(VecProgram::new(ops))
         }))

@@ -111,7 +111,8 @@ impl Sm {
         let shared_mem = SharedMemory::new(config.shared_mem);
         let smmt = Smmt::new(config.shared_mem.size_bytes);
         let mshr = Mshr::new(config.mshr_entries, config.mshr_merge);
-        let interconnect = Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
+        let interconnect =
+            Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
         let partition = MemoryPartition::new(config.partition.clone());
         let interference = InterferenceMatrix::new(config.max_warps_per_sm);
 
@@ -309,7 +310,8 @@ impl Sm {
             self.next_cta += 1;
         }
         self.stats.max_resident_ctas = self.stats.max_resident_ctas.max(self.resident.len());
-        self.stats.peak_cta_shared_mem = self.stats.peak_cta_shared_mem.max(self.smmt.cta_allocated());
+        self.stats.peak_cta_shared_mem =
+            self.stats.peak_cta_shared_mem.max(self.smmt.cta_allocated());
     }
 
     fn free_slot(&self, also_taken: &[usize]) -> usize {
@@ -346,7 +348,8 @@ impl Sm {
 
     fn update_redirect_capacity(&mut self) {
         if let Some(r) = self.redirect.as_mut() {
-            let unused = self.config.shared_mem.size_bytes.saturating_sub(self.smmt.cta_allocated());
+            let unused =
+                self.config.shared_mem.size_bytes.saturating_sub(self.smmt.cta_allocated());
             r.set_capacity(unused as u64);
         }
     }
@@ -365,7 +368,8 @@ impl Sm {
             let all_arrived = slots.iter().all(|&s| {
                 matches!(self.warps[s].state, WarpState::AtBarrier) || self.warps[s].is_finished()
             });
-            let any_waiting = slots.iter().any(|&s| matches!(self.warps[s].state, WarpState::AtBarrier));
+            let any_waiting =
+                slots.iter().any(|&s| matches!(self.warps[s].state, WarpState::AtBarrier));
             if all_arrived && any_waiting {
                 for &s in &slots {
                     if matches!(self.warps[s].state, WarpState::AtBarrier) {
@@ -395,7 +399,15 @@ impl Sm {
                                         self.stats.redirect_cross_warp_evictions += 1;
                                         self.interference.record(ev.owner, wid);
                                     }
-                                    self.notify_event(CacheKind::Redirect, wid, block, false, CacheEventOutcome::Miss, Some(ev), now);
+                                    self.notify_event(CacheEvent {
+                                        kind: CacheKind::Redirect,
+                                        wid,
+                                        block_addr: block,
+                                        is_write: false,
+                                        outcome: CacheEventOutcome::Miss,
+                                        evicted: Some(ev),
+                                        now,
+                                    });
                                 }
                             }
                         }
@@ -415,17 +427,7 @@ impl Sm {
         }
     }
 
-    fn notify_event(
-        &mut self,
-        kind: CacheKind,
-        wid: WarpId,
-        block_addr: Addr,
-        is_write: bool,
-        outcome: CacheEventOutcome,
-        evicted: Option<gpu_mem::cache::EvictedLine>,
-        now: Cycle,
-    ) {
-        let ev = CacheEvent { kind, wid, block_addr, is_write, outcome, evicted, now };
+    fn notify_event(&mut self, ev: CacheEvent) {
         self.scheduler.on_cache_event(&ev);
     }
 
@@ -447,9 +449,14 @@ impl Sm {
                 self.stats.barriers += 1;
                 self.warps[idx].enter_barrier();
             }
-            WarpOp::Load { space: MemSpace::Shared, pattern } | WarpOp::Store { space: MemSpace::Shared, pattern } => {
+            WarpOp::Load { space: MemSpace::Shared, pattern }
+            | WarpOp::Store { space: MemSpace::Shared, pattern } => {
                 self.stats.shared_mem_instructions += 1;
-                let lanes: Vec<u32> = pattern.lane_addresses().iter().map(|&a| (a % self.config.shared_mem.size_bytes as u64) as u32).collect();
+                let lanes: Vec<u32> = pattern
+                    .lane_addresses()
+                    .iter()
+                    .map(|&a| (a % self.config.shared_mem.size_bytes as u64) as u32)
+                    .collect();
                 let lat = self.shared_mem.access(&lanes);
                 self.warps[idx].start_compute(now + lat);
             }
@@ -463,7 +470,14 @@ impl Sm {
         self.scheduler.on_issue(wid, is_mem, now);
     }
 
-    fn issue_global(&mut self, idx: usize, wid: WarpId, pattern: &MemPattern, is_write: bool, now: Cycle) {
+    fn issue_global(
+        &mut self,
+        idx: usize,
+        wid: WarpId,
+        pattern: &MemPattern,
+        is_write: bool,
+        now: Cycle,
+    ) {
         self.stats.mem_instructions += 1;
         let blocks = coalesce(pattern);
         // Structural back-pressure: if the MSHR file cannot possibly hold the
@@ -503,7 +517,8 @@ impl Sm {
                     self.partition.access_bypass(block, arrive);
                 }
                 (MemRoute::RedirectCache, w) if self.redirect.is_some() => {
-                    if let Some(extra) = self.access_redirect(wid, block, w, now, &mut outstanding) {
+                    if let Some(extra) = self.access_redirect(wid, block, w, now, &mut outstanding)
+                    {
                         immediate_latency = immediate_latency.max(extra);
                     }
                 }
@@ -529,7 +544,14 @@ impl Sm {
 
     /// Normal L1D path for one block. Returns the immediate latency to charge
     /// if the access completes without an outstanding miss.
-    fn access_l1d(&mut self, wid: WarpId, block: Addr, is_write: bool, now: Cycle, outstanding: &mut u32) -> Cycle {
+    fn access_l1d(
+        &mut self,
+        wid: WarpId,
+        block: Addr,
+        is_write: bool,
+        now: Cycle,
+        outstanding: &mut u32,
+    ) -> Cycle {
         let res = self.l1d.access(block, wid, is_write);
         if let Some(ev) = res.evicted {
             if ev.owner != wid {
@@ -538,10 +560,20 @@ impl Sm {
             }
         }
         let outcome = match res.outcome {
-            gpu_mem::cache::AccessOutcome::Hit => CacheEventOutcome::Hit { owner: res.hit_owner.unwrap_or(wid) },
+            gpu_mem::cache::AccessOutcome::Hit => {
+                CacheEventOutcome::Hit { owner: res.hit_owner.unwrap_or(wid) }
+            }
             _ => CacheEventOutcome::Miss,
         };
-        self.notify_event(CacheKind::L1d, wid, block, is_write, outcome, res.evicted, now);
+        self.notify_event(CacheEvent {
+            kind: CacheKind::L1d,
+            wid,
+            block_addr: block,
+            is_write,
+            outcome,
+            evicted: res.evicted,
+            now,
+        });
 
         match res.outcome {
             gpu_mem::cache::AccessOutcome::Hit => {
@@ -607,7 +639,15 @@ impl Sm {
                 }
             }
             self.stats.redirect_hits += 1;
-            self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Hit { owner: wid }, None, now);
+            self.notify_event(CacheEvent {
+                kind: CacheKind::Redirect,
+                wid,
+                block_addr: block,
+                is_write,
+                outcome: CacheEventOutcome::Hit { owner: wid },
+                evicted: None,
+                now,
+            });
             // Serialized tag check + scratchpad write.
             return Some(self.config.l1d.latency + self.config.shared_mem.latency);
         }
@@ -616,7 +656,15 @@ impl Sm {
         match lookup {
             RedirectLookup::Hit { latency } => {
                 self.stats.redirect_hits += 1;
-                self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Hit { owner: wid }, None, now);
+                self.notify_event(CacheEvent {
+                    kind: CacheKind::Redirect,
+                    wid,
+                    block_addr: block,
+                    is_write,
+                    outcome: CacheEventOutcome::Hit { owner: wid },
+                    evicted: None,
+                    now,
+                });
                 if is_write {
                     // Write-through downstream, off the critical path.
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
@@ -626,13 +674,26 @@ impl Sm {
             }
             RedirectLookup::Miss => {
                 self.stats.redirect_misses += 1;
-                self.notify_event(CacheKind::Redirect, wid, block, is_write, CacheEventOutcome::Miss, None, now);
+                self.notify_event(CacheEvent {
+                    kind: CacheKind::Redirect,
+                    wid,
+                    block_addr: block,
+                    is_write,
+                    outcome: CacheEventOutcome::Miss,
+                    evicted: None,
+                    now,
+                });
                 if is_write {
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
                     self.partition.access(block, wid, true, arrive);
                     return Some(self.config.shared_mem.latency);
                 }
-                match self.mshr.allocate(block, wid, now, FillTarget::SharedMemory { shared_addr: 0 }) {
+                match self.mshr.allocate(
+                    block,
+                    wid,
+                    now,
+                    FillTarget::SharedMemory { shared_addr: 0 },
+                ) {
                     Ok(gpu_mem::mshr::MshrAllocation::New) => {
                         let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
                         let done = self.partition.access(block, wid, false, arrive);
@@ -662,7 +723,8 @@ impl Sm {
         }
         let d_inst = self.stats.instructions - self.snapshot.instructions;
         let d_cycles = (now - self.snapshot.cycle).max(1);
-        let interference_now = self.stats.cross_warp_evictions + self.stats.redirect_cross_warp_evictions;
+        let interference_now =
+            self.stats.cross_warp_evictions + self.stats.redirect_cross_warp_evictions;
         let d_interference = interference_now - self.snapshot.interference;
         let l1d = self.l1d.stats();
         let d_acc = l1d.accesses() - self.snapshot.l1d_accesses;
@@ -732,7 +794,8 @@ mod tests {
 
     #[test]
     fn runs_to_completion() {
-        let mut sm = Sm::new(small_config(), simple_kernel(2, 4, 10), Box::new(GtoScheduler::new()), None);
+        let mut sm =
+            Sm::new(small_config(), simple_kernel(2, 4, 10), Box::new(GtoScheduler::new()), None);
         sm.run();
         assert!(sm.is_done());
         let s = sm.stats();
@@ -745,7 +808,8 @@ mod tests {
 
     #[test]
     fn barrier_synchronises_cta() {
-        let info = KernelInfo { name: "bar".into(), num_ctas: 1, warps_per_cta: 2, shared_mem_per_cta: 0 };
+        let info =
+            KernelInfo { name: "bar".into(), num_ctas: 1, warps_per_cta: 2, shared_mem_per_cta: 0 };
         let kernel = ClosureKernel::new(info, |_cta, w| {
             let mut ops = vec![];
             if w == 0 {
@@ -765,7 +829,8 @@ mod tests {
     #[test]
     fn cta_launch_respects_warp_capacity() {
         // 4 CTAs of 24 warps each: only 2 fit at a time on a 48-warp SM.
-        let mut sm = Sm::new(small_config(), simple_kernel(4, 24, 2), Box::new(GtoScheduler::new()), None);
+        let mut sm =
+            Sm::new(small_config(), simple_kernel(4, 24, 2), Box::new(GtoScheduler::new()), None);
         assert_eq!(sm.stats.max_resident_ctas.max(sm.resident.len()), 2);
         sm.run();
         assert!(sm.is_done());
@@ -774,8 +839,14 @@ mod tests {
 
     #[test]
     fn shared_mem_limits_cta_residency() {
-        let info = KernelInfo { name: "smem".into(), num_ctas: 4, warps_per_cta: 2, shared_mem_per_cta: 30 * 1024 };
-        let kernel = ClosureKernel::new(info, |_c, _w| Box::new(VecProgram::new(vec![WarpOp::alu()])));
+        let info = KernelInfo {
+            name: "smem".into(),
+            num_ctas: 4,
+            warps_per_cta: 2,
+            shared_mem_per_cta: 30 * 1024,
+        };
+        let kernel =
+            ClosureKernel::new(info, |_c, _w| Box::new(VecProgram::new(vec![WarpOp::alu()])));
         let mut sm = Sm::new(small_config(), Box::new(kernel), Box::new(GtoScheduler::new()), None);
         // 30 KB per CTA on a 48 KB scratchpad: only one CTA resident at a time.
         assert_eq!(sm.resident.len(), 1);
@@ -796,7 +867,12 @@ mod tests {
 
     #[test]
     fn repeated_loads_hit_in_l1d() {
-        let info = KernelInfo { name: "hits".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let info = KernelInfo {
+            name: "hits".into(),
+            num_ctas: 1,
+            warps_per_cta: 1,
+            shared_mem_per_cta: 0,
+        };
         let kernel = ClosureKernel::new(info, |_c, _w| {
             let mut ops = Vec::new();
             for _ in 0..50 {
@@ -817,7 +893,12 @@ mod tests {
         // has data locality), while warp 1 streams a large array through the
         // same cache, evicting warp 0's lines; warp 0's refills in turn evict
         // warp 1's freshly inserted lines.
-        let info = KernelInfo { name: "thrash".into(), num_ctas: 1, warps_per_cta: 2, shared_mem_per_cta: 0 };
+        let info = KernelInfo {
+            name: "thrash".into(),
+            num_ctas: 1,
+            warps_per_cta: 2,
+            shared_mem_per_cta: 0,
+        };
         let kernel = ClosureKernel::new(info, |_c, w| {
             let mut ops = Vec::new();
             if w == 0 {
@@ -855,7 +936,12 @@ mod tests {
 
     #[test]
     fn stores_do_not_block_warp() {
-        let info = KernelInfo { name: "stores".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 0 };
+        let info = KernelInfo {
+            name: "stores".into(),
+            num_ctas: 1,
+            warps_per_cta: 1,
+            shared_mem_per_cta: 0,
+        };
         let kernel = ClosureKernel::new(info, |_c, _w| {
             let ops = (0..20u64).map(|i| WarpOp::coalesced_store(i * 128)).collect();
             Box::new(VecProgram::new(ops))
@@ -864,16 +950,31 @@ mod tests {
         sm.run();
         // 20 stores with no load stalls should finish quickly (well under the
         // DRAM round-trip × 20 it would take if stores blocked).
-        assert!(sm.stats().cycles < 500, "stores should not serialise on DRAM, took {}", sm.stats().cycles);
+        assert!(
+            sm.stats().cycles < 500,
+            "stores should not serialise on DRAM, took {}",
+            sm.stats().cycles
+        );
     }
 
     #[test]
     fn shared_memory_ops_execute() {
-        let info = KernelInfo { name: "shmem".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 1024 };
+        let info = KernelInfo {
+            name: "shmem".into(),
+            num_ctas: 1,
+            warps_per_cta: 1,
+            shared_mem_per_cta: 1024,
+        };
         let kernel = ClosureKernel::new(info, |_c, _w| {
             let ops = vec![
-                WarpOp::Load { space: MemSpace::Shared, pattern: MemPattern::Strided { base: 0, stride: 4, lanes: 32 } },
-                WarpOp::Store { space: MemSpace::Shared, pattern: MemPattern::Strided { base: 0, stride: 256, lanes: 8 } },
+                WarpOp::Load {
+                    space: MemSpace::Shared,
+                    pattern: MemPattern::Strided { base: 0, stride: 4, lanes: 32 },
+                },
+                WarpOp::Store {
+                    space: MemSpace::Shared,
+                    pattern: MemPattern::Strided { base: 0, stride: 256, lanes: 8 },
+                },
             ];
             Box::new(VecProgram::new(ops))
         });

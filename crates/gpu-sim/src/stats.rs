@@ -65,7 +65,8 @@ impl TimeSeries {
         if self.points.is_empty() {
             0.0
         } else {
-            self.points.iter().map(|p| p.active_warps as f64).sum::<f64>() / self.points.len() as f64
+            self.points.iter().map(|p| p.active_warps as f64).sum::<f64>()
+                / self.points.len() as f64
         }
     }
 }
@@ -161,7 +162,11 @@ impl InterferenceMatrix {
     pub fn normalized(&self) -> Vec<Vec<f64>> {
         let max = self.counts.iter().copied().max().unwrap_or(0).max(1) as f64;
         (0..self.num_warps)
-            .map(|v| (0..self.num_warps).map(|e| self.counts[v * self.num_warps + e] as f64 / max).collect())
+            .map(|v| {
+                (0..self.num_warps)
+                    .map(|e| self.counts[v * self.num_warps + e] as f64 / max)
+                    .collect()
+            })
             .collect()
     }
 }
@@ -252,8 +257,22 @@ mod tests {
     fn time_series_means() {
         let mut ts = TimeSeries::default();
         assert!(ts.is_empty());
-        ts.push(TimeSeriesPoint { instructions: 100, cycle: 200, ipc: 0.5, active_warps: 10, interference: 3, l1d_hit_rate: 0.4 });
-        ts.push(TimeSeriesPoint { instructions: 200, cycle: 300, ipc: 1.0, active_warps: 20, interference: 1, l1d_hit_rate: 0.6 });
+        ts.push(TimeSeriesPoint {
+            instructions: 100,
+            cycle: 200,
+            ipc: 0.5,
+            active_warps: 10,
+            interference: 3,
+            l1d_hit_rate: 0.4,
+        });
+        ts.push(TimeSeriesPoint {
+            instructions: 200,
+            cycle: 300,
+            ipc: 1.0,
+            active_warps: 20,
+            interference: 1,
+            l1d_hit_rate: 0.6,
+        });
         assert_eq!(ts.len(), 2);
         assert!((ts.mean_ipc() - 0.75).abs() < 1e-12);
         assert!((ts.mean_active_warps() - 15.0).abs() < 1e-12);
@@ -298,7 +317,8 @@ mod tests {
 
     #[test]
     fn sm_stats_derived_metrics() {
-        let s = SmStats { cycles: 1000, instructions: 500, mem_transactions: 50, ..Default::default() };
+        let s =
+            SmStats { cycles: 1000, instructions: 500, mem_transactions: 50, ..Default::default() };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
         assert!((s.apki() - 100.0).abs() < 1e-12);
         assert_eq!(SmStats::default().ipc(), 0.0);

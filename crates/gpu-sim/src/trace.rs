@@ -44,9 +44,9 @@ impl MemPattern {
     /// Expands the pattern into per-lane addresses.
     pub fn lane_addresses(&self) -> Vec<Addr> {
         match self {
-            MemPattern::Strided { base, stride, lanes } => (0..*lanes as i64)
-                .map(|i| (*base as i64 + i * stride) as Addr)
-                .collect(),
+            MemPattern::Strided { base, stride, lanes } => {
+                (0..*lanes as i64).map(|i| (*base as i64 + i * stride) as Addr).collect()
+            }
             MemPattern::Scatter(addrs) => addrs.clone(),
         }
     }
@@ -91,12 +91,18 @@ impl WarpOp {
     /// Convenience constructor: a perfectly coalesced 32-lane global load of
     /// one 128-byte block starting at `base`.
     pub fn coalesced_load(base: Addr) -> Self {
-        WarpOp::Load { space: MemSpace::Global, pattern: MemPattern::Strided { base, stride: 4, lanes: 32 } }
+        WarpOp::Load {
+            space: MemSpace::Global,
+            pattern: MemPattern::Strided { base, stride: 4, lanes: 32 },
+        }
     }
 
     /// Convenience constructor: a perfectly coalesced 32-lane global store.
     pub fn coalesced_store(base: Addr) -> Self {
-        WarpOp::Store { space: MemSpace::Global, pattern: MemPattern::Strided { base, stride: 4, lanes: 32 } }
+        WarpOp::Store {
+            space: MemSpace::Global,
+            pattern: MemPattern::Strided { base, stride: 4, lanes: 32 },
+        }
     }
 
     /// Convenience constructor: a single-cycle compute instruction.
@@ -108,7 +114,8 @@ impl WarpOp {
     pub fn is_global_mem(&self) -> bool {
         matches!(
             self,
-            WarpOp::Load { space: MemSpace::Global, .. } | WarpOp::Store { space: MemSpace::Global, .. }
+            WarpOp::Load { space: MemSpace::Global, .. }
+                | WarpOp::Store { space: MemSpace::Global, .. }
         )
     }
 
@@ -116,7 +123,8 @@ impl WarpOp {
     pub fn is_shared_mem(&self) -> bool {
         matches!(
             self,
-            WarpOp::Load { space: MemSpace::Shared, .. } | WarpOp::Store { space: MemSpace::Shared, .. }
+            WarpOp::Load { space: MemSpace::Shared, .. }
+                | WarpOp::Store { space: MemSpace::Shared, .. }
         )
     }
 }
@@ -199,14 +207,18 @@ mod tests {
         assert!(WarpOp::coalesced_load(0).is_global_mem());
         assert!(!WarpOp::coalesced_load(0).is_shared_mem());
         assert!(!WarpOp::alu().is_global_mem());
-        let sl = WarpOp::Load { space: MemSpace::Shared, pattern: MemPattern::Strided { base: 0, stride: 4, lanes: 32 } };
+        let sl = WarpOp::Load {
+            space: MemSpace::Shared,
+            pattern: MemPattern::Strided { base: 0, stride: 4, lanes: 32 },
+        };
         assert!(sl.is_shared_mem());
         assert!(!WarpOp::Barrier.is_global_mem());
     }
 
     #[test]
     fn vec_program_replays_in_order() {
-        let mut p = VecProgram::new(vec![WarpOp::alu(), WarpOp::Barrier, WarpOp::coalesced_load(256)]);
+        let mut p =
+            VecProgram::new(vec![WarpOp::alu(), WarpOp::Barrier, WarpOp::coalesced_load(256)]);
         assert_eq!(p.remaining_hint(), Some(3));
         assert_eq!(p.next_op(), Some(WarpOp::alu()));
         assert_eq!(p.next_op(), Some(WarpOp::Barrier));

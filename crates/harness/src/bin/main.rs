@@ -10,7 +10,9 @@
 //! Text reports go to stdout; when `--out DIR` is given, each experiment also
 //! writes `<experiment>.txt` and `<experiment>.json` into the directory.
 
-use ciao_harness::experiments::{fig1, fig10, fig11, fig12, fig4, fig8, fig9, overhead, table1, table2};
+use ciao_harness::experiments::{
+    fig1, fig10, fig11, fig12, fig4, fig8, fig9, overhead, table1, table2,
+};
 use ciao_harness::report::write_json;
 use ciao_harness::runner::{RunScale, Runner};
 use ciao_harness::schedulers::SchedulerKind;
@@ -126,7 +128,10 @@ fn main() {
         runner.threads
     );
     if opts.experiment == "all" {
-        for name in ["table1", "table2", "fig1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "overhead"] {
+        for name in [
+            "table1", "table2", "fig1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "overhead",
+        ] {
             eprintln!("[ciao-harness] running {name} ...");
             run_experiment(&opts, name, &runner);
         }

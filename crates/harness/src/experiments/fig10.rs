@@ -18,7 +18,11 @@ pub fn fig10_schedulers() -> Vec<SchedulerKind> {
 }
 
 /// Runs the Fig. 10 experiment.
-pub fn run(runner: &Runner, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> TimeSeriesResult {
+pub fn run(
+    runner: &Runner,
+    benchmarks: &[Benchmark],
+    schedulers: &[SchedulerKind],
+) -> TimeSeriesResult {
     fig9::run(runner, benchmarks, schedulers)
 }
 

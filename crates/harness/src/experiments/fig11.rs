@@ -39,7 +39,12 @@ pub struct Fig11Result {
     pub cutoffs: SweepResult,
 }
 
-fn sweep<F>(runner: &Runner, benchmarks: &[Benchmark], settings: &[String], make_params: F) -> SweepResult
+fn sweep<F>(
+    runner: &Runner,
+    benchmarks: &[Benchmark],
+    settings: &[String],
+    make_params: F,
+) -> SweepResult
 where
     F: Fn(&str) -> CiaoParams,
 {
@@ -106,9 +111,15 @@ fn render_sweep(title: &str, sweep: &SweepResult) -> String {
 /// Renders both panels.
 pub fn render(result: &Fig11Result) -> String {
     let mut out = String::new();
-    out.push_str(&render_sweep("Fig. 11a: IPC vs high-cutoff epoch (normalised to 5000)", &result.epochs));
+    out.push_str(&render_sweep(
+        "Fig. 11a: IPC vs high-cutoff epoch (normalised to 5000)",
+        &result.epochs,
+    ));
     out.push('\n');
-    out.push_str(&render_sweep("Fig. 11b: IPC vs high-cutoff threshold (normalised to 1%)", &result.cutoffs));
+    out.push_str(&render_sweep(
+        "Fig. 11b: IPC vs high-cutoff threshold (normalised to 1%)",
+        &result.cutoffs,
+    ));
     out
 }
 

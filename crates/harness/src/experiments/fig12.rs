@@ -40,16 +40,10 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
     for &b in benchmarks {
         // --- Fig. 12a ---
         let gto_base = runner.record(b, SchedulerKind::Gto).ipc.max(1e-12);
-        let gto_cap = runner
-            .clone()
-            .with_config(GpuConfig::gtx480_cap())
-            .record(b, SchedulerKind::Gto)
-            .ipc;
-        let gto_8way = runner
-            .clone()
-            .with_config(GpuConfig::gtx480_8way())
-            .record(b, SchedulerKind::Gto)
-            .ipc;
+        let gto_cap =
+            runner.clone().with_config(GpuConfig::gtx480_cap()).record(b, SchedulerKind::Gto).ipc;
+        let gto_8way =
+            runner.clone().with_config(GpuConfig::gtx480_8way()).record(b, SchedulerKind::Gto).ipc;
         let ciao_c = runner.record(b, SchedulerKind::CiaoC).ipc;
         let mut per_config = BTreeMap::new();
         per_config.insert("GTO".to_string(), 1.0);
@@ -62,11 +56,8 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
         let mut per_sched = BTreeMap::new();
         for s in [SchedulerKind::StatPcal, SchedulerKind::CiaoC] {
             let base = runner.record(b, s).ipc.max(1e-12);
-            let doubled = runner
-                .clone()
-                .with_config(GpuConfig::gtx480_2x_bandwidth())
-                .record(b, s)
-                .ipc;
+            let doubled =
+                runner.clone().with_config(GpuConfig::gtx480_2x_bandwidth()).record(b, s).ipc;
             per_sched.insert(format!("{}-2X", s.label()), doubled / base);
         }
         bandwidth.insert(b.name().to_string(), per_sched);

@@ -7,8 +7,8 @@
 //! * **4b** — the minimum and maximum pairwise interference frequency per
 //!   workload, showing the same skew across every evaluated benchmark.
 
-use crate::runner::Runner;
 use crate::report::Table;
+use crate::runner::Runner;
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -51,9 +51,7 @@ pub struct Fig4Result {
 pub fn run(runner: &Runner, focus: Benchmark, benchmarks: &[Benchmark]) -> Fig4Result {
     let res = runner.run_one(focus, SchedulerKind::Gto);
     let matrix = &res.interference;
-    let victim = (0..matrix.num_warps() as u32)
-        .max_by_key(|&w| matrix.suffered_by(w))
-        .unwrap_or(0);
+    let victim = (0..matrix.num_warps() as u32).max_by_key(|&w| matrix.suffered_by(w)).unwrap_or(0);
     let mut interferers: Vec<(u32, u64)> = (0..matrix.num_warps() as u32)
         .map(|e| (e, matrix.count(victim, e)))
         .filter(|&(_, c)| c > 0)
@@ -85,7 +83,9 @@ pub fn render(result: &Fig4Result) -> String {
     let mut a = Table::new(
         format!(
             "Fig. 4a: warps interfering with W{} of {} ({} warps never interfere)",
-            result.single_warp.victim, result.single_warp.benchmark, result.single_warp.non_interfering_warps
+            result.single_warp.victim,
+            result.single_warp.benchmark,
+            result.single_warp.non_interfering_warps
         ),
         &["Interfering warp", "Evictions"],
     );
@@ -94,7 +94,10 @@ pub fn render(result: &Fig4Result) -> String {
     }
     out.push_str(&a.render());
     out.push('\n');
-    let mut b = Table::new("Fig. 4b: min/max pairwise interference per workload", &["Benchmark", "Min", "Max"]);
+    let mut b = Table::new(
+        "Fig. 4b: min/max pairwise interference per workload",
+        &["Benchmark", "Min", "Max"],
+    );
     for row in &result.min_max {
         b.row(vec![row.benchmark.clone(), row.min.to_string(), row.max.to_string()]);
     }

@@ -50,18 +50,12 @@ pub fn summarize(records: Vec<RunRecord>, benchmarks: &[Benchmark]) -> Fig8Resul
         seen
     };
     for sched in &schedulers {
-        let all: Vec<f64> = normalized
-            .iter()
-            .filter(|(_, s, _)| s == sched)
-            .map(|&(_, _, v)| v)
-            .collect();
+        let all: Vec<f64> =
+            normalized.iter().filter(|(_, s, _)| s == sched).map(|&(_, _, v)| v).collect();
         overall_geomeans.insert(sched.clone(), geometric_mean(&all));
         for class in [BenchmarkClass::Lws, BenchmarkClass::Sws, BenchmarkClass::Ci] {
-            let members: Vec<&str> = benchmarks
-                .iter()
-                .filter(|b| b.class() == class)
-                .map(|b| b.name())
-                .collect();
+            let members: Vec<&str> =
+                benchmarks.iter().filter(|b| b.class() == class).map(|b| b.name()).collect();
             if members.is_empty() {
                 continue;
             }
@@ -84,12 +78,17 @@ pub fn summarize(records: Vec<RunRecord>, benchmarks: &[Benchmark]) -> Fig8Resul
             benchmarks.iter().filter(|b| b.class() == class).map(|b| b.name()).collect();
         let values: Vec<f64> = records
             .iter()
-            .filter(|r| r.scheduler == SchedulerKind::CiaoP.label() && members.contains(&r.benchmark.as_str()))
+            .filter(|r| {
+                r.scheduler == SchedulerKind::CiaoP.label()
+                    && members.contains(&r.benchmark.as_str())
+            })
             .map(|r| r.redirect_utilization)
             .collect();
         if !values.is_empty() {
-            shmem_utilization
-                .insert(class.label().to_string(), values.iter().sum::<f64>() / values.len() as f64);
+            shmem_utilization.insert(
+                class.label().to_string(),
+                values.iter().sum::<f64>() / values.len() as f64,
+            );
         }
     }
 
@@ -139,7 +138,8 @@ pub fn render(result: &Fig8Result) -> String {
     out.push_str(&t.render());
     out.push('\n');
 
-    let mut u = Table::new("Fig. 8b: shared-memory utilisation under CIAO-P", &["Class", "Utilisation"]);
+    let mut u =
+        Table::new("Fig. 8b: shared-memory utilisation under CIAO-P", &["Class", "Utilisation"]);
     for (class, util) in &result.shmem_utilization {
         u.row(vec![class.clone(), format!("{util:.2}")]);
     }

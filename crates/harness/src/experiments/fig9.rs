@@ -30,7 +30,11 @@ pub struct TimeSeriesResult {
 }
 
 /// Runs the time-series comparison for the given benchmarks and schedulers.
-pub fn run(runner: &Runner, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> TimeSeriesResult {
+pub fn run(
+    runner: &Runner,
+    benchmarks: &[Benchmark],
+    schedulers: &[SchedulerKind],
+) -> TimeSeriesResult {
     let mut series = Vec::new();
     for &b in benchmarks {
         for &s in schedulers {
@@ -66,7 +70,8 @@ pub fn render(title: &str, result: &TimeSeriesResult) -> String {
         }
     }
     for b in &benchmarks {
-        let entries: Vec<&SeriesEntry> = result.series.iter().filter(|s| &s.benchmark == b).collect();
+        let entries: Vec<&SeriesEntry> =
+            result.series.iter().filter(|s| &s.benchmark == b).collect();
         let mut header = vec!["Instructions".to_string()];
         for e in &entries {
             header.push(format!("{} IPC", e.scheduler));
@@ -120,7 +125,8 @@ mod tests {
     #[test]
     fn produces_time_series_per_pair() {
         let runner = Runner::new(RunScale::Tiny);
-        let result = run(&runner, &[Benchmark::Atax], &[SchedulerKind::BestSwl, SchedulerKind::CiaoT]);
+        let result =
+            run(&runner, &[Benchmark::Atax], &[SchedulerKind::BestSwl, SchedulerKind::CiaoT]);
         assert_eq!(result.series.len(), 2);
         for s in &result.series {
             assert!(!s.points.is_empty(), "{} should produce samples", s.scheduler);

@@ -62,7 +62,16 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Table2Result {
 pub fn render(result: &Table2Result) -> String {
     let mut t = Table::new(
         "Table II: benchmark characteristics (paper vs. synthetic workload)",
-        &["Benchmark", "Class", "APKI(paper)", "APKI(meas)", "Nwrp", "Fsmem(paper)", "CTA shmem(meas)", "Bar."],
+        &[
+            "Benchmark",
+            "Class",
+            "APKI(paper)",
+            "APKI(meas)",
+            "Nwrp",
+            "Fsmem(paper)",
+            "CTA shmem(meas)",
+            "Bar.",
+        ],
     );
     for r in &result.rows {
         t.row(vec![
@@ -93,8 +102,12 @@ mod tests {
         let hotspot = &result.rows[1];
         // The memory-intensive benchmark must measure far higher APKI than the
         // compute-intensive one, mirroring the paper's ordering.
-        assert!(gesummv.measured_apki > 5.0 * hotspot.measured_apki.max(0.1),
-                "GESUMMV {} vs Hotspot {}", gesummv.measured_apki, hotspot.measured_apki);
+        assert!(
+            gesummv.measured_apki > 5.0 * hotspot.measured_apki.max(0.1),
+            "GESUMMV {} vs Hotspot {}",
+            gesummv.measured_apki,
+            hotspot.measured_apki
+        );
         // Hotspot reserves programmer shared memory, GESUMMV does not.
         assert!(hotspot.measured_cta_shared_mem > 0);
         assert_eq!(gesummv.measured_cta_shared_mem, 0);

@@ -26,7 +26,11 @@ pub struct Table {
 impl Table {
     /// Creates a table with a title and column headers.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
-        Table { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -71,7 +75,11 @@ impl Table {
         };
         if !self.header.is_empty() {
             let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1)))
+            );
         }
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
@@ -89,9 +97,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         }
         out
     }
@@ -166,7 +179,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("x.json");
         write_json(&path, &vec![1, 2, 3]).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
     }
 }

@@ -89,7 +89,8 @@ impl RunRecord {
             l1d_hit_rate: res.l1d_hit_rate(),
             apki: res.stats.apki(),
             mean_active_warps: res.time_series.mean_active_warps(),
-            interference_events: res.stats.cross_warp_evictions + res.stats.redirect_cross_warp_evictions,
+            interference_events: res.stats.cross_warp_evictions
+                + res.stats.redirect_cross_warp_evictions,
             vta_hits: res.scheduler_metrics.vta_hits,
             redirect_utilization: res.stats.redirect_utilization,
             cycles: res.cycles,
@@ -159,7 +160,11 @@ impl Runner {
 
     /// Runs the full (benchmarks × schedulers) matrix, in parallel, returning
     /// records in a deterministic (benchmark-major) order.
-    pub fn run_matrix(&self, benchmarks: &[Benchmark], schedulers: &[SchedulerKind]) -> Vec<RunRecord> {
+    pub fn run_matrix(
+        &self,
+        benchmarks: &[Benchmark],
+        schedulers: &[SchedulerKind],
+    ) -> Vec<RunRecord> {
         let jobs: Vec<(usize, Benchmark, SchedulerKind)> = benchmarks
             .iter()
             .flat_map(|&b| schedulers.iter().map(move |&s| (b, s)))
@@ -170,9 +175,9 @@ impl Runner {
         let next: Mutex<usize> = Mutex::new(0);
         let workers = self.threads.clamp(1, jobs.len().max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = {
                         let mut n = next.lock();
                         if *n >= jobs.len() {
@@ -187,8 +192,7 @@ impl Runner {
                     results.lock()[slot] = Some(record);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         results.into_inner().into_iter().map(|r| r.expect("every job ran")).collect()
     }
@@ -250,8 +254,34 @@ mod tests {
     #[test]
     fn normalisation_uses_the_baseline() {
         let records = vec![
-            RunRecord { benchmark: "A".into(), class: "LWS".into(), scheduler: "GTO".into(), ipc: 2.0, l1d_hit_rate: 0.0, apki: 0.0, mean_active_warps: 0.0, interference_events: 0, vta_hits: 0, redirect_utilization: 0.0, cycles: 1, instructions: 1 },
-            RunRecord { benchmark: "A".into(), class: "LWS".into(), scheduler: "X".into(), ipc: 3.0, l1d_hit_rate: 0.0, apki: 0.0, mean_active_warps: 0.0, interference_events: 0, vta_hits: 0, redirect_utilization: 0.0, cycles: 1, instructions: 1 },
+            RunRecord {
+                benchmark: "A".into(),
+                class: "LWS".into(),
+                scheduler: "GTO".into(),
+                ipc: 2.0,
+                l1d_hit_rate: 0.0,
+                apki: 0.0,
+                mean_active_warps: 0.0,
+                interference_events: 0,
+                vta_hits: 0,
+                redirect_utilization: 0.0,
+                cycles: 1,
+                instructions: 1,
+            },
+            RunRecord {
+                benchmark: "A".into(),
+                class: "LWS".into(),
+                scheduler: "X".into(),
+                ipc: 3.0,
+                l1d_hit_rate: 0.0,
+                apki: 0.0,
+                mean_active_warps: 0.0,
+                interference_events: 0,
+                vta_hits: 0,
+                redirect_utilization: 0.0,
+                cycles: 1,
+                instructions: 1,
+            },
         ];
         let norm = normalize_to(&records, "GTO");
         assert!((norm[0].2 - 1.0).abs() < 1e-12);

@@ -79,7 +79,10 @@ impl SchedulerKind {
         match self {
             SchedulerKind::Gto => (Box::new(GtoScheduler::new()), None),
             SchedulerKind::Ccws => {
-                let ccws = CcwsScheduler::new(CcwsConfig { num_warps: config.max_warps_per_sm, ..CcwsConfig::default() });
+                let ccws = CcwsScheduler::new(CcwsConfig {
+                    num_warps: config.max_warps_per_sm,
+                    ..CcwsConfig::default()
+                });
                 (Box::new(ccws), None)
             }
             SchedulerKind::BestSwl => (

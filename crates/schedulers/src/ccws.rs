@@ -142,15 +142,11 @@ impl WarpScheduler for CcwsScheduler {
         }
         // Otherwise prefer the ready warp with the highest lost-locality
         // score (most evidence of locality), oldest on ties.
-        let pick = ctx
-            .ready
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let sa = self.scores.get(ctx.warps[a].id as usize).copied().unwrap_or(0);
-                let sb = self.scores.get(ctx.warps[b].id as usize).copied().unwrap_or(0);
-                sa.cmp(&sb).then(ctx.warps[b].launch_seq.cmp(&ctx.warps[a].launch_seq))
-            })?;
+        let pick = ctx.ready.iter().copied().max_by(|&a, &b| {
+            let sa = self.scores.get(ctx.warps[a].id as usize).copied().unwrap_or(0);
+            let sb = self.scores.get(ctx.warps[b].id as usize).copied().unwrap_or(0);
+            sa.cmp(&sb).then(ctx.warps[b].launch_seq.cmp(&ctx.warps[a].launch_seq))
+        })?;
         self.last_issued = Some(pick);
         Some(pick)
     }
@@ -234,11 +230,20 @@ mod tests {
     use gpu_sim::warp::Warp;
 
     fn warps(n: usize) -> Vec<Warp> {
-        (0..n).map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![])))).collect()
+        (0..n)
+            .map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![]))))
+            .collect()
     }
 
     fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize]) -> SchedulerCtx<'a> {
-        SchedulerCtx { now: 0, warps, ready, instructions_executed: 0, active_warps: warps.len(), dram_utilization: 0.0 }
+        SchedulerCtx {
+            now: 0,
+            warps,
+            ready,
+            instructions_executed: 0,
+            active_warps: warps.len(),
+            dram_utilization: 0.0,
+        }
     }
 
     fn eviction_event(wid: WarpId, victim_owner: WarpId, addr: u64) -> CacheEvent {
@@ -248,7 +253,11 @@ mod tests {
             block_addr: addr,
             is_write: false,
             outcome: CacheEventOutcome::Miss,
-            evicted: Some(EvictedLine { block_addr: addr + 0x8000, owner: victim_owner, dirty: false }),
+            evicted: Some(EvictedLine {
+                block_addr: addr + 0x8000,
+                owner: victim_owner,
+                dirty: false,
+            }),
             now: 0,
         }
     }
@@ -276,7 +285,12 @@ mod tests {
 
     #[test]
     fn vta_hits_raise_score_and_throttle_low_locality_warps() {
-        let cfg = CcwsConfig { num_warps: 4, base_score: 100, vta_hit_bonus: 300, ..CcwsConfig::default() };
+        let cfg = CcwsConfig {
+            num_warps: 4,
+            base_score: 100,
+            vta_hit_bonus: 300,
+            ..CcwsConfig::default()
+        };
         let mut s = CcwsScheduler::new(cfg);
         let w = warps(4);
         // Warp 0's data is evicted by warp 1, then warp 0 re-references it.
@@ -294,7 +308,13 @@ mod tests {
 
     #[test]
     fn scores_decay_back_and_throttling_lifts() {
-        let cfg = CcwsConfig { num_warps: 2, base_score: 10, vta_hit_bonus: 20, decay_per_issue: 5, ..CcwsConfig::default() };
+        let cfg = CcwsConfig {
+            num_warps: 2,
+            base_score: 10,
+            vta_hit_bonus: 20,
+            decay_per_issue: 5,
+            ..CcwsConfig::default()
+        };
         let mut s = CcwsScheduler::new(cfg);
         let w = warps(2);
         s.on_cache_event(&eviction_event(1, 0, 0x100));
@@ -325,7 +345,12 @@ mod tests {
 
     #[test]
     fn finished_warps_leave_the_budget() {
-        let cfg = CcwsConfig { num_warps: 2, base_score: 100, vta_hit_bonus: 150, ..CcwsConfig::default() };
+        let cfg = CcwsConfig {
+            num_warps: 2,
+            base_score: 100,
+            vta_hit_bonus: 150,
+            ..CcwsConfig::default()
+        };
         let mut s = CcwsScheduler::new(cfg);
         let w = warps(2);
         s.on_cache_event(&eviction_event(1, 0, 0x100));
@@ -339,7 +364,12 @@ mod tests {
 
     #[test]
     fn at_least_one_warp_always_admitted() {
-        let cfg = CcwsConfig { num_warps: 3, base_score: 1, vta_hit_bonus: 1000, ..CcwsConfig::default() };
+        let cfg = CcwsConfig {
+            num_warps: 3,
+            base_score: 1,
+            vta_hit_bonus: 1000,
+            ..CcwsConfig::default()
+        };
         let mut s = CcwsScheduler::new(cfg);
         let w = warps(3);
         for i in 0..3u32 {

@@ -108,15 +108,11 @@ impl WarpScheduler for PcalScheduler {
             }
         }
         // Token warps first (oldest), then bypassing warps.
-        let pick = ctx
-            .ready
-            .iter()
-            .copied()
-            .min_by_key(|&i| {
-                let wid = ctx.warps[i].id as usize;
-                let has_token = self.token.get(wid).copied().unwrap_or(false);
-                (if has_token { 0u8 } else { 1u8 }, ctx.warps[i].launch_seq)
-            })?;
+        let pick = ctx.ready.iter().copied().min_by_key(|&i| {
+            let wid = ctx.warps[i].id as usize;
+            let has_token = self.token.get(wid).copied().unwrap_or(false);
+            (if has_token { 0u8 } else { 1u8 }, ctx.warps[i].launch_seq)
+        })?;
         self.last_issued = Some(pick);
         Some(pick)
     }
@@ -182,16 +178,29 @@ mod tests {
     use gpu_sim::warp::Warp;
 
     fn warps(n: usize) -> Vec<Warp> {
-        (0..n).map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![])))).collect()
+        (0..n)
+            .map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![]))))
+            .collect()
     }
 
     fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize], util: f64) -> SchedulerCtx<'a> {
-        SchedulerCtx { now: 0, warps, ready, instructions_executed: 0, active_warps: warps.len(), dram_utilization: util }
+        SchedulerCtx {
+            now: 0,
+            warps,
+            ready,
+            instructions_executed: 0,
+            active_warps: warps.len(),
+            dram_utilization: util,
+        }
     }
 
     #[test]
     fn token_warps_use_l1d_others_bypass() {
-        let mut s = PcalScheduler::new(PcalConfig { tokens: 2, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let mut s = PcalScheduler::new(PcalConfig {
+            tokens: 2,
+            bypass_bandwidth_threshold: 0.7,
+            num_warps: 4,
+        });
         let w = warps(4);
         s.pick(&ctx(&w, &[0, 1, 2, 3], 0.1));
         assert_eq!(s.route(0), MemRoute::L1d);
@@ -203,7 +212,11 @@ mod tests {
 
     #[test]
     fn non_token_warps_run_only_with_spare_bandwidth() {
-        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let mut s = PcalScheduler::new(PcalConfig {
+            tokens: 1,
+            bypass_bandwidth_threshold: 0.7,
+            num_warps: 4,
+        });
         let w = warps(4);
         s.pick(&ctx(&w, &[0, 1, 2, 3], 0.2));
         assert!(!s.is_throttled(3), "spare bandwidth: bypass warps may run");
@@ -214,7 +227,11 @@ mod tests {
 
     #[test]
     fn token_warps_preferred_in_pick() {
-        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let mut s = PcalScheduler::new(PcalConfig {
+            tokens: 1,
+            bypass_bandwidth_threshold: 0.7,
+            num_warps: 4,
+        });
         let w = warps(4);
         assert_eq!(s.pick(&ctx(&w, &[2, 0, 3], 0.0)), Some(0));
         // Greedy on the chosen warp while it stays ready.
@@ -223,7 +240,11 @@ mod tests {
 
     #[test]
     fn tokens_move_to_older_waiting_warps_when_holder_finishes() {
-        let mut s = PcalScheduler::new(PcalConfig { tokens: 1, bypass_bandwidth_threshold: 0.7, num_warps: 4 });
+        let mut s = PcalScheduler::new(PcalConfig {
+            tokens: 1,
+            bypass_bandwidth_threshold: 0.7,
+            num_warps: 4,
+        });
         let mut w = warps(4);
         s.pick(&ctx(&w, &[0, 1, 2, 3], 0.0));
         assert!(s.holds_token(0));

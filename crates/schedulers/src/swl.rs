@@ -134,11 +134,20 @@ mod tests {
     use gpu_sim::warp::Warp;
 
     fn warps(n: usize) -> Vec<Warp> {
-        (0..n).map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![])))).collect()
+        (0..n)
+            .map(|i| Warp::new(i as WarpId, 0, i as u64, Box::new(VecProgram::new(vec![]))))
+            .collect()
     }
 
     fn ctx<'a>(warps: &'a [Warp], ready: &'a [usize]) -> SchedulerCtx<'a> {
-        SchedulerCtx { now: 0, warps, ready, instructions_executed: 0, active_warps: warps.len(), dram_utilization: 0.0 }
+        SchedulerCtx {
+            now: 0,
+            warps,
+            ready,
+            instructions_executed: 0,
+            active_warps: warps.len(),
+            dram_utilization: 0.0,
+        }
     }
 
     #[test]

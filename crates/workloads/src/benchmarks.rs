@@ -83,10 +83,7 @@ impl Benchmark {
     /// The memory-intensive benchmarks used by the sensitivity study (Fig. 11)
     /// and the configuration study (Fig. 12): the LWS and SWS classes.
     pub fn memory_intensive() -> Vec<Benchmark> {
-        Benchmark::all()
-            .into_iter()
-            .filter(|b| b.class() != BenchmarkClass::Ci)
-            .collect()
+        Benchmark::all().into_iter().filter(|b| b.class() != BenchmarkClass::Ci).collect()
     }
 
     /// The paper's name for the benchmark (Table II spelling).

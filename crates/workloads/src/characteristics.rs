@@ -55,27 +55,216 @@ pub struct BenchmarkInfo {
 
 /// The 21 rows of Table II.
 pub const TABLE2: &[BenchmarkInfo] = &[
-    BenchmarkInfo { name: "ATAX", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
-    BenchmarkInfo { name: "BICG", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
-    BenchmarkInfo { name: "MVT", suite: "PolyBench", apki: 64.0, input: "64MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Lws },
-    BenchmarkInfo { name: "KMN", suite: "Mars", apki: 46.0, input: "168KB", nwrp: 4, fsmem: 0.01, barriers: true, class: BenchmarkClass::Lws },
-    BenchmarkInfo { name: "Kmeans", suite: "Rodinia", apki: 85.0, input: "101MB", nwrp: 2, fsmem: 0.00, barriers: true, class: BenchmarkClass::Lws },
-    BenchmarkInfo { name: "GESUMMV", suite: "PolyBench", apki: 136.0, input: "128MB", nwrp: 2, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "SYR2K", suite: "PolyBench", apki: 108.0, input: "48MB", nwrp: 6, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "SYRK", suite: "PolyBench", apki: 94.0, input: "512KB", nwrp: 6, fsmem: 0.00, barriers: false, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "II", suite: "Mars", apki: 75.0, input: "28MB", nwrp: 4, fsmem: 0.00, barriers: true, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "PVC", suite: "Mars", apki: 64.0, input: "13MB", nwrp: 48, fsmem: 0.33, barriers: true, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "SS", suite: "Mars", apki: 34.0, input: "23MB", nwrp: 48, fsmem: 0.50, barriers: true, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "SM", suite: "Mars", apki: 140.0, input: "1MB", nwrp: 48, fsmem: 0.01, barriers: true, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "WC", suite: "Mars", apki: 19.0, input: "88KB", nwrp: 48, fsmem: 0.01, barriers: true, class: BenchmarkClass::Sws },
-    BenchmarkInfo { name: "Gaussian", suite: "Rodinia", apki: 18.0, input: "339KB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "2DCONV", suite: "PolyBench", apki: 9.0, input: "64MB", nwrp: 36, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "CORR", suite: "PolyBench", apki: 10.0, input: "2MB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "Backprop", suite: "Rodinia", apki: 3.0, input: "5MB", nwrp: 36, fsmem: 0.13, barriers: true, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "Hotspot", suite: "Rodinia", apki: 1.0, input: "2MB", nwrp: 48, fsmem: 0.19, barriers: true, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "Lud", suite: "Rodinia", apki: 2.0, input: "25KB", nwrp: 38, fsmem: 0.50, barriers: true, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "NN", suite: "Rodinia", apki: 8.0, input: "334KB", nwrp: 48, fsmem: 0.00, barriers: false, class: BenchmarkClass::Ci },
-    BenchmarkInfo { name: "NW", suite: "Rodinia", apki: 5.0, input: "32MB", nwrp: 48, fsmem: 0.35, barriers: true, class: BenchmarkClass::Ci },
+    BenchmarkInfo {
+        name: "ATAX",
+        suite: "PolyBench",
+        apki: 64.0,
+        input: "64MB",
+        nwrp: 2,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Lws,
+    },
+    BenchmarkInfo {
+        name: "BICG",
+        suite: "PolyBench",
+        apki: 64.0,
+        input: "64MB",
+        nwrp: 2,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Lws,
+    },
+    BenchmarkInfo {
+        name: "MVT",
+        suite: "PolyBench",
+        apki: 64.0,
+        input: "64MB",
+        nwrp: 2,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Lws,
+    },
+    BenchmarkInfo {
+        name: "KMN",
+        suite: "Mars",
+        apki: 46.0,
+        input: "168KB",
+        nwrp: 4,
+        fsmem: 0.01,
+        barriers: true,
+        class: BenchmarkClass::Lws,
+    },
+    BenchmarkInfo {
+        name: "Kmeans",
+        suite: "Rodinia",
+        apki: 85.0,
+        input: "101MB",
+        nwrp: 2,
+        fsmem: 0.00,
+        barriers: true,
+        class: BenchmarkClass::Lws,
+    },
+    BenchmarkInfo {
+        name: "GESUMMV",
+        suite: "PolyBench",
+        apki: 136.0,
+        input: "128MB",
+        nwrp: 2,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "SYR2K",
+        suite: "PolyBench",
+        apki: 108.0,
+        input: "48MB",
+        nwrp: 6,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "SYRK",
+        suite: "PolyBench",
+        apki: 94.0,
+        input: "512KB",
+        nwrp: 6,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "II",
+        suite: "Mars",
+        apki: 75.0,
+        input: "28MB",
+        nwrp: 4,
+        fsmem: 0.00,
+        barriers: true,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "PVC",
+        suite: "Mars",
+        apki: 64.0,
+        input: "13MB",
+        nwrp: 48,
+        fsmem: 0.33,
+        barriers: true,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "SS",
+        suite: "Mars",
+        apki: 34.0,
+        input: "23MB",
+        nwrp: 48,
+        fsmem: 0.50,
+        barriers: true,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "SM",
+        suite: "Mars",
+        apki: 140.0,
+        input: "1MB",
+        nwrp: 48,
+        fsmem: 0.01,
+        barriers: true,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "WC",
+        suite: "Mars",
+        apki: 19.0,
+        input: "88KB",
+        nwrp: 48,
+        fsmem: 0.01,
+        barriers: true,
+        class: BenchmarkClass::Sws,
+    },
+    BenchmarkInfo {
+        name: "Gaussian",
+        suite: "Rodinia",
+        apki: 18.0,
+        input: "339KB",
+        nwrp: 48,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "2DCONV",
+        suite: "PolyBench",
+        apki: 9.0,
+        input: "64MB",
+        nwrp: 36,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "CORR",
+        suite: "PolyBench",
+        apki: 10.0,
+        input: "2MB",
+        nwrp: 48,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "Backprop",
+        suite: "Rodinia",
+        apki: 3.0,
+        input: "5MB",
+        nwrp: 36,
+        fsmem: 0.13,
+        barriers: true,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "Hotspot",
+        suite: "Rodinia",
+        apki: 1.0,
+        input: "2MB",
+        nwrp: 48,
+        fsmem: 0.19,
+        barriers: true,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "Lud",
+        suite: "Rodinia",
+        apki: 2.0,
+        input: "25KB",
+        nwrp: 38,
+        fsmem: 0.50,
+        barriers: true,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "NN",
+        suite: "Rodinia",
+        apki: 8.0,
+        input: "334KB",
+        nwrp: 48,
+        fsmem: 0.00,
+        barriers: false,
+        class: BenchmarkClass::Ci,
+    },
+    BenchmarkInfo {
+        name: "NW",
+        suite: "Rodinia",
+        apki: 5.0,
+        input: "32MB",
+        nwrp: 48,
+        fsmem: 0.35,
+        barriers: true,
+        class: BenchmarkClass::Ci,
+    },
 ];
 
 /// Looks a benchmark up by (case-insensitive) name.

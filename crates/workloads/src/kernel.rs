@@ -39,7 +39,12 @@ impl WarpProgram for PhasedProgram {
     }
 
     fn remaining_hint(&self) -> Option<u64> {
-        Some(self.phases[self.current.min(self.phases.len() - 1)..].iter().filter_map(|p| p.remaining_hint()).sum())
+        Some(
+            self.phases[self.current.min(self.phases.len() - 1)..]
+                .iter()
+                .filter_map(|p| p.remaining_hint())
+                .sum(),
+        )
     }
 }
 
@@ -149,7 +154,10 @@ mod tests {
     #[test]
     fn multi_phase_factory_supported() {
         let k = WorkloadKernel::new(info(), |c, w| {
-            vec![PatternSpec::compute_only(3, warp_seed(1, c, w)), PatternSpec::compute_only(4, warp_seed(2, c, w))]
+            vec![
+                PatternSpec::compute_only(3, warp_seed(1, c, w)),
+                PatternSpec::compute_only(4, warp_seed(2, c, w)),
+            ]
         });
         assert_eq!(k.specs_of(0, 0).len(), 2);
         let mut p = k.warp_program(0, 0);

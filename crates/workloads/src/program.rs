@@ -35,7 +35,8 @@ impl PatternProgram {
         debug_assert!(spec.validate().is_empty(), "invalid spec: {:?}", spec.validate());
         let rng = StdRng::seed_from_u64(spec.seed);
         let cursors = spec.regions.iter().map(|_| RegionCursor { offset: 0 }).collect();
-        let weight_total = spec.regions.iter().map(|r| r.weight).sum::<f64>().max(f64::MIN_POSITIVE);
+        let weight_total =
+            spec.regions.iter().map(|r| r.weight).sum::<f64>().max(f64::MIN_POSITIVE);
         PatternProgram { spec, rng, cursors, weight_total, emitted: 0, shared_mem_bytes: 48 * 1024 }
     }
 
@@ -80,9 +81,8 @@ impl PatternProgram {
             }
             Divergence::Scatter { lanes } => {
                 let blocks = (region.size / 128).max(1);
-                let addrs = (0..lanes)
-                    .map(|_| region.base + self.rng.gen_range(0..blocks) * 128)
-                    .collect();
+                let addrs =
+                    (0..lanes).map(|_| region.base + self.rng.gen_range(0..blocks) * 128).collect();
                 MemPattern::Scatter(addrs)
             }
         }
@@ -122,7 +122,7 @@ impl WarpProgram for PatternProgram {
         self.emitted += 1;
 
         if let Some(every) = self.spec.barrier_every {
-            if every > 0 && self.emitted % every == 0 {
+            if every > 0 && self.emitted.is_multiple_of(every) {
                 return Some(WarpOp::Barrier);
             }
         }
@@ -271,7 +271,8 @@ mod tests {
         let ops = drain(PatternProgram::new(s));
         assert!(ops.iter().any(|o| matches!(
             o,
-            WarpOp::Load { pattern: MemPattern::Scatter(_), .. } | WarpOp::Store { pattern: MemPattern::Scatter(_), .. }
+            WarpOp::Load { pattern: MemPattern::Scatter(_), .. }
+                | WarpOp::Store { pattern: MemPattern::Scatter(_), .. }
         )));
     }
 

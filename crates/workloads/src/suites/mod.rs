@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn scaled_size_is_block_aligned_and_positive() {
-        let mut scale = ScaleConfig::default();
-        scale.footprint_scale = 0.001;
+        let scale = ScaleConfig { footprint_scale: 0.001, ..ScaleConfig::default() };
         let s = scaled_size(4096, &scale);
         assert_eq!(s % 128, 0);
         assert!(s >= 128);
@@ -137,7 +136,7 @@ mod tests {
 
     #[test]
     fn areas_are_disjoint() {
-        assert!(STREAM_AREA + 96 * PRIVATE_SPACING < SHARED_AREA);
-        assert!(SHARED_AREA + (1 << 26) < IRREGULAR_AREA);
+        const { assert!(STREAM_AREA + 96 * PRIVATE_SPACING < SHARED_AREA) };
+        const { assert!(SHARED_AREA + (1 << 26) < IRREGULAR_AREA) };
     }
 }

@@ -211,7 +211,10 @@ mod tests {
         let k = atax(&ScaleConfig::quick());
         let phases = k.specs_of(0, 0);
         assert_eq!(phases.len(), 2);
-        assert!(phases[0].mem_ratio > phases[1].mem_ratio, "phase 1 must be the memory-intensive one");
+        assert!(
+            phases[0].mem_ratio > phases[1].mem_ratio,
+            "phase 1 must be the memory-intensive one"
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub fn backprop(scale: &ScaleConfig) -> WorkloadKernel {
         if hot {
             // Hot warps share two overlapping weight tiles: high locality
             // potential, high mutual interference.
-            let tile = (g % 6) as u64;
+            let tile = g % 6;
             s.regions.push(RegionSpec {
                 base: SHARED_AREA + tile * scaled_size(8 * 1024, &scale),
                 size: scaled_size(20 * 1024, &scale),

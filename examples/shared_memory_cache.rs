@@ -60,5 +60,8 @@ fn main() {
     // When a new CTA takes the whole scratchpad, the structure gracefully
     // reports Unavailable and the SM falls back to the L1D path.
     cache.set_capacity(0);
-    println!("\nafter a CTA claims the whole scratchpad: {:?}", cache.lookup(0x4000_0000, warp, false));
+    println!(
+        "\nafter a CTA claims the whole scratchpad: {:?}",
+        cache.lookup(0x4000_0000, warp, false)
+    );
 }

@@ -62,9 +62,11 @@ fn ciao_reduces_interference_on_a_cache_thrashing_workload() {
     let gto = runner.run_one(Benchmark::Syrk, SchedulerKind::Gto);
     let ciao = runner.run_one(Benchmark::Syrk, SchedulerKind::CiaoC);
 
-    let gto_intf_rate = (gto.stats.cross_warp_evictions + gto.stats.redirect_cross_warp_evictions) as f64
+    let gto_intf_rate = (gto.stats.cross_warp_evictions + gto.stats.redirect_cross_warp_evictions)
+        as f64
         / gto.stats.instructions.max(1) as f64;
-    let ciao_intf_rate = (ciao.stats.cross_warp_evictions + ciao.stats.redirect_cross_warp_evictions) as f64
+    let ciao_intf_rate = (ciao.stats.cross_warp_evictions
+        + ciao.stats.redirect_cross_warp_evictions) as f64
         / ciao.stats.instructions.max(1) as f64;
 
     assert!(
@@ -106,7 +108,10 @@ fn ccws_throttles_and_best_swl_limits_tlp() {
     );
     // CCWS on a thrashing workload must report VTA activity.
     let ccws = runner.run_one(Benchmark::Kmn, SchedulerKind::Ccws);
-    assert!(ccws.scheduler_metrics.vta_hits > 0, "CCWS saw no lost locality on a thrashing workload");
+    assert!(
+        ccws.scheduler_metrics.vta_hits > 0,
+        "CCWS saw no lost locality on a thrashing workload"
+    );
 }
 
 #[test]
@@ -117,7 +122,9 @@ fn stalled_warps_always_finish() {
     // way up to the configured instruction cap.
     let runner = runner();
     let cap = RunScale::Tiny.max_instructions();
-    for sched in [SchedulerKind::Ccws, SchedulerKind::BestSwl, SchedulerKind::CiaoT, SchedulerKind::CiaoC] {
+    for sched in
+        [SchedulerKind::Ccws, SchedulerKind::BestSwl, SchedulerKind::CiaoT, SchedulerKind::CiaoC]
+    {
         let res = runner.run_one(Benchmark::Wc, sched);
         assert!(
             !res.capped || res.stats.instructions >= cap,

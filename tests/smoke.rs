@@ -1,0 +1,29 @@
+//! Workspace-level smoke test: the whole pipeline — workload generation,
+//! simulation, scheduling, metric extraction — produces forward progress for
+//! a baseline scheduler (GTO) and the paper's headline configuration (CIAO-C).
+
+use ciao_suite::prelude::*;
+
+#[test]
+fn tiny_runs_produce_positive_ipc_for_gto_and_ciao_c() {
+    let runner = Runner::new(RunScale::Tiny);
+    for scheduler in [SchedulerKind::Gto, SchedulerKind::CiaoC] {
+        let record = runner.record(Benchmark::Syrk, scheduler);
+        assert!(
+            record.ipc > 0.0,
+            "{} produced no forward progress on SYRK: {record:?}",
+            record.scheduler
+        );
+        assert!(record.instructions > 0);
+        assert!(record.cycles > 0);
+    }
+}
+
+#[test]
+fn run_records_serialize_to_json() {
+    let runner = Runner::new(RunScale::Tiny);
+    let record = runner.record(Benchmark::Nn, SchedulerKind::CiaoC);
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    assert!(json.contains("\"benchmark\": \"NN\""));
+    assert!(json.contains("\"scheduler\": \"CIAO-C\""));
+}
