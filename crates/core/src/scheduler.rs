@@ -1,5 +1,12 @@
 //! CIAO warp scheduling (§III-C, §IV-C, Algorithm 1).
 //!
+//! The scheduler (like its detector and shared-memory cache) is a strictly
+//! **per-SM** structure: it sees one SM's warps, cache events and VTA. On a
+//! multi-SM chip run (`gpu_sim::gpu::Gpu`) the harness builds one
+//! [`CiaoScheduler`] instance per SM and the engine reports their metrics
+//! chip-wide via `gpu_sim::SchedulerMetrics::merge` — mirroring the paper's
+//! hardware, where every SM carries its own detector/scheduler logic.
+//!
 //! The scheduler keeps the GTO issue order but reacts to the interference
 //! detector at two epoch granularities:
 //!

@@ -4,7 +4,7 @@
 //! can be fetched with a single scratchpad access) whose capacity tracks the
 //! shared memory left unused by the resident CTAs. Tags and 128-byte data
 //! blocks are placed in opposite 16-bank groups by the
-//! [`TranslationUnit`](crate::translation::TranslationUnit), which makes a
+//! [`crate::translation::TranslationUnit`], which makes a
 //! tag + data access conflict-free; the hit latency therefore equals the
 //! scratchpad latency.
 //!

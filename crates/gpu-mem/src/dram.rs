@@ -123,6 +123,17 @@ impl DramStats {
             self.bytes_transferred as f64 / self.last_burst_end as f64
         }
     }
+
+    /// Merge another channel's statistics into this one (chip-level
+    /// aggregation across the banks of a shared memory system).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.accesses += other.accesses;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.bytes_transferred += other.bytes_transferred;
+        self.queueing_cycles += other.queueing_cycles;
+        self.last_burst_end = self.last_burst_end.max(other.last_burst_end);
+    }
 }
 
 /// A single DRAM channel.

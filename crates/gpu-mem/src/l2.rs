@@ -1,4 +1,5 @@
-//! Memory partition: L2 cache slice plus its DRAM channel.
+//! Memory partition: L2 cache slice plus its DRAM channel — and the
+//! chip-level banked backend shared by every SM.
 //!
 //! In the GTX 480 each memory partition pairs an L2 slice with a GDDR5
 //! channel. This module combines the generic [`SetAssocCache`] (configured
@@ -6,11 +7,18 @@
 //! [`Dram`] timing model and exposes a single `access` entry point returning
 //! the completion cycle of a request, so the SM-side code can treat "L1D miss
 //! goes downstream" as one call.
+//!
+//! [`BankedMemorySystem`] scales this to a multi-SM chip: the L2 capacity and
+//! DRAM bandwidth are sharded across address-interleaved banks, each bank a
+//! full [`MemoryPartition`] behind a `parking_lot` lock, so concurrent SM
+//! engines contend for L2 sets and DRAM row buffers the way the paper's
+//! 15-SM machine does instead of each SM owning a private slice.
 
 use crate::addr::{block_addr, Addr};
 use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
 use crate::dram::{Dram, DramConfig, DramStats};
 use crate::{Cycle, WarpId};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a memory partition.
@@ -59,6 +67,15 @@ impl PartitionStats {
         } else {
             self.total_latency as f64 / self.requests as f64
         }
+    }
+
+    /// Merge another partition's statistics into this one (bank → chip
+    /// aggregation).
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.l2.merge(&other.l2);
+        self.dram.merge(&other.dram);
+        self.requests += other.requests;
+        self.total_latency += other.total_latency;
     }
 }
 
@@ -145,6 +162,111 @@ impl MemoryPartition {
     }
 }
 
+/// The chip-level memory-side backend shared by every SM: `num_banks`
+/// address-interleaved (L2 slice + DRAM channel) partitions, each behind its
+/// own lock. Accesses to the same bank serialise — which is exactly where
+/// inter-SM L2 contention and DRAM row-buffer interference come from. The
+/// current chip engine serves all requests from one thread at its epoch
+/// barrier (determinism requires a fixed service order), so the per-bank
+/// locks are not yet contended; they exist so a future engine can fan the
+/// per-bank request queues out to parallel workers (the "async L2" roadmap
+/// item) without reshaping this API.
+///
+/// The configuration passed to [`BankedMemorySystem::new`] describes the
+/// whole chip; capacity and bandwidth are divided evenly across banks. With
+/// `num_banks = 1` the system is a single [`MemoryPartition`] with identical
+/// timing, which is what makes a 1-SM chip run bit-identical to the legacy
+/// private-partition path.
+#[derive(Debug)]
+pub struct BankedMemorySystem {
+    banks: Vec<Mutex<MemoryPartition>>,
+    line_size: u64,
+}
+
+impl BankedMemorySystem {
+    /// Builds a system of `num_banks` partitions from a chip-level
+    /// configuration: each bank receives `1/num_banks` of the L2 capacity and
+    /// of the DRAM data-bus bandwidth.
+    pub fn new(chip: PartitionConfig, num_banks: usize) -> Self {
+        let num_banks = num_banks.max(1);
+        let mut bank_cfg = chip;
+        let min_size = bank_cfg.l2.line_size * bank_cfg.l2.associativity as u64;
+        bank_cfg.l2.size_bytes = (bank_cfg.l2.size_bytes / num_banks as u64).max(min_size);
+        bank_cfg.dram.bytes_per_cycle /= num_banks as f64;
+        let line_size = bank_cfg.l2.line_size;
+        let banks =
+            (0..num_banks).map(|_| Mutex::new(MemoryPartition::new(bank_cfg.clone()))).collect();
+        BankedMemorySystem { banks, line_size }
+    }
+
+    /// Builds the chip backend from a *per-SM slice* configuration (what
+    /// [`MemoryPartition`] historically modelled): DRAM bandwidth is scaled
+    /// by `num_sms` so the chip-level aggregate matches `num_sms` slices,
+    /// then sharded across `num_banks`.
+    pub fn for_chip(per_sm_slice: PartitionConfig, num_banks: usize, num_sms: usize) -> Self {
+        let mut chip = per_sm_slice;
+        chip.dram.bytes_per_cycle *= num_sms.max(1) as f64;
+        Self::new(chip, num_banks)
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Bank serving `addr` (consecutive cache lines interleave round-robin).
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((block_addr(addr) / self.line_size) % self.banks.len() as u64) as usize
+    }
+
+    /// Serves a read or write arriving at the L2 at cycle `now` on behalf of
+    /// warp `wid`; returns the completion cycle at the bank's output port.
+    pub fn access(&self, addr: Addr, wid: WarpId, is_write: bool, now: Cycle) -> Cycle {
+        self.banks[self.bank_of(addr)].lock().access(addr, wid, is_write, now)
+    }
+
+    /// Serves a request that bypasses the L2 and goes straight to the bank's
+    /// DRAM channel (statPCAL bypass path).
+    pub fn access_bypass(&self, addr: Addr, now: Cycle) -> Cycle {
+        self.banks[self.bank_of(addr)].lock().access_bypass(addr, now)
+    }
+
+    /// Chip-level statistics, aggregated across banks.
+    pub fn stats(&self) -> PartitionStats {
+        let mut total = PartitionStats::default();
+        for bank in &self.banks {
+            total.merge(&bank.lock().stats());
+        }
+        total
+    }
+
+    /// Aggregate DRAM data-bus utilisation in `[0, 1]` over `[0, now]`.
+    pub fn dram_bandwidth_utilization(&self, now: Cycle) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        let mut bytes = 0u64;
+        let mut capacity = 0.0;
+        for bank in &self.banks {
+            let bank = bank.lock();
+            bytes += bank.stats().dram.bytes_transferred;
+            capacity += bank.config().dram.bytes_per_cycle * now as f64;
+        }
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (bytes as f64 / capacity).min(1.0)
+        }
+    }
+
+    /// Invalidates every bank (between kernels) and resets timing state.
+    pub fn reset(&self) {
+        for bank in &self.banks {
+            bank.lock().reset();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +311,71 @@ mod tests {
         assert!(p.stats().mean_latency() > 0.0);
         p.reset();
         assert_eq!(p.stats().requests, 0);
+    }
+
+    #[test]
+    fn single_bank_system_matches_private_partition() {
+        let cfg = PartitionConfig::gtx480();
+        let shared = BankedMemorySystem::new(cfg.clone(), 1);
+        let mut private = MemoryPartition::new(cfg);
+        let addrs = [0x1000u64, 0x2000, 0x1000, 0x40_0000, 0x2000, 0x123456];
+        let mut now = 0;
+        for &a in &addrs {
+            let d1 = shared.access(a, 3, false, now);
+            let d2 = private.access(a, 3, false, now);
+            assert_eq!(d1, d2, "bank=1 system must be timing-identical to one partition");
+            now = d1 + 5;
+        }
+        assert_eq!(shared.stats(), private.stats());
+        assert!(
+            (shared.dram_bandwidth_utilization(now) - private.dram_bandwidth_utilization(now))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn banks_interleave_lines_and_aggregate_stats() {
+        let sys = BankedMemorySystem::new(PartitionConfig::gtx480(), 4);
+        assert_eq!(sys.num_banks(), 4);
+        // Consecutive 128-byte lines land on consecutive banks.
+        let line = 128u64;
+        for i in 0..8u64 {
+            assert_eq!(sys.bank_of(i * line), (i % 4) as usize);
+        }
+        for i in 0..16u64 {
+            sys.access(i * line, 0, false, 0);
+        }
+        let s = sys.stats();
+        assert_eq!(s.l2.accesses(), 16);
+        assert_eq!(s.requests, 16);
+    }
+
+    #[test]
+    fn chip_scaling_multiplies_bandwidth() {
+        let slice = PartitionConfig::gtx480();
+        let one = BankedMemorySystem::for_chip(slice.clone(), 1, 1);
+        let chip = BankedMemorySystem::for_chip(slice, 1, 15);
+        // Bypass stream of row hits: bus-bound, so 15x bandwidth finishes sooner.
+        let run = |sys: &BankedMemorySystem| {
+            let mut last = 0;
+            for i in 0..256u64 {
+                last = sys.access_bypass(i * 128 % 2048, 0);
+            }
+            last
+        };
+        assert!(run(&chip) < run(&one));
+    }
+
+    #[test]
+    fn banked_system_reset_clears_stats() {
+        let sys = BankedMemorySystem::new(PartitionConfig::gtx480(), 2);
+        sys.access(0, 0, false, 0);
+        sys.access_bypass(128, 0);
+        assert!(sys.stats().requests == 2);
+        sys.reset();
+        assert_eq!(sys.stats().requests, 0);
+        assert_eq!(sys.dram_bandwidth_utilization(100), 0.0);
     }
 
     proptest! {

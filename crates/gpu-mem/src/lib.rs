@@ -44,8 +44,8 @@ pub use cache::{
     SetAssocCache, WriteAllocPolicy, WritePolicy,
 };
 pub use dram::{Dram, DramConfig, DramStats};
-pub use interconnect::Interconnect;
-pub use l2::{MemoryPartition, PartitionConfig, PartitionStats};
+pub use interconnect::{Crossbar, CrossbarStats, Interconnect};
+pub use l2::{BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionStats};
 pub use mshr::{Mshr, MshrAllocation, MshrEntry, MshrError};
 pub use queues::{BoundedQueue, ResponseEntry, ResponseSource};
 pub use shared_memory::{SharedMemory, SharedMemoryConfig};

@@ -14,10 +14,24 @@ use serde::{Deserialize, Serialize};
 /// memory with 32 banks, a 768 KB 8-way L2, and GDDR5 DRAM with 16 banks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
-    /// Number of SMs on the chip (15 on the GTX 480). The simulator models a
-    /// single SM with a per-SM slice of memory bandwidth; chip-level IPC is
-    /// per-SM IPC × `num_sms` under the paper's homogeneous-workload setup.
+    /// Number of SMs on the chip (15 on the GTX 480). [`crate::Simulator::run`]
+    /// models a single SM with a per-SM slice of memory bandwidth (the legacy
+    /// per-SM-IPC × `num_sms` extrapolation); [`crate::Simulator::run_chip`]
+    /// instantiates this many [`crate::Sm`] engines against a shared banked
+    /// L2/DRAM backend and models inter-SM contention directly.
     pub num_sms: usize,
+    /// Number of address-interleaved banks of the shared chip L2/DRAM backend
+    /// used by multi-SM runs. `1` (the default) keeps the whole Table I
+    /// partition in a single bank, which is what makes a 1-SM chip run
+    /// bit-identical to the legacy single-SM path.
+    pub l2_banks: usize,
+    /// Number of cycles every SM advances per barrier-synchronised epoch in
+    /// multi-SM runs. The engine clamps this to the minimum SM→L2 round trip
+    /// (`interconnect_latency + partition.l2_latency`) so memory responses
+    /// computed at an epoch barrier never land in an SM's past; the value
+    /// only trades synchronisation overhead against nothing else — results
+    /// are deterministic and independent of worker-thread count either way.
+    pub epoch_cycles: Cycle,
     /// Maximum resident warps per SM (1536 threads / 32 lanes = 48).
     pub max_warps_per_sm: usize,
     /// Threads per warp.
@@ -53,6 +67,8 @@ impl GpuConfig {
     pub fn gtx480() -> Self {
         GpuConfig {
             num_sms: 15,
+            l2_banks: 1,
+            epoch_cycles: 64,
             max_warps_per_sm: 48,
             warp_size: 32,
             l1d: CacheConfig::l1d_gtx480(),
@@ -104,6 +120,27 @@ impl GpuConfig {
     pub fn with_sample_interval(mut self, insts: u64) -> Self {
         self.sample_interval_insts = insts.max(1);
         self
+    }
+
+    /// Returns a copy with the number of simulated SMs set (the `--sms N`
+    /// axis of the harness).
+    pub fn with_num_sms(mut self, n: usize) -> Self {
+        self.num_sms = n.max(1);
+        self
+    }
+
+    /// Returns a copy with the shared-L2 bank count set.
+    pub fn with_l2_banks(mut self, banks: usize) -> Self {
+        self.l2_banks = banks.max(1);
+        self
+    }
+
+    /// The epoch length actually used by the multi-SM engine: the configured
+    /// [`GpuConfig::epoch_cycles`] clamped to the minimum SM→L2 round trip so
+    /// that every memory response computed at an epoch barrier completes at
+    /// or after the next epoch's start.
+    pub fn effective_epoch_cycles(&self) -> Cycle {
+        self.epoch_cycles.clamp(1, (self.interconnect_latency + self.partition.l2_latency).max(1))
     }
 }
 
@@ -198,9 +235,32 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let c = GpuConfig::gtx480().with_max_instructions(1000).with_sample_interval(0);
+        let c = GpuConfig::gtx480()
+            .with_max_instructions(1000)
+            .with_sample_interval(0)
+            .with_num_sms(4)
+            .with_l2_banks(6);
         assert_eq!(c.max_instructions, Some(1000));
         assert_eq!(c.sample_interval_insts, 1);
+        assert_eq!(c.num_sms, 4);
+        assert_eq!(c.l2_banks, 6);
+        assert_eq!(GpuConfig::gtx480().with_num_sms(0).num_sms, 1);
+    }
+
+    #[test]
+    fn epoch_clamped_to_l2_round_trip() {
+        let c = GpuConfig::gtx480();
+        // Default 64 is below the 20 + 90 cycle round trip: used as-is.
+        assert_eq!(c.effective_epoch_cycles(), 64);
+        let mut long = c.clone();
+        long.epoch_cycles = 10_000;
+        assert_eq!(
+            long.effective_epoch_cycles(),
+            long.interconnect_latency + long.partition.l2_latency
+        );
+        let mut zero = c;
+        zero.epoch_cycles = 0;
+        assert_eq!(zero.effective_epoch_cycles(), 1);
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl KernelInfo {
 }
 
 /// A kernel: static launch geometry plus a factory for per-warp programs.
-pub trait Kernel: Send {
+///
+/// Kernels are `Sync` because a multi-SM run shares one kernel across all SM
+/// worker threads (each SM builds the programs of the CTAs dispatched to it).
+pub trait Kernel: Send + Sync {
     /// Launch geometry and metadata.
     fn info(&self) -> KernelInfo;
 

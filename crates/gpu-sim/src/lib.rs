@@ -25,15 +25,22 @@
 //!   CIAO's shared-memory-as-cache plugs into the SM datapath.
 //! * [`sm`] — the per-cycle SM model: issue, scoreboarding, L1D/MSHR/L2/DRAM
 //!   traversal, barriers, CTA launch/retire.
-//! * [`stats`] — counters, time series (Figs. 9/10) and the inter-warp
-//!   interference matrix (Figs. 1a/4a).
-//! * [`simulator`] — one-call driver producing a [`simulator::SimResult`].
+//! * [`gpu`] — the multi-SM chip engine: round-robin CTA dispatch across
+//!   SMs, per-SM crossbar/memory ports, and the deterministic
+//!   barrier-synchronised epoch loop driving the SMs in parallel against a
+//!   shared banked L2/DRAM backend.
+//! * [`stats`] — counters, per-SM → chip reduction, time series (Figs. 9/10)
+//!   and the inter-warp interference matrix (Figs. 1a/4a).
+//! * [`simulator`] — one-call driver producing a [`simulator::SimResult`]
+//!   from a single-SM run ([`simulator::Simulator::run`]) or a multi-SM chip
+//!   run ([`simulator::Simulator::run_chip`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod coalescer;
 pub mod config;
+pub mod gpu;
 pub mod kernel;
 pub mod redirect;
 pub mod scheduler;
@@ -45,6 +52,7 @@ pub mod warp;
 
 pub use coalescer::coalesce;
 pub use config::GpuConfig;
+pub use gpu::{dispatch_round_robin, DispatchedKernel, Gpu, MemRequest, MemoryPort, SmUnit};
 pub use kernel::{Kernel, KernelInfo};
 pub use redirect::{RedirectCache, RedirectLookup};
 pub use scheduler::{
@@ -52,7 +60,7 @@ pub use scheduler::{
     SchedulerMetrics, WarpScheduler,
 };
 pub use simulator::{SimResult, Simulator};
-pub use sm::Sm;
+pub use sm::{ResponseEvent, Sm};
 pub use stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
 pub use warp::{Warp, WarpState};

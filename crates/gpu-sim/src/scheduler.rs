@@ -104,6 +104,17 @@ pub struct SchedulerMetrics {
     pub bypassed_warps: usize,
 }
 
+impl SchedulerMetrics {
+    /// Adds another scheduler instance's counters into this one. Multi-SM
+    /// runs instantiate one scheduler per SM and report the chip-wide sums.
+    pub fn merge(&mut self, other: &SchedulerMetrics) {
+        self.vta_hits += other.vta_hits;
+        self.throttled_warps += other.throttled_warps;
+        self.isolated_warps += other.isolated_warps;
+        self.bypassed_warps += other.bypassed_warps;
+    }
+}
+
 /// A warp-scheduling (and memory-routing) policy.
 pub trait WarpScheduler: Send {
     /// Short policy name used in reports ("GTO", "CCWS", "CIAO-C", ...).

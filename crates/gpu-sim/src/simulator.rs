@@ -1,15 +1,22 @@
 //! One-call simulation driver.
 //!
-//! Wraps [`Sm`] construction and the run loop, and packages everything the
-//! experiment harness needs (aggregate stats, time series, interference
-//! matrix, scheduler metrics) into a [`SimResult`].
+//! Wraps [`Sm`] / [`Gpu`] construction and the run loop, and packages
+//! everything the experiment harness needs (aggregate stats, per-SM
+//! breakdowns, time series, interference matrix, scheduler metrics) into a
+//! [`SimResult`]. [`Simulator::run`] is the legacy single-SM entry point;
+//! [`Simulator::run_chip`] simulates `config.num_sms` SMs in parallel
+//! against the shared banked L2/DRAM backend.
+
+use std::sync::Arc;
 
 use crate::config::GpuConfig;
+use crate::gpu::Gpu;
 use crate::kernel::Kernel;
 use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::sm::Sm;
 use crate::stats::{InterferenceMatrix, SmStats, TimeSeries};
+use gpu_mem::interconnect::{Crossbar, CrossbarStats};
 use gpu_mem::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +38,15 @@ pub struct SimResult {
     /// Scheduler-specific counters at the end of the run.
     pub scheduler_metrics: SchedulerMetrics,
     /// Whether the run ended because it hit an instruction/cycle cap rather
-    /// than finishing the kernel.
+    /// than finishing the kernel (on a multi-SM chip: any SM hit a cap).
     pub capped: bool,
+    /// Number of SMs simulated (1 for the legacy single-SM path).
+    pub num_sms: usize,
+    /// Per-SM statistics, indexed by SM; `stats` is their
+    /// [`SmStats::reduce`] aggregate.
+    pub per_sm: Vec<SmStats>,
+    /// SM↔L2 interconnect traffic aggregated over every SM's crossbar port.
+    pub interconnect: CrossbarStats,
 }
 
 impl SimResult {
@@ -63,7 +77,9 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs `kernel` under `scheduler` (and an optional redirect cache) and
+    /// Runs `kernel` under `scheduler` (and an optional redirect cache) on a
+    /// single SM with a private memory partition — the legacy configuration
+    /// every recorded number in EXPERIMENTS-style baselines comes from — and
     /// returns the collected results.
     pub fn run(
         &self,
@@ -76,16 +92,41 @@ impl Simulator {
         let mut sm = Sm::new(self.config.clone(), kernel, scheduler, redirect);
         sm.run();
         let capped = !sm.is_done();
+        let stats = sm.stats().clone();
         SimResult {
             scheduler: scheduler_name,
             kernel: kernel_name,
             cycles: sm.cycle(),
-            stats: sm.stats().clone(),
+            per_sm: vec![stats.clone()],
+            stats,
             time_series: sm.time_series().clone(),
             interference: sm.interference_matrix().clone(),
             scheduler_metrics: sm.scheduler().metrics(),
             capped,
+            num_sms: 1,
+            interconnect: Crossbar::aggregate([sm.interconnect()]),
         }
+    }
+
+    /// Runs `kernel` on a chip of `config.num_sms` SMs executing in parallel
+    /// against the shared banked L2/DRAM backend. `build_unit` is called once
+    /// per SM index to construct that SM's scheduler (and optional redirect
+    /// cache) — multi-SM chips need one policy instance per SM because
+    /// schedulers carry per-SM state (VTAs, interference lists, throttle
+    /// sets) even though results are reported chip-wide.
+    ///
+    /// With `config.num_sms == 1` this reproduces [`Simulator::run`]
+    /// bit-exactly (same engine, private partition, serial loop) — the
+    /// correctness anchor for the multi-SM path.
+    pub fn run_chip<F>(&self, kernel: Arc<dyn Kernel>, mut build_unit: F) -> SimResult
+    where
+        F: FnMut(usize) -> crate::gpu::SmUnit,
+    {
+        let num_sms = self.config.num_sms.max(1);
+        let units = (0..num_sms).map(&mut build_unit).collect();
+        let mut gpu = Gpu::new(self.config.clone(), kernel, units);
+        gpu.run();
+        gpu.into_result()
     }
 }
 

@@ -17,12 +17,19 @@
 //! The SM reports every L1D / redirect-cache access to the scheduler as a
 //! [`CacheEvent`] so locality- and interference-aware policies (CCWS, CIAO)
 //! can maintain their Victim Tag Arrays without the SM knowing about them.
+//!
+//! Downstream memory is reached through a [`MemoryPort`]: a private L2+DRAM
+//! partition in the legacy single-SM configuration, or a deferred port into
+//! the chip's shared banked backend when the SM is one of many driven by the
+//! [`crate::gpu::Gpu`] engine (which then advances the SM in epochs via
+//! [`Sm::run_epoch`] and delivers memory responses with [`Sm::deliver`]).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::coalescer::coalesce;
 use crate::config::GpuConfig;
+use crate::gpu::{MemRequest, MemoryPort};
 use crate::kernel::Kernel;
 use crate::redirect::{RedirectCache, RedirectLookup};
 use crate::scheduler::{
@@ -33,15 +40,16 @@ use crate::trace::{MemPattern, MemSpace, WarpOp};
 use crate::warp::{Warp, WarpState};
 use gpu_mem::cache::SetAssocCache;
 use gpu_mem::interconnect::Interconnect;
-use gpu_mem::l2::MemoryPartition;
 use gpu_mem::mshr::{FillTarget, Mshr};
 use gpu_mem::shared_memory::SharedMemory;
 use gpu_mem::smmt::Smmt;
 use gpu_mem::{Addr, CtaId, Cycle, WarpId};
 
-/// A memory-system completion event scheduled for a future cycle.
+/// A memory-system completion event scheduled for a future cycle (either
+/// computed synchronously by a private port or delivered by the chip engine
+/// at an epoch barrier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum ResponseEvent {
+pub enum ResponseEvent {
     /// An outstanding MSHR miss for this block completed.
     MshrFill(Addr),
     /// A bypassed request for this warp completed (no MSHR entry).
@@ -76,7 +84,7 @@ pub struct Sm {
     smmt: Smmt,
     mshr: Mshr,
     interconnect: Interconnect,
-    partition: MemoryPartition,
+    port: MemoryPort,
 
     warps: Vec<Warp>,
     resident: Vec<ResidentCta>,
@@ -99,21 +107,36 @@ pub struct Sm {
 
 impl Sm {
     /// Builds an SM executing `kernel` under `scheduler`, with an optional
-    /// redirect cache installed on the global-memory datapath.
+    /// redirect cache installed on the global-memory datapath. The SM owns a
+    /// private memory partition (the legacy single-SM configuration).
     pub fn new(
         config: GpuConfig,
         kernel: Box<dyn Kernel>,
         scheduler: Box<dyn WarpScheduler>,
         redirect: Option<Box<dyn RedirectCache>>,
     ) -> Self {
+        let interconnect =
+            Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
+        let port = MemoryPort::private(config.partition.clone());
+        Self::with_parts(config, kernel, scheduler, redirect, interconnect, port)
+    }
+
+    /// Builds an SM from explicit interconnect and memory-port parts — the
+    /// constructor the multi-SM [`crate::gpu::Gpu`] engine uses to hand each
+    /// SM its crossbar port and a deferred port into the shared backend.
+    pub fn with_parts(
+        config: GpuConfig,
+        kernel: Box<dyn Kernel>,
+        scheduler: Box<dyn WarpScheduler>,
+        redirect: Option<Box<dyn RedirectCache>>,
+        interconnect: Interconnect,
+        port: MemoryPort,
+    ) -> Self {
         let info = kernel.info();
         let l1d = SetAssocCache::new(config.l1d.clone());
         let shared_mem = SharedMemory::new(config.shared_mem);
         let smmt = Smmt::new(config.shared_mem.size_bytes);
         let mshr = Mshr::new(config.mshr_entries, config.mshr_merge);
-        let interconnect =
-            Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
-        let partition = MemoryPartition::new(config.partition.clone());
         let interference = InterferenceMatrix::new(config.max_warps_per_sm);
 
         let mut sm = Sm {
@@ -125,7 +148,7 @@ impl Sm {
             smmt,
             mshr,
             interconnect,
-            partition,
+            port,
             warps: Vec::new(),
             resident: Vec::new(),
             next_cta: 0,
@@ -202,6 +225,40 @@ impl Sm {
         self.cycle
     }
 
+    /// Advances the SM to (at most) cycle `until` — one epoch of the chip
+    /// engine's barrier-synchronised loop. Stops early when the kernel
+    /// finishes or a cap is hit. Does not finalise statistics.
+    pub fn run_epoch(&mut self, until: Cycle) {
+        while self.cycle < until && !self.is_done() && !self.hit_cap() {
+            self.step();
+        }
+    }
+
+    /// Drains the memory requests buffered by a deferred port during the
+    /// last epoch (empty for an SM with a private partition).
+    pub fn drain_requests(&mut self) -> Vec<MemRequest> {
+        self.port.drain()
+    }
+
+    /// Schedules a memory response computed by the chip engine: `ev` fires
+    /// at cycle `done`. Must not be called with `done` in the SM's past —
+    /// the engine's epoch clamp guarantees this.
+    pub fn deliver(&mut self, done: Cycle, ev: ResponseEvent) {
+        debug_assert!(done >= self.cycle, "response delivered into the SM's past");
+        self.pending.push(Reverse((done, ev)));
+    }
+
+    /// Updates the DRAM-utilisation snapshot a deferred port reports to the
+    /// scheduler during the next epoch.
+    pub fn set_dram_utilization(&mut self, util: f64) {
+        self.port.set_dram_utilization(util);
+    }
+
+    /// The SM's interconnect port (for chip-level traffic aggregation).
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
     /// Advances the SM by one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
@@ -250,7 +307,7 @@ impl Sm {
                 ready: &ready,
                 instructions_executed: self.stats.instructions,
                 active_warps: self.warps.iter().filter(|w| !w.is_finished()).count(),
-                dram_utilization: self.partition.dram_bandwidth_utilization(now.max(1)),
+                dram_utilization: self.port.dram_utilization(now.max(1)),
             };
             // The scheduler is consulted even when nothing is ready: policies
             // that maintain throttle/token sets (Best-SWL, CCWS, statPCAL,
@@ -507,14 +564,13 @@ impl Sm {
                 (MemRoute::Bypass, false) => {
                     self.stats.bypassed_requests += 1;
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    let done = self.partition.access_bypass(block, arrive);
-                    self.pending.push(Reverse((done, ResponseEvent::WakeWarp(wid))));
+                    self.mem_read(block, wid, arrive, true, ResponseEvent::WakeWarp(wid));
                     outstanding += 1;
                 }
                 (MemRoute::Bypass, true) => {
                     self.stats.bypassed_requests += 1;
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.partition.access_bypass(block, arrive);
+                    self.port.write(block, wid, arrive, true);
                 }
                 (MemRoute::RedirectCache, w) if self.redirect.is_some() => {
                     if let Some(extra) = self.access_redirect(wid, block, w, now, &mut outstanding)
@@ -529,6 +585,22 @@ impl Sm {
             }
         }
         self.warps[idx].start_mem(outstanding, now + immediate_latency);
+    }
+
+    /// Issues a read to the downstream port; a synchronous (private) port
+    /// yields the completion immediately, a deferred one delivers `ev` after
+    /// the epoch barrier.
+    fn mem_read(
+        &mut self,
+        block: Addr,
+        wid: WarpId,
+        arrive: Cycle,
+        bypass: bool,
+        ev: ResponseEvent,
+    ) {
+        if let Some(done) = self.port.read(block, wid, arrive, bypass, ev) {
+            self.pending.push(Reverse((done, ev)));
+        }
     }
 
     fn requeue_op(&mut self, idx: usize, pattern: MemPattern, is_write: bool) {
@@ -581,22 +653,21 @@ impl Sm {
                     // Write-through: the write still consumes downstream bandwidth,
                     // but does not block the warp.
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.partition.access(block, wid, true, arrive);
+                    self.port.write(block, wid, arrive, false);
                 }
                 self.config.l1d.latency
             }
             gpu_mem::cache::AccessOutcome::MissNoAllocate => {
                 // Global store miss under write-no-allocate: forward downstream.
                 let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                self.partition.access(block, wid, true, arrive);
+                self.port.write(block, wid, arrive, false);
                 self.config.l1d.latency
             }
             gpu_mem::cache::AccessOutcome::Miss => {
                 match self.mshr.allocate(block, wid, now, FillTarget::L1d) {
                     Ok(gpu_mem::mshr::MshrAllocation::New) => {
                         let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                        let done = self.partition.access(block, wid, false, arrive);
-                        self.pending.push(Reverse((done, ResponseEvent::MshrFill(block))));
+                        self.mem_read(block, wid, arrive, false, ResponseEvent::MshrFill(block));
                         *outstanding += 1;
                     }
                     Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
@@ -668,7 +739,7 @@ impl Sm {
                 if is_write {
                     // Write-through downstream, off the critical path.
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.partition.access(block, wid, true, arrive);
+                    self.port.write(block, wid, arrive, false);
                 }
                 Some(latency)
             }
@@ -685,7 +756,7 @@ impl Sm {
                 });
                 if is_write {
                     let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.partition.access(block, wid, true, arrive);
+                    self.port.write(block, wid, arrive, false);
                     return Some(self.config.shared_mem.latency);
                 }
                 match self.mshr.allocate(
@@ -696,8 +767,7 @@ impl Sm {
                 ) {
                     Ok(gpu_mem::mshr::MshrAllocation::New) => {
                         let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                        let done = self.partition.access(block, wid, false, arrive);
-                        self.pending.push(Reverse((done, ResponseEvent::MshrFill(block))));
+                        self.mem_read(block, wid, arrive, false, ResponseEvent::MshrFill(block));
                         *outstanding += 1;
                     }
                     Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
@@ -751,12 +821,18 @@ impl Sm {
         };
     }
 
-    fn finalize_stats(&mut self) {
+    /// Copies end-of-run counters (cycle count, cache statistics, redirect
+    /// utilisation) into [`Sm::stats`]. Idempotent; `run` calls it, and the
+    /// chip engine calls it for epoch-driven SMs. An SM on a deferred port
+    /// leaves its `l2`/`dram` fields empty — those live in the shared
+    /// backend and are filled in at the chip level.
+    pub fn finalize_stats(&mut self) {
         self.stats.cycles = self.cycle;
         self.stats.l1d = *self.l1d.stats();
-        let pstats = self.partition.stats();
-        self.stats.l2 = pstats.l2;
-        self.stats.dram = pstats.dram;
+        if let Some(pstats) = self.port.partition_stats() {
+            self.stats.l2 = pstats.l2;
+            self.stats.dram = pstats.dram;
+        }
         if let Some(r) = self.redirect.as_ref() {
             self.stats.redirect_utilization = r.utilization();
         }

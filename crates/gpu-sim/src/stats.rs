@@ -69,6 +69,38 @@ impl TimeSeries {
                 / self.points.len() as f64
         }
     }
+
+    /// Merges per-SM series into one chip-level series ordered by sample
+    /// cycle (ties broken by SM index, so the result is deterministic).
+    ///
+    /// Each SM samples against its *own* instruction counter, so the merged
+    /// `instructions` axis is rebased to the cumulative chip total at each
+    /// sample (the sum of every SM's progress when the sample was taken),
+    /// keeping the axis monotone. The per-point `ipc`, `active_warps` and
+    /// rate fields remain the sampling SM's interval-local values — the
+    /// chip-level aggregate lives in [`SmStats::reduce`]. A single-SM input
+    /// round-trips unchanged.
+    pub fn merge_sorted<'a>(series: impl IntoIterator<Item = &'a TimeSeries>) -> TimeSeries {
+        let mut tagged: Vec<(usize, TimeSeriesPoint)> = series
+            .into_iter()
+            .enumerate()
+            .flat_map(|(sm, s)| s.points.iter().map(move |&p| (sm, p)))
+            .collect();
+        tagged.sort_by_key(|&(sm, p)| (p.cycle, sm, p.instructions));
+        let num_series = tagged.iter().map(|&(sm, _)| sm + 1).max().unwrap_or(0);
+        let mut last = vec![0u64; num_series];
+        let mut chip_total = 0u64;
+        let points = tagged
+            .into_iter()
+            .map(|(sm, mut p)| {
+                chip_total += p.instructions - last[sm];
+                last[sm] = p.instructions;
+                p.instructions = chip_total;
+                p
+            })
+            .collect();
+        TimeSeries { points }
+    }
 }
 
 /// Counts of cross-warp evictions: `matrix[victim][evictor]` is the number of
@@ -155,6 +187,18 @@ impl InterferenceMatrix {
             None
         } else {
             Some((*nz.iter().min().unwrap(), *nz.iter().max().unwrap()))
+        }
+    }
+
+    /// Adds every count of `other` into this matrix. Multi-SM runs reduce the
+    /// per-SM matrices (indexed by SM-local warp slot) into one chip matrix:
+    /// slot `w` aggregates the interference of every SM's warp slot `w`.
+    pub fn absorb(&mut self, other: &InterferenceMatrix) {
+        let n = self.num_warps.min(other.num_warps);
+        for v in 0..n {
+            for e in 0..n {
+                self.counts[v * self.num_warps + e] += other.counts[v * other.num_warps + e];
+            }
         }
     }
 
@@ -246,6 +290,45 @@ impl SmStats {
             self.redirect_hits as f64 / total as f64
         }
     }
+
+    /// Reduces per-SM statistics into one chip-level aggregate.
+    ///
+    /// Event counters (instructions, memory traffic, barriers, evictions,
+    /// idle cycles, …) sum across SMs; `cycles` takes the maximum (the chip
+    /// is done when its slowest SM is, so chip IPC = Σ instructions / max
+    /// cycles); occupancy high-water marks take the maximum; and
+    /// `redirect_utilization` averages. Reducing a single SM's stats returns
+    /// them unchanged, which is what keeps 1-SM chip runs bit-identical to
+    /// the legacy path.
+    pub fn reduce(per_sm: &[SmStats]) -> SmStats {
+        let mut chip = SmStats::default();
+        for s in per_sm {
+            chip.cycles = chip.cycles.max(s.cycles);
+            chip.instructions += s.instructions;
+            chip.mem_transactions += s.mem_transactions;
+            chip.mem_instructions += s.mem_instructions;
+            chip.shared_mem_instructions += s.shared_mem_instructions;
+            chip.barriers += s.barriers;
+            chip.idle_cycles += s.idle_cycles;
+            chip.throttle_only_cycles += s.throttle_only_cycles;
+            chip.l1d.merge(&s.l1d);
+            chip.l2.merge(&s.l2);
+            chip.dram.merge(&s.dram);
+            chip.redirect_hits += s.redirect_hits;
+            chip.redirect_misses += s.redirect_misses;
+            chip.l1d_migrations += s.l1d_migrations;
+            chip.bypassed_requests += s.bypassed_requests;
+            chip.cross_warp_evictions += s.cross_warp_evictions;
+            chip.redirect_cross_warp_evictions += s.redirect_cross_warp_evictions;
+            chip.max_resident_ctas = chip.max_resident_ctas.max(s.max_resident_ctas);
+            chip.peak_cta_shared_mem = chip.peak_cta_shared_mem.max(s.peak_cta_shared_mem);
+            chip.redirect_utilization += s.redirect_utilization;
+        }
+        if !per_sm.is_empty() {
+            chip.redirect_utilization /= per_sm.len() as f64;
+        }
+        chip
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +407,88 @@ mod tests {
         assert_eq!(SmStats::default().ipc(), 0.0);
         assert_eq!(SmStats::default().apki(), 0.0);
         assert_eq!(SmStats::default().redirect_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reduce_single_sm_is_identity() {
+        let s = SmStats {
+            cycles: 1000,
+            instructions: 500,
+            mem_transactions: 50,
+            idle_cycles: 7,
+            max_resident_ctas: 3,
+            redirect_utilization: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(SmStats::reduce(std::slice::from_ref(&s)), s);
+        assert_eq!(SmStats::reduce(&[]), SmStats::default());
+    }
+
+    #[test]
+    fn reduce_sums_counters_and_maxes_cycles() {
+        let a = SmStats {
+            cycles: 100,
+            instructions: 10,
+            barriers: 1,
+            max_resident_ctas: 2,
+            redirect_utilization: 0.2,
+            ..Default::default()
+        };
+        let b = SmStats {
+            cycles: 150,
+            instructions: 30,
+            barriers: 2,
+            max_resident_ctas: 5,
+            redirect_utilization: 0.6,
+            ..Default::default()
+        };
+        let chip = SmStats::reduce(&[a, b]);
+        assert_eq!(chip.cycles, 150);
+        assert_eq!(chip.instructions, 40);
+        assert_eq!(chip.barriers, 3);
+        assert_eq!(chip.max_resident_ctas, 5);
+        assert!((chip.redirect_utilization - 0.4).abs() < 1e-12);
+        // Chip IPC uses the slowest SM's cycle count.
+        assert!((chip.ipc() - 40.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_absorb_adds_counts() {
+        let mut a = InterferenceMatrix::new(3);
+        a.record(0, 1);
+        let mut b = InterferenceMatrix::new(3);
+        b.record(0, 1);
+        b.record(2, 0);
+        a.absorb(&b);
+        assert_eq!(a.count(0, 1), 2);
+        assert_eq!(a.count(2, 0), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn time_series_merge_orders_by_cycle() {
+        let p = |cycle: u64, insts: u64| TimeSeriesPoint {
+            instructions: insts,
+            cycle,
+            ipc: 1.0,
+            active_warps: 1,
+            interference: 0,
+            l1d_hit_rate: 0.0,
+        };
+        let mut a = TimeSeries::default();
+        a.push(p(10, 100));
+        a.push(p(30, 200));
+        let mut b = TimeSeries::default();
+        b.push(p(20, 150));
+        let merged = TimeSeries::merge_sorted([&a, &b]);
+        let cycles: Vec<u64> = merged.points().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![10, 20, 30]);
+        // The instruction axis is rebased to the cumulative chip total
+        // (each SM counts its own instructions), staying monotone.
+        let insts: Vec<u64> = merged.points().iter().map(|x| x.instructions).collect();
+        assert_eq!(insts, vec![100, 250, 350]);
+        // Single input round-trips unchanged.
+        assert_eq!(TimeSeries::merge_sorted([&a]), a);
     }
 
     proptest! {

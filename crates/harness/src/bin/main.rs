@@ -2,10 +2,19 @@
 //! of the CIAO paper.
 //!
 //! ```text
-//! ciao-harness <experiment> [--quick|--tiny] [--out DIR]
+//! ciao-harness <experiment> [--quick|--tiny] [--sms N] [--out DIR]
 //!
-//! experiments: table1 table2 fig1 fig4 fig8 fig9 fig10 fig11 fig12 overhead all
+//! experiments: table1 table2 fig1 fig4 fig8 fig9 fig10 fig11 fig12 overhead perf all
 //! ```
+//!
+//! `--sms N` simulates every run on an N-SM chip (parallel per-SM execution
+//! against a shared banked L2/DRAM); the default of 1 is the legacy
+//! single-SM model all recorded baselines use.
+//!
+//! `perf` is the CI performance gate: it measures the benchmark suite under
+//! GTO and CIAO-C, writes `BENCH_PR.json` (override with `--bench-out`), and
+//! exits non-zero if any gated geomean IPC drifts more than ±10% from the
+//! checked-in baseline (`bench/baseline.json`, override with `--baseline`).
 //!
 //! Text reports go to stdout; when `--out DIR` is given, each experiment also
 //! writes `<experiment>.txt` and `<experiment>.json` into the directory.
@@ -13,23 +22,32 @@
 use ciao_harness::experiments::{
     fig1, fig10, fig11, fig12, fig4, fig8, fig9, overhead, table1, table2,
 };
+use ciao_harness::perf;
 use ciao_harness::report::write_json;
 use ciao_harness::runner::{RunScale, Runner};
 use ciao_harness::schedulers::SchedulerKind;
 use ciao_workloads::Benchmark;
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Options {
     experiment: String,
     scale: RunScale,
     out_dir: Option<PathBuf>,
+    sms: usize,
+    baseline: PathBuf,
+    bench_out: PathBuf,
+    allow_missing_baseline: bool,
 }
 
 fn parse_args() -> Options {
     let mut experiment = String::from("all");
     let mut scale = RunScale::Full;
     let mut out_dir = None;
+    let mut sms = 1usize;
+    let mut baseline = PathBuf::from("bench/baseline.json");
+    let mut bench_out = PathBuf::from("BENCH_PR.json");
+    let mut allow_missing_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,9 +55,32 @@ fn parse_args() -> Options {
             "--tiny" => scale = RunScale::Tiny,
             "--full" => scale = RunScale::Full,
             "--out" => out_dir = args.next().map(PathBuf::from),
+            "--sms" => {
+                sms = args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                    || {
+                        eprintln!("--sms expects a positive integer");
+                        std::process::exit(2);
+                    },
+                );
+            }
+            "--baseline" => {
+                baseline = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--baseline expects a path");
+                    std::process::exit(2);
+                });
+            }
+            "--bench-out" => {
+                bench_out = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--bench-out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            "--allow-missing-baseline" => allow_missing_baseline = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|all> [--quick|--tiny|--full] [--out DIR]"
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|perf|all> \
+                     [--quick|--tiny|--full] [--sms N] [--out DIR] [--baseline FILE] [--bench-out FILE] \
+                     [--allow-missing-baseline]"
                 );
                 std::process::exit(0);
             }
@@ -50,7 +91,75 @@ fn parse_args() -> Options {
             }
         }
     }
-    Options { experiment, scale, out_dir }
+    Options { experiment, scale, out_dir, sms, baseline, bench_out, allow_missing_baseline }
+}
+
+/// Runs the perf gate: measure, persist, compare, exit non-zero on drift.
+fn run_perf_gate(opts: &Options, runner: &Runner) {
+    let report = perf::measure(runner, &Benchmark::all(), &perf::gate_schedulers());
+    print!("{}", perf::render(&report));
+    if let Err(e) = write_json(&opts.bench_out, &report) {
+        eprintln!("error: cannot write {:?}: {e}", opts.bench_out);
+        std::process::exit(1);
+    }
+    eprintln!("[ciao-harness] wrote {:?}", opts.bench_out);
+    if !Path::new(&opts.baseline).exists() {
+        // Fail closed: a gate that silently skips is no gate. Bootstrapping a
+        // brand-new configuration is the explicit opt-out.
+        eprintln!(
+            "[ciao-harness] no baseline at {:?} (commit this run's {:?} as the baseline \
+             to arm the gate)",
+            opts.baseline, opts.bench_out
+        );
+        if opts.allow_missing_baseline {
+            eprintln!("[ciao-harness] --allow-missing-baseline given; exiting 0");
+            return;
+        }
+        eprintln!(
+            "perf gate FAILED: baseline missing (pass --allow-missing-baseline to bootstrap)"
+        );
+        std::process::exit(1);
+    }
+    let text = match std::fs::read_to_string(&opts.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {:?}: {e}", opts.baseline);
+            std::process::exit(1);
+        }
+    };
+    let baseline: perf::PerfReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot parse baseline {:?}: {e}", opts.baseline);
+            std::process::exit(1);
+        }
+    };
+    if baseline.scale != report.scale || baseline.num_sms != report.num_sms {
+        // Also fail closed: comparing across configurations is meaningless,
+        // and exiting 0 here would let a mis-invoked CI job disarm the gate.
+        eprintln!(
+            "perf gate FAILED: baseline measured at ({}, {} SMs) but current run is \
+             ({}, {} SMs) — rerun at the baseline's configuration or regenerate \
+             bench/baseline.json at the new one",
+            baseline.scale, baseline.num_sms, report.scale, report.num_sms
+        );
+        std::process::exit(1);
+    }
+    let gated: Vec<&str> = perf::gate_schedulers().iter().map(|s| s.label()).collect::<Vec<_>>();
+    let drifts = perf::compare(&report, &baseline, perf::DEFAULT_TOLERANCE, &gated);
+    if drifts.is_empty() {
+        println!(
+            "perf gate PASSED (all gated schedulers within ±{:.0}% of baseline)",
+            perf::DEFAULT_TOLERANCE * 100.0
+        );
+    } else {
+        print!("{}", perf::render_drifts(&drifts, perf::DEFAULT_TOLERANCE));
+        eprintln!(
+            "perf gate FAILED; if the drift is an intended modelling change, regenerate \
+             bench/baseline.json with `ciao-harness perf --quick --bench-out bench/baseline.json`"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn emit<T: Serialize>(opts: &Options, name: &str, text: &str, value: &T) {
@@ -111,6 +220,7 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
             let r = overhead::run();
             emit(opts, "overhead", &overhead::render(&r), &r);
         }
+        "perf" => run_perf_gate(opts, runner),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
@@ -120,11 +230,13 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
 
 fn main() {
     let opts = parse_args();
-    let runner = Runner::new(opts.scale);
+    let runner = Runner::new(opts.scale).with_sms(opts.sms);
     eprintln!(
-        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} worker threads",
+        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, {} worker threads",
         opts.scale,
         opts.scale.max_instructions(),
+        runner.sms,
+        if runner.sms == 1 { "" } else { "s" },
         runner.threads
     );
     if opts.experiment == "all" {

@@ -6,7 +6,7 @@
 //! * **12b** — statPCAL and CIAO-C with doubled DRAM bandwidth, normalised to
 //!   their own baseline-bandwidth runs.
 
-use crate::report::{geometric_mean, Table};
+use crate::report::{capped_marker, capped_summary, geometric_mean, Table};
 use crate::runner::Runner;
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::Benchmark;
@@ -26,6 +26,13 @@ pub struct Fig12Result {
     pub cache_config_geomeans: BTreeMap<String, f64>,
     /// Geometric means for the Fig. 12b series.
     pub bandwidth_geomeans: BTreeMap<String, f64>,
+    /// Benchmarks with at least one capped run (their normalised IPCs are
+    /// built from lower-bound measurements).
+    pub capped_benchmarks: Vec<String>,
+    /// Capped runs out of the total executed.
+    pub capped_runs: usize,
+    /// Total runs executed for the figure.
+    pub total_runs: usize,
 }
 
 /// The configuration labels of Fig. 12a.
@@ -37,14 +44,29 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
     let mut cache_configs: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     let mut bandwidth: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
 
+    let mut capped_benchmarks: Vec<String> = Vec::new();
+    let mut capped_runs = 0usize;
+    let mut total_runs = 0usize;
     for &b in benchmarks {
+        let mut any_capped = false;
+        let mut record = |r: crate::runner::RunRecord| {
+            total_runs += 1;
+            if r.capped {
+                capped_runs += 1;
+                any_capped = true;
+            }
+            r.ipc
+        };
+
         // --- Fig. 12a ---
-        let gto_base = runner.record(b, SchedulerKind::Gto).ipc.max(1e-12);
-        let gto_cap =
-            runner.clone().with_config(GpuConfig::gtx480_cap()).record(b, SchedulerKind::Gto).ipc;
-        let gto_8way =
-            runner.clone().with_config(GpuConfig::gtx480_8way()).record(b, SchedulerKind::Gto).ipc;
-        let ciao_c = runner.record(b, SchedulerKind::CiaoC).ipc;
+        let gto_base = record(runner.record(b, SchedulerKind::Gto)).max(1e-12);
+        let gto_cap = record(
+            runner.clone().with_config(GpuConfig::gtx480_cap()).record(b, SchedulerKind::Gto),
+        );
+        let gto_8way = record(
+            runner.clone().with_config(GpuConfig::gtx480_8way()).record(b, SchedulerKind::Gto),
+        );
+        let ciao_c = record(runner.record(b, SchedulerKind::CiaoC));
         let mut per_config = BTreeMap::new();
         per_config.insert("GTO".to_string(), 1.0);
         per_config.insert("GTO-cap".to_string(), gto_cap / gto_base);
@@ -55,12 +77,15 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
         // --- Fig. 12b ---
         let mut per_sched = BTreeMap::new();
         for s in [SchedulerKind::StatPcal, SchedulerKind::CiaoC] {
-            let base = runner.record(b, s).ipc.max(1e-12);
+            let base = record(runner.record(b, s)).max(1e-12);
             let doubled =
-                runner.clone().with_config(GpuConfig::gtx480_2x_bandwidth()).record(b, s).ipc;
+                record(runner.clone().with_config(GpuConfig::gtx480_2x_bandwidth()).record(b, s));
             per_sched.insert(format!("{}-2X", s.label()), doubled / base);
         }
         bandwidth.insert(b.name().to_string(), per_sched);
+        if any_capped {
+            capped_benchmarks.push(b.name().to_string());
+        }
     }
 
     let geomean_of = |map: &BTreeMap<String, BTreeMap<String, f64>>, key: &str| {
@@ -75,7 +100,15 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Fig12Result {
         .map(|&l| (l.to_string(), geomean_of(&bandwidth, l)))
         .collect();
 
-    Fig12Result { cache_configs, bandwidth, cache_config_geomeans, bandwidth_geomeans }
+    Fig12Result {
+        cache_configs,
+        bandwidth,
+        cache_config_geomeans,
+        bandwidth_geomeans,
+        capped_benchmarks,
+        capped_runs,
+        total_runs,
+    }
 }
 
 /// Renders both panels.
@@ -86,7 +119,8 @@ pub fn render(result: &Fig12Result) -> String {
     header.extend(CACHE_CONFIG_LABELS.iter().map(|s| s.to_string()));
     a.row(header);
     for (bench, per_config) in &result.cache_configs {
-        let mut row = vec![bench.clone()];
+        let capped = result.capped_benchmarks.contains(bench);
+        let mut row = vec![format!("{bench}{}", capped_marker(capped))];
         for label in CACHE_CONFIG_LABELS {
             row.push(format!("{:.2}", per_config.get(label).copied().unwrap_or(0.0)));
         }
@@ -117,6 +151,7 @@ pub fn render(result: &Fig12Result) -> String {
         format!("{:.2}", result.bandwidth_geomeans.get("CIAO-C-2X").copied().unwrap_or(0.0)),
     ]);
     out.push_str(&b.render());
+    out.push_str(&capped_summary(result.capped_runs, result.total_runs));
     out
 }
 

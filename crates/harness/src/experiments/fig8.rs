@@ -5,7 +5,7 @@
 //! * **8b** — shared-memory utilisation ratio of the CIAO-P redirect cache,
 //!   aggregated per class.
 
-use crate::report::{geometric_mean, Table};
+use crate::report::{capped_marker, capped_summary, geometric_mean, Table};
 use crate::runner::{normalize_to, RunRecord, Runner};
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::{Benchmark, BenchmarkClass};
@@ -111,7 +111,8 @@ pub fn render(result: &Fig8Result) -> String {
         }
     }
     for b in &benchmarks {
-        let mut row = vec![b.clone()];
+        let any_capped = result.records.iter().any(|r| &r.benchmark == b && r.capped);
+        let mut row = vec![format!("{b}{}", capped_marker(any_capped))];
         for s in &schedulers {
             let v = result
                 .normalized
@@ -136,6 +137,8 @@ pub fn render(result: &Fig8Result) -> String {
     }
     t.row(row);
     out.push_str(&t.render());
+    let capped_runs = result.records.iter().filter(|r| r.capped).count();
+    out.push_str(&capped_summary(capped_runs, result.records.len()));
     out.push('\n');
 
     let mut u =

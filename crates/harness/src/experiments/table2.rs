@@ -1,7 +1,7 @@
 //! Table II: benchmark characteristics — paper values alongside the values
 //! measured on the synthetic workloads (APKI, barriers, class, Fsmem).
 
-use crate::report::Table;
+use crate::report::{capped_marker, capped_summary, Table};
 use crate::runner::{RunRecord, Runner};
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::Benchmark;
@@ -26,6 +26,9 @@ pub struct Table2Row {
     pub measured_cta_shared_mem: u32,
     /// Whether the paper lists the benchmark as using barriers.
     pub barriers: bool,
+    /// Whether the measuring run hit the instruction/cycle cap (the measured
+    /// columns then reflect a truncated execution).
+    pub capped: bool,
 }
 
 /// The reproduced Table II.
@@ -52,6 +55,7 @@ pub fn run(runner: &Runner, benchmarks: &[Benchmark]) -> Table2Result {
                 paper_fsmem: info.fsmem,
                 measured_cta_shared_mem: res.stats.peak_cta_shared_mem,
                 barriers: info.barriers,
+                capped: res.capped,
             }
         })
         .collect();
@@ -75,7 +79,7 @@ pub fn render(result: &Table2Result) -> String {
     );
     for r in &result.rows {
         t.row(vec![
-            r.benchmark.clone(),
+            format!("{}{}", r.benchmark, capped_marker(r.capped)),
             r.class.clone(),
             format!("{:.0}", r.paper_apki),
             format!("{:.1}", r.measured_apki),
@@ -85,7 +89,10 @@ pub fn render(result: &Table2Result) -> String {
             if r.barriers { "Y" } else { "N" }.to_string(),
         ]);
     }
-    t.render()
+    let mut out = t.render();
+    let capped = result.rows.iter().filter(|r| r.capped).count();
+    out.push_str(&capped_summary(capped, result.rows.len()));
+    out
 }
 
 #[cfg(test)]

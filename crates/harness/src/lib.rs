@@ -16,6 +16,11 @@
 //! | Fig. 11a/11b (sensitivity) | [`experiments::fig11`] | `fig11` |
 //! | Fig. 12a/12b (cache / DRAM configurations) | [`experiments::fig12`] | `fig12` |
 //! | §V-F (overhead analysis) | [`experiments::overhead`] | `overhead` |
+//! | CI performance-regression gate | [`perf`] | `perf` |
+//!
+//! Every experiment accepts the `--sms N` axis: the [`runner::Runner`]
+//! simulates each (benchmark, scheduler) pair on an N-SM chip with parallel
+//! per-SM execution and a shared banked L2/DRAM when `N > 1`.
 //!
 //! Every experiment returns a serialisable result structure plus a plain-text
 //! rendering, so `cargo bench` (crate `ciao-bench`) and the `ciao-harness`
@@ -25,10 +30,12 @@
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod schedulers;
 
+pub use perf::PerfReport;
 pub use report::{geometric_mean, Table};
 pub use runner::{RunRecord, RunScale, Runner};
 pub use schedulers::SchedulerKind;

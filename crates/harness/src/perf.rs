@@ -1,0 +1,251 @@
+//! Performance-regression gate: measure the simulator's headline IPCs,
+//! serialise them to JSON, and compare against a checked-in baseline.
+//!
+//! CI runs `ciao-harness perf --quick`, which measures the full benchmark
+//! suite under the gated schedulers (GTO and CIAO-C — the baseline every
+//! figure normalises to and the paper's headline configuration), writes
+//! `BENCH_PR.json`, and fails the job when a gated scheduler's geomean IPC
+//! drifts more than [`DEFAULT_TOLERANCE`] from `bench/baseline.json`. The
+//! simulator is deterministic, so the tolerance exists to absorb *intended*
+//! modelling changes (which should update the baseline in the same PR), not
+//! machine noise; wall-clock time is recorded for trend-watching but never
+//! gated.
+
+use crate::report::geometric_mean;
+use crate::runner::{RunRecord, Runner};
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maximum relative geomean-IPC drift (±) tolerated by the gate.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// The schedulers whose IPC the gate protects.
+pub fn gate_schedulers() -> Vec<SchedulerKind> {
+    vec![SchedulerKind::Gto, SchedulerKind::CiaoC]
+}
+
+/// One measured performance snapshot (the schema of `bench/baseline.json`
+/// and `BENCH_PR.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Run scale the snapshot was measured at ("Tiny" / "Quick" / "Full").
+    pub scale: String,
+    /// Number of SMs per simulation.
+    pub num_sms: usize,
+    /// Wall-clock seconds for the whole measurement (informational only —
+    /// machine-dependent, never gated).
+    pub wall_clock_secs: f64,
+    /// Runs that hit an instruction/cycle cap.
+    pub capped_runs: usize,
+    /// Total runs measured.
+    pub total_runs: usize,
+    /// Scheduler label → geometric-mean IPC across the benchmark suite (the
+    /// gated quantity).
+    pub geomean_ipc: BTreeMap<String, f64>,
+    /// Scheduler label → benchmark → raw IPC (for diagnosing a drift).
+    pub per_benchmark_ipc: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+/// Runs the (benchmarks × schedulers) matrix under `runner` and condenses it
+/// into a [`PerfReport`].
+pub fn measure(
+    runner: &Runner,
+    benchmarks: &[Benchmark],
+    schedulers: &[SchedulerKind],
+) -> PerfReport {
+    let start = std::time::Instant::now();
+    let records = runner.run_matrix(benchmarks, schedulers);
+    let wall_clock_secs = start.elapsed().as_secs_f64();
+    summarize(&records, runner, wall_clock_secs)
+}
+
+/// Builds the report from pre-computed records (separated from [`measure`]
+/// so tests can exercise the aggregation without simulating).
+pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -> PerfReport {
+    let mut geomean_ipc = BTreeMap::new();
+    let mut per_benchmark_ipc: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut schedulers: Vec<String> = Vec::new();
+    for r in records {
+        if !schedulers.contains(&r.scheduler) {
+            schedulers.push(r.scheduler.clone());
+        }
+        per_benchmark_ipc
+            .entry(r.scheduler.clone())
+            .or_default()
+            .insert(r.benchmark.clone(), r.ipc);
+    }
+    for sched in &schedulers {
+        let ipcs: Vec<f64> =
+            records.iter().filter(|r| &r.scheduler == sched).map(|r| r.ipc).collect();
+        geomean_ipc.insert(sched.clone(), geometric_mean(&ipcs));
+    }
+    PerfReport {
+        scale: format!("{:?}", runner.scale),
+        num_sms: runner.sms,
+        wall_clock_secs,
+        capped_runs: records.iter().filter(|r| r.capped).count(),
+        total_runs: records.len(),
+        geomean_ipc,
+        per_benchmark_ipc,
+    }
+}
+
+/// A gated scheduler whose IPC moved outside the tolerance band.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Drift {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Baseline geomean IPC.
+    pub baseline_ipc: f64,
+    /// Currently measured geomean IPC.
+    pub current_ipc: f64,
+    /// `current / baseline` (0.0 when the scheduler vanished entirely).
+    pub ratio: f64,
+}
+
+/// Compares `current` against `baseline` for the schedulers named in
+/// `gated`, returning one [`Drift`] per violation of `tolerance` (empty ⇒
+/// the gate passes). Schedulers missing from the baseline are ignored —
+/// they are new and have nothing to regress against — but schedulers present
+/// in the baseline and missing from `current` fail loudly.
+pub fn compare(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+    gated: &[&str],
+) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    for &sched in gated {
+        let Some(&base) = baseline.geomean_ipc.get(sched) else { continue };
+        let cur = current.geomean_ipc.get(sched).copied().unwrap_or(0.0);
+        let ratio = if base > 0.0 { cur / base } else { 0.0 };
+        if base > 0.0 && (ratio - 1.0).abs() > tolerance {
+            drifts.push(Drift {
+                scheduler: sched.to_string(),
+                baseline_ipc: base,
+                current_ipc: cur,
+                ratio,
+            });
+        }
+    }
+    drifts
+}
+
+/// Plain-text rendering of a report (the CI log artefact).
+pub fn render(report: &PerfReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== perf snapshot ({} scale, {} SM{}) ==",
+        report.scale,
+        report.num_sms,
+        if report.num_sms == 1 { "" } else { "s" }
+    );
+    for (sched, ipc) in &report.geomean_ipc {
+        let _ = writeln!(out, "{sched:>10}  geomean IPC {ipc:.4}");
+    }
+    let _ = writeln!(
+        out,
+        "{} runs ({} capped), {:.2}s wall clock",
+        report.total_runs, report.capped_runs, report.wall_clock_secs
+    );
+    out
+}
+
+/// Renders gate violations for the CI log.
+pub fn render_drifts(drifts: &[Drift], tolerance: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in drifts {
+        let _ = writeln!(
+            out,
+            "FAIL {}: geomean IPC {:.4} vs baseline {:.4} ({:+.1}% drift, tolerance ±{:.0}%)",
+            d.scheduler,
+            d.current_ipc,
+            d.baseline_ipc,
+            (d.ratio - 1.0) * 100.0,
+            tolerance * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    fn report(gto: f64, ciao: f64) -> PerfReport {
+        let mut geomean_ipc = BTreeMap::new();
+        geomean_ipc.insert("GTO".to_string(), gto);
+        geomean_ipc.insert("CIAO-C".to_string(), ciao);
+        PerfReport {
+            scale: "Quick".into(),
+            num_sms: 1,
+            wall_clock_secs: 1.0,
+            capped_runs: 0,
+            total_runs: 42,
+            geomean_ipc,
+            per_benchmark_ipc: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = report(0.50, 0.60);
+        let cur = report(0.52, 0.57);
+        assert!(compare(&cur, &base, 0.10, &["GTO", "CIAO-C"]).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_regression_and_unexpected_speedup() {
+        let base = report(0.50, 0.60);
+        let slow = report(0.40, 0.60); // -20% GTO
+        let drifts = compare(&slow, &base, 0.10, &["GTO", "CIAO-C"]);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].scheduler, "GTO");
+        assert!(drifts[0].ratio < 0.9);
+        // An unexplained speedup is also a modelling change worth flagging.
+        let fast = report(0.50, 0.75);
+        assert_eq!(compare(&fast, &base, 0.10, &["GTO", "CIAO-C"]).len(), 1);
+        let text = render_drifts(&drifts, 0.10);
+        assert!(text.contains("FAIL GTO"));
+    }
+
+    #[test]
+    fn missing_current_scheduler_fails_missing_baseline_is_ignored() {
+        let base = report(0.50, 0.60);
+        let mut cur = report(0.50, 0.60);
+        cur.geomean_ipc.remove("CIAO-C");
+        let drifts = compare(&cur, &base, 0.10, &["GTO", "CIAO-C"]);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].current_ipc, 0.0);
+        // Gating a scheduler the baseline never measured is a no-op.
+        assert!(compare(&base, &base, 0.10, &["GTO", "CIAO-C", "NEW"]).is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(0.5, 0.6);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.geomean_ipc, r.geomean_ipc);
+        assert_eq!(back.total_runs, 42);
+    }
+
+    #[test]
+    fn measure_produces_gated_schedulers() {
+        let runner = Runner::new(RunScale::Tiny);
+        let r = measure(&runner, &[Benchmark::Syrk, Benchmark::Nn], &gate_schedulers());
+        assert_eq!(r.total_runs, 4);
+        assert!(r.geomean_ipc["GTO"] > 0.0);
+        assert!(r.geomean_ipc["CIAO-C"] > 0.0);
+        assert!(r.per_benchmark_ipc["GTO"].contains_key("SYRK"));
+        assert!(r.wall_clock_secs >= 0.0);
+        let text = render(&r);
+        assert!(text.contains("geomean IPC"));
+    }
+}

@@ -128,6 +128,29 @@ pub fn percent(value: f64) -> String {
     format!("{:.1}%", value * 100.0)
 }
 
+/// Visible marker appended to rows whose run hit an instruction/cycle cap
+/// instead of finishing its kernel (empty for clean runs).
+pub fn capped_marker(capped: bool) -> &'static str {
+    if capped {
+        " (capped)"
+    } else {
+        ""
+    }
+}
+
+/// One-line summary of how many runs in a batch were capped; empty when none
+/// were, so clean reports stay clean.
+pub fn capped_summary(capped_runs: usize, total_runs: usize) -> String {
+    if capped_runs == 0 {
+        String::new()
+    } else {
+        format!(
+            "note: {capped_runs}/{total_runs} runs hit the instruction/cycle cap before \
+             finishing their kernel; their IPCs are lower bounds\n"
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +194,16 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(speedup(1.539), "1.54x");
         assert_eq!(percent(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn capped_markers_and_summary() {
+        assert_eq!(capped_marker(true), " (capped)");
+        assert_eq!(capped_marker(false), "");
+        assert_eq!(capped_summary(0, 10), "");
+        let s = capped_summary(3, 10);
+        assert!(s.contains("3/10"));
+        assert!(s.contains("cap"));
     }
 
     #[test]

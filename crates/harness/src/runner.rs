@@ -1,12 +1,20 @@
 //! Simulation runner: builds (benchmark × scheduler × configuration) runs and
 //! executes them, optionally in parallel across worker threads.
+//!
+//! The runner exposes the harness's `--sms N` axis: with `sms == 1` (the
+//! default) every run uses the legacy single-SM simulator, which is what all
+//! recorded baselines (including `bench/baseline.json`) were produced with;
+//! with `sms > 1` each run simulates a chip of N SMs executing in parallel
+//! against the shared banked L2/DRAM backend, with one scheduler instance
+//! per SM.
 
 use crate::schedulers::SchedulerKind;
 use ciao_core::CiaoParams;
 use ciao_workloads::{Benchmark, ScaleConfig};
-use gpu_sim::{GpuConfig, SimResult, Simulator};
+use gpu_sim::{GpuConfig, Kernel, SimResult, Simulator};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How large each simulation is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +84,11 @@ pub struct RunRecord {
     pub cycles: u64,
     /// Instructions simulated.
     pub instructions: u64,
+    /// Whether the run hit an instruction/cycle cap instead of finishing the
+    /// kernel (reports mark such rows so capped IPCs are not over-read).
+    pub capped: bool,
+    /// Number of SMs simulated for this record.
+    pub num_sms: usize,
 }
 
 impl RunRecord {
@@ -95,6 +108,8 @@ impl RunRecord {
             redirect_utilization: res.stats.redirect_utilization,
             cycles: res.cycles,
             instructions: res.stats.instructions,
+            capped: res.capped,
+            num_sms: res.num_sms,
         }
     }
 }
@@ -110,6 +125,10 @@ pub struct Runner {
     pub scale: RunScale,
     /// Number of worker threads for matrix runs.
     pub threads: usize,
+    /// Number of SMs each simulation models (the `--sms N` axis). `1` uses
+    /// the legacy single-SM path; `> 1` runs the parallel multi-SM chip
+    /// engine with a shared L2/DRAM backend.
+    pub sms: usize,
 }
 
 impl Runner {
@@ -120,6 +139,7 @@ impl Runner {
             params: CiaoParams::default(),
             scale,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            sms: 1,
         }
     }
 
@@ -135,6 +155,12 @@ impl Runner {
         self
     }
 
+    /// Sets the number of simulated SMs per run.
+    pub fn with_sms(mut self, sms: usize) -> Self {
+        self.sms = sms.max(1);
+        self
+    }
+
     /// The effective GPU configuration for a run (adds caps and sampling).
     pub fn effective_config(&self) -> GpuConfig {
         self.config
@@ -143,13 +169,23 @@ impl Runner {
             .with_sample_interval(self.scale.sample_interval())
     }
 
-    /// Runs one (benchmark, scheduler) pair and returns the full result.
+    /// Runs one (benchmark, scheduler) pair and returns the full result:
+    /// the legacy single-SM simulation when `sms == 1`, a parallel multi-SM
+    /// chip simulation (one scheduler instance per SM, shared banked
+    /// L2/DRAM) otherwise.
     pub fn run_one(&self, benchmark: Benchmark, scheduler: SchedulerKind) -> SimResult {
         let config = self.effective_config();
-        let sim = Simulator::new(config.clone());
         let kernel = benchmark.kernel(&self.scale.workload_scale());
-        let (sched, redirect) = scheduler.build(benchmark, &config, &self.params);
-        sim.run(Box::new(kernel), sched, redirect)
+        if self.sms <= 1 {
+            let sim = Simulator::new(config.clone());
+            let (sched, redirect) = scheduler.build(benchmark, &config, &self.params);
+            sim.run(Box::new(kernel), sched, redirect)
+        } else {
+            let chip_config = config.clone().with_num_sms(self.sms);
+            let sim = Simulator::new(chip_config);
+            let kernel: Arc<dyn Kernel> = Arc::new(kernel);
+            sim.run_chip(kernel, |_sm| scheduler.build(benchmark, &config, &self.params))
+        }
     }
 
     /// Runs one pair and returns the condensed record.
@@ -173,7 +209,10 @@ impl Runner {
             .collect();
         let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
         let next: Mutex<usize> = Mutex::new(0);
-        let workers = self.threads.clamp(1, jobs.len().max(1));
+        // Each multi-SM run spawns `sms` barrier-synchronised worker threads
+        // of its own, so divide the outer pool accordingly to avoid
+        // oversubscribing the machine with threads × sms blocked barriers.
+        let workers = self.threads.div_ceil(self.sms.max(1)).clamp(1, jobs.len().max(1));
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -267,6 +306,8 @@ mod tests {
                 redirect_utilization: 0.0,
                 cycles: 1,
                 instructions: 1,
+                capped: false,
+                num_sms: 1,
             },
             RunRecord {
                 benchmark: "A".into(),
@@ -281,6 +322,8 @@ mod tests {
                 redirect_utilization: 0.0,
                 cycles: 1,
                 instructions: 1,
+                capped: false,
+                num_sms: 1,
             },
         ];
         let norm = normalize_to(&records, "GTO");
@@ -296,5 +339,20 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.instructions, b.instructions);
         assert!((a.ipc - b.ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_sm_axis_runs_the_chip_engine() {
+        let runner = Runner::new(RunScale::Tiny).with_sms(2);
+        let res = runner.run_one(Benchmark::Nn, SchedulerKind::CiaoC);
+        assert_eq!(res.num_sms, 2);
+        assert_eq!(res.per_sm.len(), 2);
+        assert!(res.stats.instructions > 0);
+        let rec = RunRecord::from_result(Benchmark::Nn, SchedulerKind::CiaoC, &res);
+        assert_eq!(rec.num_sms, 2);
+        // Deterministic across repeats despite parallel per-SM execution.
+        let res2 = runner.run_one(Benchmark::Nn, SchedulerKind::CiaoC);
+        assert_eq!(res.cycles, res2.cycles);
+        assert_eq!(res.stats, res2.stats);
     }
 }

@@ -3,7 +3,7 @@
 //! One module per source suite of Table II: [`polybench`] (linear-algebra
 //! kernels), [`mars`] (MapReduce workloads) and [`rodinia`] (heterogeneous
 //! compute kernels). Each module exposes one constructor per benchmark that
-//! returns a ready-to-run [`WorkloadKernel`].
+//! returns a ready-to-run [`crate::WorkloadKernel`].
 //!
 //! The constructors share the conventions defined here:
 //!
