@@ -7,11 +7,11 @@
 //! available to a single SM; [`Crossbar`] builds and accounts for the
 //! SM-indexed set of such ports that a multi-SM chip engine hands out.
 
-use crate::Cycle;
+use crate::{Cycle, TenantId};
 use serde::{Deserialize, Serialize};
 
 /// A unidirectional link with fixed latency and finite bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Interconnect {
     /// Traversal latency in cycles.
     pub latency: Cycle,
@@ -23,6 +23,8 @@ pub struct Interconnect {
     bytes_transferred: u64,
     /// Total cycles transfers spent waiting for the link.
     queueing_cycles: Cycle,
+    /// Bytes pushed through the link per tenant (indexed by [`TenantId`]).
+    tenant_bytes: Vec<u64>,
 }
 
 impl Interconnect {
@@ -35,6 +37,7 @@ impl Interconnect {
             next_free: 0,
             bytes_transferred: 0,
             queueing_cycles: 0,
+            tenant_bytes: Vec::new(),
         }
     }
 
@@ -45,18 +48,38 @@ impl Interconnect {
 
     /// Schedules a transfer of `bytes` starting no earlier than `now` and
     /// returns the cycle at which the payload arrives at the other end.
+    /// Attributed to tenant 0 — multi-tenant SMs use
+    /// [`Interconnect::transfer_tagged`].
     pub fn transfer(&mut self, bytes: u64, now: Cycle) -> Cycle {
+        self.transfer_tagged(bytes, now, 0)
+    }
+
+    /// [`Interconnect::transfer`] with explicit tenant attribution: the bytes
+    /// are additionally charged to `tenant`'s counter. Timing is identical to
+    /// the untagged path.
+    pub fn transfer_tagged(&mut self, bytes: u64, now: Cycle, tenant: TenantId) -> Cycle {
         let occupancy = ((bytes as f64) / self.bytes_per_cycle).ceil().max(1.0) as Cycle;
         let start = now.max(self.next_free);
         self.queueing_cycles += start - now;
         self.next_free = start + occupancy;
         self.bytes_transferred += bytes;
+        let idx = tenant as usize;
+        if self.tenant_bytes.len() <= idx {
+            self.tenant_bytes.resize(idx + 1, 0);
+        }
+        self.tenant_bytes[idx] += bytes;
         start + occupancy + self.latency
     }
 
     /// Total bytes transferred so far.
     pub fn bytes_transferred(&self) -> u64 {
         self.bytes_transferred
+    }
+
+    /// Bytes transferred per tenant (indexed by [`TenantId`]; empty when the
+    /// link was never used).
+    pub fn tenant_bytes(&self) -> &[u64] {
+        &self.tenant_bytes
     }
 
     /// Total cycles spent queueing for the link.
@@ -69,6 +92,7 @@ impl Interconnect {
         self.next_free = 0;
         self.bytes_transferred = 0;
         self.queueing_cycles = 0;
+        self.tenant_bytes.clear();
     }
 }
 
@@ -155,6 +179,18 @@ mod tests {
         // Much later request sees an idle link.
         let done = link.transfer(64, 1000);
         assert_eq!(done, 1000 + 4 + 5);
+    }
+
+    #[test]
+    fn tenant_bytes_split_the_total() {
+        let mut link = Interconnect::new(10, 32.0);
+        link.transfer_tagged(128, 0, 0);
+        link.transfer_tagged(256, 0, 1);
+        link.transfer(64, 0); // untagged → tenant 0
+        assert_eq!(link.tenant_bytes(), &[192, 256]);
+        assert_eq!(link.bytes_transferred(), 192 + 256);
+        link.reset();
+        assert!(link.tenant_bytes().is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::addr::{block_addr, Addr};
 use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
 use crate::dram::{Dram, DramConfig, DramStats};
-use crate::{Cycle, WarpId};
+use crate::{Cycle, TenantId, WarpId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,44 @@ impl PartitionStats {
     }
 }
 
+/// Per-tenant attribution of one partition's (or the whole chip backend's)
+/// traffic: who caused which L2 accesses and DRAM fetches. Indexed by
+/// [`TenantId`]; single-kernel runs attribute everything to tenant 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantMemStats {
+    /// L2 lookups performed on behalf of this tenant.
+    pub l2_accesses: u64,
+    /// Of those, the lookups that hit.
+    pub l2_hits: u64,
+    /// DRAM accesses caused by this tenant (L2 misses + bypasses; write-backs
+    /// are charged to the evicting tenant).
+    pub dram_accesses: u64,
+}
+
+impl TenantMemStats {
+    /// L2 misses caused by this tenant.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2_accesses - self.l2_hits
+    }
+
+    /// Adds another tenant record into this one (bank → chip aggregation).
+    pub fn merge(&mut self, other: &TenantMemStats) {
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.dram_accesses += other.dram_accesses;
+    }
+}
+
+/// Merges per-tenant tables element-wise, growing `into` as needed.
+pub fn merge_tenant_stats(into: &mut Vec<TenantMemStats>, other: &[TenantMemStats]) {
+    if into.len() < other.len() {
+        into.resize(other.len(), TenantMemStats::default());
+    }
+    for (t, s) in other.iter().enumerate() {
+        into[t].merge(s);
+    }
+}
+
 /// An L2 slice + DRAM channel pair.
 #[derive(Debug, Clone)]
 pub struct MemoryPartition {
@@ -87,6 +125,7 @@ pub struct MemoryPartition {
     dram: Dram,
     requests: u64,
     total_latency: Cycle,
+    tenants: Vec<TenantMemStats>,
 }
 
 impl MemoryPartition {
@@ -94,7 +133,7 @@ impl MemoryPartition {
     pub fn new(config: PartitionConfig) -> Self {
         let l2 = SetAssocCache::new(config.l2.clone());
         let dram = Dram::new(config.dram);
-        MemoryPartition { config, l2, dram, requests: 0, total_latency: 0 }
+        MemoryPartition { config, l2, dram, requests: 0, total_latency: 0, tenants: Vec::new() }
     }
 
     /// The partition configuration.
@@ -120,15 +159,35 @@ impl MemoryPartition {
 
     /// Serves a read or write arriving at the L2 at cycle `now` on behalf of
     /// warp `wid`; returns the cycle at which the response is available at
-    /// the partition's output port.
+    /// the partition's output port. Attributes the traffic to tenant 0 —
+    /// multi-tenant engines use [`MemoryPartition::access_tagged`].
     pub fn access(&mut self, addr: Addr, wid: WarpId, is_write: bool, now: Cycle) -> Cycle {
+        self.access_tagged(addr, wid, 0, is_write, now)
+    }
+
+    /// [`MemoryPartition::access`] with explicit tenant attribution: the L2
+    /// lookup, its hit/miss outcome and any resulting DRAM fetch are charged
+    /// to `tenant`. Timing is identical to the untagged path.
+    pub fn access_tagged(
+        &mut self,
+        addr: Addr,
+        wid: WarpId,
+        tenant: TenantId,
+        is_write: bool,
+        now: Cycle,
+    ) -> Cycle {
         let block = block_addr(addr);
         self.requests += 1;
         let res = self.l2.access(block, wid, is_write);
         let mut done = now + self.config.l2_latency;
+        let t = self.tenant_entry(tenant);
+        t.l2_accesses += 1;
         if res.outcome.is_miss() {
+            t.dram_accesses += 1;
             // Fetch (or write-allocate fetch) from DRAM.
             done = self.dram.access(block, self.config.l2.line_size, done);
+        } else {
+            t.l2_hits += 1;
         }
         if let Some(ev) = res.evicted {
             if ev.dirty {
@@ -143,13 +202,33 @@ impl MemoryPartition {
     }
 
     /// Serves a request that *bypasses* the L2 and goes straight to DRAM
-    /// (statPCAL bypass path).
+    /// (statPCAL bypass path). Attributed to tenant 0.
     pub fn access_bypass(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        self.access_bypass_tagged(addr, 0, now)
+    }
+
+    /// [`MemoryPartition::access_bypass`] with explicit tenant attribution.
+    pub fn access_bypass_tagged(&mut self, addr: Addr, tenant: TenantId, now: Cycle) -> Cycle {
         let block = block_addr(addr);
         self.requests += 1;
+        self.tenant_entry(tenant).dram_accesses += 1;
         let done = self.dram.access(block, self.config.l2.line_size, now);
         self.total_latency += done - now;
         done
+    }
+
+    fn tenant_entry(&mut self, tenant: TenantId) -> &mut TenantMemStats {
+        let idx = tenant as usize;
+        if self.tenants.len() <= idx {
+            self.tenants.resize(idx + 1, TenantMemStats::default());
+        }
+        &mut self.tenants[idx]
+    }
+
+    /// Per-tenant attribution of this partition's traffic (indexed by
+    /// [`TenantId`]; empty when the partition was never accessed).
+    pub fn tenant_stats(&self) -> &[TenantMemStats] {
+        &self.tenants
     }
 
     /// Invalidates the whole L2 (between kernels) and resets DRAM timing.
@@ -159,6 +238,7 @@ impl MemoryPartition {
         self.dram.reset();
         self.requests = 0;
         self.total_latency = 0;
+        self.tenants.clear();
     }
 }
 
@@ -221,14 +301,35 @@ impl BankedMemorySystem {
 
     /// Serves a read or write arriving at the L2 at cycle `now` on behalf of
     /// warp `wid`; returns the completion cycle at the bank's output port.
+    /// Attributed to tenant 0 — multi-tenant engines use
+    /// [`BankedMemorySystem::access_tagged`].
     pub fn access(&self, addr: Addr, wid: WarpId, is_write: bool, now: Cycle) -> Cycle {
-        self.banks[self.bank_of(addr)].lock().access(addr, wid, is_write, now)
+        self.access_tagged(addr, wid, 0, is_write, now)
+    }
+
+    /// [`BankedMemorySystem::access`] with explicit tenant attribution: the
+    /// serving bank charges the L2 lookup and any DRAM fetch to `tenant`.
+    /// Timing is identical to the untagged path.
+    pub fn access_tagged(
+        &self,
+        addr: Addr,
+        wid: WarpId,
+        tenant: TenantId,
+        is_write: bool,
+        now: Cycle,
+    ) -> Cycle {
+        self.banks[self.bank_of(addr)].lock().access_tagged(addr, wid, tenant, is_write, now)
     }
 
     /// Serves a request that bypasses the L2 and goes straight to the bank's
-    /// DRAM channel (statPCAL bypass path).
+    /// DRAM channel (statPCAL bypass path). Attributed to tenant 0.
     pub fn access_bypass(&self, addr: Addr, now: Cycle) -> Cycle {
-        self.banks[self.bank_of(addr)].lock().access_bypass(addr, now)
+        self.access_bypass_tagged(addr, 0, now)
+    }
+
+    /// [`BankedMemorySystem::access_bypass`] with explicit tenant attribution.
+    pub fn access_bypass_tagged(&self, addr: Addr, tenant: TenantId, now: Cycle) -> Cycle {
+        self.banks[self.bank_of(addr)].lock().access_bypass_tagged(addr, tenant, now)
     }
 
     /// Chip-level statistics, aggregated across banks.
@@ -236,6 +337,16 @@ impl BankedMemorySystem {
         let mut total = PartitionStats::default();
         for bank in &self.banks {
             total.merge(&bank.lock().stats());
+        }
+        total
+    }
+
+    /// Chip-level per-tenant attribution, aggregated across banks (indexed by
+    /// [`TenantId`]).
+    pub fn tenant_stats(&self) -> Vec<TenantMemStats> {
+        let mut total: Vec<TenantMemStats> = Vec::new();
+        for bank in &self.banks {
+            merge_tenant_stats(&mut total, bank.lock().tenant_stats());
         }
         total
     }
@@ -365,6 +476,62 @@ mod tests {
             last
         };
         assert!(run(&chip) < run(&one));
+    }
+
+    #[test]
+    fn tenant_attribution_sums_to_partition_totals() {
+        let mut p = MemoryPartition::new(PartitionConfig::gtx480());
+        // Tenant 0: two accesses to one block (miss then hit); tenant 2: one
+        // cold miss; one bypass charged to tenant 1.
+        p.access_tagged(0x1000, 0, 0, false, 0);
+        p.access_tagged(0x1000, 0, 0, false, 1_000);
+        p.access_tagged(0x40_0000, 1, 2, false, 2_000);
+        p.access_bypass_tagged(0x8000, 1, 3_000);
+        let t = p.tenant_stats();
+        assert_eq!(t.len(), 3);
+        assert_eq!((t[0].l2_accesses, t[0].l2_hits, t[0].dram_accesses), (2, 1, 1));
+        assert_eq!((t[1].l2_accesses, t[1].dram_accesses), (0, 1));
+        assert_eq!((t[2].l2_accesses, t[2].l2_misses()), (1, 1));
+        let s = p.stats();
+        assert_eq!(s.l2.accesses(), t.iter().map(|x| x.l2_accesses).sum());
+        assert_eq!(s.l2.hits(), t.iter().map(|x| x.l2_hits).sum());
+        assert_eq!(s.dram.accesses, t.iter().map(|x| x.dram_accesses).sum::<u64>());
+        p.reset();
+        assert!(p.tenant_stats().is_empty());
+    }
+
+    #[test]
+    fn banked_tenant_stats_aggregate_across_banks() {
+        let sys = BankedMemorySystem::new(PartitionConfig::gtx480(), 4);
+        for i in 0..8u64 {
+            // Lines interleave across all four banks; odd lines to tenant 1.
+            sys.access_tagged(i * 128, 0, (i % 2) as TenantId, false, 0);
+        }
+        let t = sys.tenant_stats();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].l2_accesses, 4);
+        assert_eq!(t[1].l2_accesses, 4);
+        assert_eq!(sys.stats().l2.accesses(), 8);
+        // Untagged access is attributed to tenant 0.
+        sys.access(0x9000, 0, false, 0);
+        assert_eq!(sys.tenant_stats()[0].l2_accesses, 5);
+    }
+
+    #[test]
+    fn tagged_access_timing_matches_untagged() {
+        let cfg = PartitionConfig::gtx480();
+        let mut a = MemoryPartition::new(cfg.clone());
+        let mut b = MemoryPartition::new(cfg);
+        let addrs = [0x1000u64, 0x2000, 0x1000, 0x40_0000, 0x2000];
+        for (i, &addr) in addrs.iter().enumerate() {
+            let now = i as Cycle * 500;
+            assert_eq!(
+                a.access(addr, 0, false, now),
+                b.access_tagged(addr, 0, 7, false, now),
+                "tenant tagging must not change timing"
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub use cache::{
 };
 pub use dram::{Dram, DramConfig, DramStats};
 pub use interconnect::{Crossbar, CrossbarStats, Interconnect};
-pub use l2::{BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionStats};
+pub use l2::{
+    merge_tenant_stats, BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionStats,
+    TenantMemStats,
+};
 pub use mshr::{Mshr, MshrAllocation, MshrEntry, MshrError};
 pub use queues::{BoundedQueue, ResponseEntry, ResponseSource};
 pub use shared_memory::{SharedMemory, SharedMemoryConfig};
@@ -53,6 +56,11 @@ pub use smmt::{Smmt, SmmtEntry, SmmtError, SmmtPurpose};
 
 /// A simulation cycle index.
 pub type Cycle = u64;
+
+/// A tenant (kernel-stream) identifier, unique within one chip run. Memory
+/// components use it to attribute shared-resource usage (L2 accesses, DRAM
+/// traffic, interconnect bytes) to the co-running kernel that caused it.
+pub type TenantId = u32;
 
 /// A warp identifier (unique within one SM).
 pub type WarpId = u32;

@@ -1,0 +1,631 @@
+//! Multi-tenant CTA dispatch: kernel streams, SM partitioning policies and
+//! the chip-level kernel queue.
+//!
+//! PR 2's chip engine ran exactly one kernel, splitting its grid round-robin
+//! across SMs. This module generalises dispatch to N co-running kernels
+//! (*tenants*): a [`KernelStream`] binds a kernel to a [`TenantId`], a
+//! [`DispatchPolicy`] decides which SM runs which tenant's CTAs, and
+//! [`KernelQueue`] is the chip-level entry point that turns a set of streams
+//! into one [`SimResult`] with per-tenant attribution.
+//!
+//! ## The three policies
+//!
+//! * [`DispatchPolicy::Exclusive`] — temporal multiplexing: each kernel gets
+//!   the whole chip to itself, streams execute serially in submission order
+//!   with cold caches between kernels. This is exactly "today's" behaviour
+//!   repeated per kernel: a queue with a single stream is bit-identical to a
+//!   plain single-kernel chip run. Tenants never interfere; turnaround grows
+//!   with queue position (tenant `k`'s finish cycle includes every earlier
+//!   kernel's runtime).
+//! * [`DispatchPolicy::SpatialPartition`] — each tenant receives a disjoint,
+//!   contiguous set of SMs (balanced to within one SM) and its grid is
+//!   dispatched round-robin across that set only. Tenants are isolated at
+//!   the SM/L1 level but still share the banked L2 and DRAM, so chip-level
+//!   cache interference remains — precisely the effect the per-tenant L2
+//!   attribution makes measurable. With more tenants than SMs, tenants wrap
+//!   onto single SMs (`tenant t → SM t mod num_sms`) and SM-level isolation
+//!   degrades gracefully into sharing.
+//! * [`DispatchPolicy::SharedRoundRobin`] — CTAs from all streams are
+//!   interleaved round-robin (one CTA per stream per round) into a single
+//!   launch sequence that is then split round-robin across every SM, so each
+//!   SM co-runs warps from all tenants and intra-SM L1 interference between
+//!   tenants appears in addition to the shared-L2 contention. With a single
+//!   stream the interleaving is the identity, which reduces this policy to
+//!   PR 2's round-robin dispatcher.
+//!
+//! ## Determinism
+//!
+//! Every policy is a pure function of `(streams, num_sms)`: assignment lists
+//! are computed up front, before any simulation, and the engine's
+//! barrier-synchronised epoch scheme (see [`crate::gpu`]) keeps execution
+//! deterministic regardless of worker-thread scheduling. Two runs of the same
+//! mix under the same policy produce identical results, and changing the
+//! policy changes only the assignment lists, never the per-warp traces.
+
+use std::sync::Arc;
+
+use crate::config::GpuConfig;
+use crate::gpu::{Gpu, SmUnit};
+use crate::kernel::{Kernel, KernelInfo};
+use crate::simulator::SimResult;
+use crate::stats::SmStats;
+use gpu_mem::{CtaId, TenantId};
+use serde::{Deserialize, Serialize};
+
+/// A kernel submitted for co-execution, bound to the tenant identity used to
+/// attribute its resource usage throughout the memory system.
+#[derive(Clone)]
+pub struct KernelStream {
+    /// Tenant identity of this stream (dense, `0..num_streams`).
+    pub tenant: TenantId,
+    kernel: Arc<dyn Kernel>,
+    info: KernelInfo,
+}
+
+impl KernelStream {
+    /// Binds `kernel` to `tenant`.
+    pub fn new(tenant: TenantId, kernel: Arc<dyn Kernel>) -> Self {
+        let info = kernel.info();
+        KernelStream { tenant, kernel, info }
+    }
+
+    /// The stream's kernel.
+    pub fn kernel(&self) -> &Arc<dyn Kernel> {
+        &self.kernel
+    }
+
+    /// Cached launch geometry of the stream's kernel.
+    pub fn info(&self) -> &KernelInfo {
+        &self.info
+    }
+}
+
+impl std::fmt::Debug for KernelStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelStream")
+            .field("tenant", &self.tenant)
+            .field("kernel", &self.info.name)
+            .field("ctas", &self.info.num_ctas)
+            .finish()
+    }
+}
+
+/// How co-running kernels share the chip's SMs. See the module docs for the
+/// semantics and determinism guarantees of each policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Temporal multiplexing: kernels run serially, each owning every SM.
+    Exclusive,
+    /// Disjoint SM sets per kernel; the L2/DRAM backend stays shared.
+    SpatialPartition,
+    /// CTAs of all kernels interleaved round-robin onto every SM.
+    SharedRoundRobin,
+}
+
+impl DispatchPolicy {
+    /// All policies, in report order.
+    pub fn all() -> Vec<DispatchPolicy> {
+        vec![
+            DispatchPolicy::Exclusive,
+            DispatchPolicy::SpatialPartition,
+            DispatchPolicy::SharedRoundRobin,
+        ]
+    }
+
+    /// Display label used by reports and the harness CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchPolicy::Exclusive => "exclusive",
+            DispatchPolicy::SpatialPartition => "spatial",
+            DispatchPolicy::SharedRoundRobin => "shared-rr",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn from_label(label: &str) -> Option<DispatchPolicy> {
+        Self::all().into_iter().find(|p| p.label().eq_ignore_ascii_case(label))
+    }
+
+    /// Whether kernels execute at the same time under this policy (`false`
+    /// only for [`DispatchPolicy::Exclusive`], which serialises them).
+    pub fn is_concurrent(self) -> bool {
+        !matches!(self, DispatchPolicy::Exclusive)
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One CTA's worth of work assigned to an SM: which tenant it belongs to,
+/// which kernel builds its warp programs, and its launch footprint. SMs
+/// launch the entries of their work list strictly in order as warp slots and
+/// shared memory free up.
+#[derive(Clone)]
+pub struct CtaWork {
+    /// Tenant the CTA belongs to.
+    pub tenant: TenantId,
+    /// Kernel that builds the CTA's warp programs.
+    pub kernel: Arc<dyn Kernel>,
+    /// Global CTA id within its kernel's grid.
+    pub cta: CtaId,
+    /// Warps the CTA launches.
+    pub warps: usize,
+    /// Programmer-allocated shared memory, in bytes.
+    pub shared_mem: u32,
+}
+
+impl std::fmt::Debug for CtaWork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtaWork")
+            .field("tenant", &self.tenant)
+            .field("cta", &self.cta)
+            .field("warps", &self.warps)
+            .finish()
+    }
+}
+
+/// Expands a single kernel into its per-CTA work items (tenant defaults to
+/// the stream's id), in launch order.
+pub(crate) fn stream_work(stream: &KernelStream) -> Vec<CtaWork> {
+    let info = stream.info();
+    (0..info.num_ctas)
+        .map(|c| CtaWork {
+            tenant: stream.tenant,
+            kernel: Arc::clone(&stream.kernel),
+            cta: c as CtaId,
+            warps: info.warps_per_cta.max(1),
+            shared_mem: info.shared_mem_per_cta,
+        })
+        .collect()
+}
+
+/// Round-robin CTA dispatch: block `b` of the grid runs on SM `b % num_sms`.
+/// Returns one list of global CTA ids per SM, each in launch order. This is
+/// PR 2's single-kernel dispatcher, kept as the building block every policy
+/// composes.
+pub fn dispatch_round_robin(num_ctas: usize, num_sms: usize) -> Vec<Vec<usize>> {
+    let num_sms = num_sms.max(1);
+    let mut out = vec![Vec::with_capacity(num_ctas.div_ceil(num_sms)); num_sms];
+    for b in 0..num_ctas {
+        out[b % num_sms].push(b);
+    }
+    out
+}
+
+/// The disjoint SM sets the [`DispatchPolicy::SpatialPartition`] policy hands
+/// to each of `num_tenants` tenants on a chip of `num_sms` SMs: contiguous
+/// ranges balanced to within one SM, in tenant order. With more tenants than
+/// SMs the sets degenerate to `tenant t → SM t mod num_sms` (no longer
+/// disjoint — SM-level isolation is impossible in that regime).
+pub fn spatial_sm_sets(num_tenants: usize, num_sms: usize) -> Vec<Vec<usize>> {
+    let num_sms = num_sms.max(1);
+    if num_tenants > num_sms {
+        return (0..num_tenants).map(|t| vec![t % num_sms]).collect();
+    }
+    let base = num_sms / num_tenants.max(1);
+    let extra = num_sms % num_tenants.max(1);
+    let mut sets = Vec::with_capacity(num_tenants);
+    let mut next = 0;
+    for t in 0..num_tenants {
+        let len = base + usize::from(t < extra);
+        sets.push((next..next + len).collect());
+        next += len;
+    }
+    sets
+}
+
+/// Computes each SM's work list for `streams` under `policy` on a chip of
+/// `num_sms` SMs. Pure and deterministic: the same inputs always produce the
+/// same lists.
+///
+/// For [`DispatchPolicy::Exclusive`] this returns the per-stream round-robin
+/// assignments concatenated in stream order — the single-engine
+/// approximation in which a later kernel's CTAs launch on an SM as soon as
+/// the earlier kernel's CTAs retire from it. [`KernelQueue::run`] implements
+/// the exact policy (fully serial execution with cold caches between
+/// kernels) and is what the harness uses.
+pub fn plan(streams: &[KernelStream], num_sms: usize, policy: DispatchPolicy) -> Vec<Vec<CtaWork>> {
+    let num_sms = num_sms.max(1);
+    let mut lists: Vec<Vec<CtaWork>> = vec![Vec::new(); num_sms];
+    match policy {
+        DispatchPolicy::Exclusive => {
+            for stream in streams {
+                for (sm, work) in round_robin_split(stream_work(stream), num_sms) {
+                    lists[sm].extend(work);
+                }
+            }
+        }
+        DispatchPolicy::SpatialPartition => {
+            let sets = spatial_sm_sets(streams.len(), num_sms);
+            for (stream, set) in streams.iter().zip(&sets) {
+                for (j, work) in stream_work(stream).into_iter().enumerate() {
+                    lists[set[j % set.len()]].push(work);
+                }
+            }
+        }
+        DispatchPolicy::SharedRoundRobin => {
+            let mut queues: Vec<Vec<CtaWork>> = streams.iter().map(stream_work).collect();
+            for q in &mut queues {
+                q.reverse(); // pop from the back = launch order
+            }
+            let mut sequence: Vec<CtaWork> = Vec::new();
+            while queues.iter().any(|q| !q.is_empty()) {
+                for q in &mut queues {
+                    if let Some(work) = q.pop() {
+                        sequence.push(work);
+                    }
+                }
+            }
+            for (b, work) in sequence.into_iter().enumerate() {
+                lists[b % num_sms].push(work);
+            }
+        }
+    }
+    lists
+}
+
+/// Splits one stream's work round-robin across SMs, yielding `(sm, items)`.
+fn round_robin_split(
+    work: Vec<CtaWork>,
+    num_sms: usize,
+) -> impl Iterator<Item = (usize, Vec<CtaWork>)> {
+    let mut per_sm: Vec<Vec<CtaWork>> = vec![Vec::new(); num_sms];
+    for (b, item) in work.into_iter().enumerate() {
+        per_sm[b % num_sms].push(item);
+    }
+    per_sm.into_iter().enumerate()
+}
+
+/// The chip-level kernel queue: the set of streams submitted for one
+/// co-execution run, and the entry point that executes them under a
+/// [`DispatchPolicy`] and assembles the combined, per-tenant-attributed
+/// [`SimResult`].
+#[derive(Default)]
+pub struct KernelQueue {
+    streams: Vec<KernelStream>,
+}
+
+impl KernelQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KernelQueue::default()
+    }
+
+    /// Builds a queue from kernels, assigning tenant ids in submission order.
+    pub fn from_kernels(kernels: impl IntoIterator<Item = Arc<dyn Kernel>>) -> Self {
+        let mut queue = KernelQueue::new();
+        for k in kernels {
+            queue.push(k);
+        }
+        queue
+    }
+
+    /// Submits a kernel, returning the tenant id it was assigned.
+    pub fn push(&mut self, kernel: Arc<dyn Kernel>) -> TenantId {
+        let tenant = self.streams.len() as TenantId;
+        self.streams.push(KernelStream::new(tenant, kernel));
+        tenant
+    }
+
+    /// The submitted streams, in tenant order.
+    pub fn streams(&self) -> &[KernelStream] {
+        &self.streams
+    }
+
+    /// Number of submitted streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no stream was submitted.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Runs every submitted stream on a chip of `config.num_sms` SMs under
+    /// `policy` and returns the combined result. `build_unit` is called once
+    /// per SM per concurrent engine (per kernel for the serial `Exclusive`
+    /// policy) to construct that SM's scheduler and optional redirect cache.
+    ///
+    /// Concurrent policies run one [`Gpu`] engine over the planned work
+    /// lists; `Exclusive` runs one engine per stream back to back with cold
+    /// caches between kernels and chains the results (cycles add, tenant `k`'s
+    /// finish cycle is offset by every earlier kernel's runtime). A queue
+    /// with a single stream produces a result bit-identical to a plain
+    /// single-kernel chip run under every policy.
+    pub fn run<F>(&self, config: &GpuConfig, policy: DispatchPolicy, mut build_unit: F) -> SimResult
+    where
+        F: FnMut(usize) -> SmUnit,
+    {
+        assert!(!self.streams.is_empty(), "a kernel queue needs at least one stream");
+        let num_sms = config.num_sms.max(1);
+        if policy.is_concurrent() || self.streams.len() == 1 {
+            let units = (0..num_sms).map(&mut build_unit).collect();
+            let mut gpu = Gpu::with_streams(config.clone(), self.streams.clone(), policy, units);
+            gpu.run();
+            let mut res = gpu.into_result();
+            res.policy = policy.label().to_string();
+            return res;
+        }
+        // Exclusive: serial per-kernel chip runs, chained.
+        let mut results = Vec::with_capacity(self.streams.len());
+        for stream in &self.streams {
+            let solo = KernelStream::new(0, Arc::clone(stream.kernel()));
+            let units = (0..num_sms).map(&mut build_unit).collect();
+            let mut gpu = Gpu::with_streams(config.clone(), vec![solo], policy, units);
+            gpu.run();
+            results.push(gpu.into_result());
+        }
+        let mut merged = merge_serial(results);
+        merged.policy = policy.label().to_string();
+        merged
+    }
+}
+
+/// Chains serially executed per-kernel results into one chip-level result:
+/// cycles and event counters add, time series are concatenated with cycle and
+/// instruction offsets, and each run's tenant record is re-labelled with its
+/// queue position and shifted by the preceding runtime.
+fn merge_serial(results: Vec<SimResult>) -> SimResult {
+    let num_runs = results.len();
+    let mut iter = results.into_iter();
+    let mut merged = iter.next().expect("at least one result");
+    debug_assert_eq!(merged.per_tenant.len(), 1);
+    let mut names = vec![merged.kernel.clone()];
+    for (k, r) in iter.enumerate() {
+        let cycle_offset = merged.cycles;
+        let inst_offset = merged.stats.instructions;
+        names.push(r.kernel.clone());
+        merged.time_series.append_offset(&r.time_series, cycle_offset, inst_offset);
+        merged.interference.absorb(&r.interference);
+        merged.scheduler_metrics.merge(&r.scheduler_metrics);
+        merged.interconnect.bytes_transferred += r.interconnect.bytes_transferred;
+        merged.interconnect.queueing_cycles += r.interconnect.queueing_cycles;
+        merged.capped |= r.capped;
+        merge_sm_serial(&mut merged.stats, &r.stats);
+        for (a, b) in merged.per_sm.iter_mut().zip(&r.per_sm) {
+            merge_sm_serial(a, b);
+        }
+        let mut tenant = r.per_tenant.into_iter().next().expect("serial run has one tenant");
+        tenant.tenant = (k + 1) as TenantId;
+        tenant.finish_cycle += cycle_offset;
+        merged.per_tenant.push(tenant);
+        merged.cycles += r.cycles;
+        merged.stats.cycles = merged.cycles;
+    }
+    // merge_sm_serial accumulates utilisation *sums*; divide once so every
+    // run weighs equally in the mean regardless of queue position.
+    merged.stats.redirect_utilization /= num_runs as f64;
+    for sm in &mut merged.per_sm {
+        sm.redirect_utilization /= num_runs as f64;
+    }
+    merged.kernel = names.join("+");
+    merged
+}
+
+/// Serial composition of two SM stat blocks: counters sum (as in
+/// [`SmStats::reduce`]) but cycles *add* instead of taking the maximum,
+/// because the runs happened back to back on the same SM.
+/// `redirect_utilization` accumulates as a *sum* — [`merge_serial`] divides
+/// by the run count once at the end, so the mean is equal-weighted.
+fn merge_sm_serial(a: &mut SmStats, b: &SmStats) {
+    let cycles = a.cycles + b.cycles;
+    let utilization_sum = a.redirect_utilization + b.redirect_utilization;
+    *a = SmStats::reduce(&[a.clone(), b.clone()]);
+    a.cycles = cycles;
+    a.redirect_utilization = utilization_sum;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ClosureKernel;
+    use crate::trace::{VecProgram, WarpOp};
+    use proptest::prelude::*;
+
+    fn kernel(name: &str, ctas: usize, warps: usize) -> Arc<dyn Kernel> {
+        let info = KernelInfo {
+            name: name.into(),
+            num_ctas: ctas,
+            warps_per_cta: warps,
+            shared_mem_per_cta: 0,
+        };
+        Arc::new(ClosureKernel::new(info, |_c, _w| Box::new(VecProgram::new(vec![WarpOp::alu()]))))
+    }
+
+    fn streams(shapes: &[(usize, usize)]) -> Vec<KernelStream> {
+        shapes
+            .iter()
+            .enumerate()
+            .map(|(t, &(ctas, warps))| {
+                KernelStream::new(t as TenantId, kernel(&format!("k{t}"), ctas, warps))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_covers_every_block_once() {
+        let lists = dispatch_round_robin(10, 3);
+        assert_eq!(lists.len(), 3);
+        assert_eq!(lists[0], vec![0, 3, 6, 9]);
+        assert_eq!(lists[1], vec![1, 4, 7]);
+        assert_eq!(lists[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in DispatchPolicy::all() {
+            assert_eq!(DispatchPolicy::from_label(p.label()), Some(p));
+            assert_eq!(format!("{p}"), p.label());
+        }
+        assert_eq!(DispatchPolicy::from_label("nope"), None);
+        assert!(!DispatchPolicy::Exclusive.is_concurrent());
+        assert!(DispatchPolicy::SpatialPartition.is_concurrent());
+    }
+
+    #[test]
+    fn spatial_sets_are_disjoint_and_balanced() {
+        let sets = spatial_sm_sets(3, 8);
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7]]);
+        // More tenants than SMs: wrap (no longer disjoint).
+        let wrapped = spatial_sm_sets(5, 3);
+        assert_eq!(wrapped, vec![vec![0], vec![1], vec![2], vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn single_stream_shared_rr_matches_round_robin() {
+        let s = streams(&[(7, 2)]);
+        let lists = plan(&s, 3, DispatchPolicy::SharedRoundRobin);
+        let reference = dispatch_round_robin(7, 3);
+        for (sm, list) in lists.iter().enumerate() {
+            let ctas: Vec<usize> = list.iter().map(|w| w.cta as usize).collect();
+            assert_eq!(ctas, reference[sm]);
+            assert!(list.iter().all(|w| w.tenant == 0));
+        }
+    }
+
+    #[test]
+    fn shared_rr_interleaves_tenants_on_every_sm() {
+        let s = streams(&[(4, 2), (4, 2)]);
+        let lists = plan(&s, 2, DispatchPolicy::SharedRoundRobin);
+        // Interleaved sequence: (t0,c0) (t1,c0) (t0,c1) (t1,c1) ...
+        // SM 0 gets even positions, SM 1 odd ones.
+        let tenants_sm0: Vec<TenantId> = lists[0].iter().map(|w| w.tenant).collect();
+        let tenants_sm1: Vec<TenantId> = lists[1].iter().map(|w| w.tenant).collect();
+        assert_eq!(tenants_sm0, vec![0, 0, 0, 0]);
+        assert_eq!(tenants_sm1, vec![1, 1, 1, 1]);
+        // With 3 SMs both tenants appear on every SM.
+        let lists3 = plan(&s, 3, DispatchPolicy::SharedRoundRobin);
+        for list in &lists3 {
+            assert!(!list.is_empty());
+        }
+        let all_tenants: std::collections::HashSet<TenantId> =
+            lists3.iter().flatten().map(|w| w.tenant).collect();
+        assert_eq!(all_tenants.len(), 2);
+    }
+
+    #[test]
+    fn spatial_partition_confines_tenants_to_their_sets() {
+        let s = streams(&[(6, 2), (9, 2)]);
+        let lists = plan(&s, 4, DispatchPolicy::SpatialPartition);
+        let sets = spatial_sm_sets(2, 4);
+        for (sm, list) in lists.iter().enumerate() {
+            for w in list {
+                assert!(
+                    sets[w.tenant as usize].contains(&sm),
+                    "tenant {} CTA on SM {sm} outside its set",
+                    w.tenant
+                );
+            }
+        }
+        // Every CTA of every stream is assigned exactly once.
+        let mut counts = [vec![0usize; 6], vec![0usize; 9]];
+        for w in lists.iter().flatten() {
+            counts[w.tenant as usize][w.cta as usize] += 1;
+        }
+        assert!(counts.iter().flatten().all(|&c| c == 1));
+    }
+
+    fn load_kernel(name: &str, ctas: usize, ops: usize) -> Arc<dyn Kernel> {
+        let info = KernelInfo {
+            name: name.into(),
+            num_ctas: ctas,
+            warps_per_cta: 2,
+            shared_mem_per_cta: 0,
+        };
+        Arc::new(ClosureKernel::new(info, move |cta, w| {
+            let ops = (0..ops)
+                .map(|i| {
+                    WarpOp::coalesced_load((cta as u64 * 977 + w as u64 * 131 + i as u64) * 128)
+                })
+                .collect();
+            Box::new(VecProgram::new(ops))
+        }))
+    }
+
+    fn gto_units() -> impl FnMut(usize) -> crate::gpu::SmUnit {
+        |_| (Box::new(crate::scheduler::GtoScheduler::new()) as _, None)
+    }
+
+    #[test]
+    fn exclusive_queue_chains_serial_runs() {
+        let config = crate::config::GpuConfig::gtx480().with_num_sms(2);
+        let a = load_kernel("a", 2, 8);
+        let b = load_kernel("b", 2, 8);
+        let solo_cycles = |k: &Arc<dyn Kernel>| {
+            KernelQueue::from_kernels([Arc::clone(k)])
+                .run(&config, DispatchPolicy::Exclusive, gto_units())
+                .cycles
+        };
+        let (ca, cb) = (solo_cycles(&a), solo_cycles(&b));
+        let res =
+            KernelQueue::from_kernels([a, b]).run(&config, DispatchPolicy::Exclusive, gto_units());
+        assert_eq!(res.policy, "exclusive");
+        assert_eq!(res.kernel, "a+b");
+        assert_eq!(res.per_tenant.len(), 2);
+        // Serial total: cycles add; tenant 1 queues behind tenant 0.
+        assert_eq!(res.cycles, ca + cb);
+        assert_eq!(res.stats.cycles, res.cycles);
+        assert!(res.per_tenant[0].finish_cycle <= ca);
+        assert!(res.per_tenant[1].finish_cycle > ca);
+        assert_eq!(res.per_tenant[0].tenant, 0);
+        assert_eq!(res.per_tenant[1].tenant, 1);
+        assert_eq!(res.stats.instructions, 2 * (2 * 2 * 8));
+        assert!(!res.capped);
+        // Per-tenant instruction split covers the total exactly.
+        assert_eq!(
+            res.per_tenant.iter().map(|t| t.instructions).sum::<u64>(),
+            res.stats.instructions
+        );
+    }
+
+    #[test]
+    fn single_stream_queue_matches_plain_chip_run_under_every_policy() {
+        let config = crate::config::GpuConfig::gtx480().with_num_sms(2);
+        let reference = {
+            let mut gpu = crate::gpu::Gpu::new(
+                config.clone(),
+                load_kernel("k", 4, 10),
+                (0..2).map(|i| gto_units()(i)).collect(),
+            );
+            gpu.run();
+            gpu.into_result()
+        };
+        for policy in DispatchPolicy::all() {
+            let res = KernelQueue::from_kernels([load_kernel("k", 4, 10)]).run(
+                &config,
+                policy,
+                gto_units(),
+            );
+            assert_eq!(res.cycles, reference.cycles, "{policy}");
+            assert_eq!(res.stats, reference.stats, "{policy}");
+            assert_eq!(res.per_sm, reference.per_sm, "{policy}");
+            assert_eq!(res.time_series, reference.time_series, "{policy}");
+            assert_eq!(res.per_tenant, reference.per_tenant, "{policy}");
+        }
+    }
+
+    proptest! {
+        /// Every policy assigns every CTA of every stream exactly once.
+        #[test]
+        fn plan_is_a_partition(
+            shapes in proptest::collection::vec((1usize..40, 1usize..4), 1..5),
+            sms in 1usize..32,
+            policy_idx in 0usize..3,
+        ) {
+            let policy = DispatchPolicy::all()[policy_idx];
+            let s = streams(&shapes);
+            let lists = plan(&s, sms, policy);
+            prop_assert_eq!(lists.len(), sms);
+            let mut counts: Vec<Vec<usize>> =
+                shapes.iter().map(|&(ctas, _)| vec![0; ctas]).collect();
+            for w in lists.iter().flatten() {
+                counts[w.tenant as usize][w.cta as usize] += 1;
+            }
+            prop_assert!(counts.iter().flatten().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! The multi-SM GPU engine: CTA dispatch, per-SM memory ports, and the
 //! barrier-synchronised parallel execution loop.
 //!
-//! [`Gpu`] turns the single-[`Sm`] simulator into a chip: a round-robin CTA
-//! dispatcher splits the kernel's grid across `num_sms` SM engines, every
-//! SM's L1 misses travel over its own [`gpu_mem::Crossbar`] port into one
-//! shared, banked L2 + DRAM backend ([`gpu_mem::BankedMemorySystem`]), and
+//! [`Gpu`] turns the single-[`Sm`] simulator into a chip: the
+//! [`crate::dispatch`] module's policies split one or more co-running
+//! kernels' grids across `num_sms` SM engines, every SM's L1 misses travel
+//! over its own [`gpu_mem::Crossbar`] port into one shared, banked L2 + DRAM
+//! backend ([`gpu_mem::BankedMemorySystem`]) with per-tenant attribution, and
 //! the per-SM cycle loops execute in parallel with `std::thread::scope`.
 //!
 //! ## Determinism
@@ -38,67 +39,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crate::config::GpuConfig;
-use crate::kernel::{Kernel, KernelInfo};
+use crate::dispatch::{plan, CtaWork, DispatchPolicy, KernelStream};
+use crate::kernel::Kernel;
 use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
-use crate::simulator::SimResult;
+use crate::simulator::{SimResult, TenantResult};
 use crate::sm::{ResponseEvent, Sm};
-use crate::stats::{InterferenceMatrix, SmStats, TimeSeries};
-use crate::trace::WarpProgram;
+use crate::stats::{InterferenceMatrix, SmStats, TenantStats, TimeSeries};
 use gpu_mem::interconnect::Crossbar;
 use gpu_mem::l2::{BankedMemorySystem, MemoryPartition, PartitionConfig};
-use gpu_mem::{Addr, CtaId, Cycle, WarpId};
+use gpu_mem::{merge_tenant_stats, Addr, Cycle, TenantId, TenantMemStats, WarpId};
 use parking_lot::Mutex;
 
 /// One SM's policy unit: its warp scheduler plus the optional redirect cache
 /// the CIAO variants install. Multi-SM chips need one unit per SM because
 /// policies carry per-SM state (VTAs, interference lists, throttle sets).
 pub type SmUnit = (Box<dyn WarpScheduler>, Option<Box<dyn RedirectCache>>);
-
-/// Round-robin CTA dispatch: block `b` of the grid runs on SM `b % num_sms`.
-/// Returns one list of global CTA ids per SM, each in launch order.
-pub fn dispatch_round_robin(num_ctas: usize, num_sms: usize) -> Vec<Vec<usize>> {
-    let num_sms = num_sms.max(1);
-    let mut out = vec![Vec::with_capacity(num_ctas.div_ceil(num_sms)); num_sms];
-    for b in 0..num_ctas {
-        out[b % num_sms].push(b);
-    }
-    out
-}
-
-/// One SM's view of a kernel whose grid was split by the dispatcher: CTA
-/// indices are SM-local, and [`Kernel::warp_program`] maps them back to the
-/// global CTA id so warp traces are identical to a single-SM run of the same
-/// blocks.
-pub struct DispatchedKernel {
-    inner: Arc<dyn Kernel>,
-    info: KernelInfo,
-    ctas: Vec<usize>,
-}
-
-impl DispatchedKernel {
-    /// Wraps `inner`, restricting it to the global CTA ids in `ctas`.
-    pub fn new(inner: Arc<dyn Kernel>, ctas: Vec<usize>) -> Self {
-        let mut info = inner.info();
-        info.num_ctas = ctas.len();
-        DispatchedKernel { inner, info, ctas }
-    }
-
-    /// The global CTA ids assigned to this SM.
-    pub fn assigned_ctas(&self) -> &[usize] {
-        &self.ctas
-    }
-}
-
-impl Kernel for DispatchedKernel {
-    fn info(&self) -> KernelInfo {
-        self.info.clone()
-    }
-
-    fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram> {
-        self.inner.warp_program(self.ctas[cta as usize] as CtaId, warp_in_cta)
-    }
-}
 
 /// A global-memory request buffered by a [`MemoryPort`] during an epoch's
 /// parallel phase and served against the shared backend at the barrier.
@@ -113,6 +69,8 @@ pub struct MemRequest {
     pub block: Addr,
     /// Requesting warp (SM-local id).
     pub wid: WarpId,
+    /// Tenant the request is attributed to at the shared backend.
+    pub tenant: TenantId,
     /// Whether this is a write.
     pub is_write: bool,
     /// Whether the request bypasses the L2 (statPCAL path).
@@ -154,21 +112,23 @@ impl MemoryPort {
         MemoryPort::Deferred(DeferredPort::default())
     }
 
-    /// Issues a read. Returns `Some(done)` when served synchronously; `None`
-    /// when buffered for barrier service (the event is delivered later).
+    /// Issues a read attributed to `tenant`. Returns `Some(done)` when served
+    /// synchronously; `None` when buffered for barrier service (the event is
+    /// delivered later).
     pub fn read(
         &mut self,
         block: Addr,
         wid: WarpId,
+        tenant: TenantId,
         arrive: Cycle,
         bypass: bool,
         event: ResponseEvent,
     ) -> Option<Cycle> {
         match self {
             MemoryPort::Private(p) => Some(if bypass {
-                p.access_bypass(block, arrive)
+                p.access_bypass_tagged(block, tenant, arrive)
             } else {
-                p.access(block, wid, false, arrive)
+                p.access_tagged(block, wid, tenant, false, arrive)
             }),
             MemoryPort::Deferred(d) => {
                 d.push(MemRequest {
@@ -176,6 +136,7 @@ impl MemoryPort {
                     seq: 0,
                     block,
                     wid,
+                    tenant,
                     is_write: false,
                     bypass,
                     event: Some(event),
@@ -185,15 +146,22 @@ impl MemoryPort {
         }
     }
 
-    /// Issues a write (fire-and-forget: consumes downstream bandwidth but
-    /// never blocks the warp).
-    pub fn write(&mut self, block: Addr, wid: WarpId, arrive: Cycle, bypass: bool) {
+    /// Issues a write attributed to `tenant` (fire-and-forget: consumes
+    /// downstream bandwidth but never blocks the warp).
+    pub fn write(
+        &mut self,
+        block: Addr,
+        wid: WarpId,
+        tenant: TenantId,
+        arrive: Cycle,
+        bypass: bool,
+    ) {
         match self {
             MemoryPort::Private(p) => {
                 if bypass {
-                    p.access_bypass(block, arrive);
+                    p.access_bypass_tagged(block, tenant, arrive);
                 } else {
-                    p.access(block, wid, true, arrive);
+                    p.access_tagged(block, wid, tenant, true, arrive);
                 }
             }
             MemoryPort::Deferred(d) => d.push(MemRequest {
@@ -201,6 +169,7 @@ impl MemoryPort {
                 seq: 0,
                 block,
                 wid,
+                tenant,
                 is_write: true,
                 bypass,
                 event: None,
@@ -239,6 +208,14 @@ impl MemoryPort {
             MemoryPort::Deferred(_) => None,
         }
     }
+
+    /// The private partition's per-tenant attribution, if this port owns one.
+    pub fn partition_tenant_stats(&self) -> Option<Vec<TenantMemStats>> {
+        match self {
+            MemoryPort::Private(p) => Some(p.tenant_stats().to_vec()),
+            MemoryPort::Deferred(_) => None,
+        }
+    }
 }
 
 impl DeferredPort {
@@ -256,19 +233,45 @@ pub struct Gpu {
     config: GpuConfig,
     kernel_name: String,
     scheduler_name: String,
+    tenant_names: Vec<String>,
+    policy: DispatchPolicy,
     sms: Vec<Mutex<Sm>>,
     shared: Option<Arc<BankedMemorySystem>>,
     cycle: Cycle,
 }
 
 impl Gpu {
-    /// Builds a chip running `kernel` with one `(scheduler, redirect)` unit
-    /// per SM; `units.len()` is the number of SMs simulated.
+    /// Builds a chip running the single `kernel` with one
+    /// `(scheduler, redirect)` unit per SM; `units.len()` is the number of
+    /// SMs simulated. Equivalent to [`Gpu::with_streams`] with one stream
+    /// (every policy degenerates to round-robin CTA dispatch across all
+    /// SMs); the result is labelled `exclusive` — the kernel owns the whole
+    /// chip, matching what [`crate::Simulator::run`] reports for the same
+    /// situation.
     pub fn new(config: GpuConfig, kernel: Arc<dyn Kernel>, units: Vec<SmUnit>) -> Self {
+        let stream = KernelStream::new(0, kernel);
+        Self::with_streams(config, vec![stream], DispatchPolicy::Exclusive, units)
+    }
+
+    /// Builds a chip co-running `streams` under `policy`'s SM assignment with
+    /// one `(scheduler, redirect)` unit per SM; `units.len()` is the number
+    /// of SMs simulated. Stream tenant ids must be dense (`0..streams.len()`,
+    /// in order) so per-tenant tables across the engine line up.
+    pub fn with_streams(
+        config: GpuConfig,
+        streams: Vec<KernelStream>,
+        policy: DispatchPolicy,
+        units: Vec<SmUnit>,
+    ) -> Self {
         assert!(!units.is_empty(), "a GPU needs at least one SM");
+        assert!(!streams.is_empty(), "a GPU needs at least one kernel stream");
+        for (i, s) in streams.iter().enumerate() {
+            assert_eq!(s.tenant as usize, i, "stream tenant ids must be dense and in order");
+        }
         let num_sms = units.len();
-        let info = kernel.info();
-        let assignments = dispatch_round_robin(info.num_ctas, num_sms);
+        let assignments: Vec<Vec<CtaWork>> = plan(&streams, num_sms, policy);
+        let tenant_names: Vec<String> = streams.iter().map(|s| s.info().name.clone()).collect();
+        let kernel_name = tenant_names.join("+");
         let shared = (num_sms > 1).then(|| {
             Arc::new(BankedMemorySystem::for_chip(
                 config.partition.clone(),
@@ -287,20 +290,19 @@ impl Gpu {
             .into_iter()
             .zip(assignments)
             .zip(links)
-            .map(|(((scheduler, redirect), ctas), link)| {
+            .map(|(((scheduler, redirect), work), link)| {
                 if scheduler_name.is_empty() {
                     scheduler_name = scheduler.name().to_string();
                 }
-                let sub = Box::new(DispatchedKernel::new(Arc::clone(&kernel), ctas));
                 let port = if num_sms > 1 {
                     MemoryPort::deferred()
                 } else {
                     MemoryPort::private(config.partition.clone())
                 };
-                Mutex::new(Sm::with_parts(config.clone(), sub, scheduler, redirect, link, port))
+                Mutex::new(Sm::with_parts(config.clone(), work, scheduler, redirect, link, port))
             })
             .collect();
-        Gpu { config, kernel_name: info.name, scheduler_name, sms, shared, cycle: 0 }
+        Gpu { config, kernel_name, scheduler_name, tenant_names, policy, sms, shared, cycle: 0 }
     }
 
     /// Number of SMs on this chip.
@@ -397,9 +399,9 @@ impl Gpu {
         requests.sort_by_key(|&(sm, r)| (r.arrive, sm, r.seq));
         for (sm_index, r) in requests {
             let done = if r.bypass {
-                shared.access_bypass(r.block, r.arrive)
+                shared.access_bypass_tagged(r.block, r.tenant, r.arrive)
             } else {
-                shared.access(r.block, r.wid, r.is_write, r.arrive)
+                shared.access_tagged(r.block, r.wid, r.tenant, r.is_write, r.arrive)
             };
             if let Some(ev) = r.event {
                 sms[sm_index].lock().deliver(done, ev);
@@ -414,17 +416,23 @@ impl Gpu {
     /// Consumes the engine and assembles the chip-level [`SimResult`]:
     /// per-SM statistics plus the [`SmStats::reduce`] aggregate, with the
     /// shared backend's L2/DRAM counters substituted for the (empty) per-SM
-    /// ones on multi-SM chips.
+    /// ones on multi-SM chips, and one [`TenantResult`] per kernel stream
+    /// (per-SM tenant counters merged, L2/DRAM attribution read back from
+    /// whichever memory system served the run).
     pub fn into_result(mut self) -> SimResult {
         for sm in &mut self.sms {
             sm.get_mut().finalize_stats();
         }
         let num_sms = self.sms.len();
+        let num_tenants = self.tenant_names.len();
         let mut per_sm: Vec<SmStats> = Vec::with_capacity(num_sms);
         let mut interference = InterferenceMatrix::new(self.config.max_warps_per_sm);
         let mut scheduler_metrics = SchedulerMetrics::default();
         let mut capped = false;
         let mut cycles: Cycle = 0;
+        let mut tenant_totals: Vec<TenantStats> =
+            vec![TenantStats { done: true, ..TenantStats::default() }; num_tenants];
+        let mut tenant_mem: Vec<TenantMemStats> = Vec::new();
         let interconnect = {
             let sms: Vec<&Sm> = self.sms.iter_mut().map(|s| &*s.get_mut()).collect();
             for sm in &sms {
@@ -433,9 +441,36 @@ impl Gpu {
                 scheduler_metrics.merge(&sm.scheduler().metrics());
                 capped |= !sm.is_done();
                 cycles = cycles.max(sm.cycle());
+                for (t, entry) in sm.tenant_stats().iter().enumerate() {
+                    if t < num_tenants {
+                        tenant_totals[t].merge(entry);
+                    }
+                }
+                if let Some(table) = sm.partition_tenant_stats() {
+                    merge_tenant_stats(&mut tenant_mem, &table);
+                }
             }
             Crossbar::aggregate(sms.iter().map(|sm| sm.interconnect()))
         };
+        if let Some(shared) = &self.shared {
+            merge_tenant_stats(&mut tenant_mem, &shared.tenant_stats());
+        }
+        tenant_mem.resize(num_tenants.max(tenant_mem.len()), TenantMemStats::default());
+        let per_tenant: Vec<TenantResult> = tenant_totals
+            .iter()
+            .enumerate()
+            .map(|(t, totals)| TenantResult {
+                tenant: t as TenantId,
+                kernel: self.tenant_names[t].clone(),
+                instructions: totals.instructions,
+                finish_cycle: totals.finish_cycle,
+                capped: !totals.done,
+                l1d_accesses: totals.l1d_accesses,
+                l1d_hits: totals.l1d_hits,
+                xbar_bytes: totals.xbar_bytes,
+                mem: tenant_mem[t],
+            })
+            .collect();
         let time_series =
             TimeSeries::merge_sorted(self.sms.iter_mut().map(|s| s.get_mut().time_series()));
         let mut stats = SmStats::reduce(&per_sm);
@@ -448,6 +483,7 @@ impl Gpu {
         SimResult {
             scheduler: self.scheduler_name,
             kernel: self.kernel_name,
+            policy: self.policy.label().to_string(),
             cycles,
             stats,
             time_series,
@@ -456,6 +492,7 @@ impl Gpu {
             capped,
             num_sms,
             per_sm,
+            per_tenant,
             interconnect,
         }
     }
@@ -467,7 +504,6 @@ mod tests {
     use crate::kernel::{ClosureKernel, KernelInfo};
     use crate::scheduler::GtoScheduler;
     use crate::trace::{VecProgram, WarpOp};
-    use proptest::prelude::*;
 
     fn kernel(ctas: usize, ops: usize) -> Arc<dyn Kernel> {
         let info = KernelInfo {
@@ -491,24 +527,32 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_covers_every_block_once() {
-        let lists = dispatch_round_robin(10, 3);
-        assert_eq!(lists.len(), 3);
-        assert_eq!(lists[0], vec![0, 3, 6, 9]);
-        assert_eq!(lists[1], vec![1, 4, 7]);
-        assert_eq!(lists[2], vec![2, 5, 8]);
-    }
-
-    #[test]
-    fn dispatched_kernel_maps_local_to_global_ctas() {
-        let k = kernel(6, 1);
-        let sub = DispatchedKernel::new(Arc::clone(&k), vec![1, 4]);
-        assert_eq!(sub.info().num_ctas, 2);
-        assert_eq!(sub.assigned_ctas(), &[1, 4]);
-        // Local CTA 1 replays global CTA 4's trace.
-        let mut direct = k.warp_program(4, 0);
-        let mut via = sub.warp_program(1, 0);
-        assert_eq!(direct.next_op(), via.next_op());
+    fn two_streams_share_the_chip_and_split_attribution() {
+        let streams =
+            vec![KernelStream::new(0, kernel(2, 10)), KernelStream::new(1, kernel(2, 10))];
+        let mut gpu = Gpu::with_streams(
+            GpuConfig::gtx480(),
+            streams,
+            DispatchPolicy::SharedRoundRobin,
+            units(2),
+        );
+        gpu.run();
+        let res = gpu.into_result();
+        assert_eq!(res.per_tenant.len(), 2);
+        assert_eq!(res.kernel, "gpu-unit+gpu-unit");
+        // Both kernels executed all their instructions and the per-tenant
+        // split covers the chip totals exactly.
+        for t in &res.per_tenant {
+            assert_eq!(t.instructions, 2 * 2 * 10);
+            assert!(!t.capped);
+            assert!(t.finish_cycle > 0);
+        }
+        let inst: u64 = res.per_tenant.iter().map(|t| t.instructions).sum();
+        assert_eq!(inst, res.stats.instructions);
+        let l1: u64 = res.per_tenant.iter().map(|t| t.l1d_accesses).sum();
+        assert_eq!(l1, res.stats.l1d.accesses());
+        let l2: u64 = res.per_tenant.iter().map(|t| t.mem.l2_accesses).sum();
+        assert_eq!(l2, res.stats.l2.accesses());
     }
 
     #[test]
@@ -553,24 +597,5 @@ mod tests {
             gpu.into_result().cycles
         };
         assert!(cycles(2) <= cycles(1));
-    }
-
-    proptest! {
-        /// The dispatcher assigns every block exactly once, for any shape.
-        #[test]
-        fn dispatch_is_a_partition(blocks in 0usize..500, sms in 1usize..32) {
-            let lists = dispatch_round_robin(blocks, sms);
-            prop_assert_eq!(lists.len(), sms);
-            let mut seen = vec![false; blocks];
-            for (sm, list) in lists.iter().enumerate() {
-                for &b in list {
-                    prop_assert!(b < blocks);
-                    prop_assert!(!seen[b], "block {} dispatched twice", b);
-                    prop_assert_eq!(b % sms, sm);
-                    seen[b] = true;
-                }
-            }
-            prop_assert!(seen.iter().all(|&s| s));
-        }
     }
 }

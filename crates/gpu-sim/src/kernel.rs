@@ -8,8 +8,9 @@
 //! and 10 and behind the `Fsmem` (fraction of shared memory used) column of
 //! Table II.
 
-use crate::trace::WarpProgram;
-use gpu_mem::CtaId;
+use crate::trace::{MemSpace, WarpOp, WarpProgram};
+use gpu_mem::{Addr, CtaId};
+use std::sync::Arc;
 
 /// Static description of a kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,81 @@ pub trait Kernel: Send + Sync {
     /// Must be deterministic so that re-simulating under a different
     /// scheduler replays identical traces.
     fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram>;
+}
+
+/// Wraps a kernel, shifting every *global-memory* address its warps issue by
+/// a fixed byte offset (wrapping mod 2⁶⁴). Shared-memory accesses, compute
+/// and barriers pass through untouched.
+///
+/// Multi-tenant mixes use one offset per tenant to give co-running kernels
+/// disjoint global address spaces: without it, two instances of benchmark
+/// suites that hard-code their region bases would alias each other's data in
+/// the shared caches, and the "interference" experiments would measure
+/// constructive sharing instead (visible as STP above the tenant count).
+pub struct OffsetKernel {
+    inner: Arc<dyn Kernel>,
+    offset: Addr,
+}
+
+impl OffsetKernel {
+    /// Wraps `inner`, shifting its global addresses by `offset` bytes.
+    pub fn new(inner: Arc<dyn Kernel>, offset: Addr) -> Self {
+        OffsetKernel { inner, offset }
+    }
+
+    /// The configured address offset.
+    pub fn offset(&self) -> Addr {
+        self.offset
+    }
+}
+
+impl Kernel for OffsetKernel {
+    fn info(&self) -> KernelInfo {
+        self.inner.info()
+    }
+
+    fn warp_program(&self, cta: CtaId, warp_in_cta: usize) -> Box<dyn WarpProgram> {
+        Box::new(OffsetProgram {
+            inner: self.inner.warp_program(cta, warp_in_cta),
+            offset: self.offset,
+        })
+    }
+}
+
+struct OffsetProgram {
+    inner: Box<dyn WarpProgram>,
+    offset: Addr,
+}
+
+impl WarpProgram for OffsetProgram {
+    fn next_op(&mut self) -> Option<WarpOp> {
+        let offset = self.offset;
+        self.inner.next_op().map(|op| match op {
+            WarpOp::Load { space: MemSpace::Global, pattern } => {
+                WarpOp::Load { space: MemSpace::Global, pattern: offset_pattern(pattern, offset) }
+            }
+            WarpOp::Store { space: MemSpace::Global, pattern } => {
+                WarpOp::Store { space: MemSpace::Global, pattern: offset_pattern(pattern, offset) }
+            }
+            other => other,
+        })
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.inner.remaining_hint()
+    }
+}
+
+fn offset_pattern(pattern: crate::trace::MemPattern, offset: Addr) -> crate::trace::MemPattern {
+    use crate::trace::MemPattern;
+    match pattern {
+        MemPattern::Strided { base, stride, lanes } => {
+            MemPattern::Strided { base: base.wrapping_add(offset), stride, lanes }
+        }
+        MemPattern::Scatter(addrs) => {
+            MemPattern::Scatter(addrs.into_iter().map(|a| a.wrapping_add(offset)).collect())
+        }
+    }
 }
 
 /// A kernel built from a closure, convenient for tests and examples.
@@ -92,6 +168,57 @@ mod tests {
             shared_mem_per_cta: 1024,
         };
         assert_eq!(info.total_warps(), 48);
+    }
+
+    #[test]
+    fn offset_kernel_shifts_global_addresses_only() {
+        let info =
+            KernelInfo { name: "o".into(), num_ctas: 1, warps_per_cta: 1, shared_mem_per_cta: 64 };
+        let inner: Arc<dyn Kernel> = Arc::new(ClosureKernel::new(info, |_c, _w| {
+            Box::new(VecProgram::new(vec![
+                WarpOp::coalesced_load(0x1000),
+                WarpOp::Load {
+                    space: MemSpace::Shared,
+                    pattern: crate::trace::MemPattern::Strided { base: 0, stride: 4, lanes: 8 },
+                },
+                WarpOp::Store {
+                    space: MemSpace::Global,
+                    pattern: crate::trace::MemPattern::Scatter(vec![10, 20]),
+                },
+                WarpOp::alu(),
+            ]))
+        }));
+        let wrapped = OffsetKernel::new(Arc::clone(&inner), 1 << 40);
+        assert_eq!(wrapped.offset(), 1 << 40);
+        assert_eq!(wrapped.info(), inner.info());
+        let mut p = wrapped.warp_program(0, 0);
+        assert_eq!(p.remaining_hint(), Some(4));
+        match p.next_op().unwrap() {
+            WarpOp::Load { space: MemSpace::Global, pattern } => {
+                assert_eq!(pattern.lane_addresses()[0], 0x1000 + (1u64 << 40));
+            }
+            other => panic!("expected global load, got {other:?}"),
+        }
+        // Shared-memory pattern is untouched.
+        match p.next_op().unwrap() {
+            WarpOp::Load { space: MemSpace::Shared, pattern } => {
+                assert_eq!(pattern.lane_addresses()[0], 0);
+            }
+            other => panic!("expected shared load, got {other:?}"),
+        }
+        match p.next_op().unwrap() {
+            WarpOp::Store { space: MemSpace::Global, pattern } => {
+                assert_eq!(pattern.lane_addresses(), vec![10 + (1u64 << 40), 20 + (1u64 << 40)]);
+            }
+            other => panic!("expected global store, got {other:?}"),
+        }
+        assert!(matches!(p.next_op().unwrap(), WarpOp::Compute { .. }));
+        // Offset 0 is the identity.
+        let identity = OffsetKernel::new(inner, 0);
+        match identity.warp_program(0, 0).next_op().unwrap() {
+            WarpOp::Load { pattern, .. } => assert_eq!(pattern.lane_addresses()[0], 0x1000),
+            other => panic!("expected load, got {other:?}"),
+        }
     }
 
     #[test]

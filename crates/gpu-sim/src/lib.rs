@@ -25,21 +25,27 @@
 //!   CIAO's shared-memory-as-cache plugs into the SM datapath.
 //! * [`sm`] — the per-cycle SM model: issue, scoreboarding, L1D/MSHR/L2/DRAM
 //!   traversal, barriers, CTA launch/retire.
-//! * [`gpu`] — the multi-SM chip engine: round-robin CTA dispatch across
-//!   SMs, per-SM crossbar/memory ports, and the deterministic
-//!   barrier-synchronised epoch loop driving the SMs in parallel against a
-//!   shared banked L2/DRAM backend.
-//! * [`stats`] — counters, per-SM → chip reduction, time series (Figs. 9/10)
-//!   and the inter-warp interference matrix (Figs. 1a/4a).
+//! * [`dispatch`] — multi-tenant CTA dispatch: kernel streams, the
+//!   `Exclusive` / `SpatialPartition` / `SharedRoundRobin` SM partitioning
+//!   policies, and the chip-level [`dispatch::KernelQueue`].
+//! * [`gpu`] — the multi-SM chip engine: per-SM crossbar/memory ports and
+//!   the deterministic barrier-synchronised epoch loop driving the SMs in
+//!   parallel against a shared banked L2/DRAM backend with per-tenant
+//!   attribution.
+//! * [`stats`] — counters, per-SM → chip reduction, per-tenant counters and
+//!   the STP/ANTT co-execution metrics, time series (Figs. 9/10) and the
+//!   inter-warp interference matrix (Figs. 1a/4a).
 //! * [`simulator`] — one-call driver producing a [`simulator::SimResult`]
-//!   from a single-SM run ([`simulator::Simulator::run`]) or a multi-SM chip
-//!   run ([`simulator::Simulator::run_chip`]).
+//!   from a single-SM run ([`simulator::Simulator::run`]), a multi-SM chip
+//!   run ([`simulator::Simulator::run_chip`]) or a multi-kernel co-execution
+//!   run ([`simulator::Simulator::run_mix`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod coalescer;
 pub mod config;
+pub mod dispatch;
 pub mod gpu;
 pub mod kernel;
 pub mod redirect;
@@ -52,16 +58,22 @@ pub mod warp;
 
 pub use coalescer::coalesce;
 pub use config::GpuConfig;
-pub use gpu::{dispatch_round_robin, DispatchedKernel, Gpu, MemRequest, MemoryPort, SmUnit};
-pub use kernel::{Kernel, KernelInfo};
+pub use dispatch::{
+    dispatch_round_robin, spatial_sm_sets, CtaWork, DispatchPolicy, KernelQueue, KernelStream,
+};
+pub use gpu::{Gpu, MemRequest, MemoryPort, SmUnit};
+pub use kernel::{Kernel, KernelInfo, OffsetKernel};
 pub use redirect::{RedirectCache, RedirectLookup};
 pub use scheduler::{
     CacheEvent, CacheEventOutcome, CacheKind, GtoScheduler, LrrScheduler, MemRoute, SchedulerCtx,
     SchedulerMetrics, WarpScheduler,
 };
-pub use simulator::{SimResult, Simulator};
+pub use simulator::{SimResult, Simulator, TenantResult};
 pub use sm::{ResponseEvent, Sm};
-pub use stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
+pub use stats::{
+    avg_normalized_turnaround, system_throughput, InterferenceMatrix, SmImbalance, SmStats,
+    TenantStats, TimeSeries, TimeSeriesPoint,
+};
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
 pub use warp::{Warp, WarpState};
 

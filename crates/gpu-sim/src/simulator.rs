@@ -10,23 +10,85 @@
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
+use crate::dispatch::{DispatchPolicy, KernelQueue};
 use crate::gpu::Gpu;
 use crate::kernel::Kernel;
 use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::sm::Sm;
-use crate::stats::{InterferenceMatrix, SmStats, TimeSeries};
+use crate::stats::{InterferenceMatrix, SmImbalance, SmStats, TimeSeries};
 use gpu_mem::interconnect::{Crossbar, CrossbarStats};
-use gpu_mem::Cycle;
+use gpu_mem::{Cycle, TenantId, TenantMemStats};
 use serde::{Deserialize, Serialize};
+
+/// One tenant's (kernel stream's) share of a chip run: its own progress
+/// counters plus the shared-resource usage attributed to it throughout the
+/// memory system. `Σ` over tenants of every counter equals the corresponding
+/// chip total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantResult {
+    /// Tenant identity (dense, `0..num_tenants`).
+    pub tenant: TenantId,
+    /// Name of the tenant's kernel / benchmark.
+    pub kernel: String,
+    /// Dynamic warp instructions the tenant executed.
+    pub instructions: u64,
+    /// Chip cycle at which the tenant's last warp finished (its turnaround
+    /// time; under the serial `exclusive` policy this includes queueing
+    /// behind earlier kernels).
+    pub finish_cycle: Cycle,
+    /// Whether the tenant was cut short by an instruction/cycle cap.
+    pub capped: bool,
+    /// L1D lookups performed for the tenant's warps (across all its SMs).
+    pub l1d_accesses: u64,
+    /// Of those, the lookups that hit.
+    pub l1d_hits: u64,
+    /// Bytes the tenant injected into the SM↔L2 crossbar.
+    pub xbar_bytes: u64,
+    /// Shared L2/DRAM usage attributed to the tenant.
+    pub mem: TenantMemStats,
+}
+
+impl TenantResult {
+    /// The tenant's own instructions-per-cycle over its turnaround time.
+    pub fn ipc(&self) -> f64 {
+        if self.finish_cycle == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.finish_cycle as f64
+        }
+    }
+
+    /// L1D hit rate of the tenant's accesses.
+    pub fn l1d_hit_rate(&self) -> f64 {
+        if self.l1d_accesses == 0 {
+            0.0
+        } else {
+            self.l1d_hits as f64 / self.l1d_accesses as f64
+        }
+    }
+
+    /// The tenant's share of `total` chip L2 misses — the "L2-contention
+    /// share" the mix reports use to show who is flooding the shared cache.
+    pub fn l2_miss_share(&self, total_l2_misses: u64) -> f64 {
+        if total_l2_misses == 0 {
+            0.0
+        } else {
+            self.mem.l2_misses() as f64 / total_l2_misses as f64
+        }
+    }
+}
 
 /// Everything produced by one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Name of the scheduler that produced this result.
     pub scheduler: String,
-    /// Name of the kernel / benchmark simulated.
+    /// Name of the kernel / benchmark simulated (co-execution runs join the
+    /// tenant kernel names with `+`).
     pub kernel: String,
+    /// Label of the [`DispatchPolicy`] that placed CTAs on SMs.
+    pub policy: String,
     /// Cycles simulated.
     pub cycles: Cycle,
     /// Aggregate SM statistics.
@@ -45,6 +107,9 @@ pub struct SimResult {
     /// Per-SM statistics, indexed by SM; `stats` is their
     /// [`SmStats::reduce`] aggregate.
     pub per_sm: Vec<SmStats>,
+    /// Per-tenant breakdown, indexed by tenant; single-kernel runs have
+    /// exactly one entry covering the whole run.
+    pub per_tenant: Vec<TenantResult>,
     /// SM↔L2 interconnect traffic aggregated over every SM's crossbar port.
     pub interconnect: CrossbarStats,
 }
@@ -58,6 +123,16 @@ impl SimResult {
     /// L1D hit rate of the run.
     pub fn l1d_hit_rate(&self) -> f64 {
         self.stats.l1d.hit_rate()
+    }
+
+    /// Spread of per-SM IPC (min/max/stddev) — the partitioning-skew signal.
+    pub fn sm_imbalance(&self) -> SmImbalance {
+        SmImbalance::of(&self.per_sm)
+    }
+
+    /// Per-tenant IPCs in tenant order (inputs to the STP/ANTT metrics).
+    pub fn tenant_ipcs(&self) -> Vec<f64> {
+        self.per_tenant.iter().map(|t| t.ipc()).collect()
     }
 }
 
@@ -93,9 +168,23 @@ impl Simulator {
         sm.run();
         let capped = !sm.is_done();
         let stats = sm.stats().clone();
+        let totals = sm.tenant_stats().first().copied().unwrap_or_default();
+        let mem = sm.partition_tenant_stats().and_then(|t| t.first().copied()).unwrap_or_default();
+        let per_tenant = vec![TenantResult {
+            tenant: 0,
+            kernel: kernel_name.clone(),
+            instructions: totals.instructions,
+            finish_cycle: totals.finish_cycle,
+            capped: !totals.done,
+            l1d_accesses: totals.l1d_accesses,
+            l1d_hits: totals.l1d_hits,
+            xbar_bytes: totals.xbar_bytes,
+            mem,
+        }];
         SimResult {
             scheduler: scheduler_name,
             kernel: kernel_name,
+            policy: DispatchPolicy::Exclusive.label().to_string(),
             cycles: sm.cycle(),
             per_sm: vec![stats.clone()],
             stats,
@@ -104,6 +193,7 @@ impl Simulator {
             scheduler_metrics: sm.scheduler().metrics(),
             capped,
             num_sms: 1,
+            per_tenant,
             interconnect: Crossbar::aggregate([sm.interconnect()]),
         }
     }
@@ -127,6 +217,22 @@ impl Simulator {
         let mut gpu = Gpu::new(self.config.clone(), kernel, units);
         gpu.run();
         gpu.into_result()
+    }
+
+    /// Co-runs `kernels` as one tenant each (tenant ids follow submission
+    /// order) on a chip of `config.num_sms` SMs under `policy`, returning the
+    /// combined result with per-tenant attribution. See
+    /// [`KernelQueue::run`] for the exact policy semantics.
+    pub fn run_mix<F>(
+        &self,
+        kernels: Vec<Arc<dyn Kernel>>,
+        policy: DispatchPolicy,
+        build_unit: F,
+    ) -> SimResult
+    where
+        F: FnMut(usize) -> crate::gpu::SmUnit,
+    {
+        KernelQueue::from_kernels(kernels).run(&self.config, policy, build_unit)
     }
 }
 

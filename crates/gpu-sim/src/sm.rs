@@ -26,16 +26,20 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::coalescer::coalesce;
 use crate::config::GpuConfig;
+use crate::dispatch::CtaWork;
 use crate::gpu::{MemRequest, MemoryPort};
 use crate::kernel::Kernel;
 use crate::redirect::{RedirectCache, RedirectLookup};
 use crate::scheduler::{
     CacheEvent, CacheEventOutcome, CacheKind, MemRoute, SchedulerCtx, WarpScheduler,
 };
-use crate::stats::{InterferenceMatrix, SmStats, TimeSeries, TimeSeriesPoint};
+use crate::stats::{
+    tenant_slot, InterferenceMatrix, SmStats, TenantStats, TimeSeries, TimeSeriesPoint,
+};
 use crate::trace::{MemPattern, MemSpace, WarpOp};
 use crate::warp::{Warp, WarpState};
 use gpu_mem::cache::SetAssocCache;
@@ -43,7 +47,7 @@ use gpu_mem::interconnect::Interconnect;
 use gpu_mem::mshr::{FillTarget, Mshr};
 use gpu_mem::shared_memory::SharedMemory;
 use gpu_mem::smmt::Smmt;
-use gpu_mem::{Addr, CtaId, Cycle, WarpId};
+use gpu_mem::{Addr, CtaId, Cycle, TenantId, WarpId};
 
 /// A memory-system completion event scheduled for a future cycle (either
 /// computed synchronously by a private port or delivered by the chip engine
@@ -56,10 +60,14 @@ pub enum ResponseEvent {
     WakeWarp(WarpId),
 }
 
-/// A CTA currently resident on the SM.
+/// A CTA currently resident on the SM. `key` is the SM-local launch ordinal
+/// used as the SMMT allocation key — global CTA ids are not unique across
+/// co-running kernels, launch ordinals are.
 #[derive(Debug, Clone)]
 struct ResidentCta {
-    cta: CtaId,
+    key: CtaId,
+    tenant: TenantId,
+    shared_mem: u32,
     warp_slots: Vec<usize>,
 }
 
@@ -88,17 +96,16 @@ pub struct Sm {
 
     warps: Vec<Warp>,
     resident: Vec<ResidentCta>,
-    next_cta: usize,
-    total_ctas: usize,
-    warps_per_cta: usize,
-    shared_mem_per_cta: u32,
+    work: Vec<CtaWork>,
+    next_work: usize,
+    launch_ordinal: u32,
     launch_seq: u64,
-
-    kernel: Box<dyn Kernel>,
+    tenant_of_slot: Vec<TenantId>,
 
     pending: BinaryHeap<Reverse<(Cycle, ResponseEvent)>>,
     cycle: Cycle,
     stats: SmStats,
+    tenants: Vec<TenantStats>,
     time_series: TimeSeries,
     interference: InterferenceMatrix,
     snapshot: SampleSnapshot,
@@ -118,21 +125,30 @@ impl Sm {
         let interconnect =
             Interconnect::new(config.interconnect_latency, config.interconnect_bytes_per_cycle);
         let port = MemoryPort::private(config.partition.clone());
-        Self::with_parts(config, kernel, scheduler, redirect, interconnect, port)
+        let work = Self::work_of(Arc::from(kernel), 0);
+        Self::with_parts(config, work, scheduler, redirect, interconnect, port)
+    }
+
+    /// Expands `kernel`'s whole grid into the work list of one SM running it
+    /// alone, attributed to `tenant` (the single-SM view of
+    /// [`crate::dispatch`]'s per-stream expansion).
+    pub fn work_of(kernel: Arc<dyn Kernel>, tenant: TenantId) -> Vec<CtaWork> {
+        crate::dispatch::stream_work(&crate::dispatch::KernelStream::new(tenant, kernel))
     }
 
     /// Builds an SM from explicit interconnect and memory-port parts — the
     /// constructor the multi-SM [`crate::gpu::Gpu`] engine uses to hand each
-    /// SM its crossbar port and a deferred port into the shared backend.
+    /// SM its crossbar port, a deferred port into the shared backend, and the
+    /// (possibly multi-kernel) work list the dispatch policy assigned to it.
+    /// CTAs launch strictly in work-list order as capacity frees up.
     pub fn with_parts(
         config: GpuConfig,
-        kernel: Box<dyn Kernel>,
+        work: Vec<CtaWork>,
         scheduler: Box<dyn WarpScheduler>,
         redirect: Option<Box<dyn RedirectCache>>,
         interconnect: Interconnect,
         port: MemoryPort,
     ) -> Self {
-        let info = kernel.info();
         let l1d = SetAssocCache::new(config.l1d.clone());
         let shared_mem = SharedMemory::new(config.shared_mem);
         let smmt = Smmt::new(config.shared_mem.size_bytes);
@@ -151,15 +167,15 @@ impl Sm {
             port,
             warps: Vec::new(),
             resident: Vec::new(),
-            next_cta: 0,
-            total_ctas: info.num_ctas,
-            warps_per_cta: info.warps_per_cta.max(1),
-            shared_mem_per_cta: info.shared_mem_per_cta,
+            work,
+            next_work: 0,
+            launch_ordinal: 0,
             launch_seq: 0,
-            kernel,
+            tenant_of_slot: Vec::new(),
             pending: BinaryHeap::new(),
             cycle: 0,
             stats: SmStats::default(),
+            tenants: Vec::new(),
             time_series: TimeSeries::default(),
             interference,
             snapshot: SampleSnapshot::default(),
@@ -195,9 +211,15 @@ impl Sm {
         self.scheduler.as_ref()
     }
 
-    /// True when every CTA of the kernel has been launched and finished.
+    /// Per-tenant counters collected so far (indexed by [`TenantId`];
+    /// finalised by [`Sm::finalize_stats`]).
+    pub fn tenant_stats(&self) -> &[TenantStats] {
+        &self.tenants
+    }
+
+    /// True when every work-list CTA has been launched and finished.
     pub fn is_done(&self) -> bool {
-        self.next_cta >= self.total_ctas && self.resident.is_empty()
+        self.next_work >= self.work.len() && self.resident.is_empty()
     }
 
     /// True when a configured instruction or cycle cap has been reached.
@@ -257,6 +279,13 @@ impl Sm {
     /// The SM's interconnect port (for chip-level traffic aggregation).
     pub fn interconnect(&self) -> &Interconnect {
         &self.interconnect
+    }
+
+    /// Per-tenant L2/DRAM attribution of the SM's private partition, if it
+    /// owns one (`None` on a deferred port — the shared backend holds the
+    /// chip-level table instead).
+    pub fn partition_tenant_stats(&self) -> Option<Vec<gpu_mem::TenantMemStats>> {
+        self.port.partition_tenant_stats()
     }
 
     /// Advances the SM by one cycle.
@@ -338,33 +367,46 @@ impl Sm {
     // ----- CTA management ---------------------------------------------------
 
     fn launch_ctas(&mut self) {
-        while self.next_cta < self.total_ctas {
+        while self.next_work < self.work.len() {
+            let item = &self.work[self.next_work];
+            let warps_per_cta = item.warps.max(1);
             let used_slots: usize = self.resident.iter().map(|c| c.warp_slots.len()).sum();
-            if used_slots + self.warps_per_cta > self.config.max_warps_per_sm {
+            if used_slots + warps_per_cta > self.config.max_warps_per_sm {
                 break;
             }
-            if self.shared_mem_per_cta > 0
-                && self.smmt.allocate_cta(self.next_cta as CtaId, self.shared_mem_per_cta).is_err()
-            {
+            // The SMMT key is the launch ordinal: global CTA ids are only
+            // unique within one kernel, ordinals are unique on the SM.
+            let key = self.launch_ordinal as CtaId;
+            if item.shared_mem > 0 && self.smmt.allocate_cta(key, item.shared_mem).is_err() {
                 break;
             }
-            let cta = self.next_cta as CtaId;
-            let mut slots = Vec::with_capacity(self.warps_per_cta);
-            for w in 0..self.warps_per_cta {
-                let program = self.kernel.warp_program(cta, w);
+            let item = self.work[self.next_work].clone();
+            let mut slots = Vec::with_capacity(warps_per_cta);
+            for w in 0..warps_per_cta {
+                let program = item.kernel.warp_program(item.cta, w);
                 let slot = self.free_slot(&slots);
-                let warp = Warp::new(slot as WarpId, cta, self.launch_seq, program);
+                let warp = Warp::new(slot as WarpId, key, self.launch_seq, program);
                 self.launch_seq += 1;
                 if slot == self.warps.len() {
                     self.warps.push(warp);
                 } else {
                     self.warps[slot] = warp;
                 }
+                if self.tenant_of_slot.len() <= slot {
+                    self.tenant_of_slot.resize(slot + 1, 0);
+                }
+                self.tenant_of_slot[slot] = item.tenant;
                 self.scheduler.on_warp_launched(slot as WarpId, self.cycle);
                 slots.push(slot);
             }
-            self.resident.push(ResidentCta { cta, warp_slots: slots });
-            self.next_cta += 1;
+            self.resident.push(ResidentCta {
+                key,
+                tenant: item.tenant,
+                shared_mem: item.shared_mem,
+                warp_slots: slots,
+            });
+            self.launch_ordinal += 1;
+            self.next_work += 1;
         }
         self.stats.max_resident_ctas = self.stats.max_resident_ctas.max(self.resident.len());
         self.stats.peak_cta_shared_mem =
@@ -387,10 +429,11 @@ impl Sm {
         while i < self.resident.len() {
             let all_done = self.resident[i].warp_slots.iter().all(|&s| self.warps[s].is_finished());
             if all_done {
-                let cta = self.resident[i].cta;
-                if self.shared_mem_per_cta > 0 {
-                    let _ = self.smmt.free_cta(cta);
+                let cta = &self.resident[i];
+                if cta.shared_mem > 0 {
+                    let _ = self.smmt.free_cta(cta.key);
                 }
+                tenant_slot(&mut self.tenants, cta.tenant).ctas_completed += 1;
                 self.resident.swap_remove(i);
                 retired = true;
             } else {
@@ -414,7 +457,15 @@ impl Sm {
     fn finish_warp(&mut self, idx: usize, now: Cycle) {
         let wid = self.warps[idx].id;
         self.warps[idx].finish();
+        let tenant = self.tenant_of(wid);
+        let entry = tenant_slot(&mut self.tenants, tenant);
+        entry.finish_cycle = entry.finish_cycle.max(now);
         self.scheduler.on_warp_finished(wid, now);
+    }
+
+    /// Tenant owning warp slot `wid` (slot indices and warp ids coincide).
+    fn tenant_of(&self, wid: WarpId) -> TenantId {
+        self.tenant_of_slot.get(wid as usize).copied().unwrap_or(0)
     }
 
     // ----- barriers -----------------------------------------------------------
@@ -496,8 +547,10 @@ impl Sm {
             None => return,
         };
         let wid = self.warps[idx].id;
+        let tenant = self.tenant_of(wid);
         let is_mem = op.is_global_mem();
         self.stats.instructions += 1;
+        tenant_slot(&mut self.tenants, tenant).instructions += 1;
         match op {
             WarpOp::Compute { cycles } => {
                 self.warps[idx].start_compute(now + cycles.max(1) as Cycle);
@@ -535,7 +588,9 @@ impl Sm {
         is_write: bool,
         now: Cycle,
     ) {
+        let tenant = self.tenant_of(wid);
         self.stats.mem_instructions += 1;
+        tenant_slot(&mut self.tenants, tenant).mem_instructions += 1;
         let blocks = coalesce(pattern);
         // Structural back-pressure: if the MSHR file cannot possibly hold the
         // worst case number of new entries, replay the whole instruction on a
@@ -546,6 +601,9 @@ impl Sm {
                 // Put the op back and charge one cycle of replay delay.
                 self.stats.instructions -= 1;
                 self.stats.mem_instructions -= 1;
+                let entry = tenant_slot(&mut self.tenants, tenant);
+                entry.instructions -= 1;
+                entry.mem_instructions -= 1;
                 self.warps[idx].state = WarpState::Executing { until: now + 1 };
                 self.requeue_op(idx, pattern.clone(), is_write);
                 return;
@@ -553,6 +611,7 @@ impl Sm {
         }
 
         self.stats.mem_transactions += blocks.len() as u64;
+        tenant_slot(&mut self.tenants, tenant).mem_transactions += blocks.len() as u64;
         self.warps[idx].mem_transactions += blocks.len() as u64;
 
         let route = self.scheduler.route(wid);
@@ -563,14 +622,16 @@ impl Sm {
             match (route, is_write) {
                 (MemRoute::Bypass, false) => {
                     self.stats.bypassed_requests += 1;
-                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.mem_read(block, wid, arrive, true, ResponseEvent::WakeWarp(wid));
+                    let arrive =
+                        self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                    self.mem_read(block, wid, tenant, arrive, true, ResponseEvent::WakeWarp(wid));
                     outstanding += 1;
                 }
                 (MemRoute::Bypass, true) => {
                     self.stats.bypassed_requests += 1;
-                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.port.write(block, wid, arrive, true);
+                    let arrive =
+                        self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                    self.port.write(block, wid, tenant, arrive, true);
                 }
                 (MemRoute::RedirectCache, w) if self.redirect.is_some() => {
                     if let Some(extra) = self.access_redirect(wid, block, w, now, &mut outstanding)
@@ -594,11 +655,12 @@ impl Sm {
         &mut self,
         block: Addr,
         wid: WarpId,
+        tenant: TenantId,
         arrive: Cycle,
         bypass: bool,
         ev: ResponseEvent,
     ) {
-        if let Some(done) = self.port.read(block, wid, arrive, bypass, ev) {
+        if let Some(done) = self.port.read(block, wid, tenant, arrive, bypass, ev) {
             self.pending.push(Reverse((done, ev)));
         }
     }
@@ -624,7 +686,16 @@ impl Sm {
         now: Cycle,
         outstanding: &mut u32,
     ) -> Cycle {
+        let tenant = self.tenant_of(wid);
         let res = self.l1d.access(block, wid, is_write);
+        {
+            // Mirror the L1D's own counters per tenant so Σ tenants == cache.
+            let entry = tenant_slot(&mut self.tenants, tenant);
+            entry.l1d_accesses += 1;
+            if matches!(res.outcome, gpu_mem::cache::AccessOutcome::Hit) {
+                entry.l1d_hits += 1;
+            }
+        }
         if let Some(ev) = res.evicted {
             if ev.owner != wid {
                 self.stats.cross_warp_evictions += 1;
@@ -652,22 +723,35 @@ impl Sm {
                 if is_write {
                     // Write-through: the write still consumes downstream bandwidth,
                     // but does not block the warp.
-                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.port.write(block, wid, arrive, false);
+                    let arrive =
+                        self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                    self.port.write(block, wid, tenant, arrive, false);
                 }
                 self.config.l1d.latency
             }
             gpu_mem::cache::AccessOutcome::MissNoAllocate => {
                 // Global store miss under write-no-allocate: forward downstream.
-                let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                self.port.write(block, wid, arrive, false);
+                let arrive =
+                    self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                self.port.write(block, wid, tenant, arrive, false);
                 self.config.l1d.latency
             }
             gpu_mem::cache::AccessOutcome::Miss => {
                 match self.mshr.allocate(block, wid, now, FillTarget::L1d) {
                     Ok(gpu_mem::mshr::MshrAllocation::New) => {
-                        let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                        self.mem_read(block, wid, arrive, false, ResponseEvent::MshrFill(block));
+                        let arrive = self.interconnect.transfer_tagged(
+                            self.config.l1d.line_size,
+                            now,
+                            tenant,
+                        );
+                        self.mem_read(
+                            block,
+                            wid,
+                            tenant,
+                            arrive,
+                            false,
+                            ResponseEvent::MshrFill(block),
+                        );
                         *outstanding += 1;
                     }
                     Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
@@ -695,6 +779,7 @@ impl Sm {
         now: Cycle,
         outstanding: &mut u32,
     ) -> Option<Cycle> {
+        let tenant = self.tenant_of(wid);
         // Coherence: check the L1D tag array first; a resident copy is
         // migrated (evict to response queue, invalidate, fill the shared
         // memory), which hides the cold miss.
@@ -738,8 +823,9 @@ impl Sm {
                 });
                 if is_write {
                     // Write-through downstream, off the critical path.
-                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.port.write(block, wid, arrive, false);
+                    let arrive =
+                        self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                    self.port.write(block, wid, tenant, arrive, false);
                 }
                 Some(latency)
             }
@@ -755,8 +841,9 @@ impl Sm {
                     now,
                 });
                 if is_write {
-                    let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                    self.port.write(block, wid, arrive, false);
+                    let arrive =
+                        self.interconnect.transfer_tagged(self.config.l1d.line_size, now, tenant);
+                    self.port.write(block, wid, tenant, arrive, false);
                     return Some(self.config.shared_mem.latency);
                 }
                 match self.mshr.allocate(
@@ -766,8 +853,19 @@ impl Sm {
                     FillTarget::SharedMemory { shared_addr: 0 },
                 ) {
                     Ok(gpu_mem::mshr::MshrAllocation::New) => {
-                        let arrive = self.interconnect.transfer(self.config.l1d.line_size, now);
-                        self.mem_read(block, wid, arrive, false, ResponseEvent::MshrFill(block));
+                        let arrive = self.interconnect.transfer_tagged(
+                            self.config.l1d.line_size,
+                            now,
+                            tenant,
+                        );
+                        self.mem_read(
+                            block,
+                            wid,
+                            tenant,
+                            arrive,
+                            false,
+                            ResponseEvent::MshrFill(block),
+                        );
                         *outstanding += 1;
                     }
                     Ok(gpu_mem::mshr::MshrAllocation::Merged) => {
@@ -835,6 +933,32 @@ impl Sm {
         }
         if let Some(r) = self.redirect.as_ref() {
             self.stats.redirect_utilization = r.utilization();
+        }
+        // Per-tenant closing: a tenant is done when none of its work is
+        // pending and none of its resident warps are unfinished; tenants cut
+        // short (cap hit) report the SM's final cycle as their finish point.
+        for entry in &mut self.tenants {
+            entry.done = true;
+        }
+        for item in &self.work[self.next_work.min(self.work.len())..] {
+            tenant_slot(&mut self.tenants, item.tenant).done = false;
+        }
+        for i in 0..self.resident.len() {
+            let unfinished =
+                self.resident[i].warp_slots.iter().any(|&s| !self.warps[s].is_finished());
+            if unfinished {
+                let tenant = self.resident[i].tenant;
+                tenant_slot(&mut self.tenants, tenant).done = false;
+            }
+        }
+        let cycle = self.cycle;
+        for entry in &mut self.tenants {
+            if !entry.done {
+                entry.finish_cycle = cycle;
+            }
+        }
+        for (t, &bytes) in self.interconnect.tenant_bytes().to_vec().iter().enumerate() {
+            tenant_slot(&mut self.tenants, t as TenantId).xbar_bytes = bytes;
         }
     }
 }

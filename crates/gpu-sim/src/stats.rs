@@ -1,9 +1,12 @@
 //! Simulation statistics: aggregate counters, instruction-indexed time series
-//! (Figs. 9 and 10) and the inter-warp interference matrix (Figs. 1a and 4a).
+//! (Figs. 9 and 10), the inter-warp interference matrix (Figs. 1a and 4a),
+//! per-tenant counters for multi-kernel co-execution, and the multi-tenant
+//! throughput metrics (STP / weighted speedup, ANTT) the `mix` experiments
+//! report.
 
 use gpu_mem::cache::CacheStats;
 use gpu_mem::dram::DramStats;
-use gpu_mem::{Cycle, WarpId};
+use gpu_mem::{Cycle, TenantId, WarpId};
 use serde::{Deserialize, Serialize};
 
 /// One sample of the instruction-indexed time series.
@@ -68,6 +71,19 @@ impl TimeSeries {
             self.points.iter().map(|p| p.active_warps as f64).sum::<f64>()
                 / self.points.len() as f64
         }
+    }
+
+    /// Appends `other`'s samples after this series, shifting their cycle axis
+    /// by `cycle_offset` and their instruction axis by `inst_offset` — how the
+    /// `Exclusive` co-execution policy chains the time series of serially
+    /// executed kernels into one chip-level series.
+    pub fn append_offset(&mut self, other: &TimeSeries, cycle_offset: Cycle, inst_offset: u64) {
+        self.points.extend(other.points.iter().map(|&point| {
+            let mut p = point;
+            p.cycle += cycle_offset;
+            p.instructions += inst_offset;
+            p
+        }));
     }
 
     /// Merges per-SM series into one chip-level series ordered by sample
@@ -331,6 +347,133 @@ impl SmStats {
     }
 }
 
+/// Per-tenant counters one SM collects while co-running CTAs from several
+/// kernel streams. Indexed by [`TenantId`] in [`crate::sm::Sm`]; the chip
+/// engine merges the per-SM tables into the chip-level
+/// [`crate::simulator::TenantResult`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Dynamic warp instructions issued on behalf of this tenant.
+    pub instructions: u64,
+    /// Global-memory warp instructions of this tenant.
+    pub mem_instructions: u64,
+    /// Global-memory block transactions of this tenant.
+    pub mem_transactions: u64,
+    /// L1D lookups performed for this tenant's warps.
+    pub l1d_accesses: u64,
+    /// Of those, the lookups that hit.
+    pub l1d_hits: u64,
+    /// Bytes this tenant injected into the SM's crossbar port.
+    pub xbar_bytes: u64,
+    /// CTAs of this tenant that ran to completion on this SM.
+    pub ctas_completed: usize,
+    /// Cycle at which the tenant's last warp on this SM finished (equals the
+    /// SM's final cycle while the tenant still has unfinished work).
+    pub finish_cycle: Cycle,
+    /// Whether every CTA assigned to this SM for this tenant finished.
+    pub done: bool,
+}
+
+impl TenantStats {
+    /// Merges another SM's record for the same tenant into this one. Event
+    /// counters sum; the finish cycle takes the maximum (the tenant is done
+    /// when its slowest SM is); `done` ANDs.
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.instructions += other.instructions;
+        self.mem_instructions += other.mem_instructions;
+        self.mem_transactions += other.mem_transactions;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l1d_hits += other.l1d_hits;
+        self.xbar_bytes += other.xbar_bytes;
+        self.ctas_completed += other.ctas_completed;
+        self.finish_cycle = self.finish_cycle.max(other.finish_cycle);
+        self.done &= other.done;
+    }
+}
+
+/// Spread of per-SM IPC across a chip run — the partitioning-skew signal the
+/// `SpatialPartition` co-execution policy makes visible (an SM set serving a
+/// light tenant idles while another set is saturated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmImbalance {
+    /// Lowest per-SM IPC.
+    pub min_ipc: f64,
+    /// Highest per-SM IPC.
+    pub max_ipc: f64,
+    /// Population standard deviation of per-SM IPC.
+    pub stddev_ipc: f64,
+}
+
+impl SmImbalance {
+    /// Computes the imbalance of a chip run's per-SM statistics. All three
+    /// fields are zero for an empty slice; a single SM has zero spread.
+    pub fn of(per_sm: &[SmStats]) -> SmImbalance {
+        if per_sm.is_empty() {
+            return SmImbalance::default();
+        }
+        let ipcs: Vec<f64> = per_sm.iter().map(|s| s.ipc()).collect();
+        let n = ipcs.len() as f64;
+        let mean = ipcs.iter().sum::<f64>() / n;
+        let var = ipcs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        SmImbalance {
+            min_ipc: ipcs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ipc: ipcs.iter().copied().fold(0.0, f64::max),
+            stddev_ipc: var.sqrt(),
+        }
+    }
+}
+
+/// System throughput (STP), also known as weighted speedup:
+/// `Σᵢ shared_ipc[i] / alone_ipc[i]`. Equals the tenant count under perfect
+/// isolation and degrades towards 0 as co-running tenants destroy each
+/// other's throughput. Pairs with zero alone-IPC are skipped; mismatched or
+/// empty inputs yield 0.0.
+pub fn system_throughput(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
+    if alone_ipc.len() != shared_ipc.len() {
+        return 0.0;
+    }
+    alone_ipc.iter().zip(shared_ipc).filter(|(&a, _)| a > 0.0).map(|(&a, &s)| s / a).sum()
+}
+
+/// Average normalized turnaround time (ANTT):
+/// `(1/n) Σᵢ alone_ipc[i] / shared_ipc[i]` — the mean per-tenant slowdown.
+/// 1.0 means no tenant was slowed by co-execution; larger is worse.
+///
+/// A tenant with a positive alone-IPC but zero shared-IPC was *starved* —
+/// its slowdown is unbounded, so the result is `f64::INFINITY` rather than a
+/// finite mean that would make the worst co-execution outcome look benign.
+/// Pairs with zero alone-IPC (no baseline) are skipped; mismatched or empty
+/// inputs yield 0.0.
+pub fn avg_normalized_turnaround(alone_ipc: &[f64], shared_ipc: &[f64]) -> f64 {
+    if alone_ipc.len() != shared_ipc.len() {
+        return 0.0;
+    }
+    let mut slowdowns = Vec::with_capacity(alone_ipc.len());
+    for (&a, &s) in alone_ipc.iter().zip(shared_ipc) {
+        if a <= 0.0 {
+            continue;
+        }
+        if s <= 0.0 {
+            return f64::INFINITY;
+        }
+        slowdowns.push(a / s);
+    }
+    if slowdowns.is_empty() {
+        0.0
+    } else {
+        slowdowns.iter().sum::<f64>() / slowdowns.len() as f64
+    }
+}
+
+/// Grows `table` so that `tenant` is a valid index, filling with defaults.
+pub(crate) fn tenant_slot(table: &mut Vec<TenantStats>, tenant: TenantId) -> &mut TenantStats {
+    let idx = tenant as usize;
+    if table.len() <= idx {
+        table.resize(idx + 1, TenantStats::default());
+    }
+    &mut table[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +632,115 @@ mod tests {
         assert_eq!(insts, vec![100, 250, 350]);
         // Single input round-trips unchanged.
         assert_eq!(TimeSeries::merge_sorted([&a]), a);
+    }
+
+    #[test]
+    fn tenant_stats_merge_sums_and_maxes() {
+        let a = TenantStats {
+            instructions: 10,
+            l1d_accesses: 4,
+            l1d_hits: 2,
+            finish_cycle: 100,
+            ctas_completed: 1,
+            done: true,
+            ..Default::default()
+        };
+        let b = TenantStats {
+            instructions: 20,
+            l1d_accesses: 6,
+            l1d_hits: 6,
+            finish_cycle: 70,
+            ctas_completed: 2,
+            done: true,
+            ..Default::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.instructions, 30);
+        assert_eq!(m.l1d_accesses, 10);
+        assert_eq!(m.l1d_hits, 8);
+        assert_eq!(m.finish_cycle, 100);
+        assert_eq!(m.ctas_completed, 3);
+        assert!(m.done);
+        let mut n = a;
+        n.merge(&TenantStats::default()); // default is not done
+        assert!(!n.done);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_sms_is_zero_spread() {
+        let s = SmStats { cycles: 100, instructions: 50, ..Default::default() };
+        let im = SmImbalance::of(&[s.clone(), s.clone(), s]);
+        assert!((im.min_ipc - 0.5).abs() < 1e-12);
+        assert!((im.max_ipc - 0.5).abs() < 1e-12);
+        assert!(im.stddev_ipc.abs() < 1e-12);
+        assert_eq!(SmImbalance::of(&[]), SmImbalance::default());
+    }
+
+    #[test]
+    fn imbalance_captures_skew() {
+        let fast = SmStats { cycles: 100, instructions: 100, ..Default::default() };
+        let slow = SmStats { cycles: 100, instructions: 0, ..Default::default() };
+        let im = SmImbalance::of(&[fast, slow]);
+        assert!((im.min_ipc - 0.0).abs() < 1e-12);
+        assert!((im.max_ipc - 1.0).abs() < 1e-12);
+        assert!((im.stddev_ipc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_and_antt_reference_values() {
+        // Perfect isolation: STP = n, ANTT = 1.
+        assert!((system_throughput(&[1.0, 2.0], &[1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((avg_normalized_turnaround(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        // Both tenants at half speed: STP = 1, ANTT = 2.
+        assert!((system_throughput(&[1.0, 2.0], &[0.5, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((avg_normalized_turnaround(&[1.0, 2.0], &[0.5, 1.0]) - 2.0).abs() < 1e-12);
+        // Asymmetric: tenant 0 unharmed, tenant 1 at 1/4 speed.
+        assert!((system_throughput(&[1.0, 2.0], &[1.0, 0.5]) - 1.25).abs() < 1e-12);
+        assert!((avg_normalized_turnaround(&[1.0, 2.0], &[1.0, 0.5]) - 2.5).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(system_throughput(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(avg_normalized_turnaround(&[], &[]), 0.0);
+        // A starved tenant (alone > 0, shared == 0) has unbounded slowdown.
+        assert_eq!(avg_normalized_turnaround(&[1.0], &[0.0]), f64::INFINITY);
+        assert_eq!(avg_normalized_turnaround(&[1.0, 1.0], &[1.0, 0.0]), f64::INFINITY);
+        // A tenant with no baseline is skipped, not treated as starved.
+        assert!((avg_normalized_turnaround(&[0.0, 2.0], &[0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_append_offset_chains_serial_runs() {
+        let p = |cycle: u64, insts: u64| TimeSeriesPoint {
+            instructions: insts,
+            cycle,
+            ipc: 1.0,
+            active_warps: 1,
+            interference: 0,
+            l1d_hit_rate: 0.0,
+        };
+        let mut a = TimeSeries::default();
+        a.push(p(10, 100));
+        let mut b = TimeSeries::default();
+        b.push(p(5, 50));
+        a.append_offset(&b, 20, 100);
+        let pts = a.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!((pts[1].cycle, pts[1].instructions), (25, 150));
+    }
+
+    proptest! {
+        /// STP is bounded by the tenant count when no tenant speeds up, and
+        /// ANTT is at least 1 when no tenant runs faster shared than alone.
+        #[test]
+        fn stp_antt_bounds(ipcs in proptest::collection::vec((1u32..1000, 1u32..=100), 1..8)) {
+            let alone: Vec<f64> = ipcs.iter().map(|&(a, _)| a as f64 / 100.0).collect();
+            let shared: Vec<f64> =
+                ipcs.iter().map(|&(a, f)| (a as f64 / 100.0) * (f as f64 / 100.0)).collect();
+            let stp = system_throughput(&alone, &shared);
+            let antt = avg_normalized_turnaround(&alone, &shared);
+            prop_assert!(stp > 0.0 && stp <= alone.len() as f64 + 1e-9);
+            prop_assert!(antt >= 1.0 - 1e-9);
+        }
     }
 
     proptest! {

@@ -42,11 +42,16 @@ pub enum MemPattern {
 
 impl MemPattern {
     /// Expands the pattern into per-lane addresses.
+    ///
+    /// Strided lane addresses use wrapping two's-complement arithmetic:
+    /// lane `i` reads `base + i·stride (mod 2⁶⁴)`, so negative strides walk
+    /// downwards and a pattern straddling the top of the address space wraps
+    /// instead of overflowing.
     pub fn lane_addresses(&self) -> Vec<Addr> {
         match self {
-            MemPattern::Strided { base, stride, lanes } => {
-                (0..*lanes as i64).map(|i| (*base as i64 + i * stride) as Addr).collect()
-            }
+            MemPattern::Strided { base, stride, lanes } => (0..*lanes as i64)
+                .map(|i| base.wrapping_add(i.wrapping_mul(*stride) as Addr))
+                .collect(),
             MemPattern::Scatter(addrs) => addrs.clone(),
         }
     }
@@ -181,6 +186,80 @@ impl WarpProgram for VecProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_stride_repeats_the_base_address() {
+        let p = MemPattern::Strided { base: 0x4000, stride: 0, lanes: 32 };
+        let addrs = p.lane_addresses();
+        assert_eq!(addrs.len(), 32);
+        assert!(addrs.iter().all(|&a| a == 0x4000));
+        assert_eq!(p.active_lanes(), 32);
+    }
+
+    #[test]
+    fn empty_scatter_has_no_lanes() {
+        let p = MemPattern::Scatter(Vec::new());
+        assert!(p.lane_addresses().is_empty());
+        assert_eq!(p.active_lanes(), 0);
+    }
+
+    #[test]
+    fn zero_lane_strided_pattern_is_empty() {
+        let p = MemPattern::Strided { base: 128, stride: 4, lanes: 0 };
+        assert!(p.lane_addresses().is_empty());
+        assert_eq!(p.active_lanes(), 0);
+    }
+
+    #[test]
+    fn strided_pattern_wraps_at_the_top_of_the_address_space() {
+        // 32 lanes of stride 128 starting 4 lines below u64::MAX: the tail
+        // lanes wrap around to low addresses instead of overflowing.
+        let base = Addr::MAX - 4 * 128 + 1;
+        let p = MemPattern::Strided { base, stride: 128, lanes: 32 };
+        let addrs = p.lane_addresses();
+        assert_eq!(addrs.len(), 32);
+        assert_eq!(addrs[0], base);
+        assert_eq!(addrs[4], base.wrapping_add(4 * 128));
+        assert!(addrs[4] < base, "lane 4 must have wrapped");
+        // Negative stride from a low base wraps the other way.
+        let down = MemPattern::Strided { base: 128, stride: -128, lanes: 3 };
+        assert_eq!(down.lane_addresses(), vec![128, 0, Addr::MAX - 127]);
+    }
+
+    proptest! {
+        /// Lane addresses follow base + i·stride (mod 2^64) for every lane
+        /// count (0..=32), any base and any stride — including zero, negative
+        /// and wrap-inducing combinations.
+        #[test]
+        fn strided_lane_addresses_match_the_wrapping_formula(
+            base in any::<u64>(),
+            stride in any::<i64>(),
+            lanes in 0u8..=32,
+        ) {
+            let p = MemPattern::Strided { base, stride, lanes };
+            let addrs = p.lane_addresses();
+            prop_assert_eq!(addrs.len(), lanes as usize);
+            prop_assert_eq!(p.active_lanes(), lanes as usize);
+            for (i, &a) in addrs.iter().enumerate() {
+                let expect = base.wrapping_add((i as i64).wrapping_mul(stride) as u64);
+                prop_assert_eq!(a, expect, "lane {}", i);
+            }
+        }
+    }
+
+    proptest! {
+        /// Scatter patterns are returned verbatim, whatever their shape —
+        /// empty, duplicated or full 32-lane lists included.
+        #[test]
+        fn scatter_lane_addresses_round_trip(
+            addrs in proptest::collection::vec(any::<u64>(), 0..32),
+        ) {
+            let p = MemPattern::Scatter(addrs.clone());
+            prop_assert_eq!(p.active_lanes(), addrs.len());
+            prop_assert_eq!(p.lane_addresses(), addrs);
+        }
+    }
 
     #[test]
     fn strided_pattern_expands() {

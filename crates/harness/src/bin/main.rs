@@ -2,31 +2,41 @@
 //! of the CIAO paper.
 //!
 //! ```text
-//! ciao-harness <experiment> [--quick|--tiny] [--sms N] [--out DIR]
+//! ciao-harness <experiment> [--quick|--tiny] [--sms N] [--seed N] [--out DIR]
 //!
-//! experiments: table1 table2 fig1 fig4 fig8 fig9 fig10 fig11 fig12 overhead perf all
+//! experiments: table1 table2 fig1 fig4 fig8 fig9 fig10 fig11 fig12 overhead mix perf all
 //! ```
 //!
 //! `--sms N` simulates every run on an N-SM chip (parallel per-SM execution
 //! against a shared banked L2/DRAM); the default of 1 is the legacy
-//! single-SM model all recorded baselines use.
+//! single-SM model all recorded baselines use. `--seed N` replicates every
+//! synthetic trace under a different seed (0 = the historical traces).
+//!
+//! `mix` co-runs the named multi-tenant benchmark mixes across the three SM
+//! partitioning policies (exclusive, spatial, shared-rr) × schedulers and
+//! reports per-tenant IPC, STP, ANTT and L2-contention shares. `--mix NAME`
+//! and `--policy LABEL` narrow the sweep.
 //!
 //! `perf` is the CI performance gate: it measures the benchmark suite under
 //! GTO and CIAO-C, writes `BENCH_PR.json` (override with `--bench-out`), and
-//! exits non-zero if any gated geomean IPC drifts more than ±10% from the
-//! checked-in baseline (`bench/baseline.json`, override with `--baseline`).
+//! exits non-zero if the gated geomean IPCs drift more than ±10% from the
+//! snapshot recorded for the same (scale, SM-count) configuration in
+//! `bench/baseline.json` (override with `--baseline`). `--with-mixes` also
+//! measures every mix's STP; `--merge-baseline` records the measured snapshot
+//! into the baseline file (regeneration mode) instead of gating against it.
 //!
 //! Text reports go to stdout; when `--out DIR` is given, each experiment also
 //! writes `<experiment>.txt` and `<experiment>.json` into the directory.
 
 use ciao_harness::experiments::{
-    fig1, fig10, fig11, fig12, fig4, fig8, fig9, overhead, table1, table2,
+    fig1, fig10, fig11, fig12, fig4, fig8, fig9, mix, overhead, table1, table2,
 };
 use ciao_harness::perf;
 use ciao_harness::report::write_json;
 use ciao_harness::runner::{RunScale, Runner};
 use ciao_harness::schedulers::SchedulerKind;
-use ciao_workloads::Benchmark;
+use ciao_workloads::{Benchmark, Mix};
+use gpu_sim::DispatchPolicy;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -35,9 +45,14 @@ struct Options {
     scale: RunScale,
     out_dir: Option<PathBuf>,
     sms: usize,
+    seed: u64,
     baseline: PathBuf,
     bench_out: PathBuf,
     allow_missing_baseline: bool,
+    with_mixes: bool,
+    merge_baseline: bool,
+    mix_filter: Option<String>,
+    policy_filter: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -45,9 +60,14 @@ fn parse_args() -> Options {
     let mut scale = RunScale::Full;
     let mut out_dir = None;
     let mut sms = 1usize;
+    let mut seed = 0u64;
     let mut baseline = PathBuf::from("bench/baseline.json");
     let mut bench_out = PathBuf::from("BENCH_PR.json");
     let mut allow_missing_baseline = false;
+    let mut with_mixes = false;
+    let mut merge_baseline = false;
+    let mut mix_filter = None;
+    let mut policy_filter = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,6 +83,12 @@ fn parse_args() -> Options {
                     },
                 );
             }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
             "--baseline" => {
                 baseline = args.next().map(PathBuf::from).unwrap_or_else(|| {
                     eprintln!("--baseline expects a path");
@@ -76,11 +102,26 @@ fn parse_args() -> Options {
                 });
             }
             "--allow-missing-baseline" => allow_missing_baseline = true,
+            "--with-mixes" => with_mixes = true,
+            "--merge-baseline" => merge_baseline = true,
+            "--mix" => {
+                mix_filter = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--mix expects a mix name");
+                    std::process::exit(2);
+                }));
+            }
+            "--policy" => {
+                policy_filter = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--policy expects exclusive|spatial|shared-rr");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|perf|all> \
-                     [--quick|--tiny|--full] [--sms N] [--out DIR] [--baseline FILE] [--bench-out FILE] \
-                     [--allow-missing-baseline]"
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|perf|all> \
+                     [--quick|--tiny|--full] [--sms N] [--seed N] [--out DIR] [--mix NAME] \
+                     [--policy exclusive|spatial|shared-rr] [--baseline FILE] [--bench-out FILE] \
+                     [--allow-missing-baseline] [--with-mixes] [--merge-baseline]"
                 );
                 std::process::exit(0);
             }
@@ -91,25 +132,65 @@ fn parse_args() -> Options {
             }
         }
     }
-    Options { experiment, scale, out_dir, sms, baseline, bench_out, allow_missing_baseline }
+    Options {
+        experiment,
+        scale,
+        out_dir,
+        sms,
+        seed,
+        baseline,
+        bench_out,
+        allow_missing_baseline,
+        with_mixes,
+        merge_baseline,
+        mix_filter,
+        policy_filter,
+    }
 }
 
-/// Runs the perf gate: measure, persist, compare, exit non-zero on drift.
+/// Runs the perf gate: measure, persist, compare against the snapshot
+/// recorded for the same configuration, exit non-zero on drift. With
+/// `--merge-baseline` the measured snapshot is recorded into the baseline
+/// file instead of being gated (regeneration mode).
 fn run_perf_gate(opts: &Options, runner: &Runner) {
-    let report = perf::measure(runner, &Benchmark::all(), &perf::gate_schedulers());
+    let mut report = perf::measure(runner, &Benchmark::all(), &perf::gate_schedulers());
+    if opts.with_mixes {
+        eprintln!("[ciao-harness] measuring mix STPs ...");
+        report.mix_stp = perf::measure_mixes(runner);
+    }
     print!("{}", perf::render(&report));
     if let Err(e) = write_json(&opts.bench_out, &report) {
         eprintln!("error: cannot write {:?}: {e}", opts.bench_out);
         std::process::exit(1);
     }
     eprintln!("[ciao-harness] wrote {:?}", opts.bench_out);
+
+    if opts.merge_baseline {
+        let mut file = if Path::new(&opts.baseline).exists() {
+            load_baseline_file(&opts.baseline)
+        } else {
+            perf::BaselineFile::default()
+        };
+        file.upsert(report);
+        if let Err(e) = write_json(&opts.baseline, &file) {
+            eprintln!("error: cannot write baseline {:?}: {e}", opts.baseline);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[ciao-harness] recorded snapshot into {:?} ({} snapshot{})",
+            opts.baseline,
+            file.snapshots.len(),
+            if file.snapshots.len() == 1 { "" } else { "s" }
+        );
+        return;
+    }
+
     if !Path::new(&opts.baseline).exists() {
         // Fail closed: a gate that silently skips is no gate. Bootstrapping a
         // brand-new configuration is the explicit opt-out.
         eprintln!(
-            "[ciao-harness] no baseline at {:?} (commit this run's {:?} as the baseline \
-             to arm the gate)",
-            opts.baseline, opts.bench_out
+            "[ciao-harness] no baseline at {:?} (run `perf --merge-baseline` to record one)",
+            opts.baseline
         );
         if opts.allow_missing_baseline {
             eprintln!("[ciao-harness] --allow-missing-baseline given; exiting 0");
@@ -120,33 +201,19 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
         );
         std::process::exit(1);
     }
-    let text = match std::fs::read_to_string(&opts.baseline) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read baseline {:?}: {e}", opts.baseline);
-            std::process::exit(1);
-        }
-    };
-    let baseline: perf::PerfReport = match serde_json::from_str(&text) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: cannot parse baseline {:?}: {e}", opts.baseline);
-            std::process::exit(1);
-        }
-    };
-    if baseline.scale != report.scale || baseline.num_sms != report.num_sms {
+    let file = load_baseline_file(&opts.baseline);
+    let Some(baseline) = file.find(&report.scale, report.num_sms, report.seed) else {
         // Also fail closed: comparing across configurations is meaningless,
         // and exiting 0 here would let a mis-invoked CI job disarm the gate.
         eprintln!(
-            "perf gate FAILED: baseline measured at ({}, {} SMs) but current run is \
-             ({}, {} SMs) — rerun at the baseline's configuration or regenerate \
-             bench/baseline.json at the new one",
-            baseline.scale, baseline.num_sms, report.scale, report.num_sms
+            "perf gate FAILED: no snapshot for ({}, {} SMs, seed {}) in {:?} — record one \
+             with `ciao-harness perf --merge-baseline` at this configuration",
+            report.scale, report.num_sms, report.seed, opts.baseline
         );
         std::process::exit(1);
-    }
+    };
     let gated: Vec<&str> = perf::gate_schedulers().iter().map(|s| s.label()).collect::<Vec<_>>();
-    let drifts = perf::compare(&report, &baseline, perf::DEFAULT_TOLERANCE, &gated);
+    let drifts = perf::compare(&report, baseline, perf::DEFAULT_TOLERANCE, &gated);
     if drifts.is_empty() {
         println!(
             "perf gate PASSED (all gated schedulers within ±{:.0}% of baseline)",
@@ -156,9 +223,30 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
         print!("{}", perf::render_drifts(&drifts, perf::DEFAULT_TOLERANCE));
         eprintln!(
             "perf gate FAILED; if the drift is an intended modelling change, regenerate \
-             bench/baseline.json with `ciao-harness perf --quick --bench-out bench/baseline.json`"
+             the snapshot with `ciao-harness perf --quick --merge-baseline`"
         );
         std::process::exit(1);
+    }
+}
+
+/// Loads and parses the multi-snapshot baseline file, exiting on error.
+fn load_baseline_file(path: &Path) -> perf::BaselineFile {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "error: cannot parse baseline {path:?}: {e} (expected the multi-snapshot \
+                 {{\"snapshots\": [...]}} schema)"
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -220,6 +308,33 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
             let r = overhead::run();
             emit(opts, "overhead", &overhead::render(&r), &r);
         }
+        "mix" => {
+            let mixes: Vec<Mix> = match &opts.mix_filter {
+                Some(name) => match Mix::from_name(name) {
+                    Some(m) => vec![m],
+                    None => {
+                        eprintln!(
+                            "unknown mix: {name} (known: {})",
+                            Mix::all().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                None => Mix::all(),
+            };
+            let policies: Vec<DispatchPolicy> = match &opts.policy_filter {
+                Some(label) => match DispatchPolicy::from_label(label) {
+                    Some(p) => vec![p],
+                    None => {
+                        eprintln!("unknown policy: {label} (known: exclusive, spatial, shared-rr)");
+                        std::process::exit(2);
+                    }
+                },
+                None => DispatchPolicy::all(),
+            };
+            let r = mix::run(runner, &mixes, &policies, &mix::default_schedulers());
+            emit(opts, "mix", &mix::render(&r), &r);
+        }
         "perf" => run_perf_gate(opts, runner),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -230,19 +345,21 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
 
 fn main() {
     let opts = parse_args();
-    let runner = Runner::new(opts.scale).with_sms(opts.sms);
+    let runner = Runner::new(opts.scale).with_sms(opts.sms).with_seed(opts.seed);
     eprintln!(
-        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, {} worker threads",
+        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, seed {}, \
+         {} worker threads",
         opts.scale,
         opts.scale.max_instructions(),
         runner.sms,
         if runner.sms == 1 { "" } else { "s" },
+        runner.seed,
         runner.threads
     );
     if opts.experiment == "all" {
         for name in [
             "table1", "table2", "fig1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "overhead",
+            "overhead", "mix",
         ] {
             eprintln!("[ciao-harness] running {name} ...");
             run_experiment(&opts, name, &runner);

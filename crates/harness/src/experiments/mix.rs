@@ -1,0 +1,345 @@
+//! Multi-tenant mix experiment: co-run named benchmark mixes across SM
+//! partitioning policies × schedulers and report which policy best contains
+//! inter-tenant cache interference.
+//!
+//! For every mix the experiment first measures each member benchmark running
+//! alone on the same chip (the `alone` IPC baseline), then co-runs the mix
+//! under every policy, and condenses each co-run into the multi-tenant
+//! throughput metrics: STP (system throughput / weighted speedup, higher is
+//! better, `n` = perfect isolation), ANTT (average normalized turnaround
+//! time, lower is better, `1` = no slowdown), per-tenant slowdowns and
+//! L2-contention shares, and the per-SM IPC imbalance that makes spatial
+//! partitioning skew visible. The report closes with the best (highest-STP)
+//! policy per (mix, scheduler) — an experiment family the paper's
+//! single-kernel figures cannot express.
+
+use crate::report::{capped_marker, capped_summary, Table};
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Mix;
+use gpu_sim::{avg_normalized_turnaround, system_throughput, DispatchPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tenant's outcome inside one co-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Tenant id (mix order).
+    pub tenant: u32,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// IPC when running alone on the same chip.
+    pub alone_ipc: f64,
+    /// IPC inside the co-run (instructions over turnaround cycles).
+    pub shared_ipc: f64,
+    /// `alone / shared` (1.0 = unharmed; larger = slowed by co-runners;
+    /// 0.0 with `starved` set = unbounded — the tenant made no progress).
+    pub slowdown: f64,
+    /// The tenant retired zero instructions inside the co-run despite having
+    /// a positive alone-IPC: its slowdown is unbounded, not zero.
+    pub starved: bool,
+    /// Tenant's share of the chip's L2 misses (who floods the shared cache).
+    pub l2_miss_share: f64,
+    /// Tenant's own L1D hit rate inside the co-run.
+    pub l1d_hit_rate: f64,
+    /// Whether the tenant was cut short by the simulation cap.
+    pub capped: bool,
+}
+
+/// One (mix, policy, scheduler) co-run condensed to its headline metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixRow {
+    /// Mix name.
+    pub mix: String,
+    /// Dispatch policy label.
+    pub policy: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// System throughput (weighted speedup), `Σ shared/alone`.
+    pub stp: f64,
+    /// Average normalized turnaround time, `mean(alone/shared)` over the
+    /// non-starved tenants (a starved tenant's slowdown is unbounded and
+    /// cannot enter a finite mean; see `starved_tenants`).
+    pub antt: f64,
+    /// Number of tenants starved outright by this policy. Non-zero rows are
+    /// excluded from the best-policy verdicts — whatever their STP, a policy
+    /// that stops a tenant dead did not "contain" interference.
+    pub starved_tenants: usize,
+    /// Chip-level IPC of the co-run.
+    pub chip_ipc: f64,
+    /// Lowest per-SM IPC (partitioning skew, low end).
+    pub sm_ipc_min: f64,
+    /// Highest per-SM IPC (partitioning skew, high end).
+    pub sm_ipc_max: f64,
+    /// Standard deviation of per-SM IPC (partitioning skew).
+    pub sm_ipc_stddev: f64,
+    /// Per-tenant outcomes, in mix order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Whether any SM hit the simulation cap.
+    pub capped: bool,
+}
+
+/// The winning policy for one (mix, scheduler) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BestPolicy {
+    /// Mix name.
+    pub mix: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Policy with the highest STP.
+    pub policy: String,
+    /// Its STP.
+    pub stp: f64,
+}
+
+/// Full result of the mix experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixResult {
+    /// Number of SMs per co-run.
+    pub num_sms: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Run scale label.
+    pub scale: String,
+    /// Every (mix, policy, scheduler) co-run.
+    pub rows: Vec<MixRow>,
+    /// Highest-STP policy per (mix, scheduler).
+    pub best: Vec<BestPolicy>,
+}
+
+/// The schedulers the mix experiment runs by default: the GTO baseline and
+/// the paper's headline CIAO-C.
+pub fn default_schedulers() -> Vec<SchedulerKind> {
+    vec![SchedulerKind::Gto, SchedulerKind::CiaoC]
+}
+
+/// Runs `mixes × policies × schedulers` co-runs (plus the per-benchmark solo
+/// baselines each mix needs) and assembles the [`MixResult`].
+pub fn run(
+    runner: &Runner,
+    mixes: &[Mix],
+    policies: &[DispatchPolicy],
+    schedulers: &[SchedulerKind],
+) -> MixResult {
+    // Solo baselines, deduplicated across mixes: (benchmark, scheduler) → IPC
+    // alone on the same chip.
+    let mut alone: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for mix in mixes {
+        for benchmark in mix.benchmarks() {
+            for &scheduler in schedulers {
+                let key = (benchmark.name().to_string(), scheduler.label().to_string());
+                alone
+                    .entry(key)
+                    .or_insert_with(|| runner.run_one(benchmark, scheduler).per_tenant[0].ipc());
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &mix in mixes {
+        for &scheduler in schedulers {
+            for &policy in policies {
+                let res = runner.run_mix(mix, policy, scheduler);
+                let total_l2_misses = res.stats.l2.misses();
+                let alone_ipcs: Vec<f64> = mix
+                    .benchmarks()
+                    .iter()
+                    .map(|b| alone[&(b.name().to_string(), scheduler.label().to_string())])
+                    .collect();
+                let shared_ipcs = res.tenant_ipcs();
+                let tenants: Vec<TenantOutcome> = res
+                    .per_tenant
+                    .iter()
+                    .zip(&alone_ipcs)
+                    .map(|(t, &alone_ipc)| TenantOutcome {
+                        tenant: t.tenant,
+                        benchmark: t.kernel.clone(),
+                        alone_ipc,
+                        shared_ipc: t.ipc(),
+                        slowdown: if t.ipc() > 0.0 { alone_ipc / t.ipc() } else { 0.0 },
+                        starved: alone_ipc > 0.0 && t.ipc() <= 0.0,
+                        l2_miss_share: t.l2_miss_share(total_l2_misses),
+                        l1d_hit_rate: t.l1d_hit_rate(),
+                        capped: t.capped,
+                    })
+                    .collect();
+                let starved_tenants = tenants.iter().filter(|t| t.starved).count();
+                // A starved tenant makes the true ANTT infinite (the stats
+                // function says so); store the finite mean over the surviving
+                // tenants so the row stays JSON-representable, and carry the
+                // starvation count alongside.
+                let antt = avg_normalized_turnaround(&alone_ipcs, &shared_ipcs);
+                let antt = if antt.is_finite() {
+                    antt
+                } else {
+                    let (a2, s2): (Vec<f64>, Vec<f64>) = alone_ipcs
+                        .iter()
+                        .zip(&shared_ipcs)
+                        .filter(|(_, &s)| s > 0.0)
+                        .map(|(&a, &s)| (a, s))
+                        .unzip();
+                    avg_normalized_turnaround(&a2, &s2)
+                };
+                let imbalance = res.sm_imbalance();
+                rows.push(MixRow {
+                    mix: mix.name().to_string(),
+                    policy: policy.label().to_string(),
+                    scheduler: scheduler.label().to_string(),
+                    stp: system_throughput(&alone_ipcs, &shared_ipcs),
+                    antt,
+                    starved_tenants,
+                    chip_ipc: res.ipc(),
+                    sm_ipc_min: imbalance.min_ipc,
+                    sm_ipc_max: imbalance.max_ipc,
+                    sm_ipc_stddev: imbalance.stddev_ipc,
+                    tenants,
+                    capped: res.capped,
+                });
+            }
+        }
+    }
+
+    let mut best: Vec<BestPolicy> = Vec::new();
+    for &mix in mixes {
+        for &scheduler in schedulers {
+            // A policy that starved a tenant outright cannot "win", whatever
+            // its STP — unless every candidate starved someone.
+            let candidates: Vec<&MixRow> = rows
+                .iter()
+                .filter(|r| r.mix == mix.name() && r.scheduler == scheduler.label())
+                .collect();
+            let healthy: Vec<&MixRow> =
+                candidates.iter().copied().filter(|r| r.starved_tenants == 0).collect();
+            let pool = if healthy.is_empty() { &candidates } else { &healthy };
+            let winner = pool
+                .iter()
+                .copied()
+                .max_by(|a, b| a.stp.partial_cmp(&b.stp).expect("STP is finite"));
+            if let Some(w) = winner {
+                best.push(BestPolicy {
+                    mix: w.mix.clone(),
+                    scheduler: w.scheduler.clone(),
+                    policy: w.policy.clone(),
+                    stp: w.stp,
+                });
+            }
+        }
+    }
+
+    MixResult {
+        num_sms: runner.sms,
+        seed: runner.seed,
+        scale: format!("{:?}", runner.scale),
+        rows,
+        best,
+    }
+}
+
+/// Plain-text report: the policy comparison, the per-tenant breakdown and
+/// the best-policy verdicts.
+pub fn render(result: &MixResult) -> String {
+    let mut summary = Table::new(
+        format!(
+            "Multi-tenant mixes — STP / ANTT per policy ({} SMs, {} scale, seed {})",
+            result.num_sms, result.scale, result.seed
+        ),
+        &["mix", "scheduler", "policy", "STP", "ANTT", "chip IPC", "per-SM IPC"],
+    );
+    for r in &result.rows {
+        let imbalance = gpu_sim::SmImbalance {
+            min_ipc: r.sm_ipc_min,
+            max_ipc: r.sm_ipc_max,
+            stddev_ipc: r.sm_ipc_stddev,
+        };
+        summary.row(vec![
+            r.mix.clone(),
+            r.scheduler.clone(),
+            format!("{}{}", r.policy, capped_marker(r.capped)),
+            format!("{:.3}", r.stp),
+            if r.starved_tenants > 0 {
+                format!("{:.3} ({} starved)", r.antt, r.starved_tenants)
+            } else {
+                format!("{:.3}", r.antt)
+            },
+            format!("{:.4}", r.chip_ipc),
+            crate::report::imbalance_cell(&imbalance),
+        ]);
+    }
+
+    let mut detail = Table::new(
+        "Per-tenant breakdown (slowdown = alone IPC / shared IPC)",
+        &["mix", "scheduler", "policy", "tenant", "alone", "shared", "slowdown", "L2-miss %"],
+    );
+    for r in &result.rows {
+        for t in &r.tenants {
+            detail.row(vec![
+                r.mix.clone(),
+                r.scheduler.clone(),
+                r.policy.clone(),
+                format!("{}:{}{}", t.tenant, t.benchmark, capped_marker(t.capped)),
+                format!("{:.4}", t.alone_ipc),
+                format!("{:.4}", t.shared_ipc),
+                if t.starved { "starved".to_string() } else { format!("{:.2}x", t.slowdown) },
+                format!("{:.1}%", t.l2_miss_share * 100.0),
+            ]);
+        }
+    }
+
+    let capped_runs = result.rows.iter().filter(|r| r.capped).count();
+    let mut out = summary.render();
+    out.push('\n');
+    out.push_str(&detail.render());
+    out.push('\n');
+    for b in &result.best {
+        out.push_str(&format!(
+            "best policy for {:<14} under {:<8}: {} (STP {:.3})\n",
+            b.mix, b.scheduler, b.policy, b.stp
+        ));
+    }
+    out.push_str(&capped_summary(capped_runs, result.rows.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn mix_experiment_end_to_end_tiny() {
+        let runner = Runner::new(RunScale::Tiny).with_sms(2);
+        let result =
+            run(&runner, &[Mix::CacheStream], &DispatchPolicy::all(), &[SchedulerKind::Gto]);
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.best.len(), 1);
+        for r in &result.rows {
+            assert_eq!(r.tenants.len(), 2);
+            assert!(r.stp > 0.0, "{}: STP must be positive", r.policy);
+            assert!(r.antt > 0.0);
+            // L2 miss shares sum to ~1 when there are misses at all.
+            let share: f64 = r.tenants.iter().map(|t| t.l2_miss_share).sum();
+            assert!(share == 0.0 || (share - 1.0).abs() < 1e-9, "shares sum to {share}");
+        }
+        let text = render(&result);
+        assert!(text.contains("STP"));
+        assert!(text.contains("best policy for cache-stream"));
+        assert!(text.contains("exclusive"));
+        assert!(text.contains("spatial"));
+        assert!(text.contains("shared-rr"));
+    }
+
+    #[test]
+    fn exclusive_single_mix_metrics_are_consistent() {
+        // Under the serial exclusive policy each tenant runs undisturbed, so
+        // its *work* IPC matches the solo run and the slowdown comes purely
+        // from queueing (tenant k waits for k earlier kernels).
+        let runner = Runner::new(RunScale::Tiny).with_sms(2);
+        let result =
+            run(&runner, &[Mix::CacheCompute], &[DispatchPolicy::Exclusive], &[SchedulerKind::Gto]);
+        let row = &result.rows[0];
+        // Tenant 0 runs first: no queueing, no interference → unharmed.
+        assert!((row.tenants[0].slowdown - 1.0).abs() < 1e-9);
+        // Tenant 1 queued behind tenant 0 → strictly slowed.
+        assert!(row.tenants[1].slowdown > 1.0);
+    }
+}

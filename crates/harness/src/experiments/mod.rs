@@ -14,6 +14,7 @@ pub mod fig12;
 pub mod fig4;
 pub mod fig8;
 pub mod fig9;
+pub mod mix;
 pub mod overhead;
 pub mod table1;
 pub mod table2;

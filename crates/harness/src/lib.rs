@@ -16,6 +16,7 @@
 //! | Fig. 11a/11b (sensitivity) | [`experiments::fig11`] | `fig11` |
 //! | Fig. 12a/12b (cache / DRAM configurations) | [`experiments::fig12`] | `fig12` |
 //! | §V-F (overhead analysis) | [`experiments::overhead`] | `overhead` |
+//! | Multi-tenant mixes (STP/ANTT across policies) | [`experiments::mix`] | `mix` |
 //! | CI performance-regression gate | [`perf`] | `perf` |
 //!
 //! Every experiment accepts the `--sms N` axis: the [`runner::Runner`]
@@ -35,7 +36,7 @@ pub mod report;
 pub mod runner;
 pub mod schedulers;
 
-pub use perf::PerfReport;
+pub use perf::{BaselineFile, PerfReport};
 pub use report::{geometric_mean, Table};
 pub use runner::{RunRecord, RunScale, Runner};
 pub use schedulers::SchedulerKind;

@@ -11,10 +11,12 @@
 //! machine noise; wall-clock time is recorded for trend-watching but never
 //! gated.
 
+use crate::experiments::mix as mix_experiment;
 use crate::report::geometric_mean;
 use crate::runner::{RunRecord, Runner};
 use crate::schedulers::SchedulerKind;
-use ciao_workloads::Benchmark;
+use ciao_workloads::{Benchmark, Mix};
+use gpu_sim::DispatchPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -26,14 +28,16 @@ pub fn gate_schedulers() -> Vec<SchedulerKind> {
     vec![SchedulerKind::Gto, SchedulerKind::CiaoC]
 }
 
-/// One measured performance snapshot (the schema of `bench/baseline.json`
-/// and `BENCH_PR.json`).
+/// One measured performance snapshot (an entry of `bench/baseline.json` and
+/// the whole of `BENCH_PR.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Run scale the snapshot was measured at ("Tiny" / "Quick" / "Full").
     pub scale: String,
     /// Number of SMs per simulation.
     pub num_sms: usize,
+    /// Experiment seed the snapshot was measured at.
+    pub seed: u64,
     /// Wall-clock seconds for the whole measurement (informational only —
     /// machine-dependent, never gated).
     pub wall_clock_secs: f64,
@@ -46,6 +50,43 @@ pub struct PerfReport {
     pub geomean_ipc: BTreeMap<String, f64>,
     /// Scheduler label → benchmark → raw IPC (for diagnosing a drift).
     pub per_benchmark_ipc: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Scheduler label → mean per-run standard deviation of per-SM IPC
+    /// (0 for 1-SM snapshots; the partitioning-skew trend for chip runs).
+    pub mean_sm_ipc_stddev: BTreeMap<String, f64>,
+    /// Mix name → STP under the shared-round-robin policy and GTO — the
+    /// multi-tenant co-execution figure of merit. Empty when the snapshot
+    /// was measured without mixes.
+    pub mix_stp: BTreeMap<String, f64>,
+}
+
+/// The schema of `bench/baseline.json`: one snapshot per recorded
+/// (scale, SM-count, seed) configuration, so the 1-SM gate baseline and the
+/// 15-SM chip-level baseline live in the same file.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// Recorded snapshots, one per configuration.
+    pub snapshots: Vec<PerfReport>,
+}
+
+impl BaselineFile {
+    /// The snapshot recorded for `(scale, num_sms, seed)`, if any. The seed
+    /// is part of the key: a seeded run measures different traces, so gating
+    /// it against (or overwriting) another seed's snapshot would be
+    /// meaningless.
+    pub fn find(&self, scale: &str, num_sms: usize, seed: u64) -> Option<&PerfReport> {
+        self.snapshots.iter().find(|s| s.scale == scale && s.num_sms == num_sms && s.seed == seed)
+    }
+
+    /// Inserts `snapshot`, replacing any existing entry for the same
+    /// `(scale, num_sms, seed)` configuration.
+    pub fn upsert(&mut self, snapshot: PerfReport) {
+        match self.snapshots.iter_mut().find(|s| {
+            s.scale == snapshot.scale && s.num_sms == snapshot.num_sms && s.seed == snapshot.seed
+        }) {
+            Some(slot) => *slot = snapshot,
+            None => self.snapshots.push(snapshot),
+        }
+    }
 }
 
 /// Runs the (benchmarks × schedulers) matrix under `runner` and condenses it
@@ -66,6 +107,7 @@ pub fn measure(
 pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -> PerfReport {
     let mut geomean_ipc = BTreeMap::new();
     let mut per_benchmark_ipc: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut mean_sm_ipc_stddev = BTreeMap::new();
     let mut schedulers: Vec<String> = Vec::new();
     for r in records {
         if !schedulers.contains(&r.scheduler) {
@@ -80,16 +122,46 @@ pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -
         let ipcs: Vec<f64> =
             records.iter().filter(|r| &r.scheduler == sched).map(|r| r.ipc).collect();
         geomean_ipc.insert(sched.clone(), geometric_mean(&ipcs));
+        let stddevs: Vec<f64> =
+            records.iter().filter(|r| &r.scheduler == sched).map(|r| r.sm_ipc_stddev).collect();
+        let mean = if stddevs.is_empty() {
+            0.0
+        } else {
+            stddevs.iter().sum::<f64>() / stddevs.len() as f64
+        };
+        mean_sm_ipc_stddev.insert(sched.clone(), mean);
     }
     PerfReport {
         scale: format!("{:?}", runner.scale),
         num_sms: runner.sms,
+        seed: runner.seed,
         wall_clock_secs,
         capped_runs: records.iter().filter(|r| r.capped).count(),
         total_runs: records.len(),
         geomean_ipc,
         per_benchmark_ipc,
+        mean_sm_ipc_stddev,
+        mix_stp: BTreeMap::new(),
     }
+}
+
+/// Measures every named mix's STP under the shared-round-robin policy and
+/// the GTO baseline scheduler, for recording in a snapshot's `mix_stp` map
+/// (the `perf --with-mixes` path).
+///
+/// The mix experiment re-simulates its handful of solo baselines even though
+/// [`measure`] just ran the same benchmarks: STP needs the *turnaround*
+/// (finish-cycle) IPC definition that per-tenant records use, not the
+/// chip-cycle IPC a [`RunRecord`] carries, and a few extra solo runs are
+/// cheap next to the mix co-runs themselves.
+pub fn measure_mixes(runner: &Runner) -> BTreeMap<String, f64> {
+    let result = mix_experiment::run(
+        runner,
+        &Mix::all(),
+        &[DispatchPolicy::SharedRoundRobin],
+        &[SchedulerKind::Gto],
+    );
+    result.rows.into_iter().map(|r| (r.mix, r.stp)).collect()
 }
 
 /// A gated scheduler whose IPC moved outside the tolerance band.
@@ -139,13 +211,23 @@ pub fn render(report: &PerfReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "== perf snapshot ({} scale, {} SM{}) ==",
+        "== perf snapshot ({} scale, {} SM{}, seed {}) ==",
         report.scale,
         report.num_sms,
-        if report.num_sms == 1 { "" } else { "s" }
+        if report.num_sms == 1 { "" } else { "s" },
+        report.seed
     );
     for (sched, ipc) in &report.geomean_ipc {
-        let _ = writeln!(out, "{sched:>10}  geomean IPC {ipc:.4}");
+        let stddev = report.mean_sm_ipc_stddev.get(sched).copied().unwrap_or(0.0);
+        if report.num_sms > 1 {
+            let _ =
+                writeln!(out, "{sched:>10}  geomean IPC {ipc:.4}  (mean per-SM IPC σ {stddev:.4})");
+        } else {
+            let _ = writeln!(out, "{sched:>10}  geomean IPC {ipc:.4}");
+        }
+    }
+    for (mix, stp) in &report.mix_stp {
+        let _ = writeln!(out, "{mix:>14}  STP {stp:.3} (shared-rr, GTO)");
     }
     let _ = writeln!(
         out,
@@ -185,11 +267,14 @@ mod tests {
         PerfReport {
             scale: "Quick".into(),
             num_sms: 1,
+            seed: 0,
             wall_clock_secs: 1.0,
             capped_runs: 0,
             total_runs: 42,
             geomean_ipc,
             per_benchmark_ipc: BTreeMap::new(),
+            mean_sm_ipc_stddev: BTreeMap::new(),
+            mix_stp: BTreeMap::new(),
         }
     }
 
@@ -225,6 +310,31 @@ mod tests {
         assert_eq!(drifts[0].current_ipc, 0.0);
         // Gating a scheduler the baseline never measured is a no-op.
         assert!(compare(&base, &base, 0.10, &["GTO", "CIAO-C", "NEW"]).is_empty());
+    }
+
+    #[test]
+    fn baseline_file_finds_and_upserts_by_configuration() {
+        let mut file = BaselineFile::default();
+        file.upsert(report(0.5, 0.6));
+        let mut chip = report(0.1, 0.2);
+        chip.scale = "Tiny".into();
+        chip.num_sms = 15;
+        file.upsert(chip);
+        assert_eq!(file.snapshots.len(), 2);
+        assert!(file.find("Quick", 1, 0).is_some());
+        assert!(file.find("Tiny", 15, 0).is_some());
+        assert!(file.find("Quick", 15, 0).is_none());
+        assert!(file.find("Quick", 1, 3).is_none(), "seed is part of the key");
+        // Upserting the same configuration replaces, not appends.
+        let mut updated = report(0.7, 0.8);
+        updated.total_runs = 99;
+        file.upsert(updated);
+        assert_eq!(file.snapshots.len(), 2);
+        assert_eq!(file.find("Quick", 1, 0).unwrap().total_runs, 99);
+        // Round-trips through JSON.
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: BaselineFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.snapshots.len(), 2);
     }
 
     #[test]

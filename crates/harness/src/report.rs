@@ -1,5 +1,7 @@
-//! Report helpers: aligned text tables, geometric means and CSV/JSON output.
+//! Report helpers: aligned text tables, geometric means, per-SM imbalance
+//! formatting and CSV/JSON output.
 
+use gpu_sim::SmImbalance;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -128,6 +130,12 @@ pub fn percent(value: f64) -> String {
     format!("{:.1}%", value * 100.0)
 }
 
+/// Formats a per-SM IPC imbalance as `min–max (σ stddev)` — the compact cell
+/// chip-level reports use to make partitioning skew visible.
+pub fn imbalance_cell(im: &SmImbalance) -> String {
+    format!("{:.3}-{:.3} (σ {:.4})", im.min_ipc, im.max_ipc, im.stddev_ipc)
+}
+
 /// Visible marker appended to rows whose run hit an instruction/cycle cap
 /// instead of finishing its kernel (empty for clean runs).
 pub fn capped_marker(capped: bool) -> &'static str {
@@ -194,6 +202,8 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(speedup(1.539), "1.54x");
         assert_eq!(percent(0.1234), "12.3%");
+        let im = SmImbalance { min_ipc: 0.1, max_ipc: 0.52, stddev_ipc: 0.0421 };
+        assert_eq!(imbalance_cell(&im), "0.100-0.520 (σ 0.0421)");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::schedulers::SchedulerKind;
 use ciao_core::CiaoParams;
-use ciao_workloads::{Benchmark, ScaleConfig};
-use gpu_sim::{GpuConfig, Kernel, SimResult, Simulator};
+use ciao_workloads::{Benchmark, Mix, ScaleConfig};
+use gpu_sim::{DispatchPolicy, GpuConfig, Kernel, SimResult, Simulator};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -89,11 +89,18 @@ pub struct RunRecord {
     pub capped: bool,
     /// Number of SMs simulated for this record.
     pub num_sms: usize,
+    /// Lowest per-SM IPC of the run (equals `ipc` on a 1-SM run).
+    pub sm_ipc_min: f64,
+    /// Highest per-SM IPC of the run.
+    pub sm_ipc_max: f64,
+    /// Standard deviation of per-SM IPC — the partitioning-skew signal.
+    pub sm_ipc_stddev: f64,
 }
 
 impl RunRecord {
     /// Builds a record from a raw simulation result.
     pub fn from_result(benchmark: Benchmark, scheduler: SchedulerKind, res: &SimResult) -> Self {
+        let imbalance = res.sm_imbalance();
         RunRecord {
             benchmark: benchmark.name().to_string(),
             class: benchmark.class().label().to_string(),
@@ -110,6 +117,9 @@ impl RunRecord {
             instructions: res.stats.instructions,
             capped: res.capped,
             num_sms: res.num_sms,
+            sm_ipc_min: imbalance.min_ipc,
+            sm_ipc_max: imbalance.max_ipc,
+            sm_ipc_stddev: imbalance.stddev_ipc,
         }
     }
 }
@@ -129,6 +139,9 @@ pub struct Runner {
     /// the legacy single-SM path; `> 1` runs the parallel multi-SM chip
     /// engine with a shared L2/DRAM backend.
     pub sms: usize,
+    /// Experiment seed mixed into every synthetic trace (the `--seed N`
+    /// axis); `0` reproduces the historical single-seed traces bit for bit.
+    pub seed: u64,
 }
 
 impl Runner {
@@ -140,6 +153,7 @@ impl Runner {
             scale,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             sms: 1,
+            seed: 0,
         }
     }
 
@@ -161,6 +175,12 @@ impl Runner {
         self
     }
 
+    /// Sets the experiment seed mixed into every synthetic trace.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// The effective GPU configuration for a run (adds caps and sampling).
     pub fn effective_config(&self) -> GpuConfig {
         self.config
@@ -169,13 +189,18 @@ impl Runner {
             .with_sample_interval(self.scale.sample_interval())
     }
 
+    /// The effective workload scale for a run (applies the experiment seed).
+    pub fn effective_scale(&self) -> ScaleConfig {
+        self.scale.workload_scale().with_seed(self.seed)
+    }
+
     /// Runs one (benchmark, scheduler) pair and returns the full result:
     /// the legacy single-SM simulation when `sms == 1`, a parallel multi-SM
     /// chip simulation (one scheduler instance per SM, shared banked
     /// L2/DRAM) otherwise.
     pub fn run_one(&self, benchmark: Benchmark, scheduler: SchedulerKind) -> SimResult {
         let config = self.effective_config();
-        let kernel = benchmark.kernel(&self.scale.workload_scale());
+        let kernel = benchmark.kernel(&self.effective_scale());
         if self.sms <= 1 {
             let sim = Simulator::new(config.clone());
             let (sched, redirect) = scheduler.build(benchmark, &config, &self.params);
@@ -186,6 +211,20 @@ impl Runner {
             let kernel: Arc<dyn Kernel> = Arc::new(kernel);
             sim.run_chip(kernel, |_sm| scheduler.build(benchmark, &config, &self.params))
         }
+    }
+
+    /// Co-runs the benchmarks of `mix` (one tenant each, in mix order) on a
+    /// chip of `sms` SMs under `policy`, with one `scheduler` instance per
+    /// SM. Profile-derived scheduler parameters (Best-SWL / statPCAL warp
+    /// budgets) use the mix's first benchmark — a mix has no single profile.
+    pub fn run_mix(&self, mix: Mix, policy: DispatchPolicy, scheduler: SchedulerKind) -> SimResult {
+        let config = self.effective_config();
+        let chip_config = config.clone().with_num_sms(self.sms);
+        let scale = self.effective_scale();
+        let kernels = mix.kernels(&scale);
+        let profile = mix.benchmarks()[0];
+        let sim = Simulator::new(chip_config);
+        sim.run_mix(kernels, policy, |_sm| scheduler.build(profile, &config, &self.params))
     }
 
     /// Runs one pair and returns the condensed record.
@@ -308,6 +347,9 @@ mod tests {
                 instructions: 1,
                 capped: false,
                 num_sms: 1,
+                sm_ipc_min: 0.0,
+                sm_ipc_max: 0.0,
+                sm_ipc_stddev: 0.0,
             },
             RunRecord {
                 benchmark: "A".into(),
@@ -324,6 +366,9 @@ mod tests {
                 instructions: 1,
                 capped: false,
                 num_sms: 1,
+                sm_ipc_min: 0.0,
+                sm_ipc_max: 0.0,
+                sm_ipc_stddev: 0.0,
             },
         ];
         let norm = normalize_to(&records, "GTO");

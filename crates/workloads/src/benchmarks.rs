@@ -18,22 +18,33 @@ pub struct ScaleConfig {
     /// Multiplier applied to every region size (1.0 = the sizes the suite
     /// modules were calibrated with).
     pub footprint_scale: f64,
+    /// Experiment-level seed mixed into every per-warp RNG seed, so a whole
+    /// experiment can be replicated across seeds (`--seed N` in the harness).
+    /// `0` (the default) reproduces the historical single-seed traces bit for
+    /// bit.
+    pub seed: u64,
 }
 
 impl ScaleConfig {
     /// The full-size configuration used for the reported experiments.
     pub fn full() -> Self {
-        ScaleConfig { ops_per_warp: 3000, footprint_scale: 1.0 }
+        ScaleConfig { ops_per_warp: 3000, footprint_scale: 1.0, seed: 0 }
     }
 
     /// A reduced configuration for tests and smoke runs (~4x faster).
     pub fn quick() -> Self {
-        ScaleConfig { ops_per_warp: 700, footprint_scale: 1.0 }
+        ScaleConfig { ops_per_warp: 700, footprint_scale: 1.0, seed: 0 }
     }
 
     /// A tiny configuration for property tests and doc examples.
     pub fn tiny() -> Self {
-        ScaleConfig { ops_per_warp: 120, footprint_scale: 0.5 }
+        ScaleConfig { ops_per_warp: 120, footprint_scale: 0.5, seed: 0 }
+    }
+
+    /// Returns a copy with the experiment seed set.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

@@ -35,6 +35,7 @@
 pub mod benchmarks;
 pub mod characteristics;
 pub mod kernel;
+pub mod mix;
 pub mod program;
 pub mod spec;
 pub mod suites;
@@ -42,5 +43,6 @@ pub mod suites;
 pub use benchmarks::{Benchmark, ScaleConfig};
 pub use characteristics::{BenchmarkClass, BenchmarkInfo, TABLE2};
 pub use kernel::WorkloadKernel;
+pub use mix::Mix;
 pub use program::PatternProgram;
 pub use spec::{Divergence, PatternSpec, RegionAccess, RegionSpec};

@@ -1,0 +1,187 @@
+//! Named multi-tenant benchmark mixes.
+//!
+//! A [`Mix`] is a curated set of 2–4 Table II benchmarks chosen to stress a
+//! particular co-execution regime: cache-sensitive tenants (SWS class — small
+//! working sets whose reuse is exactly what inter-tenant interference
+//! destroys), streaming tenants (LWS class — large working sets that flood
+//! the shared L2 without profiting from it) and compute-intensive tenants
+//! (CI class — nearly memory-idle). The harness's `mix` command runs every
+//! mix across SM partitioning policies × schedulers and reports which policy
+//! best contains the inter-tenant cache interference.
+//!
+//! Tenant order within a mix is part of its definition: the serial
+//! `exclusive` policy executes tenants in this order, and tenant ids in
+//! reports follow it.
+
+use crate::benchmarks::{Benchmark, ScaleConfig};
+use gpu_sim::{Kernel, OffsetKernel};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Byte distance between consecutive tenants' global address spaces. The
+/// benchmark suites hard-code their region bases (stream/shared/irregular
+/// areas all below 2³²), so without per-tenant offsets two co-running
+/// instances would alias each other's data in the shared caches and the mix
+/// experiments would measure constructive sharing instead of interference
+/// (STP above the tenant count). 2⁴⁰ keeps up to four tenants far apart with
+/// no wraparound.
+pub const TENANT_ADDRESS_STRIDE: u64 = 1 << 40;
+
+/// The named benchmark mixes of the multi-tenant experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mix {
+    /// SYRK × ATAX — a cache-sensitive tenant co-running with a streaming
+    /// tenant: the headline interference scenario (the stream evicts the
+    /// reused working set).
+    CacheStream,
+    /// SYRK × GESUMMV — two cache-sensitive tenants competing for the same
+    /// shared capacity.
+    CacheCache,
+    /// ATAX × MVT — two streaming tenants: bandwidth-bound, little to lose
+    /// in the caches.
+    StreamStream,
+    /// SYRK × NN — a cache-sensitive tenant next to a compute-intensive one:
+    /// the most benign pairing.
+    CacheCompute,
+    /// SYRK × ATAX × GESUMMV × NN — a four-tenant consolidation scenario
+    /// spanning all three classes.
+    Quad,
+}
+
+impl Mix {
+    /// All mixes, in report order.
+    pub fn all() -> Vec<Mix> {
+        vec![Mix::CacheStream, Mix::CacheCache, Mix::StreamStream, Mix::CacheCompute, Mix::Quad]
+    }
+
+    /// Stable mix name used by reports and the harness CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::CacheStream => "cache-stream",
+            Mix::CacheCache => "cache-cache",
+            Mix::StreamStream => "stream-stream",
+            Mix::CacheCompute => "cache-compute",
+            Mix::Quad => "quad",
+        }
+    }
+
+    /// Parses a mix name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Mix> {
+        Mix::all().into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The member benchmarks, in tenant order.
+    pub fn benchmarks(self) -> Vec<Benchmark> {
+        match self {
+            Mix::CacheStream => vec![Benchmark::Syrk, Benchmark::Atax],
+            Mix::CacheCache => vec![Benchmark::Syrk, Benchmark::Gesummv],
+            Mix::StreamStream => vec![Benchmark::Atax, Benchmark::Mvt],
+            Mix::CacheCompute => vec![Benchmark::Syrk, Benchmark::Nn],
+            Mix::Quad => {
+                vec![Benchmark::Syrk, Benchmark::Atax, Benchmark::Gesummv, Benchmark::Nn]
+            }
+        }
+    }
+
+    /// Builds the member kernels at `scale`, in tenant order, each shifted
+    /// into its own global address space (tenant `t` at
+    /// `t × TENANT_ADDRESS_STRIDE`) so co-running tenants never alias each
+    /// other's data. Tenant 0's kernel is byte-identical to the plain
+    /// benchmark kernel.
+    pub fn kernels(self, scale: &ScaleConfig) -> Vec<Arc<dyn Kernel>> {
+        self.benchmarks()
+            .into_iter()
+            .enumerate()
+            .map(|(t, b)| {
+                let inner: Arc<dyn Kernel> = Arc::new(b.kernel(scale));
+                Arc::new(OffsetKernel::new(inner, t as u64 * TENANT_ADDRESS_STRIDE))
+                    as Arc<dyn Kernel>
+            })
+            .collect()
+    }
+
+    /// One-line description for reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Mix::CacheStream => "cache-sensitive x streaming",
+            Mix::CacheCache => "cache-sensitive x cache-sensitive",
+            Mix::StreamStream => "streaming x streaming",
+            Mix::CacheCompute => "cache-sensitive x compute-intensive",
+            Mix::Quad => "4-tenant consolidation (SWS+LWS+SWS+CI)",
+        }
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::BenchmarkClass;
+
+    #[test]
+    fn names_round_trip() {
+        for m in Mix::all() {
+            assert_eq!(Mix::from_name(m.name()), Some(m));
+            assert_eq!(format!("{m}"), m.name());
+            assert!(!m.description().is_empty());
+        }
+        assert_eq!(Mix::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn mixes_have_two_to_four_tenants_and_build_kernels() {
+        let scale = ScaleConfig::tiny();
+        for m in Mix::all() {
+            let benchmarks = m.benchmarks();
+            assert!((2..=4).contains(&benchmarks.len()), "{m}");
+            let kernels = m.kernels(&scale);
+            assert_eq!(kernels.len(), benchmarks.len());
+            for (k, b) in kernels.iter().zip(&benchmarks) {
+                assert_eq!(k.info().name, b.name());
+                assert!(k.info().total_warps() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tenants_live_in_disjoint_address_spaces() {
+        use gpu_sim::{MemSpace, WarpOp};
+        let scale = ScaleConfig::tiny();
+        let kernels = Mix::Quad.kernels(&scale);
+        for (t, k) in kernels.iter().enumerate() {
+            let lo = t as u64 * TENANT_ADDRESS_STRIDE;
+            let hi = lo + TENANT_ADDRESS_STRIDE;
+            let mut p = k.warp_program(0, 0);
+            while let Some(op) = p.next_op() {
+                let (WarpOp::Load { space: MemSpace::Global, pattern }
+                | WarpOp::Store { space: MemSpace::Global, pattern }) = op
+                else {
+                    continue;
+                };
+                for a in pattern.lane_addresses() {
+                    assert!(
+                        (lo..hi).contains(&a),
+                        "tenant {t} address {a:#x} outside [{lo:#x}, {hi:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_composition_matches_intent() {
+        use BenchmarkClass::*;
+        let classes =
+            |m: Mix| -> Vec<BenchmarkClass> { m.benchmarks().iter().map(|b| b.class()).collect() };
+        assert_eq!(classes(Mix::CacheStream), vec![Sws, Lws]);
+        assert_eq!(classes(Mix::CacheCache), vec![Sws, Sws]);
+        assert_eq!(classes(Mix::StreamStream), vec![Lws, Lws]);
+        assert_eq!(classes(Mix::CacheCompute), vec![Sws, Ci]);
+        assert_eq!(classes(Mix::Quad), vec![Sws, Lws, Sws, Ci]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-tenant co-execution invariants.
+//!
+//! The contract of the `gpu_sim::dispatch` subsystem, checked end to end
+//! against real benchmark kernels:
+//!
+//! 1. a mix with a single tenant under the `Exclusive` policy is
+//!    *bit-identical* to today's single-kernel chip run (for every policy,
+//!    in fact — one stream admits no sharing),
+//! 2. under the sharing policies, per-tenant L1/L2/instruction/crossbar
+//!    attribution sums exactly to the chip totals,
+//! 3. the STP / weighted-speedup and ANTT metrics obey their defining
+//!    formulas on real co-run results,
+//! 4. every policy is deterministic across repeats on a full 15-SM chip
+//!    despite parallel per-SM execution.
+
+use std::sync::Arc;
+
+use ciao_suite::harness::runner::{RunScale, Runner};
+use ciao_suite::harness::schedulers::SchedulerKind;
+use ciao_suite::sim::{
+    avg_normalized_turnaround, system_throughput, DispatchPolicy, GpuConfig, Kernel, KernelQueue,
+    SimResult, Simulator,
+};
+use ciao_suite::workloads::{Benchmark, Mix};
+
+fn tiny_config(sms: usize) -> GpuConfig {
+    GpuConfig::gtx480()
+        .with_num_sms(sms)
+        .with_max_instructions(RunScale::Tiny.max_instructions())
+        .with_sample_interval(RunScale::Tiny.sample_interval())
+}
+
+fn assert_results_identical(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.cycles, b.cycles, "cycle counts differ");
+    assert_eq!(a.stats, b.stats, "aggregate stats differ");
+    assert_eq!(a.per_sm, b.per_sm, "per-SM stats differ");
+    assert_eq!(a.per_tenant, b.per_tenant, "per-tenant results differ");
+    assert_eq!(a.time_series, b.time_series, "time series differ");
+    assert_eq!(a.interference, b.interference, "interference matrices differ");
+    assert_eq!(a.scheduler_metrics, b.scheduler_metrics, "scheduler metrics differ");
+    assert_eq!(a.capped, b.capped, "capped flags differ");
+    assert_eq!(a.interconnect, b.interconnect, "interconnect traffic differs");
+}
+
+#[test]
+fn one_tenant_mix_is_bit_identical_to_single_kernel_chip_run() {
+    // GTO exercises the plain L1D path; CIAO-C additionally exercises the
+    // redirect cache, throttling and the detector.
+    for scheduler in [SchedulerKind::Gto, SchedulerKind::CiaoC] {
+        let config = tiny_config(4);
+        let params = ciao_suite::ciao::CiaoParams::default();
+        let benchmark = Benchmark::Syrk;
+        let scale = RunScale::Tiny.workload_scale();
+        let sim = Simulator::new(config.clone());
+
+        let kernel: Arc<dyn Kernel> = Arc::new(benchmark.kernel(&scale));
+        let chip =
+            sim.run_chip(Arc::clone(&kernel), |_| scheduler.build(benchmark, &config, &params));
+
+        for policy in DispatchPolicy::all() {
+            let queue = KernelQueue::from_kernels([Arc::clone(&kernel)]);
+            let via_queue =
+                queue.run(&config, policy, |_| scheduler.build(benchmark, &config, &params));
+            assert_eq!(via_queue.per_tenant.len(), 1);
+            assert_eq!(via_queue.policy, policy.label());
+            assert_results_identical(&chip, &via_queue);
+        }
+    }
+}
+
+#[test]
+fn shared_policy_tenant_attribution_sums_to_chip_totals() {
+    let runner = Runner::new(RunScale::Tiny).with_sms(4);
+    for policy in [DispatchPolicy::SpatialPartition, DispatchPolicy::SharedRoundRobin] {
+        for scheduler in [SchedulerKind::Gto, SchedulerKind::CiaoC] {
+            let res = runner.run_mix(Mix::CacheStream, policy, scheduler);
+            assert_eq!(res.per_tenant.len(), 2, "{policy}");
+            let sum = |f: fn(&ciao_suite::sim::TenantResult) -> u64| -> u64 {
+                res.per_tenant.iter().map(f).sum()
+            };
+            assert_eq!(
+                sum(|t| t.instructions),
+                res.stats.instructions,
+                "{policy}/{scheduler}: instructions"
+            );
+            assert_eq!(
+                sum(|t| t.l1d_accesses),
+                res.stats.l1d.accesses(),
+                "{policy}/{scheduler}: L1D accesses"
+            );
+            assert_eq!(sum(|t| t.l1d_hits), res.stats.l1d.hits(), "{policy}/{scheduler}: L1D hits");
+            assert_eq!(
+                sum(|t| t.mem.l2_accesses),
+                res.stats.l2.accesses(),
+                "{policy}/{scheduler}: L2 accesses"
+            );
+            assert_eq!(
+                sum(|t| t.mem.l2_hits),
+                res.stats.l2.hits(),
+                "{policy}/{scheduler}: L2 hits"
+            );
+            assert_eq!(
+                sum(|t| t.xbar_bytes),
+                res.interconnect.bytes_transferred,
+                "{policy}/{scheduler}: crossbar bytes"
+            );
+            // Every tenant actually used the shared cache.
+            assert!(res.per_tenant.iter().all(|t| t.mem.l2_accesses > 0), "{policy}");
+        }
+    }
+}
+
+#[test]
+fn stp_and_antt_follow_their_definitions_on_real_co_runs() {
+    let runner = Runner::new(RunScale::Tiny).with_sms(4);
+    let mix = Mix::CacheStream;
+    let alone: Vec<f64> = mix
+        .benchmarks()
+        .iter()
+        .map(|&b| runner.run_one(b, SchedulerKind::Gto).per_tenant[0].ipc())
+        .collect();
+    let res = runner.run_mix(mix, DispatchPolicy::SharedRoundRobin, SchedulerKind::Gto);
+    let shared = res.tenant_ipcs();
+    assert_eq!(shared.len(), 2);
+    assert!(shared.iter().all(|&s| s > 0.0));
+
+    let stp = system_throughput(&alone, &shared);
+    let antt = avg_normalized_turnaround(&alone, &shared);
+    // Defining formulas, computed by hand.
+    let expect_stp: f64 = shared.iter().zip(&alone).map(|(&s, &a)| s / a).sum();
+    let expect_antt: f64 =
+        alone.iter().zip(&shared).map(|(&a, &s)| a / s).sum::<f64>() / alone.len() as f64;
+    assert!((stp - expect_stp).abs() < 1e-12);
+    assert!((antt - expect_antt).abs() < 1e-12);
+    // Sanity bounds: STP cannot exceed the tenant count (no tenant runs
+    // faster with a co-runner), ANTT cannot fall below 1.
+    assert!(stp > 0.0 && stp <= alone.len() as f64 + 1e-9);
+    assert!(antt >= 1.0 - 1e-9);
+}
+
+#[test]
+fn every_policy_is_deterministic_at_fifteen_sms() {
+    let runner = Runner::new(RunScale::Tiny).with_sms(15);
+    for policy in DispatchPolicy::all() {
+        let a = runner.run_mix(Mix::CacheCompute, policy, SchedulerKind::CiaoC);
+        let b = runner.run_mix(Mix::CacheCompute, policy, SchedulerKind::CiaoC);
+        assert_eq!(a.num_sms, 15, "{policy}");
+        assert_eq!(a.per_sm.len(), 15, "{policy}");
+        assert_eq!(a.per_tenant.len(), 2, "{policy}");
+        assert!(a.stats.instructions > 0, "{policy}");
+        assert_results_identical(&a, &b);
+    }
+}
+
+#[test]
+fn policies_place_work_differently_but_execute_the_same_work() {
+    // The three policies must agree on *what* runs (every tenant's whole
+    // grid) while disagreeing on *where/when* — different cycle counts are
+    // expected, identical instruction totals are required.
+    let runner = Runner::new(RunScale::Tiny).with_sms(4);
+    let results: Vec<SimResult> = DispatchPolicy::all()
+        .into_iter()
+        .map(|p| runner.run_mix(Mix::CacheCache, p, SchedulerKind::Gto))
+        .collect();
+    let instructions: Vec<u64> = results.iter().map(|r| r.stats.instructions).collect();
+    assert!(instructions.windows(2).all(|w| w[0] == w[1]), "{instructions:?}");
+    for r in &results {
+        for t in &r.per_tenant {
+            assert!(t.instructions > 0);
+            assert!(t.finish_cycle > 0);
+        }
+    }
+}
