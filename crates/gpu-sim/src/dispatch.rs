@@ -6,9 +6,11 @@
 //! (*tenants*): a [`KernelStream`] binds a kernel to a [`TenantId`], a
 //! [`DispatchPolicy`] decides which SM runs which tenant's CTAs, and
 //! [`KernelQueue`] is the chip-level entry point that turns a set of streams
-//! into one [`SimResult`] with per-tenant attribution.
+//! into one [`SimResult`] with per-tenant attribution. Streams may carry an
+//! [`KernelStream::arrival_cycle`]: the engine admits such *dynamic arrivals*
+//! at the first epoch boundary at or after their cycle.
 //!
-//! ## The three policies
+//! ## The four policies
 //!
 //! * [`DispatchPolicy::Exclusive`] — temporal multiplexing: each kernel gets
 //!   the whole chip to itself, streams execute serially in submission order
@@ -32,15 +34,23 @@
 //!   tenants appears in addition to the shared-L2 contention. With a single
 //!   stream the interleaving is the identity, which reduces this policy to
 //!   PR 2's round-robin dispatcher.
+//! * [`DispatchPolicy::InterferenceAware`] — adaptive, monitor-driven
+//!   dispatch, the chip-level analogue of CIAO-T: CTAs are fed from
+//!   per-tenant pending queues at epoch boundaries, tenants are classified
+//!   from their live L1/L2 attribution, and streaming tenants are throttled
+//!   or migrated onto shrinking SM subsets when a cache-sensitive victim's
+//!   L2 hit rate degrades. See [`AdaptiveDispatcher`].
 //!
 //! ## Determinism
 //!
-//! Every policy is a pure function of `(streams, num_sms)`: assignment lists
-//! are computed up front, before any simulation, and the engine's
-//! barrier-synchronised epoch scheme (see [`crate::gpu`]) keeps execution
-//! deterministic regardless of worker-thread scheduling. Two runs of the same
-//! mix under the same policy produce identical results, and changing the
-//! policy changes only the assignment lists, never the per-warp traces.
+//! Every static policy is a pure function of `(streams, num_sms)`:
+//! assignment lists are computed up front, before any simulation, and the
+//! engine's barrier-synchronised epoch scheme (see [`crate::gpu`]) keeps
+//! execution deterministic regardless of worker-thread scheduling. The
+//! adaptive policy decides at epoch boundaries from barrier-time statistics
+//! only, so it is equally deterministic. Two runs of the same mix under the
+//! same policy produce identical results, and changing the policy changes
+//! only the CTA placement, never the per-warp traces.
 
 use std::sync::Arc;
 
@@ -48,8 +58,10 @@ use crate::config::GpuConfig;
 use crate::gpu::{Gpu, SmUnit};
 use crate::kernel::{Kernel, KernelInfo};
 use crate::simulator::SimResult;
-use crate::stats::SmStats;
-use gpu_mem::{CtaId, TenantId};
+use crate::stats::{
+    DispatchAction, DispatchDecision, DispatchLog, SmStats, TenantClass, TimeSeries,
+};
+use gpu_mem::{CtaId, Cycle, TenantId};
 use serde::{Deserialize, Serialize};
 
 /// A kernel submitted for co-execution, bound to the tenant identity used to
@@ -58,15 +70,25 @@ use serde::{Deserialize, Serialize};
 pub struct KernelStream {
     /// Tenant identity of this stream (dense, `0..num_streams`).
     pub tenant: TenantId,
+    /// Chip cycle at which the stream enters the kernel queue. `0` (the
+    /// default) launches at simulation start; a positive value makes the
+    /// stream a *dynamic arrival*: the engine admits it at the first epoch
+    /// boundary at or after this cycle.
+    pub arrival_cycle: Cycle,
     kernel: Arc<dyn Kernel>,
     info: KernelInfo,
 }
 
 impl KernelStream {
-    /// Binds `kernel` to `tenant`.
+    /// Binds `kernel` to `tenant`, launching at cycle 0.
     pub fn new(tenant: TenantId, kernel: Arc<dyn Kernel>) -> Self {
+        Self::new_at(tenant, kernel, 0)
+    }
+
+    /// Binds `kernel` to `tenant`, entering the queue at `arrival_cycle`.
+    pub fn new_at(tenant: TenantId, kernel: Arc<dyn Kernel>, arrival_cycle: Cycle) -> Self {
         let info = kernel.info();
-        KernelStream { tenant, kernel, info }
+        KernelStream { tenant, arrival_cycle, kernel, info }
     }
 
     /// The stream's kernel.
@@ -86,6 +108,7 @@ impl std::fmt::Debug for KernelStream {
             .field("tenant", &self.tenant)
             .field("kernel", &self.info.name)
             .field("ctas", &self.info.num_ctas)
+            .field("arrival", &self.arrival_cycle)
             .finish()
     }
 }
@@ -100,11 +123,30 @@ pub enum DispatchPolicy {
     SpatialPartition,
     /// CTAs of all kernels interleaved round-robin onto every SM.
     SharedRoundRobin,
+    /// Adaptive, monitor-driven dispatch — the chip-level analogue of CIAO-T.
+    /// An epoch-boundary monitor reads the live per-tenant L1/L2 attribution,
+    /// classifies tenants as cache-sensitive or streaming, and throttles or
+    /// migrates the streaming tenants' *pending* CTAs onto a shrinking SM
+    /// subset whenever a cache-sensitive tenant's hit rate degrades past a
+    /// threshold (with multiplicative shrink / hysteresis-gated growth to
+    /// avoid ping-ponging). See [`AdaptiveDispatcher`].
+    InterferenceAware,
 }
 
 impl DispatchPolicy {
     /// All policies, in report order.
     pub fn all() -> Vec<DispatchPolicy> {
+        vec![
+            DispatchPolicy::Exclusive,
+            DispatchPolicy::SpatialPartition,
+            DispatchPolicy::SharedRoundRobin,
+            DispatchPolicy::InterferenceAware,
+        ]
+    }
+
+    /// The statically planned policies (everything but the adaptive one):
+    /// their SM assignments are a pure up-front function of the streams.
+    pub fn static_policies() -> Vec<DispatchPolicy> {
         vec![
             DispatchPolicy::Exclusive,
             DispatchPolicy::SpatialPartition,
@@ -118,6 +160,7 @@ impl DispatchPolicy {
             DispatchPolicy::Exclusive => "exclusive",
             DispatchPolicy::SpatialPartition => "spatial",
             DispatchPolicy::SharedRoundRobin => "shared-rr",
+            DispatchPolicy::InterferenceAware => "interference-aware",
         }
     }
 
@@ -130,6 +173,13 @@ impl DispatchPolicy {
     /// only for [`DispatchPolicy::Exclusive`], which serialises them).
     pub fn is_concurrent(self) -> bool {
         !matches!(self, DispatchPolicy::Exclusive)
+    }
+
+    /// Whether the policy re-places work at run time (only
+    /// [`DispatchPolicy::InterferenceAware`]); static policies compute their
+    /// whole assignment before simulation starts.
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, DispatchPolicy::InterferenceAware)
     }
 }
 
@@ -219,7 +269,8 @@ pub fn spatial_sm_sets(num_tenants: usize, num_sms: usize) -> Vec<Vec<usize>> {
 
 /// Computes each SM's work list for `streams` under `policy` on a chip of
 /// `num_sms` SMs. Pure and deterministic: the same inputs always produce the
-/// same lists.
+/// same lists. Arrival cycles are ignored here — `build_dispatch` (what the
+/// engine uses) splits the same assignments into arrival-ordered batches.
 ///
 /// For [`DispatchPolicy::Exclusive`] this returns the per-stream round-robin
 /// assignments concatenated in stream order — the single-engine
@@ -227,12 +278,25 @@ pub fn spatial_sm_sets(num_tenants: usize, num_sms: usize) -> Vec<Vec<usize>> {
 /// the earlier kernel's CTAs retire from it. [`KernelQueue::run`] implements
 /// the exact policy (fully serial execution with cold caches between
 /// kernels) and is what the harness uses.
+///
+/// For [`DispatchPolicy::InterferenceAware`] with a single stream the
+/// adaptive machinery has nothing to arbitrate, so the assignment degenerates
+/// to plain round-robin over every SM (bit-identical to `Exclusive` with one
+/// stream). With several streams the up-front lists are *empty* — the
+/// [`AdaptiveDispatcher`] feeds CTAs to SMs at epoch boundaries instead.
 pub fn plan(streams: &[KernelStream], num_sms: usize, policy: DispatchPolicy) -> Vec<Vec<CtaWork>> {
     let num_sms = num_sms.max(1);
     let mut lists: Vec<Vec<CtaWork>> = vec![Vec::new(); num_sms];
     match policy {
         DispatchPolicy::Exclusive => {
             for stream in streams {
+                for (sm, work) in round_robin_split(stream_work(stream), num_sms) {
+                    lists[sm].extend(work);
+                }
+            }
+        }
+        DispatchPolicy::InterferenceAware => {
+            if let [stream] = streams {
                 for (sm, work) in round_robin_split(stream_work(stream), num_sms) {
                     lists[sm].extend(work);
                 }
@@ -279,6 +343,679 @@ fn round_robin_split(
     per_sm.into_iter().enumerate()
 }
 
+// ---------------------------------------------------------------------------
+// Arrival-aware dispatch plans
+// ---------------------------------------------------------------------------
+
+/// Per-SM work of the streams sharing one arrival cycle, waiting for its
+/// admission epoch (static policies only — the adaptive dispatcher holds its
+/// deferred work in per-tenant pending queues instead).
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredBatch {
+    /// Cycle the batch's streams arrive; admitted at the first epoch boundary
+    /// at or after it.
+    pub arrival: Cycle,
+    /// Work to append to each SM's list at admission.
+    pub per_sm: Vec<Vec<CtaWork>>,
+}
+
+/// Everything the chip engine needs to execute `streams` under a policy:
+/// the work lists installed before the first cycle, the arrival-deferred
+/// batches of late streams (static policies), and the adaptive dispatcher
+/// (interference-aware with more than one stream).
+pub(crate) struct DispatchPlan {
+    /// Per-SM work lists installed at construction (arrival-cycle-0 work).
+    pub initial: Vec<Vec<CtaWork>>,
+    /// Batches admitted at later epoch boundaries, sorted by arrival.
+    pub deferred: Vec<DeferredBatch>,
+    /// The run-time dispatcher for [`DispatchPolicy::InterferenceAware`].
+    pub adaptive: Option<AdaptiveDispatcher>,
+}
+
+/// Builds the dispatch plan for `streams` under `policy`. With every arrival
+/// at cycle 0 and a static policy this reduces to [`plan`] (all work initial,
+/// nothing deferred); late arrivals are grouped by arrival cycle into
+/// [`DeferredBatch`]es placed with the same per-policy rules:
+///
+/// * `SpatialPartition` — SM sets are computed over *all* streams (a late
+///   tenant's SM share is reserved from the start), each stream's grid is
+///   dealt over its own set, so deferral never changes placement.
+/// * `SharedRoundRobin` — streams sharing an arrival cycle are interleaved
+///   round-robin; the SM cursor continues across batches so late work keeps
+///   filling SMs evenly.
+/// * `Exclusive` / single-stream plans — each stream's round-robin assignment
+///   becomes its own batch.
+/// * `InterferenceAware` with >1 stream — no static work at all; the
+///   [`AdaptiveDispatcher`] admits and feeds everything at epoch boundaries.
+pub(crate) fn build_dispatch(
+    streams: &[KernelStream],
+    num_sms: usize,
+    policy: DispatchPolicy,
+    max_warps_per_sm: usize,
+    epoch_cycles: Cycle,
+) -> DispatchPlan {
+    let num_sms = num_sms.max(1);
+    if policy.is_adaptive() && streams.len() > 1 {
+        return DispatchPlan {
+            initial: vec![Vec::new(); num_sms],
+            deferred: Vec::new(),
+            adaptive: Some(AdaptiveDispatcher::new(
+                streams,
+                num_sms,
+                max_warps_per_sm,
+                epoch_cycles.max(1) * DECISION_EPOCHS,
+            )),
+        };
+    }
+    if streams.iter().all(|s| s.arrival_cycle == 0) {
+        return DispatchPlan {
+            initial: plan(streams, num_sms, policy),
+            deferred: Vec::new(),
+            adaptive: None,
+        };
+    }
+    // Group streams by arrival cycle (ascending; ties keep tenant order).
+    let mut arrivals: Vec<Cycle> = streams.iter().map(|s| s.arrival_cycle).collect();
+    arrivals.sort_unstable();
+    arrivals.dedup();
+    let mut initial = vec![Vec::new(); num_sms];
+    let mut deferred = Vec::new();
+    let sets = spatial_sm_sets(streams.len(), num_sms);
+    let mut rr_cursor = 0usize; // SharedRoundRobin SM cursor, continued across batches
+    for arrival in arrivals {
+        let group: Vec<&KernelStream> =
+            streams.iter().filter(|s| s.arrival_cycle == arrival).collect();
+        let mut per_sm: Vec<Vec<CtaWork>> = vec![Vec::new(); num_sms];
+        match policy {
+            DispatchPolicy::SpatialPartition => {
+                for stream in &group {
+                    let set = &sets[stream.tenant as usize];
+                    for (j, work) in stream_work(stream).into_iter().enumerate() {
+                        per_sm[set[j % set.len()]].push(work);
+                    }
+                }
+            }
+            DispatchPolicy::SharedRoundRobin => {
+                let mut queues: Vec<Vec<CtaWork>> = group.iter().map(|s| stream_work(s)).collect();
+                for q in &mut queues {
+                    q.reverse();
+                }
+                while queues.iter().any(|q| !q.is_empty()) {
+                    for q in &mut queues {
+                        if let Some(work) = q.pop() {
+                            per_sm[rr_cursor % num_sms].push(work);
+                            rr_cursor += 1;
+                        }
+                    }
+                }
+            }
+            DispatchPolicy::Exclusive | DispatchPolicy::InterferenceAware => {
+                for stream in &group {
+                    for (sm, work) in round_robin_split(stream_work(stream), num_sms) {
+                        per_sm[sm].extend(work);
+                    }
+                }
+            }
+        }
+        if arrival == 0 {
+            initial = per_sm;
+        } else {
+            deferred.push(DeferredBatch { arrival, per_sm });
+        }
+    }
+    DispatchPlan { initial, deferred, adaptive: None }
+}
+
+// ---------------------------------------------------------------------------
+// The interference-aware adaptive dispatcher (chip-level CIAO-T)
+// ---------------------------------------------------------------------------
+
+/// Cumulative per-tenant counters the engine samples at every epoch boundary
+/// and hands to the [`AdaptiveDispatcher`]; the dispatcher differences
+/// consecutive samples into per-window rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantSignal {
+    /// L1D lookups of the tenant's warps, summed over SMs.
+    pub l1_accesses: u64,
+    /// Of those, the lookups that hit.
+    pub l1_hits: u64,
+    /// Shared-L2 lookups attributed to the tenant.
+    pub l2_accesses: u64,
+    /// Of those, the lookups that hit.
+    pub l2_hits: u64,
+    /// DRAM accesses attributed to the tenant.
+    pub dram_accesses: u64,
+    /// Instructions the tenant executed.
+    pub instructions: u64,
+    /// CTAs of the tenant that ran to completion, summed over SMs.
+    pub ctas_completed: usize,
+}
+
+/// Decision-window length, in epochs, between monitor evaluations.
+pub(crate) const DECISION_EPOCHS: Cycle = 8;
+/// Minimum window L2 lookups before an L2 hit rate is considered measured.
+const MIN_L2_SAMPLES: u64 = 16;
+/// Minimum window L1 lookups before an L1 hit rate is considered measured.
+const MIN_L1_SAMPLES: u64 = 32;
+/// Minimum L1D lookups a tenant's probe CTAs must have produced (cumulative
+/// since admission) before the tenant is classified — large enough that the
+/// cold-start misses every tenant begins with are amortised and data reuse
+/// has had time to emerge. L1 is the right signal to classify on: each probe
+/// CTA runs on its own SM, so its L1 signature is interference-free even
+/// while other tenants pollute the shared L2.
+const CLASSIFY_MIN_L1: u64 = 256;
+/// Cumulative L1 hit rate at or above which a tenant classifies as
+/// cache-sensitive; below it the tenant is streaming (a working set too
+/// large to profit from the cache it flows through).
+const CACHE_L1_RATE: f64 = 0.42;
+/// Windows a tenant may stay unclassifiable before it is given up on.
+pub(crate) const MAX_PROBE_WINDOWS: Cycle = 40;
+/// Windows after which a tenant producing almost no memory traffic is given
+/// up on early — a compute-intensive tenant will never reach
+/// `CLASSIFY_MIN_L1`, and holding it in the probe just starves it.
+const EARLY_PROBE_WINDOWS: Cycle = 8;
+/// CTAs a tenant may have in flight while it is still being probed: enough
+/// parallelism to produce a classifiable signal quickly, small enough that
+/// most of the grid stays pending (and therefore migratable) until the
+/// verdict — and that the parallel cold-start traffic of many young CTAs
+/// does not drown the reuse signal the classifier is looking for.
+const PROBE_CTAS: usize = 2;
+/// Fraction of a victim's best window L2 hit rate below which the window
+/// counts as *degraded* (the throttle trigger).
+const DEGRADE_FRAC: f64 = 0.85;
+/// Consecutive healthy windows required before throttles are relaxed — the
+/// hysteresis that prevents shrink/grow ping-ponging.
+const RESTORE_PATIENCE: u32 = 3;
+/// Divisor of `num_sms` giving a streaming tenant's initial allowed-SM-set
+/// size when it co-runs with a cache-sensitive tenant.
+const CONFINE_DIVISOR: usize = 4;
+/// Ceiling of the per-allowed-SM in-flight CTA multiplier for streamers.
+const MAX_STREAM_LIMIT: usize = 64;
+
+/// Per-tenant state of the adaptive dispatcher.
+#[derive(Debug)]
+struct TenantEntry {
+    arrival: Cycle,
+    admitted: bool,
+    pending: std::collections::VecDeque<CtaWork>,
+    dealt: usize,
+    class: TenantClass,
+    classified: bool,
+    probe_windows: Cycle,
+    /// SMs hosting this tenant's probe CTAs. While the tenant is
+    /// unclassified these SMs are reserved — no other tenant's CTAs are fed
+    /// onto them — so the probe's L1 signature stays interference-free.
+    probe_sms: Vec<usize>,
+    /// Size of the allowed-SM set (the *last* `allowed` SMs of the chip for
+    /// streamers; the full chip for everyone else).
+    allowed: usize,
+    /// Per-allowed-SM in-flight CTA multiplier (streamers only; `usize::MAX`
+    /// means unthrottled).
+    limit: usize,
+    best_l2_rate: f64,
+    /// Counter snapshot at admission; classification reads the cumulative
+    /// probe-CTA traffic relative to this.
+    base_signal: TenantSignal,
+}
+
+impl TenantEntry {
+    fn active(&self, retired: usize) -> bool {
+        self.admitted && (!self.pending.is_empty() || self.dealt > retired)
+    }
+
+    fn in_flight_cap(&self) -> usize {
+        if self.class == TenantClass::Streaming {
+            self.allowed.saturating_mul(self.limit).max(1)
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+/// The run-time engine of [`DispatchPolicy::InterferenceAware`] — the
+/// chip-level analogue of CIAO-T's interference-aware warp throttling.
+///
+/// The dispatcher holds every stream's CTAs in per-tenant pending queues and
+/// feeds them to SMs at epoch boundaries. Each new tenant first runs a single
+/// *probe* CTA on an otherwise private SM for one decision window, giving the
+/// monitor a clean per-tenant L1/L2 signature to classify it with
+/// (cache-sensitive vs streaming, the chip-level analogue of the SWS/LWS
+/// split `ciao_core::detector` derives per warp). After classification,
+/// cache-sensitive and unclassifiable tenants may fill the whole chip, while
+/// a streaming tenant that co-runs with a cache-sensitive one starts confined
+/// to a tail subset of SMs with one in-flight CTA per allowed SM.
+///
+/// From then on the monitor differences the live per-tenant L2 attribution
+/// every `DECISION_EPOCHS` epochs: when a cache-sensitive tenant's window
+/// L2 hit rate degrades below `DEGRADE_FRAC` of its best observed window,
+/// every active streaming tenant's allowed-SM set is *halved* (min 1 SM, so
+/// no tenant ever starves); after `RESTORE_PATIENCE` consecutive healthy
+/// windows the sets are doubled back and, once fully restored, the in-flight
+/// multiplier grows too. Multiplicative shrink with hysteresis-gated growth
+/// keeps the controller from ping-ponging.
+///
+/// Every quantity the dispatcher reads is sampled at the deterministic epoch
+/// barrier, so its decisions — and therefore the whole run — are a pure
+/// function of the streams and the configuration, independent of worker
+/// threading.
+pub struct AdaptiveDispatcher {
+    num_sms: usize,
+    max_warps_per_sm: usize,
+    window_cycles: Cycle,
+    next_window_close: Cycle,
+    tenants: Vec<TenantEntry>,
+    last_signal: Vec<TenantSignal>,
+    healthy_streak: u32,
+    rotor: usize,
+    log: DispatchLog,
+}
+
+impl AdaptiveDispatcher {
+    /// Builds a dispatcher for `streams` on a chip of `num_sms` SMs with
+    /// `max_warps_per_sm` warp slots each; the monitor closes a decision
+    /// window every `window_cycles` cycles (the engine passes
+    /// `DECISION_EPOCHS` × the effective epoch length).
+    pub fn new(
+        streams: &[KernelStream],
+        num_sms: usize,
+        max_warps_per_sm: usize,
+        window_cycles: Cycle,
+    ) -> Self {
+        let num_sms = num_sms.max(1);
+        let tenants: Vec<TenantEntry> = streams
+            .iter()
+            .map(|s| TenantEntry {
+                arrival: s.arrival_cycle,
+                admitted: false,
+                pending: stream_work(s).into(),
+                dealt: 0,
+                class: TenantClass::Unclassified,
+                classified: false,
+                probe_windows: 0,
+                probe_sms: Vec::new(),
+                allowed: num_sms,
+                limit: usize::MAX,
+                best_l2_rate: 0.0,
+                base_signal: TenantSignal::default(),
+            })
+            .collect();
+        let window_cycles = window_cycles.max(1);
+        AdaptiveDispatcher {
+            num_sms,
+            max_warps_per_sm: max_warps_per_sm.max(1),
+            window_cycles,
+            next_window_close: window_cycles,
+            tenants,
+            last_signal: vec![TenantSignal::default(); streams.len()],
+            healthy_streak: 0,
+            rotor: 0,
+            log: DispatchLog::default(),
+        }
+    }
+
+    /// True while the dispatcher still holds undealt work: streams not yet
+    /// admitted, or admitted CTAs waiting in a pending queue.
+    pub fn has_work(&self) -> bool {
+        self.tenants.iter().any(|e| !e.admitted || !e.pending.is_empty())
+    }
+
+    /// True while an *admitted* tenant still has pending CTAs — work that
+    /// only epoch progression (CTA retirements, probe give-ups) can release.
+    /// When this is false, any remaining work is an unadmitted future
+    /// arrival, and the engine may fast-forward straight to it.
+    pub fn has_admitted_pending(&self) -> bool {
+        self.tenants.iter().any(|e| e.admitted && !e.pending.is_empty())
+    }
+
+    /// Pending (admitted or not, undealt) CTAs of one tenant.
+    pub fn pending_ctas(&self, tenant: TenantId) -> usize {
+        self.tenants.get(tenant as usize).map_or(0, |e| e.pending.len())
+    }
+
+    /// CTAs of one tenant dealt to SMs so far.
+    pub fn dealt_ctas(&self, tenant: TenantId) -> usize {
+        self.tenants.get(tenant as usize).map_or(0, |e| e.dealt)
+    }
+
+    /// Earliest arrival cycle of a stream not yet admitted.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.tenants.iter().filter(|e| !e.admitted).map(|e| e.arrival).min()
+    }
+
+    /// The decision log collected so far.
+    pub fn log(&self) -> &DispatchLog {
+        &self.log
+    }
+
+    /// Moves the decision log out (the engine calls this once, at the end).
+    pub fn take_log(&mut self) -> DispatchLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// One epoch boundary: admits newly arrived streams, closes a decision
+    /// window when due (classification, throttle/restore), and returns the
+    /// CTAs to append to each SM's work list — `(sm_index, work)` pairs in SM
+    /// order. `signals` are the *cumulative* per-tenant counters at this
+    /// boundary; `free_warp_slots[sm]` is how many warp slots SM `sm` has
+    /// left after its resident and queued-but-unlaunched CTAs.
+    pub fn on_boundary(
+        &mut self,
+        now: Cycle,
+        signals: &[TenantSignal],
+        free_warp_slots: &[usize],
+    ) -> Vec<(usize, Vec<CtaWork>)> {
+        debug_assert_eq!(signals.len(), self.tenants.len());
+        debug_assert_eq!(free_warp_slots.len(), self.num_sms);
+        let retired: Vec<usize> = signals.iter().map(|s| s.ctas_completed).collect();
+        let mut actions: Vec<DispatchAction> = Vec::new();
+
+        for (t, e) in self.tenants.iter_mut().enumerate() {
+            if !e.admitted && e.arrival <= now {
+                e.admitted = true;
+                e.base_signal = signals[t];
+                // Tenancy changed: previously relaxed throttles must re-earn
+                // their relaxation against the new co-runner.
+                self.healthy_streak = 0;
+                actions.push(DispatchAction::Admit { tenant: t as TenantId });
+            }
+        }
+
+        if now >= self.next_window_close {
+            self.next_window_close = now + self.window_cycles;
+            self.close_window(now, signals, &retired, actions);
+        } else if !actions.is_empty() {
+            // Admit-only boundary between windows: record it with unmeasured
+            // rates so the log keeps every tenancy change.
+            let n = self.tenants.len();
+            self.log.decisions.push(DispatchDecision {
+                cycle: now,
+                l2_hit_rate: vec![-1.0; n],
+                l1_hit_rate: vec![-1.0; n],
+                classes: self.tenants.iter().map(|e| e.class).collect(),
+                allowed_sms: self.tenants.iter().map(|e| e.allowed).collect(),
+                actions,
+            });
+        }
+
+        let mut free = free_warp_slots.to_vec();
+        self.feed(&retired, &mut free)
+    }
+
+    /// Closes a decision window: classifies probing tenants, places newly
+    /// classified ones, and runs the throttle/restore controller.
+    fn close_window(
+        &mut self,
+        now: Cycle,
+        signals: &[TenantSignal],
+        retired: &[usize],
+        mut actions: Vec<DispatchAction>,
+    ) {
+        let n = self.tenants.len();
+        let mut l1_rate = vec![-1.0f64; n];
+        let mut l2_rate = vec![-1.0f64; n];
+        for t in 0..n {
+            let (cur, last) = (&signals[t], &self.last_signal[t]);
+            let d_l1 = cur.l1_accesses - last.l1_accesses;
+            if d_l1 >= MIN_L1_SAMPLES {
+                l1_rate[t] = (cur.l1_hits - last.l1_hits) as f64 / d_l1 as f64;
+            }
+            let d_l2 = cur.l2_accesses - last.l2_accesses;
+            if d_l2 >= MIN_L2_SAMPLES {
+                l2_rate[t] = (cur.l2_hits - last.l2_hits) as f64 / d_l2 as f64;
+            }
+        }
+        self.last_signal = signals.to_vec();
+
+        // Roll every tenant's best observed window L2 hit rate forward. The
+        // probe windows — where the tenant runs nearly alone — seed this with
+        // its interference-free baseline, which is what the degradation check
+        // compares co-run windows against.
+        for (&rate, e) in l2_rate.iter().zip(&mut self.tenants) {
+            if rate > e.best_l2_rate {
+                e.best_l2_rate = rate;
+            }
+        }
+
+        // Classification of probing tenants from their probe CTA's cumulative
+        // traffic since admission — cumulative rather than window-local, so
+        // the cold-start misses every tenant begins with are amortised before
+        // the verdict.
+        let mut newly_classified = false;
+        let mut newly_cache = false;
+        for (e, sig) in self.tenants.iter_mut().zip(signals) {
+            if !e.admitted || e.classified {
+                continue;
+            }
+            let cum_l1 = sig.l1_accesses - e.base_signal.l1_accesses;
+            if cum_l1 >= CLASSIFY_MIN_L1 {
+                let cum_hits = sig.l1_hits - e.base_signal.l1_hits;
+                let rate = cum_hits as f64 / cum_l1 as f64;
+                e.class = if rate >= CACHE_L1_RATE {
+                    TenantClass::CacheSensitive
+                } else {
+                    TenantClass::Streaming
+                };
+                e.classified = true;
+                newly_classified = true;
+                newly_cache |= e.class == TenantClass::CacheSensitive;
+            } else {
+                e.probe_windows += 1;
+                // Too little memory traffic to tell: give up — early for a
+                // tenant that is clearly not memory-bound, eventually for
+                // everyone — and let it run anywhere.
+                let barely_any_traffic = cum_l1 < CLASSIFY_MIN_L1 / 8;
+                if (e.probe_windows >= EARLY_PROBE_WINDOWS && barely_any_traffic)
+                    || e.probe_windows >= MAX_PROBE_WINDOWS
+                {
+                    e.classified = true;
+                    newly_classified = true;
+                }
+            }
+        }
+
+        // Placement: newly classified tenants receive their allowed set, and
+        // a newly discovered cache-sensitive tenant confines every active
+        // streamer that is still unconfined.
+        let cache_active = (0..n).any(|t| {
+            let e = &self.tenants[t];
+            e.classified && e.class == TenantClass::CacheSensitive && e.active(retired[t])
+        });
+        if newly_classified {
+            let confined = self.num_sms.div_ceil(CONFINE_DIVISOR).max(1);
+            for t in 0..n {
+                let e = &mut self.tenants[t];
+                if !e.classified {
+                    continue;
+                }
+                if e.class == TenantClass::Streaming && cache_active {
+                    // Confine unconfined streamers (first classification, or
+                    // a cache-sensitive tenant just appeared). Streamers a
+                    // throttle already shrank below the start size keep their
+                    // tighter set.
+                    if newly_cache || e.allowed == self.num_sms {
+                        e.allowed = e.allowed.min(confined);
+                        e.limit = e.limit.min(1);
+                    }
+                } else if e.class != TenantClass::Streaming {
+                    e.allowed = self.num_sms;
+                    e.limit = usize::MAX;
+                }
+            }
+            actions.push(DispatchAction::Place {
+                allowed_sms: self.tenants.iter().map(|e| e.allowed).collect(),
+            });
+        }
+
+        // Throttle / restore controller over the measured window rates.
+        // Skipped in a window that reshaped the tenancy (classification just
+        // placed someone): the window's rates predate the new placement.
+        if newly_classified {
+            self.healthy_streak = 0;
+        } else {
+            let mut any_active_victim = false;
+            let mut any_measured_victim = false;
+            let mut degraded_victim: Option<TenantId> = None;
+            for t in 0..n {
+                let e = &mut self.tenants[t];
+                if !(e.classified && e.class == TenantClass::CacheSensitive && e.active(retired[t]))
+                {
+                    continue;
+                }
+                any_active_victim = true;
+                if l2_rate[t] < 0.0 {
+                    continue;
+                }
+                any_measured_victim = true;
+                if l2_rate[t] < DEGRADE_FRAC * e.best_l2_rate && degraded_victim.is_none() {
+                    degraded_victim = Some(t as TenantId);
+                }
+            }
+            if let Some(victim) = degraded_victim {
+                self.healthy_streak = 0;
+                for (t, e) in self.tenants.iter_mut().enumerate() {
+                    if e.classified
+                        && e.class == TenantClass::Streaming
+                        && e.active(retired[t])
+                        && e.allowed > 1
+                    {
+                        e.allowed = (e.allowed / 2).max(1);
+                        actions.push(DispatchAction::Throttle {
+                            tenant: t as TenantId,
+                            victim,
+                            allowed_sms: e.allowed,
+                        });
+                    }
+                }
+            } else if !any_active_victim || any_measured_victim {
+                // A window is *healthy* when every victim that spoke was fine
+                // or no victim remains; a window in which active victims
+                // produced too little L2 traffic to judge is neutral — it
+                // neither relaxes throttles nor resets the streak.
+                self.healthy_streak += 1;
+                if self.healthy_streak >= RESTORE_PATIENCE {
+                    for t in 0..n {
+                        let e = &mut self.tenants[t];
+                        if !(e.classified && e.class == TenantClass::Streaming) {
+                            continue;
+                        }
+                        if e.allowed < self.num_sms {
+                            e.allowed = (e.allowed * 2).min(self.num_sms);
+                            actions.push(DispatchAction::Restore {
+                                tenant: t as TenantId,
+                                allowed_sms: e.allowed,
+                            });
+                        } else if e.limit < MAX_STREAM_LIMIT {
+                            e.limit = (e.limit * 2).min(MAX_STREAM_LIMIT);
+                            actions.push(DispatchAction::Restore {
+                                tenant: t as TenantId,
+                                allowed_sms: e.allowed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        self.log.decisions.push(DispatchDecision {
+            cycle: now,
+            l2_hit_rate: l2_rate,
+            l1_hit_rate: l1_rate,
+            classes: self.tenants.iter().map(|e| e.class).collect(),
+            allowed_sms: self.tenants.iter().map(|e| e.allowed).collect(),
+            actions,
+        });
+    }
+
+    /// True when `sm` is in `tenant`'s allowed set (the *last* `allowed` SMs
+    /// of the chip; the whole chip when unconfined).
+    fn allows(&self, tenant: usize, sm: usize) -> bool {
+        sm >= self.num_sms - self.tenants[tenant].allowed
+    }
+
+    /// The SM a probing tenant's `p`-th CTA lands on: probe CTAs interleave
+    /// across tenants (`tenant + p × num_tenants`, so each lands on its own
+    /// SM and the tenant's L1 signature is measured without co-residency),
+    /// falling back to the next SM with capacity.
+    fn probe_sm(&self, tenant: usize, p: usize, warps: usize, free: &[usize]) -> Option<usize> {
+        let warps = warps.min(self.max_warps_per_sm);
+        let home = (tenant + p * self.tenants.len()) % self.num_sms;
+        (0..self.num_sms).map(|off| (home + off) % self.num_sms).find(|&sm| free[sm] >= warps)
+    }
+
+    /// Deals pending CTAs to SMs: probing tenants get exactly one CTA; the
+    /// classified tenants then round-robin over their allowed sets, bounded
+    /// by free warp slots and (for throttled streamers) the in-flight cap.
+    fn feed(&mut self, retired: &[usize], free: &mut [usize]) -> Vec<(usize, Vec<CtaWork>)> {
+        let n = self.tenants.len();
+        let mut pushes: Vec<Vec<CtaWork>> = vec![Vec::new(); self.num_sms];
+
+        for t in 0..n {
+            while {
+                let e = &self.tenants[t];
+                e.admitted && !e.classified && e.dealt < PROBE_CTAS && !e.pending.is_empty()
+            } {
+                let warps = self.tenants[t].pending.front().expect("non-empty").warps;
+                let p = self.tenants[t].dealt;
+                let Some(sm) = self.probe_sm(t, p, warps, free) else { break };
+                let e = &mut self.tenants[t];
+                let cta = e.pending.pop_front().expect("non-empty");
+                free[sm] -= cta.warps.min(self.max_warps_per_sm).min(free[sm]);
+                e.dealt += 1;
+                if !e.probe_sms.contains(&sm) {
+                    e.probe_sms.push(sm);
+                }
+                pushes[sm].push(cta);
+            }
+        }
+
+        loop {
+            let mut progressed = false;
+            for sm in 0..self.num_sms {
+                for off in 0..n {
+                    let t = (self.rotor + off) % n;
+                    if !self.feedable(t, sm, retired, free) {
+                        continue;
+                    }
+                    let e = &mut self.tenants[t];
+                    let cta = e.pending.pop_front().expect("feedable implies pending");
+                    free[sm] -= cta.warps.min(self.max_warps_per_sm).min(free[sm]);
+                    e.dealt += 1;
+                    pushes[sm].push(cta);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            self.rotor = (self.rotor + 1) % n.max(1);
+        }
+
+        pushes.into_iter().enumerate().filter(|(_, w)| !w.is_empty()).collect()
+    }
+
+    /// Whether tenant `t` may deal its next pending CTA to `sm` right now.
+    fn feedable(&self, t: usize, sm: usize, retired: &[usize], free: &[usize]) -> bool {
+        let e = &self.tenants[t];
+        if !e.admitted || !e.classified || e.pending.is_empty() || !self.allows(t, sm) {
+            return false;
+        }
+        // An SM hosting another tenant's still-running probe is off limits:
+        // feeding it would pollute the L1 signature the classifier reads.
+        let reserved = self.tenants.iter().enumerate().any(|(o, other)| {
+            o != t && other.admitted && !other.classified && other.probe_sms.contains(&sm)
+        });
+        if reserved {
+            return false;
+        }
+        let in_flight = e.dealt.saturating_sub(retired[t]);
+        if in_flight >= e.in_flight_cap() {
+            return false;
+        }
+        let warps = e.pending.front().expect("non-empty").warps.min(self.max_warps_per_sm);
+        free[sm] >= warps
+    }
+}
+
 /// The chip-level kernel queue: the set of streams submitted for one
 /// co-execution run, and the entry point that executes them under a
 /// [`DispatchPolicy`] and assembles the combined, per-tenant-attributed
@@ -303,10 +1040,19 @@ impl KernelQueue {
         queue
     }
 
-    /// Submits a kernel, returning the tenant id it was assigned.
+    /// Submits a kernel arriving at cycle 0, returning its tenant id.
     pub fn push(&mut self, kernel: Arc<dyn Kernel>) -> TenantId {
+        self.push_at(kernel, 0)
+    }
+
+    /// Submits a kernel arriving at `arrival_cycle` (a *dynamic arrival*:
+    /// concurrent policies admit it at the first epoch boundary at or after
+    /// that cycle; the serial `Exclusive` policy starts it no earlier than
+    /// both its arrival and the previous kernel's completion). Returns the
+    /// tenant id the kernel was assigned.
+    pub fn push_at(&mut self, kernel: Arc<dyn Kernel>, arrival_cycle: Cycle) -> TenantId {
         let tenant = self.streams.len() as TenantId;
-        self.streams.push(KernelStream::new(tenant, kernel));
+        self.streams.push(KernelStream::new_at(tenant, kernel, arrival_cycle));
         tenant
     }
 
@@ -350,50 +1096,69 @@ impl KernelQueue {
             res.policy = policy.label().to_string();
             return res;
         }
-        // Exclusive: serial per-kernel chip runs, chained.
-        let mut results = Vec::with_capacity(self.streams.len());
+        // Exclusive: serial per-kernel chip runs, chained. A kernel starts no
+        // earlier than its arrival cycle and no earlier than the previous
+        // kernel's completion; the chip idles through any gap.
+        let mut runs = Vec::with_capacity(self.streams.len());
+        let mut clock: Cycle = 0;
         for stream in &self.streams {
+            let start = clock.max(stream.arrival_cycle);
             let solo = KernelStream::new(0, Arc::clone(stream.kernel()));
             let units = (0..num_sms).map(&mut build_unit).collect();
             let mut gpu = Gpu::with_streams(config.clone(), vec![solo], policy, units);
             gpu.run();
-            results.push(gpu.into_result());
+            let result = gpu.into_result();
+            clock = start + result.cycles;
+            runs.push((start, result));
         }
-        let mut merged = merge_serial(results);
+        let mut merged = merge_serial(runs);
         merged.policy = policy.label().to_string();
         merged
     }
 }
 
 /// Chains serially executed per-kernel results into one chip-level result:
-/// cycles and event counters add, time series are concatenated with cycle and
-/// instruction offsets, and each run's tenant record is re-labelled with its
-/// queue position and shifted by the preceding runtime.
-fn merge_serial(results: Vec<SimResult>) -> SimResult {
-    let num_runs = results.len();
-    let mut iter = results.into_iter();
-    let mut merged = iter.next().expect("at least one result");
+/// each run is shifted to its `start` cycle (the previous run's end, or later
+/// when the kernel's arrival gated it), event counters add, time series are
+/// concatenated with cycle and instruction offsets, and each run's tenant
+/// record is re-labelled with its queue position and shifted by its start.
+fn merge_serial(runs: Vec<(Cycle, SimResult)>) -> SimResult {
+    let num_runs = runs.len();
+    let mut iter = runs.into_iter();
+    let (first_start, mut merged) = iter.next().expect("at least one result");
     debug_assert_eq!(merged.per_tenant.len(), 1);
+    if first_start > 0 {
+        // The very first kernel arrived late: the whole chip idles first.
+        let mut shifted = TimeSeries::default();
+        shifted.append_offset(&merged.time_series, first_start, 0);
+        merged.time_series = shifted;
+        merged.per_tenant[0].finish_cycle += first_start;
+        merged.cycles += first_start;
+        merged.stats.cycles = merged.cycles;
+        for sm in &mut merged.per_sm {
+            sm.cycles += first_start;
+        }
+    }
     let mut names = vec![merged.kernel.clone()];
-    for (k, r) in iter.enumerate() {
-        let cycle_offset = merged.cycles;
+    for (k, (start, r)) in iter.enumerate() {
+        let gap = start - merged.cycles;
         let inst_offset = merged.stats.instructions;
         names.push(r.kernel.clone());
-        merged.time_series.append_offset(&r.time_series, cycle_offset, inst_offset);
+        merged.time_series.append_offset(&r.time_series, start, inst_offset);
         merged.interference.absorb(&r.interference);
         merged.scheduler_metrics.merge(&r.scheduler_metrics);
         merged.interconnect.bytes_transferred += r.interconnect.bytes_transferred;
         merged.interconnect.queueing_cycles += r.interconnect.queueing_cycles;
         merged.capped |= r.capped;
-        merge_sm_serial(&mut merged.stats, &r.stats);
+        merge_sm_serial(&mut merged.stats, &r.stats, gap);
         for (a, b) in merged.per_sm.iter_mut().zip(&r.per_sm) {
-            merge_sm_serial(a, b);
+            merge_sm_serial(a, b, gap);
         }
         let mut tenant = r.per_tenant.into_iter().next().expect("serial run has one tenant");
         tenant.tenant = (k + 1) as TenantId;
-        tenant.finish_cycle += cycle_offset;
+        tenant.finish_cycle += start;
         merged.per_tenant.push(tenant);
-        merged.cycles += r.cycles;
+        merged.cycles = start + r.cycles;
         merged.stats.cycles = merged.cycles;
     }
     // merge_sm_serial accumulates utilisation *sums*; divide once so every
@@ -407,12 +1172,13 @@ fn merge_serial(results: Vec<SimResult>) -> SimResult {
 }
 
 /// Serial composition of two SM stat blocks: counters sum (as in
-/// [`SmStats::reduce`]) but cycles *add* instead of taking the maximum,
-/// because the runs happened back to back on the same SM.
+/// [`SmStats::reduce`]) but cycles *add* (plus any arrival-induced idle gap
+/// between the runs) instead of taking the maximum, because the runs happened
+/// back to back on the same SM.
 /// `redirect_utilization` accumulates as a *sum* — [`merge_serial`] divides
 /// by the run count once at the end, so the mean is equal-weighted.
-fn merge_sm_serial(a: &mut SmStats, b: &SmStats) {
-    let cycles = a.cycles + b.cycles;
+fn merge_sm_serial(a: &mut SmStats, b: &SmStats, gap: Cycle) {
+    let cycles = a.cycles + gap + b.cycles;
     let utilization_sum = a.redirect_utilization + b.redirect_utilization;
     *a = SmStats::reduce(&[a.clone(), b.clone()]);
     a.cycles = cycles;
@@ -457,6 +1223,8 @@ mod tests {
 
     #[test]
     fn policy_labels_round_trip() {
+        assert_eq!(DispatchPolicy::all().len(), 4);
+        assert_eq!(DispatchPolicy::static_policies().len(), 3);
         for p in DispatchPolicy::all() {
             assert_eq!(DispatchPolicy::from_label(p.label()), Some(p));
             assert_eq!(format!("{p}"), p.label());
@@ -464,6 +1232,24 @@ mod tests {
         assert_eq!(DispatchPolicy::from_label("nope"), None);
         assert!(!DispatchPolicy::Exclusive.is_concurrent());
         assert!(DispatchPolicy::SpatialPartition.is_concurrent());
+        assert!(DispatchPolicy::InterferenceAware.is_concurrent());
+        assert!(DispatchPolicy::InterferenceAware.is_adaptive());
+        assert!(DispatchPolicy::static_policies().iter().all(|p| !p.is_adaptive()));
+    }
+
+    #[test]
+    fn interference_aware_single_stream_plan_matches_exclusive() {
+        let s = streams(&[(9, 2)]);
+        let adaptive = plan(&s, 4, DispatchPolicy::InterferenceAware);
+        let exclusive = plan(&s, 4, DispatchPolicy::Exclusive);
+        for (a, e) in adaptive.iter().zip(&exclusive) {
+            let ctas = |l: &Vec<CtaWork>| l.iter().map(|w| w.cta).collect::<Vec<_>>();
+            assert_eq!(ctas(a), ctas(e));
+        }
+        // Multi-stream adaptive plans are empty: the dispatcher feeds SMs at
+        // run time instead.
+        let multi = plan(&streams(&[(4, 2), (4, 2)]), 4, DispatchPolicy::InterferenceAware);
+        assert!(multi.iter().all(Vec::is_empty));
     }
 
     #[test]
@@ -609,14 +1395,14 @@ mod tests {
     }
 
     proptest! {
-        /// Every policy assigns every CTA of every stream exactly once.
+        /// Every static policy assigns every CTA of every stream exactly once.
         #[test]
         fn plan_is_a_partition(
             shapes in proptest::collection::vec((1usize..40, 1usize..4), 1..5),
             sms in 1usize..32,
             policy_idx in 0usize..3,
         ) {
-            let policy = DispatchPolicy::all()[policy_idx];
+            let policy = DispatchPolicy::static_policies()[policy_idx];
             let s = streams(&shapes);
             let lists = plan(&s, sms, policy);
             prop_assert_eq!(lists.len(), sms);
@@ -626,6 +1412,203 @@ mod tests {
                 counts[w.tenant as usize][w.cta as usize] += 1;
             }
             prop_assert!(counts.iter().flatten().all(|&c| c == 1));
+        }
+    }
+
+    fn streams_at(shapes: &[(usize, usize, u64)]) -> Vec<KernelStream> {
+        shapes
+            .iter()
+            .enumerate()
+            .map(|(t, &(ctas, warps, arrival))| {
+                KernelStream::new_at(t as TenantId, kernel(&format!("k{t}"), ctas, warps), arrival)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_dispatch_all_zero_arrivals_matches_plan() {
+        let s = streams(&[(5, 2), (7, 1)]);
+        for policy in DispatchPolicy::static_policies() {
+            let built = build_dispatch(&s, 3, policy, 48, 64);
+            let planned = plan(&s, 3, policy);
+            assert!(built.deferred.is_empty(), "{policy}");
+            assert!(built.adaptive.is_none(), "{policy}");
+            for (a, b) in built.initial.iter().zip(&planned) {
+                let key =
+                    |l: &Vec<CtaWork>| l.iter().map(|w| (w.tenant, w.cta)).collect::<Vec<_>>();
+                assert_eq!(key(a), key(b), "{policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_dispatch_defers_late_arrivals_without_losing_work() {
+        for policy in DispatchPolicy::static_policies() {
+            let s = streams_at(&[(5, 2, 0), (7, 1, 1000), (3, 1, 1000)]);
+            let built = build_dispatch(&s, 4, policy, 48, 64);
+            // Arrival-0 work is installed up front; the cycle-1000 group is
+            // one deferred batch.
+            assert_eq!(built.deferred.len(), 1, "{policy}");
+            assert_eq!(built.deferred[0].arrival, 1000, "{policy}");
+            let mut counts = [vec![0usize; 5], vec![0usize; 7], vec![0usize; 3]];
+            for w in built.initial.iter().flatten() {
+                counts[w.tenant as usize][w.cta as usize] += 1;
+            }
+            assert!(counts[0].iter().all(|&c| c == 1), "{policy}");
+            assert!(counts[1].iter().chain(&counts[2]).all(|&c| c == 0), "{policy}");
+            for w in built.deferred[0].per_sm.iter().flatten() {
+                counts[w.tenant as usize][w.cta as usize] += 1;
+            }
+            assert!(counts.iter().flatten().all(|&c| c == 1), "{policy}");
+        }
+    }
+
+    #[test]
+    fn adaptive_dispatcher_probes_then_feeds_everything() {
+        let s = streams(&[(6, 2), (10, 2)]);
+        let mut d = AdaptiveDispatcher::new(&s, 4, 48, 512);
+        assert!(d.has_work());
+        // Arrival-0 streams are unadmitted until the first boundary.
+        assert_eq!(d.next_arrival(), Some(0));
+        let free = vec![48usize; 4];
+        let signals = vec![TenantSignal::default(); 2];
+        // Boundary 0: admission + probe deals only.
+        let fed = d.on_boundary(0, &signals, &free);
+        let probe_ctas: usize = fed.iter().map(|(_, w)| w.len()).sum();
+        assert_eq!(probe_ctas, 2 * PROBE_CTAS.min(6));
+        assert_eq!(d.dealt_ctas(0), PROBE_CTAS);
+        assert_eq!(d.pending_ctas(0), 6 - PROBE_CTAS);
+        // Give the monitor enough rich traffic to classify both tenants
+        // cache-sensitive, then everything must drain.
+        let rich = TenantSignal {
+            l1_accesses: 10_000,
+            l1_hits: 9_000,
+            l2_accesses: 1_000,
+            l2_hits: 900,
+            dram_accesses: 100,
+            instructions: 20_000,
+            ctas_completed: 0,
+        };
+        let mut dealt_total = probe_ctas;
+        for b in 1..10u64 {
+            let fed = d.on_boundary(b * 512, &[rich, rich], &free);
+            dealt_total += fed.iter().map(|(_, w)| w.len()).sum::<usize>();
+        }
+        assert_eq!(dealt_total, 16, "every CTA dealt exactly once");
+        assert!(!d.has_work());
+        assert!(d
+            .log()
+            .decisions
+            .iter()
+            .any(|dec| { dec.actions.iter().any(|a| matches!(a, DispatchAction::Place { .. })) }));
+    }
+
+    #[test]
+    fn adaptive_dispatcher_confines_streamer_and_never_starves_it() {
+        let s = streams(&[(4, 2), (12, 2)]);
+        let mut d = AdaptiveDispatcher::new(&s, 8, 48, 512);
+        let free = vec![48usize; 8];
+        // Tenant 0 looks cache-sensitive, tenant 1 streams (low hit rates,
+        // heavy DRAM traffic).
+        let cache = TenantSignal {
+            l1_accesses: 5_000,
+            l1_hits: 4_500,
+            l2_accesses: 600,
+            l2_hits: 500,
+            dram_accesses: 100,
+            instructions: 10_000,
+            ctas_completed: 0,
+        };
+        let stream = TenantSignal {
+            l1_accesses: 5_000,
+            l1_hits: 500,
+            l2_accesses: 4_500,
+            l2_hits: 200,
+            dram_accesses: 4_300,
+            instructions: 6_000,
+            ctas_completed: 0,
+        };
+        d.on_boundary(0, &[TenantSignal::default(); 2], &free);
+        d.on_boundary(512, &[cache, stream], &free);
+        let confined = d
+            .log()
+            .decisions
+            .iter()
+            .flat_map(|dec| &dec.actions)
+            .any(|a| matches!(a, DispatchAction::Place { allowed_sms } if allowed_sms[1] < 8));
+        assert!(confined, "streamer must be confined while a cache tenant is active");
+        // Degrade the cache tenant's L2 hit rate window after window: the
+        // streamer must shrink to (but never below) one SM.
+        let mut cache_now = cache;
+        let mut stream_now = stream;
+        for b in 2..12u64 {
+            cache_now.l2_accesses += 100;
+            cache_now.l2_hits += 5; // ~5% window rate: heavily degraded
+            stream_now.l2_accesses += 1_000;
+            stream_now.dram_accesses += 1_000;
+            d.on_boundary(b * 512, &[cache_now, stream_now], &free);
+        }
+        let throttles = d.log().throttle_count();
+        assert!(throttles > 0, "degradation must trigger throttles");
+        let last = d.log().decisions.last().expect("has decisions");
+        assert_eq!(last.allowed_sms[1], 1, "streamer shrinks to its 1-SM floor");
+        // Even fully throttled, the streamer keeps at least one in-flight
+        // CTA's worth of feed: it is never starved outright.
+        assert!(d.dealt_ctas(1) >= 1);
+    }
+
+    proptest! {
+        /// Under arbitrary monitor signals (hence arbitrary classify /
+        /// throttle / restore decisions) and arbitrary free-slot reports, the
+        /// adaptive dispatcher never loses or double-dispatches a CTA: what
+        /// was dealt plus what is still pending is exactly each tenant's grid,
+        /// and every dealt CTA lands on a valid SM.
+        #[test]
+        fn adaptive_feed_is_a_partition(
+            shapes in proptest::collection::vec((1usize..20, 1usize..4), 2..5),
+            sms in 1usize..16,
+            rounds in proptest::collection::vec(
+                (0u64..20_000, 0u64..20_000, 0u64..20_000, 0usize..48), 1..40),
+        ) {
+            let s = streams(&shapes);
+            let mut d = AdaptiveDispatcher::new(&s, sms, 48, 512);
+            let n = shapes.len();
+            let mut dealt: Vec<Vec<usize>> =
+                shapes.iter().map(|&(ctas, _)| vec![0; ctas]).collect();
+            let mut signals = vec![TenantSignal::default(); n];
+            let mut retired = vec![0usize; n];
+            for (b, &(acc, hits, l2, free_slots)) in rounds.iter().enumerate() {
+                // Arbitrary (even inconsistent-looking) monotone counters.
+                for (t, sig) in signals.iter_mut().enumerate() {
+                    sig.l1_accesses += acc + t as u64;
+                    sig.l1_hits += hits.min(acc);
+                    sig.l2_accesses += l2;
+                    sig.l2_hits += (l2 / 2).saturating_sub(t as u64);
+                    sig.dram_accesses += l2 / 2;
+                    sig.instructions += acc * 2;
+                    // Retire roughly half of what is in flight.
+                    let in_flight = d.dealt_ctas(t as TenantId) - retired[t];
+                    retired[t] += in_flight / 2;
+                    sig.ctas_completed = retired[t];
+                }
+                let free = vec![free_slots; sms];
+                for (sm, work) in d.on_boundary(b as u64 * 512, &signals, &free) {
+                    prop_assert!(sm < sms);
+                    for w in work {
+                        dealt[w.tenant as usize][w.cta as usize] += 1;
+                    }
+                }
+            }
+            for (t, counts) in dealt.iter().enumerate() {
+                let dealt_count: usize = counts.iter().sum();
+                prop_assert!(counts.iter().all(|&c| c <= 1), "tenant {} double-dispatch", t);
+                prop_assert_eq!(
+                    dealt_count + d.pending_ctas(t as TenantId),
+                    shapes[t].0,
+                    "tenant {} lost work", t
+                );
+                prop_assert_eq!(d.dealt_ctas(t as TenantId), dealt_count);
+            }
         }
     }
 }

@@ -39,13 +39,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crate::config::GpuConfig;
-use crate::dispatch::{plan, CtaWork, DispatchPolicy, KernelStream};
+use crate::dispatch::{
+    build_dispatch, AdaptiveDispatcher, DeferredBatch, DispatchPolicy, KernelStream, TenantSignal,
+};
 use crate::kernel::Kernel;
 use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::simulator::{SimResult, TenantResult};
 use crate::sm::{ResponseEvent, Sm};
-use crate::stats::{InterferenceMatrix, SmStats, TenantStats, TimeSeries};
+use crate::stats::{DispatchLog, InterferenceMatrix, SmStats, TenantStats, TimeSeries};
 use gpu_mem::interconnect::Crossbar;
 use gpu_mem::l2::{BankedMemorySystem, MemoryPartition, PartitionConfig};
 use gpu_mem::{merge_tenant_stats, Addr, Cycle, TenantId, TenantMemStats, WarpId};
@@ -237,6 +239,12 @@ pub struct Gpu {
     policy: DispatchPolicy,
     sms: Vec<Mutex<Sm>>,
     shared: Option<Arc<BankedMemorySystem>>,
+    /// Arrival-deferred per-SM work batches (static policies), ascending by
+    /// arrival cycle; drained as epoch boundaries pass their arrivals.
+    deferred: Vec<DeferredBatch>,
+    /// The run-time dispatcher of the `InterferenceAware` policy.
+    adaptive: Option<AdaptiveDispatcher>,
+    dispatch_log: DispatchLog,
     cycle: Cycle,
 }
 
@@ -269,7 +277,15 @@ impl Gpu {
             assert_eq!(s.tenant as usize, i, "stream tenant ids must be dense and in order");
         }
         let num_sms = units.len();
-        let assignments: Vec<Vec<CtaWork>> = plan(&streams, num_sms, policy);
+        let mut dispatch_plan = build_dispatch(
+            &streams,
+            num_sms,
+            policy,
+            config.max_warps_per_sm,
+            config.effective_epoch_cycles(),
+        );
+        dispatch_plan.deferred.sort_by_key(|b| b.arrival);
+        let assignments = std::mem::take(&mut dispatch_plan.initial);
         let tenant_names: Vec<String> = streams.iter().map(|s| s.info().name.clone()).collect();
         let kernel_name = tenant_names.join("+");
         let shared = (num_sms > 1).then(|| {
@@ -302,7 +318,19 @@ impl Gpu {
                 Mutex::new(Sm::with_parts(config.clone(), work, scheduler, redirect, link, port))
             })
             .collect();
-        Gpu { config, kernel_name, scheduler_name, tenant_names, policy, sms, shared, cycle: 0 }
+        Gpu {
+            config,
+            kernel_name,
+            scheduler_name,
+            tenant_names,
+            policy,
+            sms,
+            shared,
+            deferred: dispatch_plan.deferred,
+            adaptive: dispatch_plan.adaptive,
+            dispatch_log: DispatchLog::default(),
+            cycle: 0,
+        }
     }
 
     /// Number of SMs on this chip.
@@ -319,8 +347,10 @@ impl Gpu {
     /// Runs the chip until every SM finished its CTAs or hit a cap. Returns
     /// the chip cycle count (the slowest SM's clock).
     pub fn run(&mut self) -> Cycle {
-        if self.sms.len() == 1 {
-            // Single SM: the legacy serial loop, bit-identical to `Sm::run`.
+        let dynamic = self.adaptive.is_some() || !self.deferred.is_empty();
+        if self.sms.len() == 1 && !dynamic {
+            // Single SM, fully static work: the legacy serial loop,
+            // bit-identical to `Sm::run`.
             self.cycle = self.sms[0].get_mut().run();
             return self.cycle;
         }
@@ -330,13 +360,18 @@ impl Gpu {
 
     fn run_epochs(&mut self) {
         let epoch = self.config.effective_epoch_cycles();
-        let shared = Arc::clone(self.shared.as_ref().expect("multi-SM chip has a shared backend"));
+        let shared = self.shared.clone();
+        let shared = shared.as_deref();
         let num_sms = self.sms.len();
+        let num_tenants = self.tenant_names.len();
+        let max_cycles = self.config.max_cycles;
         let stop = AtomicBool::new(false);
         let epoch_end = AtomicU64::new(0);
         let start_barrier = Barrier::new(num_sms + 1);
         let end_barrier = Barrier::new(num_sms + 1);
         let sms = &self.sms;
+        let adaptive = &mut self.adaptive;
+        let deferred = &mut self.deferred;
 
         std::thread::scope(|scope| {
             for sm in sms {
@@ -358,24 +393,80 @@ impl Gpu {
                 });
             }
 
+            // Cycle-0 boundary: admit arrival-0 streams into the adaptive
+            // dispatcher and deal its initial (probe) CTAs.
+            Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, 0);
+
+            // How long the chip may sit idle (no SM runnable, nothing newly
+            // dealt) while the dispatcher still holds work before the run is
+            // declared stuck: long enough for every probe give-up to fire.
+            let stall_limit = epoch
+                * crate::dispatch::DECISION_EPOCHS
+                * (crate::dispatch::MAX_PROBE_WINDOWS + 2 * crate::dispatch::DECISION_EPOCHS);
+
             let mut now: Cycle = 0;
+            let mut last_progress: Cycle = 0;
             loop {
                 let alive = sms.iter().any(|s| {
                     let s = s.lock();
                     !s.is_done() && !s.hit_cap()
                 });
-                if !alive {
-                    stop.store(true, Ordering::Release);
-                    start_barrier.wait();
+                let mut proceed = alive;
+                if alive {
+                    last_progress = now;
+                } else {
+                    let undealt =
+                        !deferred.is_empty() || adaptive.as_ref().is_some_and(|a| a.has_work());
+                    if undealt {
+                        // The chip is idle but work remains: keep epochs
+                        // ticking — a future arrival, a CTA retirement or a
+                        // probe give-up will release it. Jump ahead when a
+                        // far-off arrival is the only thing being awaited.
+                        proceed = now - last_progress < stall_limit;
+                        let next_arrival = deferred
+                            .iter()
+                            .map(|b| b.arrival)
+                            .chain(adaptive.as_ref().and_then(|a| a.next_arrival()))
+                            .min();
+                        if let Some(arrival) = next_arrival {
+                            // Fast-forward only when nothing *admitted* is
+                            // pending — admitted work needs the intermediate
+                            // boundaries (retire checks, probe give-ups) the
+                            // jump would skip; a pure future arrival does not.
+                            if adaptive.as_ref().is_none_or(|a| !a.has_admitted_pending())
+                                && arrival > now + epoch
+                            {
+                                // First epoch boundary at or after the
+                                // arrival, minus the epoch added below.
+                                now = arrival.div_ceil(epoch) * epoch - epoch;
+                                last_progress = last_progress.max(now);
+                                proceed = true;
+                            }
+                        }
+                    }
+                }
+                if max_cycles.is_some_and(|m| now >= m) {
+                    proceed = false;
+                }
+                if !proceed {
                     break;
                 }
                 now += epoch;
                 epoch_end.store(now, Ordering::Release);
                 start_barrier.wait();
                 end_barrier.wait();
-                Self::serve_epoch(sms, &shared, now);
+                Self::serve_epoch(sms, shared, now);
+                if Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now) {
+                    last_progress = now;
+                }
             }
+            stop.store(true, Ordering::Release);
+            start_barrier.wait();
         });
+
+        if let Some(dispatcher) = &mut self.adaptive {
+            self.dispatch_log = dispatcher.take_log();
+        }
 
         // The chip clock is the slowest SM's clock, not the epoch-rounded
         // loop counter (an SM finishing mid-epoch stops its clock there).
@@ -389,8 +480,10 @@ impl Gpu {
 
     /// Barrier phase: drains every SM's buffered requests, serves them
     /// against the shared backend in deterministic `(arrive, SM, seq)` order,
-    /// and delivers the responses.
-    fn serve_epoch(sms: &[Mutex<Sm>], shared: &BankedMemorySystem, now: Cycle) {
+    /// and delivers the responses. A single-SM chip (private synchronous
+    /// port, `shared == None`) has nothing to serve.
+    fn serve_epoch(sms: &[Mutex<Sm>], shared: Option<&BankedMemorySystem>, now: Cycle) {
+        let Some(shared) = shared else { return };
         let mut requests: Vec<(usize, MemRequest)> = Vec::new();
         for (i, sm) in sms.iter().enumerate() {
             let mut sm = sm.lock();
@@ -411,6 +504,75 @@ impl Gpu {
         for sm in sms {
             sm.lock().set_dram_utilization(util);
         }
+    }
+
+    /// Epoch-boundary dispatch: appends deferred arrival batches whose cycle
+    /// has come and lets the adaptive dispatcher admit, decide and feed.
+    /// Returns whether any work reached an SM.
+    fn dispatch_boundary(
+        sms: &[Mutex<Sm>],
+        shared: Option<&BankedMemorySystem>,
+        adaptive: &mut Option<AdaptiveDispatcher>,
+        deferred: &mut Vec<DeferredBatch>,
+        num_tenants: usize,
+        now: Cycle,
+    ) -> bool {
+        let mut progressed = false;
+        while deferred.first().is_some_and(|b| b.arrival <= now) {
+            let batch = deferred.remove(0);
+            for (sm, work) in batch.per_sm.into_iter().enumerate() {
+                if !work.is_empty() {
+                    sms[sm].lock().push_work(work, now);
+                    progressed = true;
+                }
+            }
+        }
+        if let Some(dispatcher) = adaptive {
+            let signals = Self::tenant_signals(sms, shared, num_tenants);
+            let free: Vec<usize> = sms.iter().map(|s| s.lock().free_warp_slots()).collect();
+            for (sm, work) in dispatcher.on_boundary(now, &signals, &free) {
+                sms[sm].lock().push_work(work, now);
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Cumulative per-tenant monitor signals at an epoch boundary: L1 and
+    /// CTA-retire counters summed over the SMs, L2/DRAM attribution read from
+    /// the shared backend (or the single SM's private partition).
+    fn tenant_signals(
+        sms: &[Mutex<Sm>],
+        shared: Option<&BankedMemorySystem>,
+        num_tenants: usize,
+    ) -> Vec<TenantSignal> {
+        let mut out = vec![TenantSignal::default(); num_tenants];
+        for sm in sms {
+            let sm = sm.lock();
+            for (t, stats) in sm.tenant_stats().iter().enumerate().take(num_tenants) {
+                out[t].l1_accesses += stats.l1d_accesses;
+                out[t].l1_hits += stats.l1d_hits;
+                out[t].instructions += stats.instructions;
+                out[t].ctas_completed += stats.ctas_completed;
+            }
+            if shared.is_none() {
+                if let Some(table) = sm.partition_tenant_stats() {
+                    for (t, m) in table.iter().enumerate().take(num_tenants) {
+                        out[t].l2_accesses += m.l2_accesses;
+                        out[t].l2_hits += m.l2_hits;
+                        out[t].dram_accesses += m.dram_accesses;
+                    }
+                }
+            }
+        }
+        if let Some(shared) = shared {
+            for (t, m) in shared.tenant_stats().iter().enumerate().take(num_tenants) {
+                out[t].l2_accesses += m.l2_accesses;
+                out[t].l2_hits += m.l2_hits;
+                out[t].dram_accesses += m.dram_accesses;
+            }
+        }
+        out
     }
 
     /// Consumes the engine and assembles the chip-level [`SimResult`]:
@@ -456,6 +618,12 @@ impl Gpu {
             merge_tenant_stats(&mut tenant_mem, &shared.tenant_stats());
         }
         tenant_mem.resize(num_tenants.max(tenant_mem.len()), TenantMemStats::default());
+        // CTAs the adaptive dispatcher never managed to deal (run ended by a
+        // cap first) mean the tenant did not finish, even though every SM
+        // completed what it was handed.
+        let undealt: Vec<usize> = (0..num_tenants)
+            .map(|t| self.adaptive.as_ref().map_or(0, |a| a.pending_ctas(t as TenantId)))
+            .collect();
         let per_tenant: Vec<TenantResult> = tenant_totals
             .iter()
             .enumerate()
@@ -464,7 +632,7 @@ impl Gpu {
                 kernel: self.tenant_names[t].clone(),
                 instructions: totals.instructions,
                 finish_cycle: totals.finish_cycle,
-                capped: !totals.done,
+                capped: !totals.done || undealt[t] > 0,
                 l1d_accesses: totals.l1d_accesses,
                 l1d_hits: totals.l1d_hits,
                 xbar_bytes: totals.xbar_bytes,
@@ -480,6 +648,7 @@ impl Gpu {
             stats.l2 = p.l2;
             stats.dram = p.dram;
         }
+        let capped = capped || undealt.iter().any(|&u| u > 0);
         SimResult {
             scheduler: self.scheduler_name,
             kernel: self.kernel_name,
@@ -494,6 +663,7 @@ impl Gpu {
             per_sm,
             per_tenant,
             interconnect,
+            dispatch_log: self.dispatch_log,
         }
     }
 }
@@ -504,6 +674,7 @@ mod tests {
     use crate::kernel::{ClosureKernel, KernelInfo};
     use crate::scheduler::GtoScheduler;
     use crate::trace::{VecProgram, WarpOp};
+    use proptest::prelude::*;
 
     fn kernel(ctas: usize, ops: usize) -> Arc<dyn Kernel> {
         let info = KernelInfo {
@@ -587,6 +758,76 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.per_sm, b.per_sm);
         assert_eq!(a.time_series, b.time_series);
+    }
+
+    #[test]
+    fn late_arrival_is_admitted_at_an_epoch_boundary() {
+        let streams = vec![
+            KernelStream::new(0, kernel(3, 12)),
+            KernelStream::new_at(1, kernel(3, 12), 2_000),
+        ];
+        let mut gpu = Gpu::with_streams(
+            GpuConfig::gtx480(),
+            streams,
+            DispatchPolicy::SharedRoundRobin,
+            units(2),
+        );
+        gpu.run();
+        let res = gpu.into_result();
+        assert!(!res.capped);
+        // Both grids executed fully; the late tenant finished after arriving.
+        assert_eq!(res.stats.instructions, 2 * (3 * 2 * 12));
+        assert!(res.per_tenant[1].finish_cycle >= 2_000);
+        assert!(res.per_tenant[0].finish_cycle < res.per_tenant[1].finish_cycle);
+    }
+
+    #[test]
+    fn far_future_arrival_fast_forwards_instead_of_spinning() {
+        let streams = vec![
+            KernelStream::new(0, kernel(1, 4)),
+            KernelStream::new_at(1, kernel(1, 4), 1_000_000),
+        ];
+        let mut gpu = Gpu::with_streams(
+            GpuConfig::gtx480(),
+            streams,
+            DispatchPolicy::SharedRoundRobin,
+            units(2),
+        );
+        gpu.run();
+        let res = gpu.into_result();
+        assert!(!res.capped);
+        assert_eq!(res.stats.instructions, 2 * (2 * 4));
+        assert!(res.cycles >= 1_000_000, "chip clock covers the idle gap");
+        assert!(res.cycles < 1_100_000, "and the gap was skipped, not simulated");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+        /// A single-tenant chip run under the adaptive policy is bit-identical
+        /// to `Exclusive`: with nothing to arbitrate the dispatcher must
+        /// vanish entirely.
+        #[test]
+        fn single_tenant_interference_aware_matches_exclusive(
+            ctas in 1usize..8,
+            ops in 1usize..16,
+            sms in 1usize..6,
+        ) {
+            let run = |policy| {
+                let stream = KernelStream::new(0, kernel(ctas, ops));
+                let mut gpu =
+                    Gpu::with_streams(GpuConfig::gtx480(), vec![stream], policy, units(sms));
+                gpu.run();
+                gpu.into_result()
+            };
+            let a = run(DispatchPolicy::Exclusive);
+            let b = run(DispatchPolicy::InterferenceAware);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.stats, b.stats);
+            prop_assert_eq!(a.per_sm, b.per_sm);
+            prop_assert_eq!(a.per_tenant, b.per_tenant);
+            prop_assert_eq!(a.time_series, b.time_series);
+            prop_assert_eq!(a.dispatch_log, b.dispatch_log);
+        }
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //!   CIAO's shared-memory-as-cache plugs into the SM datapath.
 //! * [`sm`] — the per-cycle SM model: issue, scoreboarding, L1D/MSHR/L2/DRAM
 //!   traversal, barriers, CTA launch/retire.
-//! * [`dispatch`] — multi-tenant CTA dispatch: kernel streams, the
-//!   `Exclusive` / `SpatialPartition` / `SharedRoundRobin` SM partitioning
-//!   policies, and the chip-level [`dispatch::KernelQueue`].
+//! * [`dispatch`] — multi-tenant CTA dispatch: kernel streams with dynamic
+//!   arrival cycles, the `Exclusive` / `SpatialPartition` /
+//!   `SharedRoundRobin` static SM partitioning policies, the adaptive
+//!   `InterferenceAware` policy ([`dispatch::AdaptiveDispatcher`], the
+//!   chip-level analogue of CIAO-T), and the chip-level
+//!   [`dispatch::KernelQueue`].
 //! * [`gpu`] — the multi-SM chip engine: per-SM crossbar/memory ports and
 //!   the deterministic barrier-synchronised epoch loop driving the SMs in
 //!   parallel against a shared banked L2/DRAM backend with per-tenant
@@ -59,7 +62,8 @@ pub mod warp;
 pub use coalescer::coalesce;
 pub use config::GpuConfig;
 pub use dispatch::{
-    dispatch_round_robin, spatial_sm_sets, CtaWork, DispatchPolicy, KernelQueue, KernelStream,
+    dispatch_round_robin, spatial_sm_sets, AdaptiveDispatcher, CtaWork, DispatchPolicy,
+    KernelQueue, KernelStream, TenantSignal,
 };
 pub use gpu::{Gpu, MemRequest, MemoryPort, SmUnit};
 pub use kernel::{Kernel, KernelInfo, OffsetKernel};
@@ -71,8 +75,9 @@ pub use scheduler::{
 pub use simulator::{SimResult, Simulator, TenantResult};
 pub use sm::{ResponseEvent, Sm};
 pub use stats::{
-    avg_normalized_turnaround, system_throughput, InterferenceMatrix, SmImbalance, SmStats,
-    TenantStats, TimeSeries, TimeSeriesPoint,
+    avg_normalized_turnaround, system_throughput, DispatchAction, DispatchDecision, DispatchLog,
+    InterferenceMatrix, SmImbalance, SmStats, TenantClass, TenantStats, TimeSeries,
+    TimeSeriesPoint,
 };
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
 pub use warp::{Warp, WarpState};

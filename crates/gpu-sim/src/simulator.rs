@@ -16,7 +16,7 @@ use crate::kernel::Kernel;
 use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::sm::Sm;
-use crate::stats::{InterferenceMatrix, SmImbalance, SmStats, TimeSeries};
+use crate::stats::{DispatchLog, InterferenceMatrix, SmImbalance, SmStats, TimeSeries};
 use gpu_mem::interconnect::{Crossbar, CrossbarStats};
 use gpu_mem::{Cycle, TenantId, TenantMemStats};
 use serde::{Deserialize, Serialize};
@@ -112,6 +112,10 @@ pub struct SimResult {
     pub per_tenant: Vec<TenantResult>,
     /// SM↔L2 interconnect traffic aggregated over every SM's crossbar port.
     pub interconnect: CrossbarStats,
+    /// Epoch-boundary decision log of the `interference-aware` dispatch
+    /// policy (per-tenant hit-rate windows, classifications, throttle /
+    /// restore actions); empty for static policies.
+    pub dispatch_log: DispatchLog,
 }
 
 impl SimResult {
@@ -195,6 +199,7 @@ impl Simulator {
             num_sms: 1,
             per_tenant,
             interconnect: Crossbar::aggregate([sm.interconnect()]),
+            dispatch_log: DispatchLog::default(),
         }
     }
 
@@ -233,6 +238,27 @@ impl Simulator {
         F: FnMut(usize) -> crate::gpu::SmUnit,
     {
         KernelQueue::from_kernels(kernels).run(&self.config, policy, build_unit)
+    }
+
+    /// [`Simulator::run_mix`] with *dynamic arrivals*: `arrivals[k]` is the
+    /// chip cycle at which kernel `k` enters the queue (admitted at the first
+    /// epoch boundary at or after it; missing entries arrive at cycle 0).
+    /// With all arrivals 0 this is exactly [`Simulator::run_mix`].
+    pub fn run_mix_at<F>(
+        &self,
+        kernels: Vec<Arc<dyn Kernel>>,
+        arrivals: &[Cycle],
+        policy: DispatchPolicy,
+        build_unit: F,
+    ) -> SimResult
+    where
+        F: FnMut(usize) -> crate::gpu::SmUnit,
+    {
+        let mut queue = KernelQueue::new();
+        for (k, kernel) in kernels.into_iter().enumerate() {
+            queue.push_at(kernel, arrivals.get(k).copied().unwrap_or(0));
+        }
+        queue.run(&self.config, policy, build_unit)
     }
 }
 

@@ -222,6 +222,42 @@ impl Sm {
         self.next_work >= self.work.len() && self.resident.is_empty()
     }
 
+    /// Appends work assigned at run time (dynamic kernel arrivals and the
+    /// interference-aware dispatcher both feed SMs at epoch boundaries) and
+    /// launches as much of it as capacity allows. An SM that had drained its
+    /// work list froze its clock, so it is fast-forwarded to the boundary
+    /// cycle `now` first — the idle gap counts in `cycles` but not in
+    /// `idle_cycles`, which only measures cycles the SM had work it could not
+    /// issue.
+    pub fn push_work(&mut self, items: Vec<CtaWork>, now: Cycle) {
+        if items.is_empty() {
+            return;
+        }
+        if self.is_done() && !self.hit_cap() {
+            self.cycle = self.cycle.max(now);
+        }
+        self.work.extend(items);
+        self.launch_ctas();
+        self.update_redirect_capacity();
+    }
+
+    /// Warp slots not taken by resident CTAs or by queued work that has not
+    /// launched yet — what the adaptive dispatcher treats as this SM's free
+    /// capacity when dealing CTAs.
+    pub fn free_warp_slots(&self) -> usize {
+        let resident: usize = self.resident.iter().map(|c| c.warp_slots.len()).sum();
+        let queued: usize =
+            self.work[self.next_work.min(self.work.len())..].iter().map(|w| w.warps.max(1)).sum();
+        self.config.max_warps_per_sm.saturating_sub(resident + queued)
+    }
+
+    /// CTAs of each tenant that ran to completion on this SM so far, indexed
+    /// by [`TenantId`] (shorter than the tenant count when a tenant never ran
+    /// here).
+    pub fn tenant_ctas_completed(&self) -> Vec<usize> {
+        self.tenants.iter().map(|t| t.ctas_completed).collect()
+    }
+
     /// True when a configured instruction or cycle cap has been reached.
     pub fn hit_cap(&self) -> bool {
         if let Some(max_i) = self.config.max_instructions {

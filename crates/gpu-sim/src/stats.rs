@@ -391,6 +391,135 @@ impl TenantStats {
     }
 }
 
+/// How the interference-aware dispatcher classified a tenant at one decision
+/// boundary, from its live L1/L2 attribution (the chip-level analogue of the
+/// per-warp SWS/LWS split `ciao_core`'s detector derives from VTA hits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantClass {
+    /// Small working set with reuse: the tenant profits from the caches and
+    /// is the potential *victim* of interference.
+    CacheSensitive,
+    /// Large working set streamed through the caches with little reuse: the
+    /// potential *interferer* worth throttling or migrating.
+    Streaming,
+    /// Not enough memory traffic observed to classify (compute-intensive
+    /// tenants and cold-start windows land here).
+    Unclassified,
+}
+
+impl TenantClass {
+    /// Short label used in decision-log renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::CacheSensitive => "cache",
+            TenantClass::Streaming => "stream",
+            TenantClass::Unclassified => "?",
+        }
+    }
+}
+
+/// One action the interference-aware dispatcher took at an epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DispatchAction {
+    /// A kernel stream arrived and was admitted into the pending queues.
+    Admit {
+        /// The admitted tenant.
+        tenant: TenantId,
+    },
+    /// Tenants were (re)classified and every tenant's allowed-SM set was
+    /// recomputed from the classification.
+    Place {
+        /// Per-tenant allowed-SM-set sizes after placement.
+        allowed_sms: Vec<usize>,
+    },
+    /// An interfering tenant's allowed-SM set was shrunk because a victim
+    /// tenant's hit rate degraded past the threshold.
+    Throttle {
+        /// The throttled (interfering) tenant.
+        tenant: TenantId,
+        /// The degraded (victim) tenant that triggered the decision.
+        victim: TenantId,
+        /// Size of the throttled tenant's allowed-SM set after shrinking.
+        allowed_sms: usize,
+    },
+    /// A previously throttled tenant's allowed-SM set was grown back because
+    /// every victim stayed healthy for the hysteresis window.
+    Restore {
+        /// The restored tenant.
+        tenant: TenantId,
+        /// Size of the restored tenant's allowed-SM set after growing.
+        allowed_sms: usize,
+    },
+}
+
+/// One epoch-boundary record of the interference-aware dispatcher: the
+/// per-tenant signals it read and the actions it took. The sequence of
+/// records doubles as the per-tenant hit-rate time series of the co-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchDecision {
+    /// Chip cycle of the epoch boundary the decision was made at.
+    pub cycle: Cycle,
+    /// Per-tenant L2 hit rate over the decision window (`-1` when the tenant
+    /// issued too few L2 accesses to measure).
+    pub l2_hit_rate: Vec<f64>,
+    /// Per-tenant L1D hit rate over the decision window (`-1` when the tenant
+    /// issued too few L1 accesses to measure).
+    pub l1_hit_rate: Vec<f64>,
+    /// Per-tenant classification at this boundary.
+    pub classes: Vec<TenantClass>,
+    /// Per-tenant allowed-SM-set sizes after this boundary's actions.
+    pub allowed_sms: Vec<usize>,
+    /// Actions taken at this boundary (empty for a pure observation window).
+    pub actions: Vec<DispatchAction>,
+}
+
+/// The per-epoch decision log of one `InterferenceAware` co-run (empty for
+/// static dispatch policies). Serialised into [`crate::SimResult`] so the
+/// harness can archive *why* the dispatcher moved work, not just where.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchLog {
+    /// Decision records in cycle order.
+    pub decisions: Vec<DispatchDecision>,
+}
+
+impl DispatchLog {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when no decision was recorded (static policies).
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of throttle actions across the run.
+    pub fn throttle_count(&self) -> usize {
+        self.count(|a| matches!(a, DispatchAction::Throttle { .. }))
+    }
+
+    /// Number of restore actions across the run.
+    pub fn restore_count(&self) -> usize {
+        self.count(|a| matches!(a, DispatchAction::Restore { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&DispatchAction) -> bool) -> usize {
+        self.decisions.iter().flat_map(|d| &d.actions).filter(|a| pred(a)).count()
+    }
+
+    /// The `(cycle, L2 hit rate)` time series of one tenant across the run's
+    /// decision windows (unmeasured windows are skipped).
+    pub fn l2_hit_rate_series(&self, tenant: TenantId) -> Vec<(Cycle, f64)> {
+        self.decisions
+            .iter()
+            .filter_map(|d| {
+                let rate = *d.l2_hit_rate.get(tenant as usize)?;
+                (rate >= 0.0).then_some((d.cycle, rate))
+            })
+            .collect()
+    }
+}
+
 /// Spread of per-SM IPC across a chip run — the partitioning-skew signal the
 /// `SpatialPartition` co-execution policy makes visible (an SM set serving a
 /// light tenant idles while another set is saturated).
@@ -706,6 +835,45 @@ mod tests {
         assert_eq!(avg_normalized_turnaround(&[1.0, 1.0], &[1.0, 0.0]), f64::INFINITY);
         // A tenant with no baseline is skipped, not treated as starved.
         assert!((avg_normalized_turnaround(&[0.0, 2.0], &[0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_log_counts_actions_and_extracts_series() {
+        let mut log = DispatchLog::default();
+        assert!(log.is_empty());
+        log.decisions.push(DispatchDecision {
+            cycle: 512,
+            l2_hit_rate: vec![0.9, -1.0],
+            l1_hit_rate: vec![0.8, 0.2],
+            classes: vec![TenantClass::CacheSensitive, TenantClass::Streaming],
+            allowed_sms: vec![15, 4],
+            actions: vec![DispatchAction::Place { allowed_sms: vec![15, 4] }],
+        });
+        log.decisions.push(DispatchDecision {
+            cycle: 1024,
+            l2_hit_rate: vec![0.5, 0.1],
+            l1_hit_rate: vec![-1.0, -1.0],
+            classes: vec![TenantClass::CacheSensitive, TenantClass::Streaming],
+            allowed_sms: vec![15, 2],
+            actions: vec![
+                DispatchAction::Throttle { tenant: 1, victim: 0, allowed_sms: 2 },
+                DispatchAction::Restore { tenant: 1, allowed_sms: 4 },
+            ],
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.throttle_count(), 1);
+        assert_eq!(log.restore_count(), 1);
+        // Unmeasured (-1) windows are skipped from the series.
+        assert_eq!(log.l2_hit_rate_series(0), vec![(512, 0.9), (1024, 0.5)]);
+        assert_eq!(log.l2_hit_rate_series(1), vec![(1024, 0.1)]);
+        assert_eq!(log.l2_hit_rate_series(9), Vec::new());
+        // Round-trips through serde (the harness archives the log as JSON).
+        let json = serde_json::to_string(&log).unwrap();
+        let back: DispatchLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(TenantClass::Streaming.label(), "stream");
+        assert_eq!(TenantClass::CacheSensitive.label(), "cache");
+        assert_eq!(TenantClass::Unclassified.label(), "?");
     }
 
     #[test]

@@ -45,7 +45,8 @@ struct Options {
     scale: RunScale,
     out_dir: Option<PathBuf>,
     sms: usize,
-    seed: u64,
+    seeds: Vec<u64>,
+    arrivals: u64,
     baseline: PathBuf,
     bench_out: PathBuf,
     allow_missing_baseline: bool,
@@ -55,12 +56,33 @@ struct Options {
     policy_filter: Option<String>,
 }
 
+impl Options {
+    fn seed(&self) -> u64 {
+        self.seeds.first().copied().unwrap_or(0)
+    }
+}
+
+/// Parses a `--seed` value: a single seed (`3`) or an inclusive-exclusive
+/// range (`0..3` = seeds 0, 1, 2) for seed-averaged sweeps.
+fn parse_seeds(value: &str) -> Option<Vec<u64>> {
+    if let Some((a, b)) = value.split_once("..") {
+        let (a, b): (u64, u64) = (a.trim().parse().ok()?, b.trim().parse().ok()?);
+        if a >= b {
+            return None;
+        }
+        Some((a..b).collect())
+    } else {
+        Some(vec![value.trim().parse().ok()?])
+    }
+}
+
 fn parse_args() -> Options {
     let mut experiment = String::from("all");
     let mut scale = RunScale::Full;
     let mut out_dir = None;
     let mut sms = 1usize;
-    let mut seed = 0u64;
+    let mut seeds = vec![0u64];
+    let mut arrivals = 0u64;
     let mut baseline = PathBuf::from("bench/baseline.json");
     let mut bench_out = PathBuf::from("BENCH_PR.json");
     let mut allow_missing_baseline = false;
@@ -84,8 +106,14 @@ fn parse_args() -> Options {
                 );
             }
             "--seed" => {
-                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed expects a non-negative integer");
+                seeds = args.next().and_then(|v| parse_seeds(&v)).unwrap_or_else(|| {
+                    eprintln!("--seed expects a non-negative integer or a range a..b (a < b)");
+                    std::process::exit(2);
+                });
+            }
+            "--arrivals" => {
+                arrivals = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--arrivals expects a non-negative cycle stride");
                     std::process::exit(2);
                 });
             }
@@ -119,8 +147,10 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|perf|all> \
-                     [--quick|--tiny|--full] [--sms N] [--seed N] [--out DIR] [--mix NAME] \
-                     [--policy exclusive|spatial|shared-rr] [--baseline FILE] [--bench-out FILE] \
+                     [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals STRIDE] \
+                     [--out DIR] [--mix NAME] \
+                     [--policy exclusive|spatial|shared-rr|interference-aware] \
+                     [--baseline FILE] [--bench-out FILE] \
                      [--allow-missing-baseline] [--with-mixes] [--merge-baseline]"
                 );
                 std::process::exit(0);
@@ -137,7 +167,8 @@ fn parse_args() -> Options {
         scale,
         out_dir,
         sms,
-        seed,
+        seeds,
+        arrivals,
         baseline,
         bench_out,
         allow_missing_baseline,
@@ -214,16 +245,31 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
     };
     let gated: Vec<&str> = perf::gate_schedulers().iter().map(|s| s.label()).collect::<Vec<_>>();
     let drifts = perf::compare(&report, baseline, perf::DEFAULT_TOLERANCE, &gated);
-    if drifts.is_empty() {
+    // Per-mix STP gating: enforced whenever either side carries mix figures
+    // (run with `--with-mixes` against a mix-bearing snapshot). Fails closed
+    // on missing keys — see `perf::compare_mixes`.
+    let mix_drifts = if opts.with_mixes || !baseline.mix_stp.is_empty() {
+        perf::compare_mixes(&report, baseline, perf::DEFAULT_TOLERANCE)
+    } else {
+        Vec::new()
+    };
+    if drifts.is_empty() && mix_drifts.is_empty() {
+        let mixes = if opts.with_mixes || !baseline.mix_stp.is_empty() {
+            " and all gated mix STPs"
+        } else {
+            ""
+        };
         println!(
-            "perf gate PASSED (all gated schedulers within ±{:.0}% of baseline)",
+            "perf gate PASSED (all gated schedulers{mixes} within ±{:.0}% of baseline)",
             perf::DEFAULT_TOLERANCE * 100.0
         );
     } else {
         print!("{}", perf::render_drifts(&drifts, perf::DEFAULT_TOLERANCE));
+        print!("{}", perf::render_mix_drifts(&mix_drifts, perf::DEFAULT_TOLERANCE));
         eprintln!(
             "perf gate FAILED; if the drift is an intended modelling change, regenerate \
-             the snapshot with `ciao-harness perf --quick --merge-baseline`"
+             the snapshot with `ciao-harness perf --merge-baseline` at this configuration \
+             (add --with-mixes for mix-bearing snapshots)"
         );
         std::process::exit(1);
     }
@@ -326,14 +372,33 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
                 Some(label) => match DispatchPolicy::from_label(label) {
                     Some(p) => vec![p],
                     None => {
-                        eprintln!("unknown policy: {label} (known: exclusive, spatial, shared-rr)");
+                        eprintln!(
+                            "unknown policy: {label} (known: {})",
+                            DispatchPolicy::all()
+                                .iter()
+                                .map(|p| p.label())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
                         std::process::exit(2);
                     }
                 },
                 None => DispatchPolicy::all(),
             };
-            let r = mix::run(runner, &mixes, &policies, &mix::default_schedulers());
-            emit(opts, "mix", &mix::render(&r), &r);
+            if opts.seeds.len() > 1 {
+                // Seed sweep: mean ± σ figures per (mix, policy, scheduler).
+                let r = mix::run_seeds(
+                    runner,
+                    &opts.seeds,
+                    &mixes,
+                    &policies,
+                    &mix::default_schedulers(),
+                );
+                emit(opts, "mix", &mix::render_sweep(&r), &r);
+            } else {
+                let r = mix::run(runner, &mixes, &policies, &mix::default_schedulers());
+                emit(opts, "mix", &mix::render(&r), &r);
+            }
         }
         "perf" => run_perf_gate(opts, runner),
         other => {
@@ -345,15 +410,28 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
 
 fn main() {
     let opts = parse_args();
-    let runner = Runner::new(opts.scale).with_sms(opts.sms).with_seed(opts.seed);
+    if opts.seeds.len() > 1 && opts.experiment != "mix" {
+        eprintln!(
+            "[ciao-harness] seed ranges are only swept by the `mix` experiment; \
+             using seed {} for `{}`",
+            opts.seed(),
+            opts.experiment
+        );
+    }
+    let runner = Runner::new(opts.scale)
+        .with_sms(opts.sms)
+        .with_seed(opts.seed())
+        .with_arrivals(opts.arrivals);
     eprintln!(
-        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, seed {}, \
-         {} worker threads",
+        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, seed{} {}, \
+         arrivals +{}, {} worker threads",
         opts.scale,
         opts.scale.max_instructions(),
         runner.sms,
         if runner.sms == 1 { "" } else { "s" },
-        runner.seed,
+        if opts.seeds.len() == 1 { "" } else { "s" },
+        opts.seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+        opts.arrivals,
         runner.threads
     );
     if opts.experiment == "all" {

@@ -17,7 +17,7 @@ use crate::report::{capped_marker, capped_summary, Table};
 use crate::runner::Runner;
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::Mix;
-use gpu_sim::{avg_normalized_turnaround, system_throughput, DispatchPolicy};
+use gpu_sim::{avg_normalized_turnaround, system_throughput, DispatchLog, DispatchPolicy};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -77,6 +77,15 @@ pub struct MixRow {
     pub tenants: Vec<TenantOutcome>,
     /// Whether any SM hit the simulation cap.
     pub capped: bool,
+    /// Throttle decisions the `interference-aware` dispatcher took (0 for
+    /// static policies).
+    pub throttles: usize,
+    /// Restore decisions the `interference-aware` dispatcher took.
+    pub restores: usize,
+    /// The full per-epoch decision log of the co-run (per-tenant hit-rate
+    /// windows, classifications, actions); empty for static policies. Written
+    /// into the JSON artefact so CI can archive *why* work moved.
+    pub decision_log: DispatchLog,
 }
 
 /// The winning policy for one (mix, scheduler) pair.
@@ -99,6 +108,9 @@ pub struct MixResult {
     pub num_sms: usize,
     /// Experiment seed.
     pub seed: u64,
+    /// Arrival stagger between consecutive tenants, in cycles (0 = all
+    /// tenants launch at cycle 0).
+    pub arrival_stride: u64,
     /// Run scale label.
     pub scale: String,
     /// Every (mix, policy, scheduler) co-run.
@@ -194,6 +206,9 @@ pub fn run(
                     sm_ipc_stddev: imbalance.stddev_ipc,
                     tenants,
                     capped: res.capped,
+                    throttles: res.dispatch_log.throttle_count(),
+                    restores: res.dispatch_log.restore_count(),
+                    decision_log: res.dispatch_log,
                 });
             }
         }
@@ -229,6 +244,7 @@ pub fn run(
     MixResult {
         num_sms: runner.sms,
         seed: runner.seed,
+        arrival_stride: runner.arrival_stride,
         scale: format!("{:?}", runner.scale),
         rows,
         best,
@@ -238,12 +254,17 @@ pub fn run(
 /// Plain-text report: the policy comparison, the per-tenant breakdown and
 /// the best-policy verdicts.
 pub fn render(result: &MixResult) -> String {
+    let arrivals = if result.arrival_stride > 0 {
+        format!(", arrivals +{}", result.arrival_stride)
+    } else {
+        String::new()
+    };
     let mut summary = Table::new(
         format!(
-            "Multi-tenant mixes — STP / ANTT per policy ({} SMs, {} scale, seed {})",
+            "Multi-tenant mixes — STP / ANTT per policy ({} SMs, {} scale, seed {}{arrivals})",
             result.num_sms, result.scale, result.seed
         ),
-        &["mix", "scheduler", "policy", "STP", "ANTT", "chip IPC", "per-SM IPC"],
+        &["mix", "scheduler", "policy", "STP", "ANTT", "chip IPC", "per-SM IPC", "decisions"],
     );
     for r in &result.rows {
         let imbalance = gpu_sim::SmImbalance {
@@ -263,6 +284,11 @@ pub fn render(result: &MixResult) -> String {
             },
             format!("{:.4}", r.chip_ipc),
             crate::report::imbalance_cell(&imbalance),
+            if r.decision_log.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{}T/{}R", r.throttles, r.restores)
+            },
         ]);
     }
 
@@ -300,6 +326,151 @@ pub fn render(result: &MixResult) -> String {
     out
 }
 
+/// One (mix, policy, scheduler) cell of a seed sweep: mean ± σ figures over
+/// the swept seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixSweepRow {
+    /// Mix name.
+    pub mix: String,
+    /// Dispatch policy label.
+    pub policy: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Per-seed STP samples, in seed order.
+    pub stp_samples: Vec<f64>,
+    /// Mean STP across seeds.
+    pub mean_stp: f64,
+    /// Population standard deviation of STP across seeds.
+    pub std_stp: f64,
+    /// Per-seed (finite) ANTT samples, in seed order.
+    pub antt_samples: Vec<f64>,
+    /// Mean ANTT across seeds.
+    pub mean_antt: f64,
+    /// Population standard deviation of ANTT across seeds.
+    pub std_antt: f64,
+    /// Seeds in which at least one tenant was starved.
+    pub starved_runs: usize,
+    /// Seeds in which the run hit the simulation cap.
+    pub capped_runs: usize,
+}
+
+/// Result of a seed-swept mix experiment (`--seed a..b`): the per-seed
+/// results plus mean ± σ summary rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixSweepResult {
+    /// Number of SMs per co-run.
+    pub num_sms: usize,
+    /// The seeds swept, in order.
+    pub seeds: Vec<u64>,
+    /// Arrival stagger between consecutive tenants, in cycles.
+    pub arrival_stride: u64,
+    /// Run scale label.
+    pub scale: String,
+    /// Mean ± σ summary per (mix, policy, scheduler).
+    pub rows: Vec<MixSweepRow>,
+    /// The full single-seed results, in seed order.
+    pub per_seed: Vec<MixResult>,
+}
+
+fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Runs the mix experiment once per seed and aggregates mean ± σ STP/ANTT
+/// per (mix, policy, scheduler) — the ROADMAP's "seed-averaged mix figures".
+pub fn run_seeds(
+    runner: &Runner,
+    seeds: &[u64],
+    mixes: &[Mix],
+    policies: &[DispatchPolicy],
+    schedulers: &[SchedulerKind],
+) -> MixSweepResult {
+    assert!(!seeds.is_empty(), "a seed sweep needs at least one seed");
+    let per_seed: Vec<MixResult> = seeds
+        .iter()
+        .map(|&seed| run(&runner.clone().with_seed(seed), mixes, policies, schedulers))
+        .collect();
+    let mut rows = Vec::new();
+    for &mix in mixes {
+        for &scheduler in schedulers {
+            for &policy in policies {
+                let cells: Vec<&MixRow> = per_seed
+                    .iter()
+                    .map(|r| {
+                        r.rows
+                            .iter()
+                            .find(|row| {
+                                row.mix == mix.name()
+                                    && row.policy == policy.label()
+                                    && row.scheduler == scheduler.label()
+                            })
+                            .expect("every seed ran every cell")
+                    })
+                    .collect();
+                let stp_samples: Vec<f64> = cells.iter().map(|c| c.stp).collect();
+                let antt_samples: Vec<f64> = cells.iter().map(|c| c.antt).collect();
+                let (mean_stp, std_stp) = mean_std(&stp_samples);
+                let (mean_antt, std_antt) = mean_std(&antt_samples);
+                rows.push(MixSweepRow {
+                    mix: mix.name().to_string(),
+                    policy: policy.label().to_string(),
+                    scheduler: scheduler.label().to_string(),
+                    stp_samples,
+                    mean_stp,
+                    std_stp,
+                    antt_samples,
+                    mean_antt,
+                    std_antt,
+                    starved_runs: cells.iter().filter(|c| c.starved_tenants > 0).count(),
+                    capped_runs: cells.iter().filter(|c| c.capped).count(),
+                });
+            }
+        }
+    }
+    MixSweepResult {
+        num_sms: runner.sms,
+        seeds: seeds.to_vec(),
+        arrival_stride: runner.arrival_stride,
+        scale: format!("{:?}", runner.scale),
+        rows,
+        per_seed,
+    }
+}
+
+/// Plain-text report of a seed sweep: mean ± σ STP/ANTT per cell.
+pub fn render_sweep(result: &MixSweepResult) -> String {
+    let arrivals = if result.arrival_stride > 0 {
+        format!(", arrivals +{}", result.arrival_stride)
+    } else {
+        String::new()
+    };
+    let mut table = Table::new(
+        format!(
+            "Multi-tenant mixes — seed-averaged STP / ANTT ({} SMs, {} scale, seeds {:?}{arrivals})",
+            result.num_sms, result.scale, result.seeds
+        ),
+        &["mix", "scheduler", "policy", "STP mean±σ", "ANTT mean±σ", "starved", "capped"],
+    );
+    for r in &result.rows {
+        table.row(vec![
+            r.mix.clone(),
+            r.scheduler.clone(),
+            r.policy.clone(),
+            format!("{:.3} ±{:.3}", r.mean_stp, r.std_stp),
+            format!("{:.3} ±{:.3}", r.mean_antt, r.std_antt),
+            format!("{}/{}", r.starved_runs, result.seeds.len()),
+            format!("{}/{}", r.capped_runs, result.seeds.len()),
+        ]);
+    }
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,7 +481,7 @@ mod tests {
         let runner = Runner::new(RunScale::Tiny).with_sms(2);
         let result =
             run(&runner, &[Mix::CacheStream], &DispatchPolicy::all(), &[SchedulerKind::Gto]);
-        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows.len(), DispatchPolicy::all().len());
         assert_eq!(result.best.len(), 1);
         for r in &result.rows {
             assert_eq!(r.tenants.len(), 2);
@@ -326,6 +497,37 @@ mod tests {
         assert!(text.contains("exclusive"));
         assert!(text.contains("spatial"));
         assert!(text.contains("shared-rr"));
+        assert!(text.contains("interference-aware"));
+    }
+
+    #[test]
+    fn seed_sweep_aggregates_mean_and_sigma() {
+        let runner = Runner::new(RunScale::Tiny).with_sms(2);
+        let seeds = [0u64, 1];
+        let result = run_seeds(
+            &runner,
+            &seeds,
+            &[Mix::CacheCompute],
+            &[DispatchPolicy::SharedRoundRobin],
+            &[SchedulerKind::Gto],
+        );
+        assert_eq!(result.per_seed.len(), 2);
+        assert_eq!(result.rows.len(), 1);
+        let row = &result.rows[0];
+        assert_eq!(row.stp_samples.len(), 2);
+        let expect_mean = (row.stp_samples[0] + row.stp_samples[1]) / 2.0;
+        assert!((row.mean_stp - expect_mean).abs() < 1e-12);
+        // Population σ of two samples is half their absolute difference.
+        let expect_std = (row.stp_samples[0] - row.stp_samples[1]).abs() / 2.0;
+        assert!((row.std_stp - expect_std).abs() < 1e-12);
+        // The per-seed results match the samples, in seed order.
+        for (i, per_seed) in result.per_seed.iter().enumerate() {
+            assert_eq!(per_seed.seed, seeds[i]);
+            assert_eq!(per_seed.rows[0].stp, row.stp_samples[i]);
+        }
+        let text = render_sweep(&result);
+        assert!(text.contains("seed-averaged"));
+        assert!(text.contains("±"));
     }
 
     #[test]

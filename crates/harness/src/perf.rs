@@ -28,6 +28,29 @@ pub fn gate_schedulers() -> Vec<SchedulerKind> {
     vec![SchedulerKind::Gto, SchedulerKind::CiaoC]
 }
 
+/// The dispatch policies whose per-mix STP the gate protects: the static
+/// shared-round-robin baseline and the adaptive interference-aware policy.
+pub fn gate_policies() -> Vec<DispatchPolicy> {
+    vec![DispatchPolicy::SharedRoundRobin, DispatchPolicy::InterferenceAware]
+}
+
+/// The `mix_stp` key for one (mix, policy) cell.
+pub fn mix_stp_key(mix: Mix, policy: DispatchPolicy) -> String {
+    format!("{}/{}", mix.name(), policy.label())
+}
+
+/// Every `mix_stp` key a snapshot measured with mixes must contain. The gate
+/// fails closed when any of them is missing from either side.
+pub fn required_mix_keys() -> Vec<String> {
+    let mut keys = Vec::new();
+    for mix in Mix::all() {
+        for policy in gate_policies() {
+            keys.push(mix_stp_key(mix, policy));
+        }
+    }
+    keys
+}
+
 /// One measured performance snapshot (an entry of `bench/baseline.json` and
 /// the whole of `BENCH_PR.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,9 +76,10 @@ pub struct PerfReport {
     /// Scheduler label → mean per-run standard deviation of per-SM IPC
     /// (0 for 1-SM snapshots; the partitioning-skew trend for chip runs).
     pub mean_sm_ipc_stddev: BTreeMap<String, f64>,
-    /// Mix name → STP under the shared-round-robin policy and GTO — the
-    /// multi-tenant co-execution figure of merit. Empty when the snapshot
-    /// was measured without mixes.
+    /// `mix/policy` → STP under the GTO scheduler for every named mix and
+    /// each gated dispatch policy (see [`gate_policies`]) — the multi-tenant
+    /// co-execution figures of merit. Empty when the snapshot was measured
+    /// without mixes.
     pub mix_stp: BTreeMap<String, f64>,
 }
 
@@ -145,9 +169,9 @@ pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -
     }
 }
 
-/// Measures every named mix's STP under the shared-round-robin policy and
-/// the GTO baseline scheduler, for recording in a snapshot's `mix_stp` map
-/// (the `perf --with-mixes` path).
+/// Measures every named mix's STP under the gated dispatch policies and the
+/// GTO baseline scheduler, for recording in a snapshot's `mix_stp` map
+/// (the `perf --with-mixes` path). Keys are `mix/policy`.
 ///
 /// The mix experiment re-simulates its handful of solo baselines even though
 /// [`measure`] just ran the same benchmarks: STP needs the *turnaround*
@@ -155,13 +179,8 @@ pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -
 /// chip-cycle IPC a [`RunRecord`] carries, and a few extra solo runs are
 /// cheap next to the mix co-runs themselves.
 pub fn measure_mixes(runner: &Runner) -> BTreeMap<String, f64> {
-    let result = mix_experiment::run(
-        runner,
-        &Mix::all(),
-        &[DispatchPolicy::SharedRoundRobin],
-        &[SchedulerKind::Gto],
-    );
-    result.rows.into_iter().map(|r| (r.mix, r.stp)).collect()
+    let result = mix_experiment::run(runner, &Mix::all(), &gate_policies(), &[SchedulerKind::Gto]);
+    result.rows.into_iter().map(|r| (format!("{}/{}", r.mix, r.policy), r.stp)).collect()
 }
 
 /// A gated scheduler whose IPC moved outside the tolerance band.
@@ -205,6 +224,87 @@ pub fn compare(
     drifts
 }
 
+/// A gated (mix, policy) STP cell that moved outside the tolerance band or
+/// is missing from one side of the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixDrift {
+    /// `mix/policy` key.
+    pub key: String,
+    /// Baseline STP (0.0 when the baseline snapshot lacks the key).
+    pub baseline_stp: f64,
+    /// Currently measured STP (0.0 when the current report lacks the key).
+    pub current_stp: f64,
+    /// `current / baseline` (0.0 when either side is missing).
+    pub ratio: f64,
+    /// Why the cell failed: "missing from baseline", "missing from current",
+    /// or "drift".
+    pub reason: String,
+}
+
+/// Compares the per-mix STP values of `current` against `baseline`,
+/// returning one [`MixDrift`] per violation. The gate *fails closed* on
+/// missing keys: every [`required_mix_keys`] entry must be present on both
+/// sides — a snapshot that silently lost a mix (or a new mix that was never
+/// baselined) fails rather than being skipped.
+pub fn compare_mixes(current: &PerfReport, baseline: &PerfReport, tolerance: f64) -> Vec<MixDrift> {
+    let mut drifts = Vec::new();
+    for key in required_mix_keys() {
+        let base = baseline.mix_stp.get(&key).copied();
+        let cur = current.mix_stp.get(&key).copied();
+        match (base, cur) {
+            (None, _) => drifts.push(MixDrift {
+                key,
+                baseline_stp: 0.0,
+                current_stp: cur.unwrap_or(0.0),
+                ratio: 0.0,
+                reason: "missing from baseline".into(),
+            }),
+            (_, None) => drifts.push(MixDrift {
+                key,
+                baseline_stp: base.unwrap_or(0.0),
+                current_stp: 0.0,
+                ratio: 0.0,
+                reason: "missing from current".into(),
+            }),
+            (Some(b), Some(c)) => {
+                let ratio = if b > 0.0 { c / b } else { 0.0 };
+                if b <= 0.0 || (ratio - 1.0).abs() > tolerance {
+                    drifts.push(MixDrift {
+                        key,
+                        baseline_stp: b,
+                        current_stp: c,
+                        ratio,
+                        reason: "drift".into(),
+                    });
+                }
+            }
+        }
+    }
+    drifts
+}
+
+/// Renders mix-STP gate violations for the CI log.
+pub fn render_mix_drifts(drifts: &[MixDrift], tolerance: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in drifts {
+        if d.reason == "drift" {
+            let _ = writeln!(
+                out,
+                "FAIL {}: STP {:.4} vs baseline {:.4} ({:+.1}% drift, tolerance ±{:.0}%)",
+                d.key,
+                d.current_stp,
+                d.baseline_stp,
+                (d.ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+        } else {
+            let _ = writeln!(out, "FAIL {}: {}", d.key, d.reason);
+        }
+    }
+    out
+}
+
 /// Plain-text rendering of a report (the CI log artefact).
 pub fn render(report: &PerfReport) -> String {
     use std::fmt::Write as _;
@@ -226,8 +326,8 @@ pub fn render(report: &PerfReport) -> String {
             let _ = writeln!(out, "{sched:>10}  geomean IPC {ipc:.4}");
         }
     }
-    for (mix, stp) in &report.mix_stp {
-        let _ = writeln!(out, "{mix:>14}  STP {stp:.3} (shared-rr, GTO)");
+    for (key, stp) in &report.mix_stp {
+        let _ = writeln!(out, "{key:>32}  STP {stp:.3} (GTO)");
     }
     let _ = writeln!(
         out,
@@ -344,6 +444,47 @@ mod tests {
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.geomean_ipc, r.geomean_ipc);
         assert_eq!(back.total_runs, 42);
+    }
+
+    #[test]
+    fn mix_gate_fails_closed_on_missing_keys_and_catches_drift() {
+        let mut base = report(0.5, 0.6);
+        let mut cur = report(0.5, 0.6);
+        for key in required_mix_keys() {
+            base.mix_stp.insert(key.clone(), 1.2);
+            cur.mix_stp.insert(key, 1.2);
+        }
+        assert!(compare_mixes(&cur, &base, 0.10).is_empty());
+
+        // Drift on one cell.
+        let key = mix_stp_key(Mix::CacheStream, DispatchPolicy::InterferenceAware);
+        cur.mix_stp.insert(key.clone(), 1.0);
+        let drifts = compare_mixes(&cur, &base, 0.10);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].key, key);
+        assert_eq!(drifts[0].reason, "drift");
+        assert!(drifts[0].ratio < 0.9);
+        cur.mix_stp.insert(key.clone(), 1.2);
+
+        // A key missing from the current report fails closed.
+        cur.mix_stp.remove(&key);
+        let drifts = compare_mixes(&cur, &base, 0.10);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].reason, "missing from current");
+        cur.mix_stp.insert(key.clone(), 1.2);
+
+        // A key missing from the baseline snapshot also fails closed.
+        base.mix_stp.remove(&key);
+        let drifts = compare_mixes(&cur, &base, 0.10);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].reason, "missing from baseline");
+        let text = render_mix_drifts(&drifts, 0.10);
+        assert!(text.contains("missing from baseline"));
+
+        // Every (mix × gated policy) pair is required.
+        assert_eq!(required_mix_keys().len(), Mix::all().len() * gate_policies().len());
+        assert!(required_mix_keys().contains(&"cache-stream/shared-rr".to_string()));
+        assert!(required_mix_keys().contains(&"cache-stream/interference-aware".to_string()));
     }
 
     #[test]

@@ -142,6 +142,10 @@ pub struct Runner {
     /// Experiment seed mixed into every synthetic trace (the `--seed N`
     /// axis); `0` reproduces the historical single-seed traces bit for bit.
     pub seed: u64,
+    /// Arrival stagger for mix co-runs (the `--arrivals STRIDE` axis):
+    /// tenant `t` of a mix enters the kernel queue at `t × stride` cycles.
+    /// `0` (the default) launches every tenant at cycle 0.
+    pub arrival_stride: u64,
 }
 
 impl Runner {
@@ -154,6 +158,7 @@ impl Runner {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             sms: 1,
             seed: 0,
+            arrival_stride: 0,
         }
     }
 
@@ -178,6 +183,13 @@ impl Runner {
     /// Sets the experiment seed mixed into every synthetic trace.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival stagger for mix co-runs (tenant `t` arrives at
+    /// `t × stride` cycles).
+    pub fn with_arrivals(mut self, stride: u64) -> Self {
+        self.arrival_stride = stride;
         self
     }
 
@@ -215,16 +227,20 @@ impl Runner {
 
     /// Co-runs the benchmarks of `mix` (one tenant each, in mix order) on a
     /// chip of `sms` SMs under `policy`, with one `scheduler` instance per
-    /// SM. Profile-derived scheduler parameters (Best-SWL / statPCAL warp
+    /// SM, staggering tenant arrivals by the runner's `arrival_stride`.
+    /// Profile-derived scheduler parameters (Best-SWL / statPCAL warp
     /// budgets) use the mix's first benchmark — a mix has no single profile.
     pub fn run_mix(&self, mix: Mix, policy: DispatchPolicy, scheduler: SchedulerKind) -> SimResult {
         let config = self.effective_config();
         let chip_config = config.clone().with_num_sms(self.sms);
         let scale = self.effective_scale();
         let kernels = mix.kernels(&scale);
+        let arrivals = mix.staggered_arrivals(self.arrival_stride);
         let profile = mix.benchmarks()[0];
         let sim = Simulator::new(chip_config);
-        sim.run_mix(kernels, policy, |_sm| scheduler.build(profile, &config, &self.params))
+        sim.run_mix_at(kernels, &arrivals, policy, |_sm| {
+            scheduler.build(profile, &config, &self.params)
+        })
     }
 
     /// Runs one pair and returns the condensed record.

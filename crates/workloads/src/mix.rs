@@ -100,6 +100,14 @@ impl Mix {
             .collect()
     }
 
+    /// Staggered arrival cycles for the mix's tenants under the
+    /// dynamic-arrivals axis: tenant `t` enters the kernel queue at
+    /// `t × stride` cycles (the harness's `--arrivals STRIDE` flag). A stride
+    /// of 0 reproduces the static all-at-cycle-0 launch exactly.
+    pub fn staggered_arrivals(self, stride: u64) -> Vec<u64> {
+        (0..self.benchmarks().len() as u64).map(|t| t * stride).collect()
+    }
+
     /// One-line description for reports.
     pub fn description(self) -> &'static str {
         match self {
