@@ -1,0 +1,137 @@
+//! Minimal offline stand-in for `criterion`, covering the surface the bench
+//! crate uses: `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Reports mean wall-clock time per iteration — no statistics, HTML
+//! reports, or saved baselines.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup { name, sample_size: 100 }
+    }
+
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.as_ref()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    // Warm-up pass; also lets the closure run at least once even if timing
+    // later proves too coarse.
+    f(&mut b);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    if iters > 0 {
+        let per_iter = total / (iters as u32).max(1);
+        println!("{id:<60} {per_iter:>12.2?}/iter ({iters} iters)");
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`. Sub-microsecond routines are run in
+    /// batches inside one timed region so clock granularity and `Instant`
+    /// overhead don't dominate the per-iteration figure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed();
+        if single >= Duration::from_micros(5) {
+            self.elapsed += single;
+            self.iters = 1;
+            return;
+        }
+        const BATCH: u64 = 512;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters = BATCH;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -246,11 +246,11 @@ impl MemoryPartition {
 /// address-interleaved (L2 slice + DRAM channel) partitions, each behind its
 /// own lock. Accesses to the same bank serialise — which is exactly where
 /// inter-SM L2 contention and DRAM row-buffer interference come from. The
-/// current chip engine serves all requests from one thread at its epoch
-/// barrier (determinism requires a fixed service order), so the per-bank
-/// locks are not yet contended; they exist so a future engine can fan the
-/// per-bank request queues out to parallel workers (the "async L2" roadmap
-/// item) without reshaping this API.
+/// chip engine shards each epoch's sorted request batch by bank and serves
+/// the shards on concurrent worker threads ([`BankedMemorySystem::with_bank`]
+/// locks a bank once per shard); because shards are disjoint and each bank's
+/// service order is fixed by the batch sort, results are bit-identical for
+/// any worker count.
 ///
 /// The configuration passed to [`BankedMemorySystem::new`] describes the
 /// whole chip; capacity and bandwidth are divided evenly across banks. With
@@ -330,6 +330,15 @@ impl BankedMemorySystem {
     /// [`BankedMemorySystem::access_bypass`] with explicit tenant attribution.
     pub fn access_bypass_tagged(&self, addr: Addr, tenant: TenantId, now: Cycle) -> Cycle {
         self.banks[self.bank_of(addr)].lock().access_bypass_tagged(addr, tenant, now)
+    }
+
+    /// Locks bank `idx` once and runs `f` against the partition — the bulk
+    /// entry point shard workers use to serve a whole per-bank request run
+    /// without re-taking the lock per request. Callers are responsible for
+    /// routing only that bank's addresses through `f` (use
+    /// [`BankedMemorySystem::bank_of`]).
+    pub fn with_bank<R>(&self, idx: usize, f: impl FnOnce(&mut MemoryPartition) -> R) -> R {
+        f(&mut self.banks[idx].lock())
     }
 
     /// Chip-level statistics, aggregated across banks.

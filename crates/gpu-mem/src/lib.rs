@@ -44,7 +44,9 @@ pub use cache::{
     SetAssocCache, WriteAllocPolicy, WritePolicy,
 };
 pub use dram::{Dram, DramConfig, DramStats};
-pub use interconnect::{Crossbar, CrossbarStats, Interconnect};
+pub use interconnect::{
+    Crossbar, CrossbarFabric, CrossbarStats, FabricDirectionStats, FabricStats, Interconnect,
+};
 pub use l2::{
     merge_tenant_stats, BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionStats,
     TenantMemStats,

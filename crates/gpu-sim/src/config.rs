@@ -21,17 +21,37 @@ pub struct GpuConfig {
     /// L2/DRAM backend and models inter-SM contention directly.
     pub num_sms: usize,
     /// Number of address-interleaved banks of the shared chip L2/DRAM backend
-    /// used by multi-SM runs. `1` (the default) keeps the whole Table I
-    /// partition in a single bank, which is what makes a 1-SM chip run
-    /// bit-identical to the legacy single-SM path.
+    /// used by multi-SM runs. Defaults to 6 — the GTX 480 has six 64-bit
+    /// GDDR5 channels, i.e. six L2-slice + DRAM-channel partitions. The
+    /// engine clamps the bank count to one per two SMs (the GTX 480's
+    /// SM-to-partition ratio), so small chips keep sensibly wide per-channel
+    /// buses. Single-SM runs ignore it entirely (the SM owns an unbanked
+    /// private partition, which is what keeps a 1-SM chip bit-identical to
+    /// the legacy path).
     pub l2_banks: usize,
     /// Number of cycles every SM advances per barrier-synchronised epoch in
-    /// multi-SM runs. The engine clamps this to the minimum SM→L2 round trip
-    /// (`interconnect_latency + partition.l2_latency`) so memory responses
-    /// computed at an epoch barrier never land in an SM's past; the value
-    /// only trades synchronisation overhead against nothing else — results
-    /// are deterministic and independent of worker-thread count either way.
+    /// multi-SM runs. The engine clamps this to *half* the minimum SM→L2
+    /// round trip (see [`GpuConfig::effective_epoch_cycles`]) so that the
+    /// barrier service of one epoch's requests can overlap the next epoch's
+    /// parallel SM phase: every response computed while epoch `k+1` runs
+    /// still completes at or after the *following* epoch's start. Results are
+    /// deterministic and independent of worker-thread count either way.
     pub epoch_cycles: Cycle,
+    /// Aggregate chip-wide crossbar bandwidth *per direction* (SM→L2
+    /// requests, L2→SM replies) in bytes per cycle — the shared-fabric budget
+    /// concurrent SMs queue against once past their private injection ports.
+    /// Default 480 = 15 SMs × 32 B/cycle/SM (Table I aggregate).
+    pub xbar_chip_bytes_per_cycle: f64,
+    /// Worker threads for the barrier-phase bank-sharded memory service
+    /// (`0` = auto-size from host parallelism). Purely a wall-clock knob:
+    /// results are bit-identical for every value.
+    pub service_threads: usize,
+    /// Maximum number of late-arriving requests carried across an epoch
+    /// boundary by the cross-epoch reorder window (requests whose
+    /// interconnect arrival lands beyond the barrier's merge horizon are held
+    /// so they interleave with the next epoch's batch in true arrival order).
+    /// Overflow beyond the bound falls back to batch-major service.
+    pub reorder_window: usize,
     /// Maximum resident warps per SM (1536 threads / 32 lanes = 48).
     pub max_warps_per_sm: usize,
     /// Threads per warp.
@@ -67,8 +87,11 @@ impl GpuConfig {
     pub fn gtx480() -> Self {
         GpuConfig {
             num_sms: 15,
-            l2_banks: 1,
+            l2_banks: 6,
             epoch_cycles: 64,
+            xbar_chip_bytes_per_cycle: 480.0,
+            service_threads: 0,
+            reorder_window: 4096,
             max_warps_per_sm: 48,
             warp_size: 32,
             l1d: CacheConfig::l1d_gtx480(),
@@ -136,11 +159,45 @@ impl GpuConfig {
     }
 
     /// The epoch length actually used by the multi-SM engine: the configured
-    /// [`GpuConfig::epoch_cycles`] clamped to the minimum SM→L2 round trip so
-    /// that every memory response computed at an epoch barrier completes at
-    /// or after the next epoch's start.
+    /// [`GpuConfig::epoch_cycles`] clamped to *half* the minimum SM→L2 round
+    /// trip. The round trip floors at the cheaper of the L2-hit path
+    /// (`l2_latency`) and the L2-bypass path (`dram.base_latency + t_cl`), on
+    /// top of the interconnect traversal. Halving it is what lets the engine
+    /// pipeline: requests drained at epoch boundary `k` are served *while*
+    /// epoch `k+1` runs and delivered at boundary `k+1`, and any response
+    /// still completes at or after epoch `k+2`'s start — never in an SM's
+    /// past.
     pub fn effective_epoch_cycles(&self) -> Cycle {
-        self.epoch_cycles.clamp(1, (self.interconnect_latency + self.partition.l2_latency).max(1))
+        let min_service = self
+            .partition
+            .l2_latency
+            .min(self.partition.dram.base_latency + self.partition.dram.t_cl);
+        let round_trip = self.interconnect_latency + min_service;
+        self.epoch_cycles.clamp(1, (round_trip / 2).max(1))
+    }
+
+    /// The number of worker threads the epoch-barrier bank service uses:
+    /// [`GpuConfig::service_threads`], or an auto-sized value from host
+    /// parallelism when it is `0`. Purely a wall-clock knob — service results
+    /// are bit-identical for every value.
+    pub fn effective_service_threads(&self) -> usize {
+        if self.service_threads > 0 {
+            self.service_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        }
+    }
+
+    /// Returns a copy with the barrier-service worker-thread count set.
+    pub fn with_service_threads(mut self, threads: usize) -> Self {
+        self.service_threads = threads;
+        self
+    }
+
+    /// Returns a copy with the cross-epoch reorder-window bound set.
+    pub fn with_reorder_window(mut self, window: usize) -> Self {
+        self.reorder_window = window;
+        self
     }
 }
 
@@ -248,19 +305,31 @@ mod tests {
     }
 
     #[test]
-    fn epoch_clamped_to_l2_round_trip() {
+    fn epoch_clamped_to_half_the_round_trip() {
         let c = GpuConfig::gtx480();
-        // Default 64 is below the 20 + 90 cycle round trip: used as-is.
-        assert_eq!(c.effective_epoch_cycles(), 64);
-        let mut long = c.clone();
-        long.epoch_cycles = 10_000;
-        assert_eq!(
-            long.effective_epoch_cycles(),
-            long.interconnect_latency + long.partition.l2_latency
-        );
+        // Default 64 exceeds half the (20 + 90)-cycle round trip, so the
+        // pipelined engine runs 55-cycle epochs.
+        assert_eq!(c.effective_epoch_cycles(), 55);
+        let mut short = c.clone();
+        short.epoch_cycles = 40;
+        assert_eq!(short.effective_epoch_cycles(), 40, "short epochs pass through unclamped");
+        // A bypass path cheaper than the L2 hit tightens the clamp: responses
+        // computed one epoch ahead must never land in an SM's past.
+        let mut cheap_bypass = c.clone();
+        cheap_bypass.partition.dram.base_latency = 10;
+        cheap_bypass.partition.dram.t_cl = 4;
+        assert_eq!(cheap_bypass.effective_epoch_cycles(), (20 + 14) / 2);
         let mut zero = c;
         zero.epoch_cycles = 0;
         assert_eq!(zero.effective_epoch_cycles(), 1);
+    }
+
+    #[test]
+    fn service_threads_auto_sizes_but_never_zero() {
+        let auto = GpuConfig::gtx480();
+        assert!(auto.effective_service_threads() >= 1);
+        assert_eq!(auto.with_service_threads(3).effective_service_threads(), 3);
+        assert_eq!(GpuConfig::gtx480().with_reorder_window(16).reorder_window, 16);
     }
 
     #[test]

@@ -90,3 +90,6 @@ pub use gpu_mem::CtaId;
 pub use gpu_mem::Cycle;
 /// Re-export of the warp identifier type.
 pub use gpu_mem::WarpId;
+/// Re-export of the shared crossbar-fabric statistics carried by
+/// [`SimResult`].
+pub use gpu_mem::{FabricDirectionStats, FabricStats};

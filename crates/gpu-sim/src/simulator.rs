@@ -17,7 +17,7 @@ use crate::redirect::RedirectCache;
 use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::sm::Sm;
 use crate::stats::{DispatchLog, InterferenceMatrix, SmImbalance, SmStats, TimeSeries};
-use gpu_mem::interconnect::{Crossbar, CrossbarStats};
+use gpu_mem::interconnect::{Crossbar, CrossbarStats, FabricStats};
 use gpu_mem::{Cycle, TenantId, TenantMemStats};
 use serde::{Deserialize, Serialize};
 
@@ -43,8 +43,14 @@ pub struct TenantResult {
     pub l1d_accesses: u64,
     /// Of those, the lookups that hit.
     pub l1d_hits: u64,
-    /// Bytes the tenant injected into the SM↔L2 crossbar.
+    /// Bytes the tenant injected into its SMs' crossbar injection ports.
     pub xbar_bytes: u64,
+    /// Bytes the tenant pushed through the shared request-direction fabric
+    /// (0 on single-SM runs, which have no shared fabric).
+    pub fabric_request_bytes: u64,
+    /// Bytes returned to the tenant through the shared reply-direction
+    /// fabric (0 on single-SM runs).
+    pub fabric_reply_bytes: u64,
     /// Shared L2/DRAM usage attributed to the tenant.
     pub mem: TenantMemStats,
 }
@@ -110,8 +116,13 @@ pub struct SimResult {
     /// Per-tenant breakdown, indexed by tenant; single-kernel runs have
     /// exactly one entry covering the whole run.
     pub per_tenant: Vec<TenantResult>,
-    /// SM↔L2 interconnect traffic aggregated over every SM's crossbar port.
+    /// SM↔L2 interconnect traffic aggregated over every SM's crossbar
+    /// injection port.
     pub interconnect: CrossbarStats,
+    /// Shared crossbar-fabric traffic (request and reply directions, with
+    /// queueing cycles and per-tenant bytes). Empty/zero for single-SM runs,
+    /// which have no shared fabric.
+    pub fabric: FabricStats,
     /// Epoch-boundary decision log of the `interference-aware` dispatch
     /// policy (per-tenant hit-rate windows, classifications, throttle /
     /// restore actions); empty for static policies.
@@ -183,6 +194,8 @@ impl Simulator {
             l1d_accesses: totals.l1d_accesses,
             l1d_hits: totals.l1d_hits,
             xbar_bytes: totals.xbar_bytes,
+            fabric_request_bytes: 0,
+            fabric_reply_bytes: 0,
             mem,
         }];
         SimResult {
@@ -199,6 +212,7 @@ impl Simulator {
             num_sms: 1,
             per_tenant,
             interconnect: Crossbar::aggregate([sm.interconnect()]),
+            fabric: FabricStats::default(),
             dispatch_log: DispatchLog::default(),
         }
     }

@@ -20,9 +20,11 @@
 //!
 //! Downstream memory is reached through a [`MemoryPort`]: a private L2+DRAM
 //! partition in the legacy single-SM configuration, or a deferred port into
-//! the chip's shared banked backend when the SM is one of many driven by the
-//! [`crate::gpu::Gpu`] engine (which then advances the SM in epochs via
-//! [`Sm::run_epoch`] and delivers memory responses with [`Sm::deliver`]).
+//! the chip's pipelined shared backend (reorder window → request fabric →
+//! bank shards → reply fabric) when the SM is one of many driven by the
+//! [`crate::gpu::Gpu`] engine — which then advances the SM in epochs via
+//! [`Sm::run_epoch`], drains the port at epoch boundaries, and delivers the
+//! pipeline's responses with [`Sm::deliver`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -17,6 +17,10 @@
 //! reports per-tenant IPC, STP, ANTT and L2-contention shares. `--mix NAME`
 //! and `--policy LABEL` narrow the sweep.
 //!
+//! `capacity` (alias `--capacity-curve`) sweeps STP vs chip size: every mix ×
+//! policy co-run is repeated at each `--sm-counts A,B,..` chip size (default
+//! 2,4,8,15), with solo baselines re-measured per size.
+//!
 //! `perf` is the CI performance gate: it measures the benchmark suite under
 //! GTO and CIAO-C, writes `BENCH_PR.json` (override with `--bench-out`), and
 //! exits non-zero if the gated geomean IPCs drift more than ±10% from the
@@ -29,7 +33,7 @@
 //! writes `<experiment>.txt` and `<experiment>.json` into the directory.
 
 use ciao_harness::experiments::{
-    fig1, fig10, fig11, fig12, fig4, fig8, fig9, mix, overhead, table1, table2,
+    capacity, fig1, fig10, fig11, fig12, fig4, fig8, fig9, mix, overhead, table1, table2,
 };
 use ciao_harness::perf;
 use ciao_harness::report::write_json;
@@ -54,6 +58,7 @@ struct Options {
     merge_baseline: bool,
     mix_filter: Option<String>,
     policy_filter: Option<String>,
+    sm_counts: Option<Vec<usize>>,
 }
 
 impl Options {
@@ -90,9 +95,28 @@ fn parse_args() -> Options {
     let mut merge_baseline = false;
     let mut mix_filter = None;
     let mut policy_filter = None;
+    let mut sm_counts = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--capacity-curve" => experiment = "capacity".to_string(),
+            "--sm-counts" => {
+                let parsed: Option<Vec<usize>> = args.next().map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n >= 2))
+                        .collect::<Option<Vec<usize>>>()
+                        .unwrap_or_default()
+                });
+                sm_counts = match parsed {
+                    Some(list) if !list.is_empty() => Some(list),
+                    _ => {
+                        eprintln!(
+                            "--sm-counts expects a comma list of integers >= 2 (e.g. 2,4,8,15)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--quick" => scale = RunScale::Quick,
             "--tiny" => scale = RunScale::Tiny,
             "--full" => scale = RunScale::Full,
@@ -146,10 +170,11 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|perf|all> \
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|perf|all> \
                      [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals STRIDE] \
                      [--out DIR] [--mix NAME] \
                      [--policy exclusive|spatial|shared-rr|interference-aware] \
+                     [--capacity-curve] [--sm-counts A,B,..] \
                      [--baseline FILE] [--bench-out FILE] \
                      [--allow-missing-baseline] [--with-mixes] [--merge-baseline]"
                 );
@@ -176,6 +201,41 @@ fn parse_args() -> Options {
         merge_baseline,
         mix_filter,
         policy_filter,
+        sm_counts,
+    }
+}
+
+/// Resolves the `--mix` filter (or all named mixes), exiting on a bad name.
+fn resolve_mixes(filter: &Option<String>) -> Vec<Mix> {
+    match filter {
+        Some(name) => match Mix::from_name(name) {
+            Some(m) => vec![m],
+            None => {
+                eprintln!(
+                    "unknown mix: {name} (known: {})",
+                    Mix::all().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => Mix::all(),
+    }
+}
+
+/// Resolves the `--policy` filter (or all policies), exiting on a bad label.
+fn resolve_policies(filter: &Option<String>) -> Vec<DispatchPolicy> {
+    match filter {
+        Some(label) => match DispatchPolicy::from_label(label) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!(
+                    "unknown policy: {label} (known: {})",
+                    DispatchPolicy::all().iter().map(|p| p.label()).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => DispatchPolicy::all(),
     }
 }
 
@@ -187,7 +247,9 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
     let mut report = perf::measure(runner, &Benchmark::all(), &perf::gate_schedulers());
     if opts.with_mixes {
         eprintln!("[ciao-harness] measuring mix STPs ...");
-        report.mix_stp = perf::measure_mixes(runner);
+        let (mix_stp, mix_secs) = perf::measure_mixes(runner);
+        report.mix_stp = mix_stp;
+        report.mix_wall_clock_secs = mix_secs;
     }
     print!("{}", perf::render(&report));
     if let Err(e) = write_json(&opts.bench_out, &report) {
@@ -354,37 +416,22 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
             let r = overhead::run();
             emit(opts, "overhead", &overhead::render(&r), &r);
         }
+        "capacity" => {
+            let mixes = resolve_mixes(&opts.mix_filter);
+            let policies = resolve_policies(&opts.policy_filter);
+            let sm_counts = opts.sm_counts.clone().unwrap_or_else(capacity::default_sm_counts);
+            let r = capacity::run(
+                runner,
+                &sm_counts,
+                &mixes,
+                &policies,
+                ciao_harness::schedulers::SchedulerKind::Gto,
+            );
+            emit(opts, "capacity", &capacity::render(&r), &r);
+        }
         "mix" => {
-            let mixes: Vec<Mix> = match &opts.mix_filter {
-                Some(name) => match Mix::from_name(name) {
-                    Some(m) => vec![m],
-                    None => {
-                        eprintln!(
-                            "unknown mix: {name} (known: {})",
-                            Mix::all().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
-                        );
-                        std::process::exit(2);
-                    }
-                },
-                None => Mix::all(),
-            };
-            let policies: Vec<DispatchPolicy> = match &opts.policy_filter {
-                Some(label) => match DispatchPolicy::from_label(label) {
-                    Some(p) => vec![p],
-                    None => {
-                        eprintln!(
-                            "unknown policy: {label} (known: {})",
-                            DispatchPolicy::all()
-                                .iter()
-                                .map(|p| p.label())
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        );
-                        std::process::exit(2);
-                    }
-                },
-                None => DispatchPolicy::all(),
-            };
+            let mixes = resolve_mixes(&opts.mix_filter);
+            let policies = resolve_policies(&opts.policy_filter);
             if opts.seeds.len() > 1 {
                 // Seed sweep: mean ± σ figures per (mix, policy, scheduler).
                 let r = mix::run_seeds(

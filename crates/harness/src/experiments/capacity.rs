@@ -1,0 +1,189 @@
+//! Capacity curves: multi-tenant STP (and ANTT) as a function of chip size,
+//! per dispatch policy — the ROADMAP's "capacity curves (STP vs SM count per
+//! policy)" item.
+//!
+//! For every requested SM count the experiment re-runs the mix experiment
+//! (solo baselines are re-measured at that SM count — a tenant's `alone` IPC
+//! is itself a function of chip size) and extracts one `(SM count, mix,
+//! policy)` point per co-run. The rendered report prints one table per mix
+//! with SM counts as rows and policies as columns, which is the shape the
+//! curves are plotted from.
+
+use crate::experiments::mix as mix_experiment;
+use crate::report::Table;
+use crate::runner::Runner;
+use crate::schedulers::SchedulerKind;
+use ciao_workloads::Mix;
+use gpu_sim::DispatchPolicy;
+use serde::{Deserialize, Serialize};
+
+/// One `(SM count, mix, policy)` measurement of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityPoint {
+    /// Number of SMs of the simulated chip.
+    pub sms: usize,
+    /// Mix name.
+    pub mix: String,
+    /// Dispatch policy label.
+    pub policy: String,
+    /// System throughput of the co-run at this chip size.
+    pub stp: f64,
+    /// Average normalized turnaround time at this chip size.
+    pub antt: f64,
+    /// Tenants starved outright at this chip size.
+    pub starved_tenants: usize,
+    /// Whether the co-run hit the simulation cap.
+    pub capped: bool,
+}
+
+/// Full result of the capacity sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityResult {
+    /// Run scale label.
+    pub scale: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// The SM counts swept, in order.
+    pub sm_counts: Vec<usize>,
+    /// Scheduler the sweep ran under.
+    pub scheduler: String,
+    /// Every measured point, in (SM count, mix, policy) order.
+    pub points: Vec<CapacityPoint>,
+}
+
+/// The default chip sizes swept: small chips up to the paper's 15-SM machine.
+pub fn default_sm_counts() -> Vec<usize> {
+    vec![2, 4, 8, 15]
+}
+
+/// Runs `mixes × policies` co-runs at every SM count of the sweep under
+/// `scheduler`, re-measuring solo baselines per chip size.
+pub fn run(
+    runner: &Runner,
+    sm_counts: &[usize],
+    mixes: &[Mix],
+    policies: &[DispatchPolicy],
+    scheduler: SchedulerKind,
+) -> CapacityResult {
+    let mut points = Vec::new();
+    for &sms in sm_counts {
+        let sized = runner.clone().with_sms(sms);
+        let result = mix_experiment::run(&sized, mixes, policies, &[scheduler]);
+        for row in result.rows {
+            points.push(CapacityPoint {
+                sms,
+                mix: row.mix,
+                policy: row.policy,
+                stp: row.stp,
+                antt: row.antt,
+                starved_tenants: row.starved_tenants,
+                capped: row.capped,
+            });
+        }
+    }
+    CapacityResult {
+        scale: format!("{:?}", runner.scale),
+        seed: runner.seed,
+        sm_counts: sm_counts.to_vec(),
+        scheduler: scheduler.label().to_string(),
+        points,
+    }
+}
+
+/// Plain-text report: one STP table per mix (rows = SM counts, columns =
+/// policies), with starved/capped markers inline.
+pub fn render(result: &CapacityResult) -> String {
+    let mut out = String::new();
+    let mixes: Vec<String> = {
+        let mut seen = Vec::new();
+        for p in &result.points {
+            if !seen.contains(&p.mix) {
+                seen.push(p.mix.clone());
+            }
+        }
+        seen
+    };
+    let policies: Vec<String> = {
+        let mut seen = Vec::new();
+        for p in &result.points {
+            if !seen.contains(&p.policy) {
+                seen.push(p.policy.clone());
+            }
+        }
+        seen
+    };
+    for mix in &mixes {
+        let mut header: Vec<&str> = vec!["SMs"];
+        header.extend(policies.iter().map(String::as_str));
+        let mut table = Table::new(
+            format!(
+                "Capacity curve — {mix} STP vs SM count ({} scale, seed {}, {})",
+                result.scale, result.seed, result.scheduler
+            ),
+            &header,
+        );
+        for &sms in &result.sm_counts {
+            let mut cells = vec![sms.to_string()];
+            for policy in &policies {
+                let cell = result
+                    .points
+                    .iter()
+                    .find(|p| p.sms == sms && &p.mix == mix && &p.policy == policy)
+                    .map(|p| {
+                        let mark = if p.starved_tenants > 0 {
+                            "!"
+                        } else if p.capped {
+                            "*"
+                        } else {
+                            ""
+                        };
+                        format!("{:.3}{mark}", p.stp)
+                    })
+                    .unwrap_or_else(|| "-".to_string());
+                cells.push(cell);
+            }
+            table.row(cells);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str("(! = a tenant starved, * = run hit the simulation cap)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunScale;
+
+    #[test]
+    fn capacity_sweep_measures_every_point_and_renders() {
+        let runner = Runner::new(RunScale::Tiny);
+        let result = run(
+            &runner,
+            &[2, 4],
+            &[Mix::CacheCompute],
+            &[DispatchPolicy::SharedRoundRobin, DispatchPolicy::InterferenceAware],
+            SchedulerKind::Gto,
+        );
+        assert_eq!(result.sm_counts, vec![2, 4]);
+        assert_eq!(result.points.len(), 4, "2 SM counts × 1 mix × 2 policies");
+        for p in &result.points {
+            assert!(p.stp > 0.0, "{}/{}@{}: STP must be positive", p.mix, p.policy, p.sms);
+            assert!(p.antt >= 1.0 - 1e-9);
+        }
+        // More SMs must not *reduce* shared-rr STP on this light mix.
+        let stp_at = |sms: usize| {
+            result.points.iter().find(|p| p.sms == sms && p.policy == "shared-rr").unwrap().stp
+        };
+        assert!(stp_at(4) >= 0.8 * stp_at(2), "capacity curve collapsed between 2 and 4 SMs");
+        let text = render(&result);
+        assert!(text.contains("Capacity curve"));
+        assert!(text.contains("shared-rr"));
+        assert!(text.contains("interference-aware"));
+        // JSON round-trip (the harness archives the sweep).
+        let json = serde_json::to_string(&result).expect("serialise");
+        let back: CapacityResult = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.points.len(), result.points.len());
+    }
+}

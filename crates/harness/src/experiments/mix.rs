@@ -42,6 +42,12 @@ pub struct TenantOutcome {
     pub l2_miss_share: f64,
     /// Tenant's own L1D hit rate inside the co-run.
     pub l1d_hit_rate: f64,
+    /// Bytes the tenant pushed through the shared request-direction crossbar
+    /// fabric.
+    pub fabric_request_bytes: u64,
+    /// Bytes returned to the tenant through the shared reply-direction
+    /// fabric.
+    pub fabric_reply_bytes: u64,
     /// Whether the tenant was cut short by the simulation cap.
     pub capped: bool,
 }
@@ -75,6 +81,12 @@ pub struct MixRow {
     pub sm_ipc_stddev: f64,
     /// Per-tenant outcomes, in mix order.
     pub tenants: Vec<TenantOutcome>,
+    /// Cycles requests queued against the chip-wide request-direction
+    /// crossbar budget.
+    pub fabric_request_queueing: u64,
+    /// Cycles read replies queued against the chip-wide reply-direction
+    /// crossbar budget — the reply-path contention signal.
+    pub fabric_reply_queueing: u64,
     /// Whether any SM hit the simulation cap.
     pub capped: bool,
     /// Throttle decisions the `interference-aware` dispatcher took (0 for
@@ -172,6 +184,8 @@ pub fn run(
                         starved: alone_ipc > 0.0 && t.ipc() <= 0.0,
                         l2_miss_share: t.l2_miss_share(total_l2_misses),
                         l1d_hit_rate: t.l1d_hit_rate(),
+                        fabric_request_bytes: t.fabric_request_bytes,
+                        fabric_reply_bytes: t.fabric_reply_bytes,
                         capped: t.capped,
                     })
                     .collect();
@@ -205,6 +219,8 @@ pub fn run(
                     sm_ipc_max: imbalance.max_ipc,
                     sm_ipc_stddev: imbalance.stddev_ipc,
                     tenants,
+                    fabric_request_queueing: res.fabric.request.queueing_cycles,
+                    fabric_reply_queueing: res.fabric.reply.queueing_cycles,
                     capped: res.capped,
                     throttles: res.dispatch_log.throttle_count(),
                     restores: res.dispatch_log.restore_count(),
@@ -264,7 +280,17 @@ pub fn render(result: &MixResult) -> String {
             "Multi-tenant mixes — STP / ANTT per policy ({} SMs, {} scale, seed {}{arrivals})",
             result.num_sms, result.scale, result.seed
         ),
-        &["mix", "scheduler", "policy", "STP", "ANTT", "chip IPC", "per-SM IPC", "decisions"],
+        &[
+            "mix",
+            "scheduler",
+            "policy",
+            "STP",
+            "ANTT",
+            "chip IPC",
+            "per-SM IPC",
+            "xbar queue rq/rp",
+            "decisions",
+        ],
     );
     for r in &result.rows {
         let imbalance = gpu_sim::SmImbalance {
@@ -284,6 +310,7 @@ pub fn render(result: &MixResult) -> String {
             },
             format!("{:.4}", r.chip_ipc),
             crate::report::imbalance_cell(&imbalance),
+            format!("{}/{}", r.fabric_request_queueing, r.fabric_reply_queueing),
             if r.decision_log.is_empty() {
                 "-".to_string()
             } else {
@@ -293,8 +320,18 @@ pub fn render(result: &MixResult) -> String {
     }
 
     let mut detail = Table::new(
-        "Per-tenant breakdown (slowdown = alone IPC / shared IPC)",
-        &["mix", "scheduler", "policy", "tenant", "alone", "shared", "slowdown", "L2-miss %"],
+        "Per-tenant breakdown (slowdown = alone IPC / shared IPC; xbar = shared-fabric KB rq/rp)",
+        &[
+            "mix",
+            "scheduler",
+            "policy",
+            "tenant",
+            "alone",
+            "shared",
+            "slowdown",
+            "L2-miss %",
+            "xbar KB rq/rp",
+        ],
     );
     for r in &result.rows {
         for t in &r.tenants {
@@ -307,6 +344,7 @@ pub fn render(result: &MixResult) -> String {
                 format!("{:.4}", t.shared_ipc),
                 if t.starved { "starved".to_string() } else { format!("{:.2}x", t.slowdown) },
                 format!("{:.1}%", t.l2_miss_share * 100.0),
+                format!("{}/{}", t.fabric_request_bytes / 1024, t.fabric_reply_bytes / 1024),
             ]);
         }
     }

@@ -7,6 +7,7 @@
 //! the criterion benches both call these functions, so the recorded results
 //! in EXPERIMENTS.md come from exactly the code a user runs.
 
+pub mod capacity;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -17,6 +17,7 @@
 //! | Fig. 12a/12b (cache / DRAM configurations) | [`experiments::fig12`] | `fig12` |
 //! | §V-F (overhead analysis) | [`experiments::overhead`] | `overhead` |
 //! | Multi-tenant mixes (STP/ANTT across policies) | [`experiments::mix`] | `mix` |
+//! | Capacity curves (STP vs SM count per policy) | [`experiments::capacity`] | `capacity` |
 //! | CI performance-regression gate | [`perf`] | `perf` |
 //!
 //! Every experiment accepts the `--sms N` axis: the [`runner::Runner`]

@@ -64,6 +64,11 @@ pub struct PerfReport {
     /// Wall-clock seconds for the whole measurement (informational only —
     /// machine-dependent, never gated).
     pub wall_clock_secs: f64,
+    /// Wall-clock seconds of the mix-STP sweep alone (0 when the snapshot
+    /// was measured without mixes). Recorded so backend speedups on the
+    /// multi-SM mix runs are visible PR-over-PR in the CI job summary;
+    /// machine-dependent, never gated.
+    pub mix_wall_clock_secs: f64,
     /// Runs that hit an instruction/cycle cap.
     pub capped_runs: usize,
     /// Total runs measured.
@@ -160,6 +165,7 @@ pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -
         num_sms: runner.sms,
         seed: runner.seed,
         wall_clock_secs,
+        mix_wall_clock_secs: 0.0,
         capped_runs: records.iter().filter(|r| r.capped).count(),
         total_runs: records.len(),
         geomean_ipc,
@@ -178,9 +184,14 @@ pub fn summarize(records: &[RunRecord], runner: &Runner, wall_clock_secs: f64) -
 /// (finish-cycle) IPC definition that per-tenant records use, not the
 /// chip-cycle IPC a [`RunRecord`] carries, and a few extra solo runs are
 /// cheap next to the mix co-runs themselves.
-pub fn measure_mixes(runner: &Runner) -> BTreeMap<String, f64> {
+///
+/// Returns the `mix/policy → STP` map together with the sweep's wall-clock
+/// seconds (recorded in [`PerfReport::mix_wall_clock_secs`]).
+pub fn measure_mixes(runner: &Runner) -> (BTreeMap<String, f64>, f64) {
+    let start = std::time::Instant::now();
     let result = mix_experiment::run(runner, &Mix::all(), &gate_policies(), &[SchedulerKind::Gto]);
-    result.rows.into_iter().map(|r| (format!("{}/{}", r.mix, r.policy), r.stp)).collect()
+    let stp = result.rows.into_iter().map(|r| (format!("{}/{}", r.mix, r.policy), r.stp)).collect();
+    (stp, start.elapsed().as_secs_f64())
 }
 
 /// A gated scheduler whose IPC moved outside the tolerance band.
@@ -334,6 +345,9 @@ pub fn render(report: &PerfReport) -> String {
         "{} runs ({} capped), {:.2}s wall clock",
         report.total_runs, report.capped_runs, report.wall_clock_secs
     );
+    if report.mix_wall_clock_secs > 0.0 {
+        let _ = writeln!(out, "mix sweep wall clock: {:.2}s", report.mix_wall_clock_secs);
+    }
     out
 }
 
@@ -369,6 +383,7 @@ mod tests {
             num_sms: 1,
             seed: 0,
             wall_clock_secs: 1.0,
+            mix_wall_clock_secs: 0.0,
             capped_runs: 0,
             total_runs: 42,
             geomean_ipc,
