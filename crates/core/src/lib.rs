@@ -28,14 +28,16 @@
 //!
 //! ```
 //! use ciao_core::{CiaoParams, CiaoVariant};
-//! use gpu_sim::{GpuConfig, Simulator};
+//! use gpu_sim::{GpuConfig, SimRequest, Simulator};
 //! use ciao_workloads::{Benchmark, ScaleConfig};
+//! use std::sync::Arc;
 //!
 //! let config = GpuConfig::gtx480().with_max_instructions(5_000);
 //! let sim = Simulator::new(config.clone());
 //! let kernel = Benchmark::Syrk.kernel(&ScaleConfig::tiny());
-//! let (scheduler, redirect) = CiaoVariant::Combined.build(&CiaoParams::default(), &config);
-//! let result = sim.run(Box::new(kernel), scheduler, redirect);
+//! let request = SimRequest::kernel(Arc::new(kernel)).num_sms(1);
+//! let result =
+//!     sim.execute(request, |_sm| CiaoVariant::Combined.build(&CiaoParams::default(), &config));
 //! assert!(result.stats.instructions > 0);
 //! ```
 

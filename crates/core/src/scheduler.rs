@@ -285,6 +285,24 @@ impl WarpScheduler for CiaoScheduler {
         Some(pick)
     }
 
+    fn on_idle_cycles(&mut self, ctx: &SchedulerCtx<'_>, skipped: u64) {
+        // Every empty-ready `pick` runs the low-cutoff evaluation with the
+        // same (instructions, active_warps) arguments — no instructions
+        // retire while nothing is ready — so iterating it reaches a fixed
+        // point: each call either releases a stalled/isolated warp (bumping a
+        // decision counter) or changes nothing. Replaying until the state
+        // stops changing (capped at `skipped`) is therefore exact.
+        self.instructions_seen = ctx.instructions_executed;
+        for _ in 0..skipped {
+            self.next_low_check = ctx.instructions_executed + self.params.low_epoch;
+            let before = (self.stall_stack.len(), self.decisions);
+            self.low_epoch_check(ctx.instructions_executed, ctx.active_warps.max(1));
+            if (self.stall_stack.len(), self.decisions) == before {
+                break;
+            }
+        }
+    }
+
     fn on_cache_event(&mut self, ev: &CacheEvent) {
         // Both the L1D and the shared-memory cache share the same VTA (§III-C).
         if let CacheEventOutcome::Miss = ev.outcome {

@@ -341,6 +341,32 @@ impl BankedMemorySystem {
         f(&mut self.banks[idx].lock())
     }
 
+    /// Event-granular service entry point: serves one tagged access (normal
+    /// or L2-bypassing) at its owning bank in a single call, returning the
+    /// completion cycle at the bank's output port. Identical in every
+    /// counter and cycle to routing the access through
+    /// [`BankedMemorySystem::with_bank`] as part of a per-bank shard run —
+    /// this is the request-at-a-time shape the event-driven engine (and the
+    /// serial service path) uses, while bulk shard workers amortise the bank
+    /// lock with `with_bank` instead.
+    pub fn serve_event(
+        &self,
+        addr: Addr,
+        wid: WarpId,
+        tenant: TenantId,
+        is_write: bool,
+        bypass: bool,
+        at: Cycle,
+    ) -> Cycle {
+        self.with_bank(self.bank_of(addr), |partition| {
+            if bypass {
+                partition.access_bypass_tagged(addr, tenant, at)
+            } else {
+                partition.access_tagged(addr, wid, tenant, is_write, at)
+            }
+        })
+    }
+
     /// Chip-level statistics, aggregated across banks.
     pub fn stats(&self) -> PartitionStats {
         let mut total = PartitionStats::default();

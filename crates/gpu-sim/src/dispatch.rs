@@ -1120,16 +1120,35 @@ impl KernelQueue {
     /// finish cycle is offset by every earlier kernel's runtime). A queue
     /// with a single stream produces a result bit-identical to a plain
     /// single-kernel chip run under every policy.
-    pub fn run<F>(&self, config: &GpuConfig, policy: DispatchPolicy, mut build_unit: F) -> SimResult
+    pub fn run<F>(&self, config: &GpuConfig, policy: DispatchPolicy, build_unit: F) -> SimResult
+    where
+        F: FnMut(usize) -> SmUnit,
+    {
+        self.run_with(config, policy, crate::event::BackendKind::Epoch, build_unit)
+    }
+
+    /// [`KernelQueue::run`] with an explicit [`crate::event::BackendKind`]
+    /// timing backend driving every engine the queue spins up (the one
+    /// concurrent engine, or each serial `Exclusive` engine). Both backends
+    /// produce bit-identical results; the chosen backend's label is recorded
+    /// in [`SimResult::backend`].
+    pub fn run_with<F>(
+        &self,
+        config: &GpuConfig,
+        policy: DispatchPolicy,
+        backend: crate::event::BackendKind,
+        mut build_unit: F,
+    ) -> SimResult
     where
         F: FnMut(usize) -> SmUnit,
     {
         assert!(!self.streams.is_empty(), "a kernel queue needs at least one stream");
+        let driver = backend.backend();
         let num_sms = config.num_sms.max(1);
         if policy.is_concurrent() || self.streams.len() == 1 {
             let units = (0..num_sms).map(&mut build_unit).collect();
             let mut gpu = Gpu::with_streams(config.clone(), self.streams.clone(), policy, units);
-            gpu.run();
+            driver.drive(&mut gpu);
             let mut res = gpu.into_result();
             res.policy = policy.label().to_string();
             return res;
@@ -1144,7 +1163,7 @@ impl KernelQueue {
             let solo = KernelStream::new(0, Arc::clone(stream.kernel()));
             let units = (0..num_sms).map(&mut build_unit).collect();
             let mut gpu = Gpu::with_streams(config.clone(), vec![solo], policy, units);
-            gpu.run();
+            driver.drive(&mut gpu);
             let result = gpu.into_result();
             clock = start + result.cycles;
             runs.push((start, result));

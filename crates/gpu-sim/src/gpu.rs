@@ -74,6 +74,7 @@ use crate::scheduler::{SchedulerMetrics, WarpScheduler};
 use crate::simulator::{SimResult, TenantResult};
 use crate::sm::{ResponseEvent, Sm};
 use crate::stats::{DispatchLog, InterferenceMatrix, SmStats, TenantStats, TimeSeries};
+use crate::timeq::TimeQueue;
 use gpu_mem::interconnect::{Crossbar, CrossbarFabric};
 use gpu_mem::l2::{BankedMemorySystem, MemoryPartition, PartitionConfig};
 use gpu_mem::{merge_tenant_stats, Addr, Cycle, TenantId, TenantMemStats, WarpId};
@@ -310,6 +311,9 @@ pub struct Gpu {
     adaptive: Option<AdaptiveDispatcher>,
     dispatch_log: DispatchLog,
     cycle: Cycle,
+    /// Label of the timing backend that ran the chip (`"epoch"` until
+    /// [`Gpu::run_event`] is used); recorded into [`SimResult::backend`].
+    backend: &'static str,
 }
 
 impl Gpu {
@@ -402,6 +406,7 @@ impl Gpu {
             adaptive: dispatch_plan.adaptive,
             dispatch_log: DispatchLog::default(),
             cycle: 0,
+            backend: crate::event::BackendKind::Epoch.label(),
         }
     }
 
@@ -428,6 +433,196 @@ impl Gpu {
         }
         self.run_epochs();
         self.cycle
+    }
+
+    /// Runs the chip under the event-driven timing core. Produces results
+    /// bit-identical to [`Gpu::run`] (same epoch-boundary protocol, same
+    /// request and reply ordering), but each SM fast-forwards over provably
+    /// idle stretches instead of stepping them cycle by cycle, and the chip
+    /// advances single-threaded in deterministic next-event order — so the
+    /// outcome cannot depend on thread count. Returns the chip cycle count.
+    pub fn run_event(&mut self) -> Cycle {
+        self.backend = crate::event::BackendKind::Event.label();
+        let dynamic = self.adaptive.is_some() || !self.deferred.is_empty();
+        if self.sms.len() == 1 && !dynamic {
+            // Single SM, fully static work: the serial event loop,
+            // bit-identical to `Sm::run`.
+            self.cycle = self.sms[0].get_mut().run_event();
+            return self.cycle;
+        }
+        self.run_epochs_event();
+        self.cycle
+    }
+
+    /// Event-driven replica of [`Gpu::run_epochs`]: the same boundary
+    /// sequence (serve the held batch → advance SMs to the boundary →
+    /// release and deliver replies → collect the next batch → dispatch),
+    /// with identical boundary cycles, so every request is served at exactly
+    /// the cycle the epoch engine would serve it. The differences are purely
+    /// mechanical: the loop is single-threaded, SMs are advanced in the
+    /// `(next event, SM)` order maintained by a [`TimeQueue`] (wakeup hints
+    /// refreshed on reply delivery and work dispatch), and each SM settles
+    /// idle stretches with [`Sm::run_epoch_event`]'s bulk skip instead of
+    /// per-cycle stepping.
+    fn run_epochs_event(&mut self) {
+        let epoch = self.config.effective_epoch_cycles();
+        let line_size = self.config.l1d.line_size;
+        let xbar_latency = self.config.interconnect_latency;
+        let service_threads = self.config.effective_service_threads();
+        let reorder_window = self.config.reorder_window;
+        let shared = self.shared.clone();
+        let shared = shared.as_deref();
+        let num_sms = self.sms.len();
+        let num_tenants = self.tenant_names.len();
+        let max_cycles = self.config.max_cycles;
+        let sms = &self.sms;
+        let adaptive = &mut self.adaptive;
+        let deferred = &mut self.deferred;
+        let fabric = &mut self.fabric;
+        let window = &mut self.window;
+        let reply_window = &mut self.reply_window;
+
+        // Cycle-0 boundary: admit arrival-0 streams into the adaptive
+        // dispatcher and deal its initial (probe) CTAs.
+        Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, 0);
+
+        let mut timeq = TimeQueue::new(num_sms);
+        for unit in 0..num_sms {
+            timeq.schedule(unit, 0);
+        }
+
+        // Same stall guard as the epoch engine (see `run_epochs`).
+        let stall_limit = epoch
+            * crate::dispatch::DECISION_EPOCHS
+            * (crate::dispatch::MAX_PROBE_WINDOWS + 2 * crate::dispatch::DECISION_EPOCHS);
+
+        let mut now: Cycle = 0;
+        let mut last_progress: Cycle = 0;
+        let mut batch: Vec<(usize, MemRequest)> = Vec::new();
+        // Scratch for one boundary's advancement order (refilled each epoch).
+        let mut order: Vec<usize> = Vec::with_capacity(num_sms);
+        loop {
+            let alive = sms.iter().any(|s| {
+                let s = s.lock();
+                !s.is_done() && !s.hit_cap()
+            });
+            let mut proceed = alive;
+            if alive {
+                last_progress = now;
+            } else {
+                let undealt =
+                    !deferred.is_empty() || adaptive.as_ref().is_some_and(|a| a.has_work());
+                if undealt {
+                    proceed = now - last_progress < stall_limit;
+                    let next_arrival = deferred
+                        .iter()
+                        .map(|b| b.arrival)
+                        .chain(adaptive.as_ref().and_then(|a| a.next_arrival()))
+                        .min();
+                    if let Some(arrival) = next_arrival {
+                        if adaptive.as_ref().is_none_or(|a| !a.has_admitted_pending())
+                            && arrival > now + epoch
+                        {
+                            now = arrival.div_ceil(epoch) * epoch - epoch;
+                            last_progress = last_progress.max(now);
+                            proceed = true;
+                        }
+                    }
+                }
+            }
+            if max_cycles.is_some_and(|m| now >= m) {
+                proceed = false;
+            }
+            if !proceed {
+                break;
+            }
+            now += epoch;
+            // Serve the previous boundary's batch. The halved epoch clamp
+            // guarantees every completion lands strictly after `now`, the
+            // cycle it may be delivered at — exactly as in the epoch engine,
+            // which overlaps this service with the SM epoch.
+            let completions = Self::serve_batch(
+                shared,
+                fabric.as_mut(),
+                std::mem::take(&mut batch),
+                line_size,
+                service_threads,
+            );
+            // Advance every SM to the boundary, earliest next event first.
+            // Every SM settles each boundary (idle time accrues through the
+            // bulk skip), so the alive/cap checks above always see current
+            // clocks; the queue only decides the advancement order.
+            order.clear();
+            while let Some((_, unit)) = timeq.pop_next() {
+                order.push(unit);
+            }
+            for &unit in &order {
+                let mut sm = sms[unit].lock();
+                if !sm.is_done() && !sm.hit_cap() {
+                    sm.run_epoch_event(now);
+                }
+                let hint = sm.next_event_time().unwrap_or(now);
+                drop(sm);
+                timeq.schedule(unit, hint);
+            }
+            let responses = Self::release_replies(
+                fabric.as_mut(),
+                reply_window,
+                completions,
+                now + epoch,
+                reorder_window,
+                line_size,
+            );
+            Self::deliver_responses(sms, shared, &responses, now);
+            // A delivered reply wakes its SM at the response cycle.
+            for r in &responses {
+                timeq.schedule_min(r.sm, r.done);
+            }
+            batch = Self::collect_batch(sms, window, now, xbar_latency, reorder_window);
+            if Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now) {
+                last_progress = now;
+                // Freshly dealt CTAs launch at the next boundary; any SM may
+                // have received work, so pull every wakeup hint forward.
+                for unit in 0..num_sms {
+                    timeq.schedule_min(unit, now);
+                }
+            }
+        }
+        // Flush, exactly as the epoch engine does after its loop exits.
+        let mut completions = Self::serve_batch(
+            shared,
+            fabric.as_mut(),
+            std::mem::take(&mut batch),
+            line_size,
+            service_threads,
+        );
+        let rest = Self::collect_batch(sms, window, Cycle::MAX - xbar_latency, xbar_latency, 0);
+        completions.extend(Self::serve_batch(
+            shared,
+            fabric.as_mut(),
+            rest,
+            line_size,
+            service_threads,
+        ));
+        let responses = Self::release_replies(
+            fabric.as_mut(),
+            reply_window,
+            completions,
+            Cycle::MAX,
+            0,
+            line_size,
+        );
+        Self::deliver_responses(sms, shared, &responses, now);
+
+        if let Some(dispatcher) = &mut self.adaptive {
+            self.dispatch_log = dispatcher.take_log();
+        }
+        self.cycle = 0;
+        for sm in &mut self.sms {
+            let sm = sm.get_mut();
+            sm.finalize_stats();
+            self.cycle = self.cycle.max(sm.cycle());
+        }
     }
 
     fn run_epochs(&mut self) {
@@ -692,10 +887,12 @@ impl Gpu {
         };
         let mut done_at = vec![0 as Cycle; entries.len()];
         if service_threads <= 1 || shards.len() <= 1 || entries.len() < PARALLEL_SERVICE_MIN_BATCH {
-            for (bank, shard) in &shards {
-                for (i, done) in serve_shard(*bank, shard) {
-                    done_at[i] = done;
-                }
+            // Small batches: serve request-at-a-time through the
+            // event-granular bank entry point (identical per-bank order and
+            // counters; the shard machinery only pays off with workers).
+            for (i, (_, r, at_l2)) in entries.iter().enumerate() {
+                done_at[i] =
+                    shared.serve_event(r.block, r.wid, r.tenant, r.is_write, r.bypass, *at_l2);
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -937,6 +1134,8 @@ impl Gpu {
         }
         let capped = capped || undealt.iter().any(|&u| u > 0);
         SimResult {
+            schema_version: crate::simulator::SCHEMA_VERSION,
+            backend: self.backend.to_string(),
             scheduler: self.scheduler_name,
             kernel: self.kernel_name,
             policy: self.policy.label().to_string(),
@@ -1201,5 +1400,111 @@ mod tests {
             prop_assert_eq!(&serial, &run(2));
             prop_assert_eq!(&serial, &run(8));
         }
+    }
+
+    /// Serialises a finished chip's result with the backend label blanked,
+    /// so epoch- and event-driven runs can be compared field for field.
+    fn normalized_json(gpu: Gpu) -> String {
+        let mut res = gpu.into_result();
+        res.backend = String::new();
+        serde_json::to_string(&res).expect("serialise")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        /// The event-driven core is bit-identical to the epoch oracle across
+        /// chip widths, dispatch policies, and dynamic arrivals — every stat,
+        /// time-series point, and dispatch-log entry must match exactly.
+        #[test]
+        fn event_backend_matches_epoch_oracle(
+            sms in 1usize..6,
+            ctas in 1usize..6,
+            ops in 1usize..16,
+            arrival in 0u64..3_000,
+            policy_idx in 0usize..3,
+        ) {
+            let policy = [
+                DispatchPolicy::SpatialPartition,
+                DispatchPolicy::SharedRoundRobin,
+                DispatchPolicy::InterferenceAware,
+            ][policy_idx];
+            let run = |event: bool| {
+                let streams = vec![
+                    KernelStream::new(0, kernel(ctas, ops)),
+                    KernelStream::new_at(1, kernel(ctas, ops), arrival),
+                ];
+                let mut gpu =
+                    Gpu::with_streams(GpuConfig::gtx480(), streams, policy, units(sms));
+                if event { gpu.run_event() } else { gpu.run() };
+                normalized_json(gpu)
+            };
+            prop_assert_eq!(run(false), run(true));
+        }
+    }
+
+    #[test]
+    fn event_backend_matches_epoch_on_streaming_chip() {
+        let run = |event: bool| {
+            let mut gpu = Gpu::new(GpuConfig::gtx480(), streaming_kernel(8, 30), units(4));
+            if event {
+                gpu.run_event()
+            } else {
+                gpu.run()
+            };
+            normalized_json(gpu)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn event_backend_fast_forwards_far_arrivals_too() {
+        let run = |event: bool| {
+            let streams = vec![
+                KernelStream::new(0, kernel(1, 4)),
+                KernelStream::new_at(1, kernel(1, 4), 1_000_000),
+            ];
+            let mut gpu = Gpu::with_streams(
+                GpuConfig::gtx480(),
+                streams,
+                DispatchPolicy::SharedRoundRobin,
+                units(2),
+            );
+            if event {
+                gpu.run_event()
+            } else {
+                gpu.run()
+            };
+            gpu.into_result()
+        };
+        let epoch = run(false);
+        let event = run(true);
+        assert_eq!(event.backend, "event");
+        assert_eq!(epoch.cycles, event.cycles);
+        assert_eq!(epoch.stats, event.stats);
+        assert!(event.cycles >= 1_000_000 && event.cycles < 1_100_000);
+    }
+
+    #[test]
+    fn exclusive_serial_queue_is_backend_agnostic() {
+        let mut queue = crate::dispatch::KernelQueue::new();
+        queue.push(kernel(3, 12));
+        queue.push_at(kernel(3, 12), 5_000);
+        let config = GpuConfig::gtx480().with_num_sms(3);
+        let build = |_: usize| (Box::new(GtoScheduler::new()) as Box<dyn WarpScheduler>, None);
+        let epoch = queue.run_with(
+            &config,
+            DispatchPolicy::Exclusive,
+            crate::event::BackendKind::Epoch,
+            build,
+        );
+        let mut event = queue.run_with(
+            &config,
+            DispatchPolicy::Exclusive,
+            crate::event::BackendKind::Event,
+            build,
+        );
+        assert_eq!(event.backend, "event");
+        event.backend = epoch.backend.clone();
+        assert_eq!(serde_json::to_string(&epoch).unwrap(), serde_json::to_string(&event).unwrap());
     }
 }

@@ -38,10 +38,15 @@
 //! * [`stats`] — counters, per-SM → chip reduction, per-tenant counters and
 //!   the STP/ANTT co-execution metrics, time series (Figs. 9/10) and the
 //!   inter-warp interference matrix (Figs. 1a/4a).
-//! * [`simulator`] — one-call driver producing a [`simulator::SimResult`]
-//!   from a single-SM run ([`simulator::Simulator::run`]), a multi-SM chip
-//!   run ([`simulator::Simulator::run_chip`]) or a multi-kernel co-execution
-//!   run ([`simulator::Simulator::run_mix`]).
+//! * [`event`], [`timeq`] — the timing backends: the [`event::TimingBackend`]
+//!   strategy interface over the cycle-stepping epoch oracle and the
+//!   event-driven core (next-event advancement ordered by a
+//!   [`timeq::TimeQueue`], bulk idle-cycle skipping), selectable by
+//!   [`event::BackendKind`] and bit-identical to each other.
+//! * [`simulator`] — one-call driver: describe a run with a
+//!   [`simulator::SimRequest`] (streams, arrivals, policy, SM count, timing
+//!   backend) and execute it with [`simulator::Simulator::execute`] to get a
+//!   [`simulator::SimResult`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -49,6 +54,7 @@
 pub mod coalescer;
 pub mod config;
 pub mod dispatch;
+pub mod event;
 pub mod gpu;
 pub mod kernel;
 pub mod redirect;
@@ -56,6 +62,7 @@ pub mod scheduler;
 pub mod simulator;
 pub mod sm;
 pub mod stats;
+pub mod timeq;
 pub mod trace;
 pub mod warp;
 
@@ -65,6 +72,7 @@ pub use dispatch::{
     dispatch_round_robin, spatial_sm_sets, AdaptiveDispatcher, CtaWork, DispatchPolicy,
     KernelQueue, KernelStream, TenantSignal,
 };
+pub use event::{BackendKind, EpochBackend, EventBackend, TimingBackend};
 pub use gpu::{Gpu, MemRequest, MemoryPort, SmUnit};
 pub use kernel::{Kernel, KernelInfo, OffsetKernel};
 pub use redirect::{RedirectCache, RedirectLookup};
@@ -72,13 +80,14 @@ pub use scheduler::{
     CacheEvent, CacheEventOutcome, CacheKind, GtoScheduler, LrrScheduler, MemRoute, SchedulerCtx,
     SchedulerMetrics, WarpScheduler,
 };
-pub use simulator::{SimResult, Simulator, TenantResult};
+pub use simulator::{SimRequest, SimResult, Simulator, TenantResult, SCHEMA_VERSION};
 pub use sm::{ResponseEvent, Sm};
 pub use stats::{
     avg_normalized_turnaround, system_throughput, DispatchAction, DispatchDecision, DispatchLog,
     InterferenceMatrix, SmImbalance, SmStats, TenantClass, TenantStats, TimeSeries,
     TimeSeriesPoint,
 };
+pub use timeq::TimeQueue;
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
 pub use warp::{Warp, WarpState};
 

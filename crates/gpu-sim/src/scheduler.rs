@@ -125,6 +125,19 @@ pub trait WarpScheduler: Send {
     /// `ctx.ready` and must respect their own throttling decisions.
     fn pick(&mut self, ctx: &SchedulerCtx<'_>) -> Option<usize>;
 
+    /// Notifies the scheduler that the SM skipped `skipped` consecutive
+    /// cycles on which *no* warp was ready (the event-driven backend's
+    /// idle-cycle fast-forward). `ctx` is the context of the *last* skipped
+    /// cycle, with `ctx.ready` empty.
+    ///
+    /// Contract: after this call the scheduler must be in exactly the state
+    /// it would hold after `skipped` consecutive [`WarpScheduler::pick`]
+    /// calls with an empty ready set. Schedulers whose empty-ready `pick` is
+    /// pure (GTO, LRR) keep this default no-op; schedulers that mutate state
+    /// on empty picks (CCWS score decay, CIAO low-epoch checks, dirty-flag
+    /// recomputes) must override it.
+    fn on_idle_cycles(&mut self, _ctx: &SchedulerCtx<'_>, _skipped: u64) {}
+
     /// Notifies the scheduler that warp `wid` issued an operation.
     fn on_issue(&mut self, _wid: WarpId, _is_mem: bool, _now: Cycle) {}
 

@@ -294,6 +294,132 @@ impl Sm {
         }
     }
 
+    /// Event-driven equivalent of [`Sm::run`]: produces bit-identical state
+    /// and statistics, but fast-forwards over provably idle stretches (all
+    /// warps stalled, no response due) instead of stepping them one cycle at
+    /// a time. Returns the number of cycles simulated.
+    pub fn run_event(&mut self) -> Cycle {
+        while !self.is_done() && !self.hit_cap() {
+            match self.idle_skip_target(Cycle::MAX) {
+                Some(target) => self.skip_idle_to(target),
+                None => self.step(),
+            }
+        }
+        self.finalize_stats();
+        self.cycle
+    }
+
+    /// Event-driven equivalent of [`Sm::run_epoch`]: advances to (at most)
+    /// cycle `until`, fast-forwarding idle stretches. Bit-identical to
+    /// stepping every cycle.
+    pub fn run_epoch_event(&mut self, until: Cycle) {
+        while self.cycle < until && !self.is_done() && !self.hit_cap() {
+            match self.idle_skip_target(until) {
+                Some(target) => self.skip_idle_to(target),
+                None => self.step(),
+            }
+        }
+    }
+
+    /// The SM's next-event time: the cycle at which something observable can
+    /// happen (a warp wakeup or a pending memory response), or `None` when
+    /// the current cycle cannot be skipped (ready warps, due responses,
+    /// pending CTA retires/launches or releasable barriers). Used by the
+    /// event-driven engine to order SM advancement.
+    pub fn next_event_time(&self) -> Option<Cycle> {
+        self.idle_skip_target(Cycle::MAX)
+    }
+
+    /// Largest `target` in `(cycle, until]` such that every cycle in
+    /// `[cycle, target)` is provably a no-op apart from idle-cycle
+    /// accounting and empty-ready scheduler picks. `None` when the current
+    /// cycle must be stepped normally.
+    ///
+    /// A cycle is skippable only when *all* of the following hold — each
+    /// condition guards one phase of [`Sm::step`]:
+    /// 1. no unfinished warp is ready (issue, warp-finish detection and
+    ///    throttle accounting are all no-ops),
+    /// 2. no pending memory response is due,
+    /// 3. no resident CTA has every warp finished (retire + launch pending),
+    /// 4. no CTA barrier is releasable,
+    /// 5. the time-series sampler is not due (it is instruction-indexed, so
+    ///    it cannot newly trigger while nothing issues).
+    fn idle_skip_target(&self, until: Cycle) -> Option<Cycle> {
+        let now = self.cycle;
+        if until <= now {
+            return None;
+        }
+        if self.stats.instructions >= self.snapshot.instructions + self.config.sample_interval_insts
+        {
+            return None;
+        }
+        for w in &self.warps {
+            if !w.is_finished() && w.is_ready(now) {
+                return None;
+            }
+        }
+        if let Some(&Reverse((when, _))) = self.pending.peek() {
+            if when <= now {
+                return None;
+            }
+        }
+        for cta in &self.resident {
+            if cta.warp_slots.iter().all(|&s| self.warps[s].is_finished()) {
+                return None;
+            }
+        }
+        for cta in &self.resident {
+            let all_arrived = cta.warp_slots.iter().all(|&s| {
+                matches!(self.warps[s].state, WarpState::AtBarrier) || self.warps[s].is_finished()
+            });
+            let any_waiting =
+                cta.warp_slots.iter().any(|&s| matches!(self.warps[s].state, WarpState::AtBarrier));
+            if all_arrived && any_waiting {
+                return None;
+            }
+        }
+        // Jump to the earliest wakeup: the next due response or the earliest
+        // `Executing` expiry, clamped to the epoch boundary and the cycle
+        // cap. Conditions 1–2 guarantee every candidate is `> now`.
+        let mut target = until;
+        if let Some(&Reverse((when, _))) = self.pending.peek() {
+            target = target.min(when);
+        }
+        for w in &self.warps {
+            if w.is_finished() {
+                continue;
+            }
+            if let WarpState::Executing { until: t } = w.state {
+                target = target.min(t);
+            }
+        }
+        if let Some(m) = self.config.max_cycles {
+            target = target.min(m);
+        }
+        (target > now).then_some(target)
+    }
+
+    /// Fast-forwards the SM from `cycle` to `target`, accounting the skipped
+    /// stretch exactly as `target - cycle` consecutive idle [`Sm::step`]s
+    /// would: `idle_cycles` grows by the stretch length and the scheduler
+    /// observes the equivalent of that many empty-ready picks (see
+    /// [`WarpScheduler::on_idle_cycles`]).
+    fn skip_idle_to(&mut self, target: Cycle) {
+        let skipped = target - self.cycle;
+        self.stats.idle_cycles += skipped;
+        let last = target - 1;
+        let ctx = SchedulerCtx {
+            now: last,
+            warps: &self.warps,
+            ready: &[],
+            instructions_executed: self.stats.instructions,
+            active_warps: self.warps.iter().filter(|w| !w.is_finished()).count(),
+            dram_utilization: self.port.dram_utilization(last.max(1)),
+        };
+        self.scheduler.on_idle_cycles(&ctx, skipped);
+        self.cycle = target;
+    }
+
     /// Drains the memory requests buffered by a deferred port during the
     /// last epoch (empty for an SM with a private partition).
     pub fn drain_requests(&mut self) -> Vec<MemRequest> {

@@ -1,0 +1,190 @@
+//! The time-ordered event queue driving the event-driven timing core.
+//!
+//! [`TimeQueue`] tracks, for a fixed set of simulation units (the SMs of a
+//! chip), the cycle at which each unit next has work to do — a warp wakeup, a
+//! reply delivery, a dispatch boundary. The event engine pops units in
+//! ascending `(time, unit, seq)` order, so advancement order is a pure
+//! function of simulated time and unit index: results can never depend on
+//! host thread scheduling, and ties always break the same way.
+//!
+//! Each unit has at most one *live* entry. Rescheduling a unit supersedes its
+//! previous entry lazily: the stale heap node stays in place and is discarded
+//! when popped (its sequence number no longer matches the unit's current
+//! generation). This keeps [`TimeQueue::schedule`] at one heap push instead
+//! of a linear scan.
+
+use gpu_mem::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, unit, seq)` wakeup entries with per-unit lazy
+/// invalidation. See the module docs for the model.
+#[derive(Debug, Default)]
+pub struct TimeQueue {
+    /// Min-heap over `(time, unit, seq)`.
+    heap: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
+    /// Per-unit generation: the `seq` of the unit's live entry, or
+    /// `NO_ENTRY` when the unit is not scheduled.
+    live: Vec<u64>,
+    /// Monotonic sequence stamped onto every pushed entry.
+    seq: u64,
+}
+
+/// Sentinel generation for "this unit has no live entry".
+const NO_ENTRY: u64 = u64::MAX;
+
+impl TimeQueue {
+    /// An empty queue tracking `units` units (indices `0..units`).
+    pub fn new(units: usize) -> Self {
+        TimeQueue { heap: BinaryHeap::with_capacity(units), live: vec![NO_ENTRY; units], seq: 0 }
+    }
+
+    /// Number of units with a live entry.
+    pub fn len(&self) -> usize {
+        self.live.iter().filter(|&&g| g != NO_ENTRY).count()
+    }
+
+    /// True when no unit is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live.iter().all(|&g| g == NO_ENTRY)
+    }
+
+    /// Schedules (or reschedules) `unit` to wake at `time`, superseding any
+    /// previous entry for the unit.
+    pub fn schedule(&mut self, unit: usize, time: Cycle) {
+        assert!(unit < self.live.len(), "unit {unit} out of range");
+        let seq = self.seq;
+        self.seq += 1;
+        self.live[unit] = seq;
+        self.heap.push(Reverse((time, unit, seq)));
+    }
+
+    /// Pulls `unit`'s wakeup *forward* to `time` if it is currently scheduled
+    /// later (or not at all); a unit already due earlier keeps its slot. Used
+    /// when an external event (a reply delivery, newly dealt work) may wake a
+    /// unit before its self-reported next event.
+    pub fn schedule_min(&mut self, unit: usize, time: Cycle) {
+        match self.scheduled_at(unit) {
+            Some(t) if t <= time => {}
+            _ => self.schedule(unit, time),
+        }
+    }
+
+    /// The time `unit` is currently scheduled for, if any.
+    pub fn scheduled_at(&self, unit: usize) -> Option<Cycle> {
+        let live = *self.live.get(unit)?;
+        if live == NO_ENTRY {
+            return None;
+        }
+        // The live entry is somewhere in the heap; find it lazily only in
+        // debug-sized queues would be wasteful, so track it via a scan of the
+        // heap's backing slice (entries are few: one live + stale per unit).
+        self.heap
+            .iter()
+            .find(|Reverse((_, u, s))| *u == unit && *s == live)
+            .map(|Reverse((t, _, _))| *t)
+    }
+
+    /// The earliest scheduled time, if any unit is scheduled.
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        self.skim();
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops the earliest live entry, returning `(time, unit)`; `None` when no
+    /// unit is scheduled. Ties (same time) break by ascending unit index.
+    pub fn pop_next(&mut self) -> Option<(Cycle, usize)> {
+        while let Some(Reverse((time, unit, seq))) = self.heap.pop() {
+            if self.live[unit] == seq {
+                self.live[unit] = NO_ENTRY;
+                return Some((time, unit));
+            }
+        }
+        None
+    }
+
+    /// Pops the earliest live entry due at or before `now`, or `None` when
+    /// the earliest event lies beyond `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, usize)> {
+        if self.peek_time()? > now {
+            return None;
+        }
+        self.pop_next()
+    }
+
+    /// Discards stale entries sitting on top of the heap so `peek` reflects
+    /// the earliest *live* entry.
+    fn skim(&mut self) {
+        while let Some(Reverse((_, unit, seq))) = self.heap.peek() {
+            if self.live[*unit] == *seq {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_unit_order() {
+        let mut q = TimeQueue::new(4);
+        q.schedule(2, 10);
+        q.schedule(0, 10);
+        q.schedule(3, 5);
+        q.schedule(1, 20);
+        assert_eq!(q.pop_next(), Some((5, 3)));
+        assert_eq!(q.pop_next(), Some((10, 0)), "ties break by unit index");
+        assert_eq!(q.pop_next(), Some((10, 2)));
+        assert_eq!(q.pop_next(), Some((20, 1)));
+        assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn reschedule_supersedes_previous_entry() {
+        let mut q = TimeQueue::new(2);
+        q.schedule(0, 100);
+        q.schedule(1, 50);
+        q.schedule(0, 10); // supersedes the entry at 100
+        assert_eq!(q.pop_next(), Some((10, 0)));
+        assert_eq!(q.pop_next(), Some((50, 1)));
+        assert_eq!(q.pop_next(), None, "stale entry at 100 was discarded");
+    }
+
+    #[test]
+    fn schedule_min_only_moves_wakeups_forward() {
+        let mut q = TimeQueue::new(2);
+        q.schedule(0, 30);
+        q.schedule_min(0, 40); // later: ignored
+        assert_eq!(q.scheduled_at(0), Some(30));
+        q.schedule_min(0, 20); // earlier: supersedes
+        assert_eq!(q.scheduled_at(0), Some(20));
+        q.schedule_min(1, 15); // unscheduled unit: plain schedule
+        assert_eq!(q.pop_next(), Some((15, 1)));
+        assert_eq!(q.pop_next(), Some((20, 0)));
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = TimeQueue::new(3);
+        q.schedule(0, 5);
+        q.schedule(1, 10);
+        q.schedule(2, 99);
+        assert_eq!(q.pop_due(10), Some((5, 0)));
+        assert_eq!(q.pop_due(10), Some((10, 1)));
+        assert_eq!(q.pop_due(10), None, "unit 2 is beyond the horizon");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(99), Some((99, 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_stale_entries() {
+        let mut q = TimeQueue::new(1);
+        q.schedule(0, 7);
+        q.schedule(0, 42);
+        assert_eq!(q.peek_time(), Some(42));
+    }
+}

@@ -37,10 +37,10 @@ use ciao_harness::experiments::{
 };
 use ciao_harness::perf;
 use ciao_harness::report::write_json;
-use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::runner::{RunPlan, RunScale, Runner};
 use ciao_harness::schedulers::SchedulerKind;
 use ciao_workloads::{Benchmark, Mix};
-use gpu_sim::DispatchPolicy;
+use gpu_sim::{BackendKind, DispatchPolicy};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -51,6 +51,7 @@ struct Options {
     sms: usize,
     seeds: Vec<u64>,
     arrivals: u64,
+    backend: BackendKind,
     baseline: PathBuf,
     bench_out: PathBuf,
     allow_missing_baseline: bool,
@@ -88,6 +89,7 @@ fn parse_args() -> Options {
     let mut sms = 1usize;
     let mut seeds = vec![0u64];
     let mut arrivals = 0u64;
+    let mut backend = BackendKind::default();
     let mut baseline = PathBuf::from("bench/baseline.json");
     let mut bench_out = PathBuf::from("BENCH_PR.json");
     let mut allow_missing_baseline = false;
@@ -141,6 +143,13 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--backend" => {
+                backend =
+                    args.next().as_deref().and_then(BackendKind::from_label).unwrap_or_else(|| {
+                        eprintln!("--backend expects epoch or event");
+                        std::process::exit(2);
+                    });
+            }
             "--baseline" => {
                 baseline = args.next().map(PathBuf::from).unwrap_or_else(|| {
                     eprintln!("--baseline expects a path");
@@ -172,7 +181,7 @@ fn parse_args() -> Options {
                 println!(
                     "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|perf|all> \
                      [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals STRIDE] \
-                     [--out DIR] [--mix NAME] \
+                     [--backend epoch|event] [--out DIR] [--mix NAME] \
                      [--policy exclusive|spatial|shared-rr|interference-aware] \
                      [--capacity-curve] [--sm-counts A,B,..] \
                      [--baseline FILE] [--bench-out FILE] \
@@ -194,6 +203,7 @@ fn parse_args() -> Options {
         sms,
         seeds,
         arrivals,
+        backend,
         baseline,
         bench_out,
         allow_missing_baseline,
@@ -250,6 +260,29 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
         let (mix_stp, mix_secs) = perf::measure_mixes(runner);
         report.mix_stp = mix_stp;
         report.mix_wall_clock_secs = mix_secs;
+        // Cross-check the other timing backend on the same sweep: the STPs
+        // must match bit-for-bit (both backends are exact), and the wall
+        // clocks give the PR-over-PR epoch-vs-event speedup figure. Printed,
+        // never gated or persisted — wall clocks are machine-dependent.
+        let other = match runner.backend {
+            BackendKind::Epoch => BackendKind::Event,
+            BackendKind::Event => BackendKind::Epoch,
+        };
+        eprintln!("[ciao-harness] re-measuring mix STPs on the {other} backend ...");
+        let (other_stp, other_secs) = perf::measure_mixes(&runner.clone().with_backend(other));
+        if other_stp != report.mix_stp {
+            eprintln!("perf gate FAILED: {other} backend STPs diverge from {}", runner.backend);
+            std::process::exit(1);
+        }
+        let (epoch_secs, event_secs) = match runner.backend {
+            BackendKind::Epoch => (mix_secs, other_secs),
+            BackendKind::Event => (other_secs, mix_secs),
+        };
+        println!(
+            "mix sweep backends agree; wall clock epoch {epoch_secs:.2}s vs event \
+             {event_secs:.2}s ({:.1}x)",
+            epoch_secs / event_secs.max(1e-9)
+        );
     }
     print!("{}", perf::render(&report));
     if let Err(e) = write_json(&opts.bench_out, &report) {
@@ -465,13 +498,18 @@ fn main() {
             opts.experiment
         );
     }
-    let runner = Runner::new(opts.scale)
-        .with_sms(opts.sms)
-        .with_seed(opts.seed())
-        .with_arrivals(opts.arrivals);
+    let plan = RunPlan {
+        scale: opts.scale,
+        sms: opts.sms,
+        seed: opts.seed(),
+        arrival_stride: opts.arrivals,
+        backend: opts.backend,
+        threads: None,
+    };
+    let runner = Runner::from_plan(&plan);
     eprintln!(
         "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, seed{} {}, \
-         arrivals +{}, {} worker threads",
+         arrivals +{}, {} backend, {} worker threads",
         opts.scale,
         opts.scale.max_instructions(),
         runner.sms,
@@ -479,6 +517,7 @@ fn main() {
         if opts.seeds.len() == 1 { "" } else { "s" },
         opts.seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
         opts.arrivals,
+        runner.backend,
         runner.threads
     );
     if opts.experiment == "all" {

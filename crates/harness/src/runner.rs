@@ -11,7 +11,7 @@
 use crate::schedulers::SchedulerKind;
 use ciao_core::CiaoParams;
 use ciao_workloads::{Benchmark, Mix, ScaleConfig};
-use gpu_sim::{DispatchPolicy, GpuConfig, Kernel, SimResult, Simulator};
+use gpu_sim::{BackendKind, DispatchPolicy, GpuConfig, Kernel, SimRequest, SimResult, Simulator};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -146,6 +146,44 @@ pub struct Runner {
     /// tenant `t` of a mix enters the kernel queue at `t × stride` cycles.
     /// `0` (the default) launches every tenant at cycle 0.
     pub arrival_stride: u64,
+    /// Timing backend driving every simulation (the `--backend` axis). Both
+    /// backends produce bit-identical results; `event` is much faster on
+    /// memory-bound multi-SM runs.
+    pub backend: BackendKind,
+}
+
+/// The run-shaping knobs every experiment command consumes, gathered into one
+/// config struct: the CLI parses straight into a `RunPlan` and experiments
+/// build their [`Runner`] from it with [`Runner::from_plan`].
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Run size (the `--tiny` / `--quick` / `--full` axis).
+    pub scale: RunScale,
+    /// Number of simulated SMs per run (`--sms N`).
+    pub sms: usize,
+    /// Experiment seed mixed into every synthetic trace (`--seed N`).
+    pub seed: u64,
+    /// Arrival stagger for mix co-runs (`--arrivals STRIDE`).
+    pub arrival_stride: u64,
+    /// Timing backend (`--backend {epoch,event}`).
+    pub backend: BackendKind,
+    /// Worker-thread override for matrix runs; `None` keeps the runner's
+    /// hardware-derived default.
+    pub threads: Option<usize>,
+}
+
+impl RunPlan {
+    /// A plan at the given scale with every other knob at its default.
+    pub fn new(scale: RunScale) -> Self {
+        RunPlan {
+            scale,
+            sms: 1,
+            seed: 0,
+            arrival_stride: 0,
+            backend: BackendKind::default(),
+            threads: None,
+        }
+    }
 }
 
 impl Runner {
@@ -159,7 +197,21 @@ impl Runner {
             sms: 1,
             seed: 0,
             arrival_stride: 0,
+            backend: BackendKind::default(),
         }
+    }
+
+    /// Builds a runner from a [`RunPlan`].
+    pub fn from_plan(plan: &RunPlan) -> Self {
+        let mut runner = Runner::new(plan.scale)
+            .with_sms(plan.sms)
+            .with_seed(plan.seed)
+            .with_arrivals(plan.arrival_stride)
+            .with_backend(plan.backend);
+        if let Some(threads) = plan.threads {
+            runner.threads = threads.max(1);
+        }
+        runner
     }
 
     /// Overrides the machine configuration (Fig. 12 variants).
@@ -193,6 +245,12 @@ impl Runner {
         self
     }
 
+    /// Sets the timing backend driving every simulation.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The effective GPU configuration for a run (adds caps and sampling).
     pub fn effective_config(&self) -> GpuConfig {
         self.config
@@ -212,17 +270,10 @@ impl Runner {
     /// L2/DRAM) otherwise.
     pub fn run_one(&self, benchmark: Benchmark, scheduler: SchedulerKind) -> SimResult {
         let config = self.effective_config();
-        let kernel = benchmark.kernel(&self.effective_scale());
-        if self.sms <= 1 {
-            let sim = Simulator::new(config.clone());
-            let (sched, redirect) = scheduler.build(benchmark, &config, &self.params);
-            sim.run(Box::new(kernel), sched, redirect)
-        } else {
-            let chip_config = config.clone().with_num_sms(self.sms);
-            let sim = Simulator::new(chip_config);
-            let kernel: Arc<dyn Kernel> = Arc::new(kernel);
-            sim.run_chip(kernel, |_sm| scheduler.build(benchmark, &config, &self.params))
-        }
+        let kernel: Arc<dyn Kernel> = Arc::new(benchmark.kernel(&self.effective_scale()));
+        let sim = Simulator::new(config.clone());
+        let req = SimRequest::kernel(kernel).num_sms(self.sms).backend(self.backend);
+        sim.execute(req, |_sm| scheduler.build(benchmark, &config, &self.params))
     }
 
     /// Co-runs the benchmarks of `mix` (one tenant each, in mix order) on a
@@ -232,15 +283,16 @@ impl Runner {
     /// budgets) use the mix's first benchmark — a mix has no single profile.
     pub fn run_mix(&self, mix: Mix, policy: DispatchPolicy, scheduler: SchedulerKind) -> SimResult {
         let config = self.effective_config();
-        let chip_config = config.clone().with_num_sms(self.sms);
         let scale = self.effective_scale();
         let kernels = mix.kernels(&scale);
         let arrivals = mix.staggered_arrivals(self.arrival_stride);
         let profile = mix.benchmarks()[0];
-        let sim = Simulator::new(chip_config);
-        sim.run_mix_at(kernels, &arrivals, policy, |_sm| {
-            scheduler.build(profile, &config, &self.params)
-        })
+        let sim = Simulator::new(config.clone());
+        let mut req = SimRequest::new().policy(policy).num_sms(self.sms).backend(self.backend);
+        for (k, kernel) in kernels.into_iter().enumerate() {
+            req = req.stream_at(kernel, arrivals.get(k).copied().unwrap_or(0));
+        }
+        sim.execute(req, |_sm| scheduler.build(profile, &config, &self.params))
     }
 
     /// Runs one pair and returns the condensed record.
@@ -400,6 +452,48 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.instructions, b.instructions);
         assert!((a.ipc - b.ipc).abs() < 1e-12);
+    }
+
+    /// Serialises a result with the backend label blanked so epoch and event
+    /// runs can be compared field-for-field.
+    fn backend_blind_json(mut res: SimResult) -> String {
+        res.backend = String::new();
+        serde_json::to_string(&res).expect("results serialize")
+    }
+
+    #[test]
+    fn event_backend_matches_epoch_on_a_real_benchmark() {
+        let epoch = Runner::new(RunScale::Quick).run_one(Benchmark::Syrk, SchedulerKind::CiaoC);
+        let event = Runner::new(RunScale::Quick)
+            .with_backend(BackendKind::Event)
+            .run_one(Benchmark::Syrk, SchedulerKind::CiaoC);
+        assert_eq!(epoch.backend, "epoch");
+        assert_eq!(event.backend, "event");
+        assert_eq!(backend_blind_json(epoch), backend_blind_json(event));
+    }
+
+    #[test]
+    fn event_backend_matches_epoch_on_a_staggered_chip_mix() {
+        let plan = |backend| {
+            let mut plan = RunPlan::new(RunScale::Tiny);
+            plan.sms = 15;
+            plan.arrival_stride = 2_000;
+            plan.backend = backend;
+            plan
+        };
+        let epoch = Runner::from_plan(&plan(BackendKind::Epoch)).run_mix(
+            Mix::CacheStream,
+            DispatchPolicy::InterferenceAware,
+            SchedulerKind::CiaoT,
+        );
+        let event = Runner::from_plan(&plan(BackendKind::Event)).run_mix(
+            Mix::CacheStream,
+            DispatchPolicy::InterferenceAware,
+            SchedulerKind::CiaoT,
+        );
+        assert_eq!(epoch.num_sms, 15);
+        assert_eq!(epoch.per_tenant.len(), 2);
+        assert_eq!(backend_blind_json(epoch), backend_blind_json(event));
     }
 
     #[test]

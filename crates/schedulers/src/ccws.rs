@@ -151,6 +151,24 @@ impl WarpScheduler for CcwsScheduler {
         Some(pick)
     }
 
+    fn on_idle_cycles(&mut self, _ctx: &SchedulerCtx<'_>, skipped: u64) {
+        // `skipped` empty-ready picks each decay every above-floor score by
+        // 1 (clamped to the floor); applying the decay in bulk is exact
+        // because `max(x - 1, floor)` iterated k times is `max(x - k, floor)`.
+        let floor = self.config.base_score;
+        let mut changed = false;
+        for score in self.scores.iter_mut() {
+            if *score > floor {
+                *score = score.saturating_sub(skipped).max(floor);
+                changed = true;
+            }
+        }
+        self.dirty |= changed;
+        if self.dirty {
+            self.recompute_throttle();
+        }
+    }
+
     fn on_issue(&mut self, wid: WarpId, _is_mem: bool, _now: Cycle) {
         if let Some(score) = self.scores.get_mut(wid as usize) {
             let floor = self.config.base_score;

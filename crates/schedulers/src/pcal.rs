@@ -117,6 +117,16 @@ impl WarpScheduler for PcalScheduler {
         Some(pick)
     }
 
+    fn on_idle_cycles(&mut self, ctx: &SchedulerCtx<'_>, _skipped: u64) {
+        // An empty-ready `pick` still records the bandwidth sample and clears
+        // a pending recompute — both observed by `is_throttled`/`metrics`;
+        // the rest of `pick` is pure when nothing is ready.
+        self.last_utilization = ctx.dram_utilization;
+        if self.dirty {
+            self.recompute(ctx);
+        }
+    }
+
     fn on_warp_launched(&mut self, wid: WarpId, _now: Cycle) {
         // Slot reuse across CTA waves: the new occupant has not finished.
         if let Some(f) = self.finished.get_mut(wid as usize) {

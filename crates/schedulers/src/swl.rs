@@ -89,6 +89,15 @@ impl WarpScheduler for SwlScheduler {
         Some(pick)
     }
 
+    fn on_idle_cycles(&mut self, ctx: &SchedulerCtx<'_>, _skipped: u64) {
+        // An empty-ready `pick` still clears a pending recompute, which
+        // `is_throttled` / `metrics` observe through the dirty flag; the
+        // rest of `pick` is pure when nothing is ready.
+        if self.dirty {
+            self.recompute(ctx);
+        }
+    }
+
     fn on_warp_launched(&mut self, wid: WarpId, _now: Cycle) {
         // Slot reuse across CTA waves: the new occupant has not finished.
         if let Some(f) = self.finished.get_mut(wid as usize) {

@@ -35,7 +35,7 @@ pub mod prelude {
     pub use ciao_harness::schedulers::SchedulerKind;
     pub use ciao_schedulers::{CcwsScheduler, PcalScheduler, SwlScheduler};
     pub use ciao_workloads::{Benchmark, BenchmarkClass, ScaleConfig};
-    pub use gpu_sim::{GpuConfig, SimResult, Simulator};
+    pub use gpu_sim::{BackendKind, GpuConfig, SimRequest, SimResult, Simulator, TimingBackend};
 }
 
 #[cfg(test)]

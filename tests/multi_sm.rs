@@ -18,7 +18,8 @@ use ciao_suite::harness::schedulers::SchedulerKind;
 use ciao_suite::sim::kernel::{ClosureKernel, KernelInfo};
 use ciao_suite::sim::trace::{VecProgram, WarpOp};
 use ciao_suite::sim::{
-    dispatch_round_robin, GpuConfig, GtoScheduler, Kernel, SimResult, Simulator,
+    dispatch_round_robin, DispatchPolicy, GpuConfig, GtoScheduler, Kernel, SimRequest, SimResult,
+    Simulator,
 };
 use ciao_suite::workloads::Benchmark;
 use proptest::prelude::*;
@@ -73,11 +74,17 @@ fn one_sm_chip_is_bit_identical_to_legacy_run() {
         let scale = RunScale::Tiny.workload_scale();
         let sim = Simulator::new(config.clone());
 
-        let (sched, redirect) = scheduler.build(benchmark, &config, &params);
-        let legacy = sim.run(Box::new(benchmark.kernel(&scale)), sched, redirect);
-
         let kernel: Arc<dyn Kernel> = Arc::new(benchmark.kernel(&scale));
-        let chip = sim.run_chip(kernel, |_| scheduler.build(benchmark, &config, &params));
+        let legacy = sim.execute(SimRequest::kernel(Arc::clone(&kernel)).num_sms(1), |_| {
+            scheduler.build(benchmark, &config, &params)
+        });
+
+        // A non-exclusive policy sidesteps `execute`'s static-single fast
+        // path (the verbatim legacy `Sm` engine above), so this run exercises
+        // the real chip engine on a 1-SM chip — one stream admits no sharing,
+        // so the policy itself changes nothing.
+        let req = SimRequest::kernel(kernel).num_sms(1).policy(DispatchPolicy::SharedRoundRobin);
+        let chip = sim.execute(req, |_| scheduler.build(benchmark, &config, &params));
 
         assert_eq!(chip.num_sms, 1);
         assert_eq!(chip.per_sm.len(), 1);
@@ -92,7 +99,8 @@ fn chip_ipc_is_monotone_from_one_to_two_sms() {
         let config = GpuConfig::gtx480().with_num_sms(sms);
         let sim = Simulator::new(config);
         let kernel: Arc<dyn Kernel> = Arc::new(cache_light_kernel(8, 40));
-        let res = sim.run_chip(kernel, |_| (Box::new(GtoScheduler::new()) as _, None));
+        let res =
+            sim.execute(SimRequest::kernel(kernel), |_| (Box::new(GtoScheduler::new()) as _, None));
         assert!(!res.capped);
         // Same total work regardless of the SM count.
         assert_eq!(res.stats.instructions, 8 * 2 * 40 * 2);
@@ -115,7 +123,8 @@ fn shared_l2_accesses_equal_sum_of_per_sm_l1_misses() {
     let config = GpuConfig::gtx480().with_num_sms(2);
     let sim = Simulator::new(config);
     let kernel: Arc<dyn Kernel> = Arc::new(cache_light_kernel(6, 30));
-    let res = sim.run_chip(kernel, |_| (Box::new(GtoScheduler::new()) as _, None));
+    let res =
+        sim.execute(SimRequest::kernel(kernel), |_| (Box::new(GtoScheduler::new()) as _, None));
     assert!(!res.capped);
     let l1_misses: u64 = res.per_sm.iter().map(|s| s.l1d.misses()).sum();
     assert!(l1_misses > 0, "workload should miss in the L1");

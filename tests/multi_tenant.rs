@@ -19,7 +19,7 @@ use ciao_suite::harness::runner::{RunScale, Runner};
 use ciao_suite::harness::schedulers::SchedulerKind;
 use ciao_suite::sim::{
     avg_normalized_turnaround, system_throughput, DispatchAction, DispatchLog, DispatchPolicy,
-    GpuConfig, Kernel, KernelQueue, SimResult, Simulator,
+    GpuConfig, Kernel, KernelQueue, SimRequest, SimResult, Simulator,
 };
 use ciao_suite::workloads::{Benchmark, Mix};
 
@@ -54,8 +54,9 @@ fn one_tenant_mix_is_bit_identical_to_single_kernel_chip_run() {
         let sim = Simulator::new(config.clone());
 
         let kernel: Arc<dyn Kernel> = Arc::new(benchmark.kernel(&scale));
-        let chip =
-            sim.run_chip(Arc::clone(&kernel), |_| scheduler.build(benchmark, &config, &params));
+        let chip = sim.execute(SimRequest::kernel(Arc::clone(&kernel)), |_| {
+            scheduler.build(benchmark, &config, &params)
+        });
 
         for policy in DispatchPolicy::all() {
             let queue = KernelQueue::from_kernels([Arc::clone(&kernel)]);

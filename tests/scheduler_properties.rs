@@ -45,9 +45,9 @@ fn arbitrary_kernel(
 fn run_with(kernel: Box<dyn Kernel>, sched: SchedulerKind) -> SimResult {
     let config = GpuConfig::gtx480().with_max_instructions(20_000).with_sample_interval(1_000);
     let sim = Simulator::new(config.clone());
-    let (s, redirect) =
-        sched.build(Benchmark::Syrk, &config, &ciao_suite::ciao::CiaoParams::default());
-    sim.run(kernel, s, redirect)
+    sim.execute(SimRequest::kernel(std::sync::Arc::from(kernel)).num_sms(1), |_sm| {
+        sched.build(Benchmark::Syrk, &config, &ciao_suite::ciao::CiaoParams::default())
+    })
 }
 
 proptest! {
