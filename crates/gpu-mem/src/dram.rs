@@ -185,6 +185,13 @@ impl Dram {
     /// Issues a `bytes`-byte burst to `addr` at cycle `now` and returns the
     /// cycle at which the data is available.
     pub fn access(&mut self, addr: Addr, bytes: u64, now: Cycle) -> Cycle {
+        self.access_outcome(addr, bytes, now).0
+    }
+
+    /// [`Dram::access`], additionally reporting whether the burst hit the
+    /// open row buffer (used by observability to tag per-request spans;
+    /// timing is identical).
+    pub fn access_outcome(&mut self, addr: Addr, bytes: u64, now: Cycle) -> (Cycle, bool) {
         let bank_idx = self.config.bank_of(addr);
         let row = self.config.row_of(addr);
         let bank = &mut self.banks[bank_idx];
@@ -194,6 +201,7 @@ impl Dram {
         let bank_wait = start - now;
 
         // Row-buffer behaviour.
+        let row_hit = matches!(bank.open_row, Some(open) if open == row);
         let access_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
@@ -226,7 +234,7 @@ impl Dram {
         self.stats.queueing_cycles += bank_wait + bus_wait;
         self.stats.last_burst_end = self.stats.last_burst_end.max(done);
 
-        done + self.config.base_latency
+        (done + self.config.base_latency, row_hit)
     }
 }
 
@@ -289,6 +297,17 @@ mod tests {
         let u = d.bandwidth_utilization(10);
         assert!(u <= 1.0 && u > 0.9);
         assert!(d.bandwidth_utilization(0) == 0.0);
+    }
+
+    #[test]
+    fn access_outcome_reports_row_hits() {
+        let mut d = Dram::new(DramConfig::gtx480());
+        let (_, first_hit) = d.access_outcome(0, 128, 0);
+        assert!(!first_hit, "cold bank cannot row-hit");
+        let (_, second_hit) = d.access_outcome(64, 128, 10_000);
+        assert!(second_hit, "same row must hit the open row buffer");
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::{Cycle, TenantId};
 use serde::{Deserialize, Serialize};
+use sim_obs::{TraceEvent, TraceRecorder, Tracer, Track};
 
 /// A unidirectional link with fixed latency and finite bandwidth.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -264,6 +265,10 @@ pub struct CrossbarFabric {
     bytes_per_cycle: f64,
     request: FabricLink,
     reply: FabricLink,
+    /// Optional sim-time trace sink: each transfer records a span whose
+    /// duration is its queueing delay (0-delay transfers render as
+    /// instants). `None` (the default) costs one branch per transfer.
+    trace: Option<TraceRecorder>,
 }
 
 impl CrossbarFabric {
@@ -274,19 +279,44 @@ impl CrossbarFabric {
             bytes_per_cycle,
             request: FabricLink::default(),
             reply: FabricLink::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace recorder; subsequent transfers record fabric spans.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceRecorder::with_default_capacity());
+    }
+
+    /// Detaches and returns the trace recorder, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
     }
 
     /// Charges a request-direction transfer of `bytes` entering at `now` to
     /// `tenant`; returns the cycle the payload reaches the L2 side.
     pub fn request_transfer(&mut self, bytes: u64, now: Cycle, tenant: TenantId) -> Cycle {
-        self.request.transfer(bytes, self.bytes_per_cycle, now, tenant)
+        let done = self.request.transfer(bytes, self.bytes_per_cycle, now, tenant);
+        if let Some(trace) = &mut self.trace {
+            trace.record(
+                TraceEvent::span(Track::FabricRequest, "req", now, done - now, Some(tenant))
+                    .with_arg(bytes),
+            );
+        }
+        done
     }
 
     /// Charges a reply-direction transfer of `bytes` entering at `now` to
     /// `tenant`; returns the cycle the payload reaches the SM side.
     pub fn reply_transfer(&mut self, bytes: u64, now: Cycle, tenant: TenantId) -> Cycle {
-        self.reply.transfer(bytes, self.bytes_per_cycle, now, tenant)
+        let done = self.reply.transfer(bytes, self.bytes_per_cycle, now, tenant);
+        if let Some(trace) = &mut self.trace {
+            trace.record(
+                TraceEvent::span(Track::FabricReply, "reply", now, done - now, Some(tenant))
+                    .with_arg(bytes),
+            );
+        }
+        done
     }
 
     /// The per-direction bandwidth budget.
@@ -415,6 +445,24 @@ mod tests {
         assert_eq!(s.reply.tenant_bytes(7), 0);
         assert!(s.request.queueing_cycles > 0);
         assert_eq!(s.reply.queueing_cycles, 0);
+    }
+
+    #[test]
+    fn fabric_trace_records_both_directions() {
+        let mut fabric = CrossbarFabric::new(128.0);
+        assert!(fabric.take_trace().is_none(), "tracing is off by default");
+        fabric.enable_trace();
+        fabric.request_transfer(128, 0, 0);
+        fabric.request_transfer(128, 0, 1); // queues → nonzero span
+        fabric.reply_transfer(64, 5, 1);
+        let events = fabric.take_trace().expect("recorder attached").take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].track, Track::FabricRequest);
+        assert_eq!(events[0].dur, 0, "unloaded fabric adds no delay");
+        assert_eq!(events[0].arg, Some(128));
+        assert!(events[1].dur > 0, "second line queues behind the first");
+        assert_eq!(events[2].track, Track::FabricReply);
+        assert_eq!(events[2].tenant, Some(1));
     }
 
     proptest! {

@@ -20,6 +20,7 @@ use crate::dram::{Dram, DramConfig, DramStats};
 use crate::{Cycle, TenantId, WarpId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use sim_obs::{Histogram, TraceEvent, TraceRecorder, Tracer, Track};
 
 /// Configuration of a memory partition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,6 +118,52 @@ pub fn merge_tenant_stats(into: &mut Vec<TenantMemStats>, other: &[TenantMemStat
     }
 }
 
+/// Observability sink of one partition/bank: a per-request trace (when
+/// tracing) plus per-tenant service-latency histograms. Boxed and optional
+/// so the `--obs off` hot path pays one pointer-sized `None` check.
+#[derive(Debug, Clone)]
+pub struct PartitionObs {
+    /// The bank index this partition serves on the chip (trace track id).
+    pub bank: u32,
+    /// Per-request span recorder; `None` below the full trace level.
+    pub trace: Option<TraceRecorder>,
+    /// Service-latency histogram per tenant (indexed by [`TenantId`]).
+    pub latency: Vec<Histogram>,
+}
+
+impl PartitionObs {
+    fn new(bank: u32, trace_on: bool) -> Self {
+        PartitionObs {
+            bank,
+            trace: trace_on.then(TraceRecorder::with_default_capacity),
+            latency: Vec::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        name: &'static str,
+        now: Cycle,
+        done: Cycle,
+        tenant: TenantId,
+        arg: Option<u64>,
+    ) {
+        let idx = tenant as usize;
+        if self.latency.len() <= idx {
+            self.latency.resize(idx + 1, Histogram::new());
+        }
+        self.latency[idx].record(done - now);
+        if let Some(trace) = &mut self.trace {
+            let mut ev =
+                TraceEvent::span(Track::Bank(self.bank), name, now, done - now, Some(tenant));
+            if let Some(arg) = arg {
+                ev = ev.with_arg(arg);
+            }
+            trace.record(ev);
+        }
+    }
+}
+
 /// An L2 slice + DRAM channel pair.
 #[derive(Debug, Clone)]
 pub struct MemoryPartition {
@@ -126,6 +173,7 @@ pub struct MemoryPartition {
     requests: u64,
     total_latency: Cycle,
     tenants: Vec<TenantMemStats>,
+    obs: Option<Box<PartitionObs>>,
 }
 
 impl MemoryPartition {
@@ -133,7 +181,26 @@ impl MemoryPartition {
     pub fn new(config: PartitionConfig) -> Self {
         let l2 = SetAssocCache::new(config.l2.clone());
         let dram = Dram::new(config.dram);
-        MemoryPartition { config, l2, dram, requests: 0, total_latency: 0, tenants: Vec::new() }
+        MemoryPartition {
+            config,
+            l2,
+            dram,
+            requests: 0,
+            total_latency: 0,
+            tenants: Vec::new(),
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability sink as bank `bank` (per-tenant latency
+    /// histograms, plus per-request trace spans when `trace_on`).
+    pub fn enable_obs(&mut self, bank: u32, trace_on: bool) {
+        self.obs = Some(Box::new(PartitionObs::new(bank, trace_on)));
+    }
+
+    /// Detaches and returns the observability sink, if one was attached.
+    pub fn take_obs(&mut self) -> Option<Box<PartitionObs>> {
+        self.obs.take()
     }
 
     /// The partition configuration.
@@ -182,10 +249,14 @@ impl MemoryPartition {
         let mut done = now + self.config.l2_latency;
         let t = self.tenant_entry(tenant);
         t.l2_accesses += 1;
+        let mut outcome = ("l2-hit", None);
         if res.outcome.is_miss() {
             t.dram_accesses += 1;
             // Fetch (or write-allocate fetch) from DRAM.
-            done = self.dram.access(block, self.config.l2.line_size, done);
+            let (dram_done, row_hit) =
+                self.dram.access_outcome(block, self.config.l2.line_size, done);
+            done = dram_done;
+            outcome = ("l2-miss", Some(row_hit as u64));
         } else {
             t.l2_hits += 1;
         }
@@ -198,6 +269,9 @@ impl MemoryPartition {
         }
         let latency = done - now;
         self.total_latency += latency;
+        if let Some(obs) = &mut self.obs {
+            obs.record(outcome.0, now, done, tenant, outcome.1);
+        }
         done
     }
 
@@ -212,8 +286,11 @@ impl MemoryPartition {
         let block = block_addr(addr);
         self.requests += 1;
         self.tenant_entry(tenant).dram_accesses += 1;
-        let done = self.dram.access(block, self.config.l2.line_size, now);
+        let (done, row_hit) = self.dram.access_outcome(block, self.config.l2.line_size, now);
         self.total_latency += done - now;
+        if let Some(obs) = &mut self.obs {
+            obs.record("dram-bypass", now, done, tenant, Some(row_hit as u64));
+        }
         done
     }
 
@@ -365,6 +442,21 @@ impl BankedMemorySystem {
                 partition.access_tagged(addr, wid, tenant, is_write, at)
             }
         })
+    }
+
+    /// Attaches an observability sink to every bank (per-tenant latency
+    /// histograms; per-request trace spans too when `trace_on`). Bank `i`
+    /// records on trace track `Bank(i)`.
+    pub fn enable_obs(&self, trace_on: bool) {
+        for (i, bank) in self.banks.iter().enumerate() {
+            bank.lock().enable_obs(i as u32, trace_on);
+        }
+    }
+
+    /// Detaches and returns every bank's observability sink, in bank order
+    /// (empty when [`BankedMemorySystem::enable_obs`] was never called).
+    pub fn collect_obs(&self) -> Vec<Box<PartitionObs>> {
+        self.banks.iter().filter_map(|bank| bank.lock().take_obs()).collect()
     }
 
     /// Chip-level statistics, aggregated across banks.
@@ -578,6 +670,58 @@ mod tests {
         sys.reset();
         assert_eq!(sys.stats().requests, 0);
         assert_eq!(sys.dram_bandwidth_utilization(100), 0.0);
+    }
+
+    #[test]
+    fn obs_never_changes_timing_and_records_service_spans() {
+        let cfg = PartitionConfig::gtx480();
+        let mut plain = MemoryPartition::new(cfg.clone());
+        let mut observed = MemoryPartition::new(cfg);
+        observed.enable_obs(3, true);
+        let addrs = [0x1000u64, 0x2000, 0x1000, 0x40_0000, 0x2000];
+        for (i, &addr) in addrs.iter().enumerate() {
+            let now = i as Cycle * 500;
+            assert_eq!(
+                plain.access_tagged(addr, 0, 1, false, now),
+                observed.access_tagged(addr, 0, 1, false, now),
+                "an attached obs sink must not perturb timing"
+            );
+        }
+        assert_eq!(
+            plain.access_bypass_tagged(0x8000, 0, 9_000),
+            observed.access_bypass_tagged(0x8000, 0, 9_000)
+        );
+        assert_eq!(plain.stats(), observed.stats());
+
+        let obs = observed.take_obs().expect("sink attached");
+        assert_eq!(obs.bank, 3);
+        let events = obs.trace.expect("tracing on").take();
+        assert_eq!(events.len(), 6, "one span per request");
+        assert!(events.iter().all(|e| e.track == Track::Bank(3)));
+        assert!(events.iter().any(|e| e.name == "l2-hit"));
+        assert!(events.iter().any(|e| e.name == "l2-miss"));
+        assert!(events.iter().any(|e| e.name == "dram-bypass"));
+        // Latency histograms: tenant 1 got the 5 tagged requests, tenant 0
+        // the bypass.
+        assert_eq!(obs.latency[1].count(), 5);
+        assert_eq!(obs.latency[0].count(), 1);
+    }
+
+    #[test]
+    fn banked_obs_collects_per_bank_sinks() {
+        let sys = BankedMemorySystem::new(PartitionConfig::gtx480(), 4);
+        sys.enable_obs(false);
+        for i in 0..8u64 {
+            sys.access(i * 128, 0, false, 0);
+        }
+        let sinks = sys.collect_obs();
+        assert_eq!(sinks.len(), 4);
+        for (i, sink) in sinks.iter().enumerate() {
+            assert_eq!(sink.bank, i as u32);
+            assert!(sink.trace.is_none(), "metrics-only mode records no trace");
+            assert_eq!(sink.latency[0].count(), 2);
+        }
+        assert!(sys.collect_obs().is_empty(), "sinks are detached on collect");
     }
 
     proptest! {

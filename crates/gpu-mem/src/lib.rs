@@ -48,8 +48,8 @@ pub use interconnect::{
     Crossbar, CrossbarFabric, CrossbarStats, FabricDirectionStats, FabricStats, Interconnect,
 };
 pub use l2::{
-    merge_tenant_stats, BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionStats,
-    TenantMemStats,
+    merge_tenant_stats, BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionObs,
+    PartitionStats, TenantMemStats,
 };
 pub use mshr::{Mshr, MshrAllocation, MshrEntry, MshrError};
 pub use queues::{BoundedQueue, ResponseEntry, ResponseSource};

@@ -63,6 +63,7 @@ use crate::stats::{
 };
 use gpu_mem::{CtaId, Cycle, TenantId};
 use serde::{Deserialize, Serialize};
+use sim_obs::{ObsLevel, ObsReport};
 
 /// A kernel submitted for co-execution, bound to the tenant identity used to
 /// attribute its resource usage throughout the memory system.
@@ -1137,8 +1138,29 @@ impl KernelQueue {
         config: &GpuConfig,
         policy: DispatchPolicy,
         backend: crate::event::BackendKind,
-        mut build_unit: F,
+        build_unit: F,
     ) -> SimResult
+    where
+        F: FnMut(usize) -> SmUnit,
+    {
+        self.run_with_observed(config, policy, backend, ObsLevel::Off, build_unit).0
+    }
+
+    /// [`KernelQueue::run_with`] with observability collection at `obs`:
+    /// every engine the queue spins up is armed before it runs and drained
+    /// after. For the serial `Exclusive` policy, each per-kernel run's
+    /// report is shifted to its start cycle and its solo tenant re-labelled
+    /// to the queue position, so the merged report shows one timeline with
+    /// one track per queued kernel. At [`ObsLevel::Off`] the returned report
+    /// is empty and collection costs nothing.
+    pub fn run_with_observed<F>(
+        &self,
+        config: &GpuConfig,
+        policy: DispatchPolicy,
+        backend: crate::event::BackendKind,
+        obs: ObsLevel,
+        mut build_unit: F,
+    ) -> (SimResult, ObsReport)
     where
         F: FnMut(usize) -> SmUnit,
     {
@@ -1148,29 +1170,38 @@ impl KernelQueue {
         if policy.is_concurrent() || self.streams.len() == 1 {
             let units = (0..num_sms).map(&mut build_unit).collect();
             let mut gpu = Gpu::with_streams(config.clone(), self.streams.clone(), policy, units);
+            gpu.set_obs(obs);
             driver.drive(&mut gpu);
+            let report = gpu.take_obs();
             let mut res = gpu.into_result();
             res.policy = policy.label().to_string();
-            return res;
+            return (res, report);
         }
         // Exclusive: serial per-kernel chip runs, chained. A kernel starts no
         // earlier than its arrival cycle and no earlier than the previous
         // kernel's completion; the chip idles through any gap.
         let mut runs = Vec::with_capacity(self.streams.len());
         let mut clock: Cycle = 0;
-        for stream in &self.streams {
+        let mut report = ObsReport::new(obs);
+        for (k, stream) in self.streams.iter().enumerate() {
             let start = clock.max(stream.arrival_cycle);
             let solo = KernelStream::new(0, Arc::clone(stream.kernel()));
             let units = (0..num_sms).map(&mut build_unit).collect();
             let mut gpu = Gpu::with_streams(config.clone(), vec![solo], policy, units);
+            gpu.set_obs(obs);
             driver.drive(&mut gpu);
+            let mut run_report = gpu.take_obs();
+            run_report.relabel_tenant(0, k as u32);
+            run_report.shift_cycles(start);
+            report.merge(run_report);
             let result = gpu.into_result();
             clock = start + result.cycles;
             runs.push((start, result));
         }
+        report.tenants = self.streams.iter().map(|s| s.info().name.clone()).collect();
         let mut merged = merge_serial(runs);
         merged.policy = policy.label().to_string();
-        merged
+        (merged, report)
     }
 }
 

@@ -76,9 +76,10 @@ use crate::sm::{ResponseEvent, Sm};
 use crate::stats::{DispatchLog, InterferenceMatrix, SmStats, TenantStats, TimeSeries};
 use crate::timeq::TimeQueue;
 use gpu_mem::interconnect::{Crossbar, CrossbarFabric};
-use gpu_mem::l2::{BankedMemorySystem, MemoryPartition, PartitionConfig};
+use gpu_mem::l2::{BankedMemorySystem, MemoryPartition, PartitionConfig, PartitionObs};
 use gpu_mem::{merge_tenant_stats, Addr, Cycle, TenantId, TenantMemStats, WarpId};
 use parking_lot::Mutex;
+use sim_obs::{ObsLevel, ObsReport, PhaseProfiler, TraceEvent, TraceRecorder, Tracer, Track};
 
 /// Batches smaller than this are served serially even when shard workers are
 /// configured: spawning scoped workers costs more than serving a handful of
@@ -274,6 +275,22 @@ impl MemoryPort {
             MemoryPort::Deferred(_) => None,
         }
     }
+
+    /// Arms a private partition's observability sink as bank 0 (no-op for a
+    /// deferred port — the shared backend's banks own their sinks).
+    pub fn enable_obs(&mut self, trace_on: bool) {
+        if let MemoryPort::Private(p) = self {
+            p.enable_obs(0, trace_on);
+        }
+    }
+
+    /// Detaches the private partition's observability sink, if any.
+    pub fn take_obs(&mut self) -> Option<Box<PartitionObs>> {
+        match self {
+            MemoryPort::Private(p) => p.take_obs(),
+            MemoryPort::Deferred(_) => None,
+        }
+    }
 }
 
 impl DeferredPort {
@@ -314,6 +331,16 @@ pub struct Gpu {
     /// Label of the timing backend that ran the chip (`"epoch"` until
     /// [`Gpu::run_event`] is used); recorded into [`SimResult::backend`].
     backend: &'static str,
+    /// Observability level requested via [`Gpu::set_obs`] (`Off` leaves the
+    /// engine untouched — no sinks, no profiling, no trace rings).
+    obs: ObsLevel,
+    /// Wall-clock phase profiler over the engine's boundary pipeline
+    /// (inert unless `obs` enables metrics; never feeds [`SimResult`]).
+    profiler: PhaseProfiler,
+    /// Engine-internal trace ring (event-queue pops). Its events carry
+    /// [`sim_obs::TraceCategory::Engine`] and are excluded from the
+    /// canonical sim-time export, which must be backend-invariant.
+    engine_trace: Option<TraceRecorder>,
 }
 
 impl Gpu {
@@ -407,6 +434,195 @@ impl Gpu {
             dispatch_log: DispatchLog::default(),
             cycle: 0,
             backend: crate::event::BackendKind::Epoch.label(),
+            obs: ObsLevel::Off,
+            profiler: PhaseProfiler::default(),
+            engine_trace: None,
+        }
+    }
+
+    /// Arms observability collection at `level`. Call before running the
+    /// chip: `Metrics` (and above) attaches per-bank latency histograms and
+    /// enables the wall-clock phase profiler; `Full` additionally attaches
+    /// sim-time trace rings to every SM, L2 bank and fabric direction.
+    /// `Off` (the default) leaves the engine exactly as built — the hot
+    /// paths see only a dormant `Option` check.
+    pub fn set_obs(&mut self, level: ObsLevel) {
+        self.obs = level;
+        if level.metrics_enabled() {
+            self.profiler = PhaseProfiler::enabled();
+            if let Some(shared) = &self.shared {
+                shared.enable_obs(level.trace_enabled());
+            } else {
+                for sm in &mut self.sms {
+                    sm.get_mut().enable_port_obs(level.trace_enabled());
+                }
+            }
+        }
+        if level.trace_enabled() {
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                sm.get_mut().set_trace(i as u32);
+            }
+            if let Some(fabric) = &mut self.fabric {
+                fabric.enable_trace();
+            }
+            self.engine_trace = Some(TraceRecorder::with_default_capacity());
+        }
+    }
+
+    /// Detaches everything the run collected into an [`ObsReport`]. Call
+    /// after [`Gpu::run`] / [`Gpu::run_event`] and before
+    /// [`Gpu::into_result`]; none of the collected state feeds back into
+    /// the simulation result.
+    pub fn take_obs(&mut self) -> ObsReport {
+        let mut report = ObsReport::new(self.obs);
+        report.tenants = self.tenant_names.clone();
+        report.profile = std::mem::take(&mut self.profiler);
+        if !self.obs.metrics_enabled() {
+            return report;
+        }
+        for sm in &mut self.sms {
+            let sm = sm.get_mut();
+            if let Some(mut trace) = sm.take_trace() {
+                report.dropped_events += trace.dropped();
+                report.events.extend(trace.take());
+            }
+            if let Some(obs) = sm.take_port_obs() {
+                Self::absorb_partition_obs(&mut report, *obs);
+            }
+        }
+        if let Some(shared) = &self.shared {
+            for obs in shared.collect_obs() {
+                Self::absorb_partition_obs(&mut report, *obs);
+            }
+        }
+        if let Some(fabric) = &mut self.fabric {
+            if let Some(mut trace) = fabric.take_trace() {
+                report.dropped_events += trace.dropped();
+                report.events.extend(trace.take());
+            }
+        }
+        if let Some(mut trace) = self.engine_trace.take() {
+            report.dropped_events += trace.dropped();
+            report.events.extend(trace.take());
+        }
+        self.dispatch_obs(&mut report);
+        report
+    }
+
+    /// Folds one bank's (or private partition's) sink into the report: its
+    /// trace ring and its per-tenant service-latency histograms.
+    fn absorb_partition_obs(report: &mut ObsReport, obs: PartitionObs) {
+        if let Some(mut trace) = obs.trace {
+            report.dropped_events += trace.dropped();
+            report.events.extend(trace.take());
+        }
+        for (tenant, hist) in obs.latency.iter().enumerate() {
+            if hist.count() > 0 {
+                report.metrics.histogram_merge("mem-latency", Some(tenant as u32), hist);
+            }
+        }
+    }
+
+    /// Synthesises dispatcher-track trace instants and registry metrics from
+    /// the decision log. Purely derived from sim-time state, so the output
+    /// is identical across timing backends and thread counts.
+    fn dispatch_obs(&self, report: &mut ObsReport) {
+        let log = &self.dispatch_log;
+        if log.is_empty() {
+            return;
+        }
+        let trace_on = self.obs.trace_enabled();
+        report.metrics.counter_add("dispatch-decisions", None, log.len() as u64);
+        for (t, series) in log.all_l2_hit_rate_series().iter().enumerate() {
+            for &(cycle, rate) in series {
+                report.metrics.gauge_push("l2-hit-rate", Some(t as u32), cycle, rate);
+            }
+        }
+        for d in &log.decisions {
+            for action in &d.actions {
+                match action {
+                    crate::stats::DispatchAction::Admit { tenant } => {
+                        report.metrics.counter_add("dispatch-admits", Some(*tenant), 1);
+                        if trace_on {
+                            report.events.push(TraceEvent::instant(
+                                Track::Dispatcher,
+                                "admit",
+                                d.cycle,
+                                Some(*tenant),
+                            ));
+                            report.events.push(TraceEvent::instant(
+                                Track::Tenant(*tenant),
+                                "admit",
+                                d.cycle,
+                                Some(*tenant),
+                            ));
+                        }
+                    }
+                    crate::stats::DispatchAction::Place { allowed_sms } => {
+                        report.metrics.counter_add("dispatch-places", None, 1);
+                        if trace_on {
+                            report.events.push(
+                                TraceEvent::instant(Track::Dispatcher, "place", d.cycle, None)
+                                    .with_arg(allowed_sms.len() as u64),
+                            );
+                            for (t, &n) in allowed_sms.iter().enumerate() {
+                                report.events.push(
+                                    TraceEvent::instant(
+                                        Track::Tenant(t as TenantId),
+                                        "place",
+                                        d.cycle,
+                                        Some(t as TenantId),
+                                    )
+                                    .with_arg(n as u64),
+                                );
+                            }
+                        }
+                    }
+                    crate::stats::DispatchAction::Throttle { tenant, victim, allowed_sms } => {
+                        report.metrics.counter_add("dispatch-throttles", Some(*tenant), 1);
+                        if trace_on {
+                            report.events.push(
+                                TraceEvent::instant(
+                                    Track::Dispatcher,
+                                    "throttle",
+                                    d.cycle,
+                                    Some(*tenant),
+                                )
+                                .with_arg(*victim as u64),
+                            );
+                            report.events.push(
+                                TraceEvent::instant(
+                                    Track::Tenant(*tenant),
+                                    "throttle",
+                                    d.cycle,
+                                    Some(*tenant),
+                                )
+                                .with_arg(*allowed_sms as u64),
+                            );
+                        }
+                    }
+                    crate::stats::DispatchAction::Restore { tenant, allowed_sms } => {
+                        report.metrics.counter_add("dispatch-restores", Some(*tenant), 1);
+                        if trace_on {
+                            report.events.push(TraceEvent::instant(
+                                Track::Dispatcher,
+                                "restore",
+                                d.cycle,
+                                Some(*tenant),
+                            ));
+                            report.events.push(
+                                TraceEvent::instant(
+                                    Track::Tenant(*tenant),
+                                    "restore",
+                                    d.cycle,
+                                    Some(*tenant),
+                                )
+                                .with_arg(*allowed_sms as u64),
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -428,7 +644,9 @@ impl Gpu {
         if self.sms.len() == 1 && !dynamic {
             // Single SM, fully static work: the legacy serial loop,
             // bit-identical to `Sm::run`.
+            self.profiler.enter("sm-run");
             self.cycle = self.sms[0].get_mut().run();
+            self.profiler.exit();
             return self.cycle;
         }
         self.run_epochs();
@@ -447,7 +665,9 @@ impl Gpu {
         if self.sms.len() == 1 && !dynamic {
             // Single SM, fully static work: the serial event loop,
             // bit-identical to `Sm::run`.
+            self.profiler.enter("sm-run");
             self.cycle = self.sms[0].get_mut().run_event();
+            self.profiler.exit();
             return self.cycle;
         }
         self.run_epochs_event();
@@ -481,6 +701,8 @@ impl Gpu {
         let fabric = &mut self.fabric;
         let window = &mut self.window;
         let reply_window = &mut self.reply_window;
+        let profiler = &mut self.profiler;
+        let engine_trace = &mut self.engine_trace;
 
         // Cycle-0 boundary: admit arrival-0 streams into the adaptive
         // dispatcher and deal its initial (probe) CTAs.
@@ -547,13 +769,22 @@ impl Gpu {
                 std::mem::take(&mut batch),
                 line_size,
                 service_threads,
+                profiler,
             );
             // Advance every SM to the boundary, earliest next event first.
             // Every SM settles each boundary (idle time accrues through the
             // bulk skip), so the alive/cap checks above always see current
             // clocks; the queue only decides the advancement order.
+            profiler.enter("pop-advance");
             order.clear();
             while let Some((_, unit)) = timeq.pop_next() {
+                if let Some(trace) = engine_trace.as_mut() {
+                    trace.record(
+                        TraceEvent::instant(Track::Engine, "pop", now, None)
+                            .with_arg(unit as u64)
+                            .engine(),
+                    );
+                }
                 order.push(unit);
             }
             for &unit in &order {
@@ -565,6 +796,7 @@ impl Gpu {
                 drop(sm);
                 timeq.schedule(unit, hint);
             }
+            profiler.exit();
             let responses = Self::release_replies(
                 fabric.as_mut(),
                 reply_window,
@@ -572,14 +804,22 @@ impl Gpu {
                 now + epoch,
                 reorder_window,
                 line_size,
+                profiler,
             );
+            profiler.enter("deliver");
             Self::deliver_responses(sms, shared, &responses, now);
+            profiler.exit();
             // A delivered reply wakes its SM at the response cycle.
             for r in &responses {
                 timeq.schedule_min(r.sm, r.done);
             }
+            profiler.enter("collect");
             batch = Self::collect_batch(sms, window, now, xbar_latency, reorder_window);
-            if Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now) {
+            profiler.exit();
+            profiler.enter("dispatch");
+            let dealt = Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now);
+            profiler.exit();
+            if dealt {
                 last_progress = now;
                 // Freshly dealt CTAs launch at the next boundary; any SM may
                 // have received work, so pull every wakeup hint forward.
@@ -595,6 +835,7 @@ impl Gpu {
             std::mem::take(&mut batch),
             line_size,
             service_threads,
+            profiler,
         );
         let rest = Self::collect_batch(sms, window, Cycle::MAX - xbar_latency, xbar_latency, 0);
         completions.extend(Self::serve_batch(
@@ -603,6 +844,7 @@ impl Gpu {
             rest,
             line_size,
             service_threads,
+            profiler,
         ));
         let responses = Self::release_replies(
             fabric.as_mut(),
@@ -611,6 +853,7 @@ impl Gpu {
             Cycle::MAX,
             0,
             line_size,
+            profiler,
         );
         Self::deliver_responses(sms, shared, &responses, now);
 
@@ -646,6 +889,9 @@ impl Gpu {
         let fabric = &mut self.fabric;
         let window = &mut self.window;
         let reply_window = &mut self.reply_window;
+        // Only the barrier (chip) thread touches the profiler; SM workers
+        // never profile — wall clocks are aggregated per phase, not per SM.
+        let profiler = &mut self.profiler;
 
         std::thread::scope(|scope| {
             for sm in sms {
@@ -742,8 +988,13 @@ impl Gpu {
                     std::mem::take(&mut batch),
                     line_size,
                     service_threads,
+                    profiler,
                 );
+                // Whatever the SM epochs still owe beyond the service time is
+                // the un-overlapped remainder of the parallel phase.
+                profiler.enter("sm-wait");
                 end_barrier.wait();
+                profiler.exit();
                 // Release replies whose completion no later-served batch can
                 // precede (done ≤ now + epoch: the batch drained at this very
                 // boundary completes strictly after that), pass them through
@@ -755,10 +1006,19 @@ impl Gpu {
                     now + epoch,
                     reorder_window,
                     line_size,
+                    profiler,
                 );
+                profiler.enter("deliver");
                 Self::deliver_responses(sms, shared, &responses, now);
+                profiler.exit();
+                profiler.enter("collect");
                 batch = Self::collect_batch(sms, window, now, xbar_latency, reorder_window);
-                if Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now) {
+                profiler.exit();
+                profiler.enter("dispatch");
+                let dealt =
+                    Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now);
+                profiler.exit();
+                if dealt {
                     last_progress = now;
                 }
             }
@@ -776,6 +1036,7 @@ impl Gpu {
                 std::mem::take(&mut batch),
                 line_size,
                 service_threads,
+                profiler,
             );
             let rest = Self::collect_batch(sms, window, Cycle::MAX - xbar_latency, xbar_latency, 0);
             completions.extend(Self::serve_batch(
@@ -784,6 +1045,7 @@ impl Gpu {
                 rest,
                 line_size,
                 service_threads,
+                profiler,
             ));
             let responses = Self::release_replies(
                 fabric.as_mut(),
@@ -792,6 +1054,7 @@ impl Gpu {
                 Cycle::MAX,
                 0,
                 line_size,
+                profiler,
             );
             Self::deliver_responses(sms, shared, &responses, now);
         });
@@ -847,6 +1110,7 @@ impl Gpu {
         batch: Vec<(usize, MemRequest)>,
         line_size: u64,
         service_threads: usize,
+        profiler: &mut PhaseProfiler,
     ) -> Vec<RawCompletion> {
         let (Some(shared), Some(fabric)) = (shared, fabric) else { return Vec::new() };
         if batch.is_empty() {
@@ -854,6 +1118,7 @@ impl Gpu {
         }
         // Request direction: every request charges the chip-wide budget, in
         // deterministic batch order (non-decreasing arrival).
+        profiler.enter("fabric-request");
         let entries: Vec<(usize, MemRequest, Cycle)> = batch
             .into_iter()
             .map(|(sm, r)| {
@@ -861,6 +1126,8 @@ impl Gpu {
                 (sm, r, at_l2)
             })
             .collect();
+        profiler.exit();
+        profiler.enter("bank-service");
         // Shard by bank. Shards are disjoint and each preserves batch order,
         // so per-bank service is identical no matter which worker runs it.
         let mut shards: Vec<(usize, Vec<usize>)> =
@@ -920,6 +1187,7 @@ impl Gpu {
                 }
             }
         }
+        profiler.exit();
         // Reads produce replies; they enter the reply reorder window rather
         // than the fabric directly, so one batch's slow DRAM stragglers never
         // charge phantom queueing against the next batch's fast completions.
@@ -951,22 +1219,26 @@ impl Gpu {
         horizon: Cycle,
         window_limit: usize,
         line_size: u64,
+        profiler: &mut PhaseProfiler,
     ) -> Vec<ReadyResponse> {
         let Some(fabric) = fabric else { return Vec::new() };
         reply_window.extend(fresh);
         if reply_window.is_empty() {
             return Vec::new();
         }
+        profiler.enter("fabric-reply");
         reply_window.sort_by_key(|c| (c.done, c.sm, c.seq));
         let mut split = reply_window.partition_point(|c| c.done <= horizon);
         split += (reply_window.len() - split).saturating_sub(window_limit);
-        reply_window
+        let out = reply_window
             .drain(..split)
             .filter_map(|c| {
                 let done = fabric.reply_transfer(line_size, c.done, c.tenant);
                 c.event.map(|event| ReadyResponse { sm: c.sm, done, event })
             })
-            .collect()
+            .collect();
+        profiler.exit();
+        out
     }
 
     /// Delivers served read responses into their SMs' event queues and
@@ -1482,6 +1754,50 @@ mod tests {
         assert_eq!(epoch.cycles, event.cycles);
         assert_eq!(epoch.stats, event.stats);
         assert!(event.cycles >= 1_000_000 && event.cycles < 1_100_000);
+    }
+
+    #[test]
+    fn observability_never_changes_results_and_traces_identically_across_backends() {
+        let run = |event: bool, obs: ObsLevel| {
+            let streams = vec![
+                KernelStream::new(0, kernel(3, 12)),
+                KernelStream::new_at(1, kernel(3, 12), 500),
+            ];
+            let mut gpu = Gpu::with_streams(
+                GpuConfig::gtx480(),
+                streams,
+                DispatchPolicy::InterferenceAware,
+                units(4),
+            );
+            gpu.set_obs(obs);
+            if event {
+                gpu.run_event()
+            } else {
+                gpu.run()
+            };
+            let report = gpu.take_obs();
+            (normalized_json(gpu), report)
+        };
+        let (plain, off) = run(false, ObsLevel::Off);
+        assert!(off.events.is_empty());
+        let (epoch, a) = run(false, ObsLevel::Full);
+        let (event, b) = run(true, ObsLevel::Full);
+        // Collection is passive: the simulated outcome is byte-identical
+        // with observability off, on, and across timing backends.
+        assert_eq!(plain, epoch);
+        assert_eq!(epoch, event);
+        // And the canonical sim-time trace itself is backend-invariant.
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        assert_eq!(a.metrics_json(), b.metrics_json());
+        assert!(!a.events.is_empty());
+        assert_eq!(a.dropped_events, 0);
+        // The event backend records engine pops; they stay out of the
+        // canonical export but surface in the raw event list.
+        assert!(b.events.iter().any(|e| e.name == "pop"));
+        assert!(!a.events.iter().any(|e| e.name == "pop"));
+        // Wall-clock profiling was active and saw the service pipeline.
+        assert!(a.profile.is_enabled());
+        assert!(a.profile.stat("bank-service").is_some());
     }
 
     #[test]

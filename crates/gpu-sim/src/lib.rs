@@ -84,8 +84,8 @@ pub use simulator::{SimRequest, SimResult, Simulator, TenantResult, SCHEMA_VERSI
 pub use sm::{ResponseEvent, Sm};
 pub use stats::{
     avg_normalized_turnaround, system_throughput, DispatchAction, DispatchDecision, DispatchLog,
-    InterferenceMatrix, SmImbalance, SmStats, TenantClass, TenantStats, TimeSeries,
-    TimeSeriesPoint,
+    DispatchSummary, DispatchTenantSummary, InterferenceMatrix, SmImbalance, SmStats, TenantClass,
+    TenantStats, TimeSeries, TimeSeriesPoint,
 };
 pub use timeq::TimeQueue;
 pub use trace::{MemPattern, MemSpace, VecProgram, WarpOp, WarpProgram};
@@ -102,3 +102,7 @@ pub use gpu_mem::WarpId;
 /// Re-export of the shared crossbar-fabric statistics carried by
 /// [`SimResult`].
 pub use gpu_mem::{FabricDirectionStats, FabricStats};
+/// Re-export of the observability surface consumed through
+/// [`simulator::SimRequest::obs`] / [`simulator::Simulator::execute_observed`]
+/// (levels, reports, and the pieces needed to post-process them).
+pub use sim_obs::{MetricsRegistry, ObsLevel, ObsReport, PhaseProfiler, TraceEvent};

@@ -25,6 +25,7 @@ use crate::stats::{DispatchLog, InterferenceMatrix, SmImbalance, SmStats, TimeSe
 use gpu_mem::interconnect::{Crossbar, CrossbarStats, FabricStats, Interconnect};
 use gpu_mem::{Cycle, TenantId, TenantMemStats};
 use serde::{Deserialize, Serialize};
+use sim_obs::{ObsLevel, ObsReport, PhaseProfiler};
 
 /// Version of the [`SimResult`] JSON shape.
 ///
@@ -193,6 +194,7 @@ pub struct SimRequest {
     policy: DispatchPolicy,
     backend: BackendKind,
     num_sms: Option<usize>,
+    obs: ObsLevel,
 }
 
 impl Default for SimRequest {
@@ -203,6 +205,7 @@ impl Default for SimRequest {
             policy: DispatchPolicy::Exclusive,
             backend: BackendKind::default(),
             num_sms: None,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -255,6 +258,14 @@ impl SimRequest {
         self
     }
 
+    /// Sets the observability level (default [`ObsLevel::Off`]). Anything
+    /// above `Off` makes [`Simulator::execute_observed`] return a populated
+    /// [`ObsReport`]; plain [`Simulator::execute`] discards it.
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The streams submitted so far.
     pub fn streams(&self) -> usize {
         self.kernels.len()
@@ -296,7 +307,19 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics when `req` has no streams.
-    pub fn execute<F>(&self, req: SimRequest, mut build_unit: F) -> SimResult
+    pub fn execute<F>(&self, req: SimRequest, build_unit: F) -> SimResult
+    where
+        F: FnMut(usize) -> SmUnit,
+    {
+        self.execute_observed(req, build_unit).0
+    }
+
+    /// [`Simulator::execute`] plus the run's [`ObsReport`]: sim-time trace
+    /// events, the metrics registry and the wall-clock phase profile, at the
+    /// request's [`SimRequest::obs`] level. The simulation result is
+    /// byte-identical to what [`Simulator::execute`] returns for the same
+    /// request — collection is strictly passive.
+    pub fn execute_observed<F>(&self, req: SimRequest, mut build_unit: F) -> (SimResult, ObsReport)
     where
         F: FnMut(usize) -> SmUnit,
     {
@@ -309,7 +332,7 @@ impl Simulator {
         if static_single {
             let kernel = req.kernels.into_iter().next().expect("one stream");
             let (scheduler, redirect) = build_unit(0);
-            return self.run_single(kernel, scheduler, redirect, req.backend);
+            return self.run_single(kernel, scheduler, redirect, req.backend, req.obs);
         }
         let config = if num_sms == self.config.num_sms {
             self.config.clone()
@@ -320,7 +343,7 @@ impl Simulator {
         for (kernel, arrival) in req.kernels.into_iter().zip(req.arrivals) {
             queue.push_at(kernel, arrival);
         }
-        queue.run_with(&config, req.policy, req.backend, build_unit)
+        queue.run_with_observed(&config, req.policy, req.backend, req.obs, build_unit)
     }
 
     /// The legacy single-SM path: one kernel, one SM, a private memory
@@ -332,7 +355,8 @@ impl Simulator {
         scheduler: Box<dyn WarpScheduler>,
         redirect: Option<Box<dyn RedirectCache>>,
         backend: BackendKind,
-    ) -> SimResult {
+        obs: ObsLevel,
+    ) -> (SimResult, ObsReport) {
         let kernel_name = kernel.info().name.clone();
         let scheduler_name = scheduler.name().to_string();
         let interconnect = Interconnect::new(
@@ -343,10 +367,38 @@ impl Simulator {
         let work = Sm::work_of(kernel, 0);
         let mut sm =
             Sm::with_parts(self.config.clone(), work, scheduler, redirect, interconnect, port);
+        let mut profiler =
+            if obs.metrics_enabled() { PhaseProfiler::enabled() } else { PhaseProfiler::default() };
+        if obs.metrics_enabled() {
+            sm.enable_port_obs(obs.trace_enabled());
+        }
+        if obs.trace_enabled() {
+            sm.set_trace(0);
+        }
+        profiler.enter("sm-run");
         match backend {
             BackendKind::Epoch => sm.run(),
             BackendKind::Event => sm.run_event(),
         };
+        profiler.exit();
+        let mut report = ObsReport::new(obs);
+        report.tenants = vec![kernel_name.clone()];
+        report.profile = profiler;
+        if let Some(mut trace) = sm.take_trace() {
+            report.dropped_events += trace.dropped();
+            report.events.extend(trace.take());
+        }
+        if let Some(sink) = sm.take_port_obs() {
+            if let Some(mut trace) = sink.trace {
+                report.dropped_events += trace.dropped();
+                report.events.extend(trace.take());
+            }
+            for (tenant, hist) in sink.latency.iter().enumerate() {
+                if hist.count() > 0 {
+                    report.metrics.histogram_merge("mem-latency", Some(tenant as u32), hist);
+                }
+            }
+        }
         let capped = !sm.is_done();
         let stats = sm.stats().clone();
         let totals = sm.tenant_stats().first().copied().unwrap_or_default();
@@ -364,7 +416,7 @@ impl Simulator {
             fabric_reply_bytes: 0,
             mem,
         }];
-        SimResult {
+        let result = SimResult {
             schema_version: SCHEMA_VERSION,
             backend: backend.label().to_string(),
             scheduler: scheduler_name,
@@ -382,7 +434,8 @@ impl Simulator {
             interconnect: Crossbar::aggregate([sm.interconnect()]),
             fabric: FabricStats::default(),
             dispatch_log: DispatchLog::default(),
-        }
+        };
+        (result, report)
     }
 
     /// Runs `kernel` under `scheduler` (and an optional redirect cache) on a

@@ -50,6 +50,7 @@ use gpu_mem::mshr::{FillTarget, Mshr};
 use gpu_mem::shared_memory::SharedMemory;
 use gpu_mem::smmt::Smmt;
 use gpu_mem::{Addr, CtaId, Cycle, TenantId, WarpId};
+use sim_obs::{TraceEvent, TraceRecorder, Tracer, Track};
 
 /// A memory-system completion event scheduled for a future cycle (either
 /// computed synchronously by a private port or delivered by the chip engine
@@ -71,6 +72,7 @@ struct ResidentCta {
     tenant: TenantId,
     shared_mem: u32,
     warp_slots: Vec<usize>,
+    launch_cycle: Cycle,
 }
 
 /// Snapshot used to compute per-interval time-series values.
@@ -112,6 +114,14 @@ pub struct Sm {
     interference: InterferenceMatrix,
     snapshot: SampleSnapshot,
     ready_scratch: Vec<usize>,
+
+    /// Sim-time trace sink (`None` below the full obs level — the hot path
+    /// then pays one branch per would-be event).
+    trace: Option<TraceRecorder>,
+    /// The SM's chip-level index, used as its trace track id.
+    trace_unit: u32,
+    /// Start of the current contiguous issuing stretch, if one is open.
+    busy_since: Option<Cycle>,
 }
 
 impl Sm {
@@ -182,6 +192,9 @@ impl Sm {
             interference,
             snapshot: SampleSnapshot::default(),
             ready_scratch: Vec::new(),
+            trace: None,
+            trace_unit: 0,
+            busy_since: None,
         };
         sm.launch_ctas();
         sm.update_redirect_capacity();
@@ -191,6 +204,37 @@ impl Sm {
     /// Current cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Attaches a sim-time trace recorder; the SM records on track
+    /// `Sm(unit)`: `busy` spans over contiguous issuing stretches, `cta`
+    /// lifetime spans, and (engine-category) `idle-skip` stretches.
+    pub fn set_trace(&mut self, unit: u32) {
+        self.trace_unit = unit;
+        self.trace = Some(TraceRecorder::with_default_capacity());
+    }
+
+    /// Detaches and returns the trace recorder, closing any open busy span
+    /// at the current cycle first.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.close_busy_span(self.cycle);
+        self.trace.take()
+    }
+
+    /// Closes the open busy stretch (if any) as a `busy` span ending at
+    /// `now`.
+    fn close_busy_span(&mut self, now: Cycle) {
+        if let (Some(start), Some(trace)) = (self.busy_since.take(), self.trace.as_mut()) {
+            if now > start {
+                trace.record(TraceEvent::span(
+                    Track::Sm(self.trace_unit),
+                    "busy",
+                    start,
+                    now - start,
+                    None,
+                ));
+            }
+        }
     }
 
     /// Aggregate statistics (finalised lazily; call after `run`).
@@ -406,6 +450,17 @@ impl Sm {
     /// [`WarpScheduler::on_idle_cycles`]).
     fn skip_idle_to(&mut self, target: Cycle) {
         let skipped = target - self.cycle;
+        // A skippable stretch is idle by definition, so the busy span (if
+        // open) ends where the stretch starts — exactly where the stepped
+        // path would have closed it. The skip itself is engine mechanics:
+        // only the event backend takes it, so the span is engine-category
+        // and excluded from the canonical (backend-invariant) export.
+        self.close_busy_span(self.cycle);
+        if let Some(trace) = &mut self.trace {
+            trace.record(
+                TraceEvent::span(Track::Engine, "idle-skip", self.cycle, skipped, None).engine(),
+            );
+        }
         self.stats.idle_cycles += skipped;
         let last = target - 1;
         let ctx = SchedulerCtx {
@@ -450,6 +505,17 @@ impl Sm {
     /// chip-level table instead).
     pub fn partition_tenant_stats(&self) -> Option<Vec<gpu_mem::TenantMemStats>> {
         self.port.partition_tenant_stats()
+    }
+
+    /// Arms the private partition's observability sink (no-op on a deferred
+    /// port — the shared backend's banks carry their own sinks there).
+    pub fn enable_port_obs(&mut self, trace_on: bool) {
+        self.port.enable_obs(trace_on);
+    }
+
+    /// Detaches the private partition's observability sink, if one exists.
+    pub fn take_port_obs(&mut self) -> Option<Box<gpu_mem::PartitionObs>> {
+        self.port.take_obs()
     }
 
     /// Advances the SM by one cycle.
@@ -515,8 +581,14 @@ impl Sm {
         };
 
         match picked {
-            Some(idx) => self.issue(idx, now),
+            Some(idx) => {
+                if self.trace.is_some() && self.busy_since.is_none() {
+                    self.busy_since = Some(now);
+                }
+                self.issue(idx, now);
+            }
             None => {
+                self.close_busy_span(now);
                 if any_ready_ignoring_throttle {
                     self.stats.throttle_only_cycles += 1;
                 }
@@ -568,6 +640,7 @@ impl Sm {
                 tenant: item.tenant,
                 shared_mem: item.shared_mem,
                 warp_slots: slots,
+                launch_cycle: self.cycle,
             });
             self.launch_ordinal += 1;
             self.next_work += 1;
@@ -598,6 +671,18 @@ impl Sm {
                     let _ = self.smmt.free_cta(cta.key);
                 }
                 tenant_slot(&mut self.tenants, cta.tenant).ctas_completed += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.record(
+                        TraceEvent::span(
+                            Track::Sm(self.trace_unit),
+                            "cta",
+                            cta.launch_cycle,
+                            self.cycle - cta.launch_cycle,
+                            Some(cta.tenant),
+                        )
+                        .with_arg(cta.key as u64),
+                    );
+                }
                 self.resident.swap_remove(i);
                 retired = true;
             } else {
@@ -1319,6 +1404,66 @@ mod tests {
             "stores should not serialise on DRAM, took {}",
             sm.stats().cycles
         );
+    }
+
+    #[test]
+    fn tracing_never_perturbs_execution_and_records_spans() {
+        let run = |traced: bool| {
+            let mut sm = Sm::new(
+                small_config(),
+                simple_kernel(2, 4, 10),
+                Box::new(GtoScheduler::new()),
+                None,
+            );
+            if traced {
+                sm.set_trace(7);
+            }
+            sm.run();
+            let events = sm.take_trace().map(|mut t| t.take()).unwrap_or_default();
+            (sm.stats().clone(), sm.cycle(), events)
+        };
+        let (plain_stats, plain_cycle, plain_events) = run(false);
+        let (traced_stats, traced_cycle, events) = run(true);
+        assert_eq!(plain_cycle, traced_cycle, "tracing must not change timing");
+        assert_eq!(plain_stats.instructions, traced_stats.instructions);
+        assert_eq!(plain_stats.idle_cycles, traced_stats.idle_cycles);
+        assert!(plain_events.is_empty());
+        assert!(events.iter().all(|e| e.track == Track::Sm(7)));
+        assert!(events.iter().any(|e| e.name == "busy" && e.dur > 0));
+        let ctas: Vec<_> = events.iter().filter(|e| e.name == "cta").collect();
+        assert_eq!(ctas.len(), 2, "one lifetime span per completed CTA");
+        assert!(ctas.iter().all(|e| e.tenant == Some(0)));
+    }
+
+    #[test]
+    fn event_and_stepped_runs_trace_identical_sim_spans() {
+        let run = |event: bool| {
+            let mut sm = Sm::new(
+                small_config(),
+                simple_kernel(2, 4, 10),
+                Box::new(GtoScheduler::new()),
+                None,
+            );
+            sm.set_trace(0);
+            if event {
+                sm.run_event();
+            } else {
+                sm.run();
+            }
+            sm.take_trace().expect("tracing on").take()
+        };
+        let stepped = run(false);
+        let event = run(true);
+        assert_eq!(
+            sim_obs::chrome_trace_json(&stepped, &[], false),
+            sim_obs::chrome_trace_json(&event, &[], false),
+            "canonical (sim-category) trace must be backend-invariant"
+        );
+        assert!(
+            event.iter().any(|e| e.name == "idle-skip"),
+            "the event backend records engine-category skips"
+        );
+        assert!(stepped.iter().all(|e| e.name != "idle-skip"));
     }
 
     #[test]

@@ -518,6 +518,76 @@ impl DispatchLog {
             })
             .collect()
     }
+
+    /// Every tenant's `(cycle, L2 hit rate)` series in a single pass over
+    /// the decisions. Report loops that need more than one tenant's series
+    /// should call this once instead of [`DispatchLog::l2_hit_rate_series`]
+    /// per tenant — the per-tenant accessor re-walks (and re-allocates from)
+    /// the whole decision list on every call.
+    pub fn all_l2_hit_rate_series(&self) -> Vec<Vec<(Cycle, f64)>> {
+        let tenants = self.decisions.iter().map(|d| d.l2_hit_rate.len()).max().unwrap_or(0);
+        let mut out = vec![Vec::new(); tenants];
+        for d in &self.decisions {
+            for (t, &rate) in d.l2_hit_rate.iter().enumerate() {
+                if rate >= 0.0 {
+                    out[t].push((d.cycle, rate));
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-tenant digest of the run's dispatch activity: how often each
+    /// tenant was throttled and restored, and how the dispatcher classified
+    /// it at the last decision boundary.
+    pub fn summary(&self) -> DispatchSummary {
+        let tenants = self.decisions.iter().map(|d| d.classes.len()).max().unwrap_or(0);
+        let mut out: Vec<DispatchTenantSummary> = (0..tenants)
+            .map(|t| DispatchTenantSummary {
+                tenant: t as TenantId,
+                throttles: 0,
+                restores: 0,
+                final_class: TenantClass::Unclassified,
+            })
+            .collect();
+        for d in &self.decisions {
+            for (t, &class) in d.classes.iter().enumerate() {
+                out[t].final_class = class;
+            }
+            for action in &d.actions {
+                match action {
+                    DispatchAction::Throttle { tenant, .. } => {
+                        out[*tenant as usize].throttles += 1;
+                    }
+                    DispatchAction::Restore { tenant, .. } => {
+                        out[*tenant as usize].restores += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        DispatchSummary { tenants: out }
+    }
+}
+
+/// Per-tenant dispatch digest (see [`DispatchLog::summary`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSummary {
+    /// One entry per tenant, in tenant-id order.
+    pub tenants: Vec<DispatchTenantSummary>,
+}
+
+/// One tenant's row of a [`DispatchSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchTenantSummary {
+    /// The tenant the row describes.
+    pub tenant: TenantId,
+    /// Times the dispatcher shrank this tenant's allowed-SM set.
+    pub throttles: usize,
+    /// Times the dispatcher grew it back.
+    pub restores: usize,
+    /// Classification at the final decision boundary.
+    pub final_class: TenantClass,
 }
 
 /// Spread of per-SM IPC across a chip run — the partitioning-skew signal the

@@ -21,6 +21,14 @@
 //! policy co-run is repeated at each `--sm-counts A,B,..` chip size (default
 //! 2,4,8,15), with solo baselines re-measured per size.
 //!
+//! `trace` runs one fully observed co-run (default: cache-vs-stream under
+//! interference-aware dispatch with CIAO-T) and writes a Perfetto-loadable
+//! Chrome trace (`--trace-out`, default `run.trace.json`) plus the metrics
+//! registry (`--metrics-out`, default `metrics.json`). `profile` runs the
+//! same co-run under **both** timing backends and prints each wall-clock
+//! phase table. `--obs {off,metrics,full}` arms observability on any other
+//! experiment; `-v`/`--quiet` adjust diagnostic verbosity.
+//!
 //! `perf` is the CI performance gate: it measures the benchmark suite under
 //! GTO and CIAO-C, writes `BENCH_PR.json` (override with `--bench-out`), and
 //! exits non-zero if the gated geomean IPCs drift more than ±10% from the
@@ -37,10 +45,10 @@ use ciao_harness::experiments::{
 };
 use ciao_harness::perf;
 use ciao_harness::report::write_json;
-use ciao_harness::runner::{RunPlan, RunScale, Runner};
+use ciao_harness::runner::{log, set_verbosity, RunPlan, RunScale, Runner};
 use ciao_harness::schedulers::SchedulerKind;
 use ciao_workloads::{Benchmark, Mix};
-use gpu_sim::{BackendKind, DispatchPolicy};
+use gpu_sim::{BackendKind, DispatchPolicy, ObsLevel};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -60,6 +68,9 @@ struct Options {
     mix_filter: Option<String>,
     policy_filter: Option<String>,
     sm_counts: Option<Vec<usize>>,
+    obs: ObsLevel,
+    trace_out: PathBuf,
+    metrics_out: PathBuf,
 }
 
 impl Options {
@@ -98,6 +109,9 @@ fn parse_args() -> Options {
     let mut mix_filter = None;
     let mut policy_filter = None;
     let mut sm_counts = None;
+    let mut obs = ObsLevel::Off;
+    let mut trace_out = PathBuf::from("run.trace.json");
+    let mut metrics_out = PathBuf::from("metrics.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -162,6 +176,26 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--obs" => {
+                obs = args.next().as_deref().and_then(ObsLevel::from_label).unwrap_or_else(|| {
+                    eprintln!("--obs expects off, metrics or full");
+                    std::process::exit(2);
+                });
+            }
+            "--trace-out" => {
+                trace_out = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--trace-out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics-out" => {
+                metrics_out = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--metrics-out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            "-v" | "--verbose" => set_verbosity(1),
+            "-q" | "--quiet" => set_verbosity(-1),
             "--allow-missing-baseline" => allow_missing_baseline = true,
             "--with-mixes" => with_mixes = true,
             "--merge-baseline" => merge_baseline = true,
@@ -179,13 +213,15 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|perf|all> \
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|trace|profile|perf|all> \
                      [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals STRIDE] \
                      [--backend epoch|event] [--out DIR] [--mix NAME] \
                      [--policy exclusive|spatial|shared-rr|interference-aware] \
                      [--capacity-curve] [--sm-counts A,B,..] \
+                     [--obs off|metrics|full] [--trace-out FILE] [--metrics-out FILE] \
                      [--baseline FILE] [--bench-out FILE] \
-                     [--allow-missing-baseline] [--with-mixes] [--merge-baseline]"
+                     [--allow-missing-baseline] [--with-mixes] [--merge-baseline] \
+                     [-v|--verbose] [-q|--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -212,6 +248,9 @@ fn parse_args() -> Options {
         mix_filter,
         policy_filter,
         sm_counts,
+        obs,
+        trace_out,
+        metrics_out,
     }
 }
 
@@ -256,7 +295,7 @@ fn resolve_policies(filter: &Option<String>) -> Vec<DispatchPolicy> {
 fn run_perf_gate(opts: &Options, runner: &Runner) {
     let mut report = perf::measure(runner, &Benchmark::all(), &perf::gate_schedulers());
     if opts.with_mixes {
-        eprintln!("[ciao-harness] measuring mix STPs ...");
+        log(format_args!("measuring mix STPs ..."));
         let (mix_stp, mix_secs) = perf::measure_mixes(runner);
         report.mix_stp = mix_stp;
         report.mix_wall_clock_secs = mix_secs;
@@ -268,7 +307,7 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
             BackendKind::Epoch => BackendKind::Event,
             BackendKind::Event => BackendKind::Epoch,
         };
-        eprintln!("[ciao-harness] re-measuring mix STPs on the {other} backend ...");
+        log(format_args!("re-measuring mix STPs on the {other} backend ..."));
         let (other_stp, other_secs) = perf::measure_mixes(&runner.clone().with_backend(other));
         if other_stp != report.mix_stp {
             eprintln!("perf gate FAILED: {other} backend STPs diverge from {}", runner.backend);
@@ -289,7 +328,7 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
         eprintln!("error: cannot write {:?}: {e}", opts.bench_out);
         std::process::exit(1);
     }
-    eprintln!("[ciao-harness] wrote {:?}", opts.bench_out);
+    log(format_args!("wrote {:?}", opts.bench_out));
 
     if opts.merge_baseline {
         let mut file = if Path::new(&opts.baseline).exists() {
@@ -302,24 +341,24 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
             eprintln!("error: cannot write baseline {:?}: {e}", opts.baseline);
             std::process::exit(1);
         }
-        eprintln!(
-            "[ciao-harness] recorded snapshot into {:?} ({} snapshot{})",
+        log(format_args!(
+            "recorded snapshot into {:?} ({} snapshot{})",
             opts.baseline,
             file.snapshots.len(),
             if file.snapshots.len() == 1 { "" } else { "s" }
-        );
+        ));
         return;
     }
 
     if !Path::new(&opts.baseline).exists() {
         // Fail closed: a gate that silently skips is no gate. Bootstrapping a
         // brand-new configuration is the explicit opt-out.
-        eprintln!(
-            "[ciao-harness] no baseline at {:?} (run `perf --merge-baseline` to record one)",
+        log(format_args!(
+            "no baseline at {:?} (run `perf --merge-baseline` to record one)",
             opts.baseline
-        );
+        ));
         if opts.allow_missing_baseline {
-            eprintln!("[ciao-harness] --allow-missing-baseline given; exiting 0");
+            log(format_args!("--allow-missing-baseline given; exiting 0"));
             return;
         }
         eprintln!(
@@ -388,6 +427,83 @@ fn load_baseline_file(path: &Path) -> perf::BaselineFile {
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// The `(mix, policy, scheduler)` co-run the `trace` and `profile` commands
+/// observe: `--mix` / `--policy` narrow it; the defaults are the
+/// cache-vs-stream mix under interference-aware dispatch with CIAO-T — the
+/// configuration whose throttle/restore instants the trace is for.
+fn observed_corun(opts: &Options) -> (Mix, DispatchPolicy, SchedulerKind) {
+    let mix = match &opts.mix_filter {
+        Some(_) => resolve_mixes(&opts.mix_filter)[0],
+        None => Mix::CacheStream,
+    };
+    let policy = match &opts.policy_filter {
+        Some(_) => resolve_policies(&opts.policy_filter)[0],
+        None => DispatchPolicy::InterferenceAware,
+    };
+    (mix, policy, SchedulerKind::CiaoT)
+}
+
+/// `trace`: one fully observed co-run; writes the Perfetto-loadable Chrome
+/// trace and the metrics-registry JSON, prints a one-line summary.
+fn run_trace(opts: &Options, runner: &Runner) {
+    let (mix, policy, scheduler) = observed_corun(opts);
+    let runner = runner.clone().with_obs(ObsLevel::Full);
+    log(format_args!(
+        "tracing {} under {} / {} at --obs full ...",
+        mix.name(),
+        policy.label(),
+        scheduler.label()
+    ));
+    let (res, report) = runner.run_mix_observed(mix, policy, scheduler);
+    if let Err(e) = std::fs::write(&opts.trace_out, report.chrome_trace_json()) {
+        eprintln!("error: cannot write trace {:?}: {e}", opts.trace_out);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&opts.metrics_out, report.metrics_json()) {
+        eprintln!("error: cannot write metrics {:?}: {e}", opts.metrics_out);
+        std::process::exit(1);
+    }
+    println!(
+        "traced {} under {} / {}: {} cycles, {} events ({} dropped), {} tenants; \
+         wrote {} and {}",
+        mix.name(),
+        policy.label(),
+        scheduler.label(),
+        res.cycles,
+        report.events.len(),
+        report.dropped_events,
+        report.tenants.len(),
+        opts.trace_out.display(),
+        opts.metrics_out.display()
+    );
+}
+
+/// `profile`: the same co-run at metrics level under **both** timing
+/// backends, printing each wall-clock phase table so epoch-vs-event hotspots
+/// can be compared directly.
+fn run_profile(opts: &Options, runner: &Runner) {
+    let (mix, policy, scheduler) = observed_corun(opts);
+    let obs = opts.obs.max(ObsLevel::Metrics);
+    for backend in [BackendKind::Epoch, BackendKind::Event] {
+        let r = runner.clone().with_backend(backend).with_obs(obs);
+        log(format_args!(
+            "profiling {} under {} / {} on the {backend} backend ...",
+            mix.name(),
+            policy.label(),
+            scheduler.label()
+        ));
+        let (res, report) = r.run_mix_observed(mix, policy, scheduler);
+        println!(
+            "== {backend} backend — {} under {} / {} ({} cycles) ==",
+            mix.name(),
+            policy.label(),
+            scheduler.label(),
+            res.cycles
+        );
+        print!("{}", report.profile_table());
     }
 }
 
@@ -480,6 +596,8 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
                 emit(opts, "mix", &mix::render(&r), &r);
             }
         }
+        "trace" => run_trace(opts, runner),
+        "profile" => run_profile(opts, runner),
         "perf" => run_perf_gate(opts, runner),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -491,12 +609,11 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
 fn main() {
     let opts = parse_args();
     if opts.seeds.len() > 1 && opts.experiment != "mix" {
-        eprintln!(
-            "[ciao-harness] seed ranges are only swept by the `mix` experiment; \
-             using seed {} for `{}`",
+        log(format_args!(
+            "seed ranges are only swept by the `mix` experiment; using seed {} for `{}`",
             opts.seed(),
             opts.experiment
-        );
+        ));
     }
     let plan = RunPlan {
         scale: opts.scale,
@@ -505,11 +622,12 @@ fn main() {
         arrival_stride: opts.arrivals,
         backend: opts.backend,
         threads: None,
+        obs: opts.obs,
     };
     let runner = Runner::from_plan(&plan);
-    eprintln!(
-        "[ciao-harness] scale: {:?} ({} instructions/run cap), {} SM{} per run, seed{} {}, \
-         arrivals +{}, {} backend, {} worker threads",
+    log(format_args!(
+        "scale: {:?} ({} instructions/run cap), {} SM{} per run, seed{} {}, \
+         arrivals +{}, {} backend, {} worker threads, obs {}",
         opts.scale,
         opts.scale.max_instructions(),
         runner.sms,
@@ -518,14 +636,15 @@ fn main() {
         opts.seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
         opts.arrivals,
         runner.backend,
-        runner.threads
-    );
+        runner.threads,
+        runner.obs
+    ));
     if opts.experiment == "all" {
         for name in [
             "table1", "table2", "fig1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
             "overhead", "mix",
         ] {
-            eprintln!("[ciao-harness] running {name} ...");
+            log(format_args!("running {name} ..."));
             run_experiment(&opts, name, &runner);
         }
     } else {

@@ -13,11 +13,13 @@
 //! policy per (mix, scheduler) — an experiment family the paper's
 //! single-kernel figures cannot express.
 
-use crate::report::{capped_marker, capped_summary, Table};
+use crate::report::{capped_marker, capped_summary, dispatch_verdict, Table};
 use crate::runner::Runner;
 use crate::schedulers::SchedulerKind;
 use ciao_workloads::Mix;
-use gpu_sim::{avg_normalized_turnaround, system_throughput, DispatchLog, DispatchPolicy};
+use gpu_sim::{
+    avg_normalized_turnaround, system_throughput, DispatchLog, DispatchPolicy, DispatchSummary,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -42,6 +44,11 @@ pub struct TenantOutcome {
     pub l2_miss_share: f64,
     /// Tenant's own L1D hit rate inside the co-run.
     pub l1d_hit_rate: f64,
+    /// Mean of the per-window L2 hit rates the dispatcher observed for the
+    /// tenant; `-1.0` when the policy logged no measured windows (static
+    /// policies, or a tenant with no memory traffic) — the decision log's
+    /// own unmeasured-window convention.
+    pub dispatch_l2_hit_rate: f64,
     /// Bytes the tenant pushed through the shared request-direction crossbar
     /// fabric.
     pub fabric_request_bytes: u64,
@@ -94,6 +101,10 @@ pub struct MixRow {
     pub throttles: usize,
     /// Restore decisions the `interference-aware` dispatcher took.
     pub restores: usize,
+    /// Per-tenant digest of the decision log (throttles, restores, final
+    /// class), computed once per co-run; `throttles`/`restores` above are its
+    /// totals.
+    pub dispatch: DispatchSummary,
     /// The full per-epoch decision log of the co-run (per-tenant hit-rate
     /// windows, classifications, actions); empty for static policies. Written
     /// into the JSON artefact so CI can archive *why* work moved.
@@ -165,6 +176,10 @@ pub fn run(
             for &policy in policies {
                 let res = runner.run_mix(mix, policy, scheduler);
                 let total_l2_misses = res.stats.l2.misses();
+                // Digest the decision log once per co-run: the per-tenant
+                // series accessor re-walks the whole log on every call.
+                let dispatch = res.dispatch_log.summary();
+                let hit_series = res.dispatch_log.all_l2_hit_rate_series();
                 let alone_ipcs: Vec<f64> = mix
                     .benchmarks()
                     .iter()
@@ -184,6 +199,12 @@ pub fn run(
                         starved: alone_ipc > 0.0 && t.ipc() <= 0.0,
                         l2_miss_share: t.l2_miss_share(total_l2_misses),
                         l1d_hit_rate: t.l1d_hit_rate(),
+                        dispatch_l2_hit_rate: hit_series
+                            .get(t.tenant as usize)
+                            .filter(|s| !s.is_empty())
+                            .map_or(-1.0, |s| {
+                                s.iter().map(|&(_, r)| r).sum::<f64>() / s.len() as f64
+                            }),
                         fabric_request_bytes: t.fabric_request_bytes,
                         fabric_reply_bytes: t.fabric_reply_bytes,
                         capped: t.capped,
@@ -222,8 +243,9 @@ pub fn run(
                     fabric_request_queueing: res.fabric.request.queueing_cycles,
                     fabric_reply_queueing: res.fabric.reply.queueing_cycles,
                     capped: res.capped,
-                    throttles: res.dispatch_log.throttle_count(),
-                    restores: res.dispatch_log.restore_count(),
+                    throttles: dispatch.tenants.iter().map(|t| t.throttles).sum(),
+                    restores: dispatch.tenants.iter().map(|t| t.restores).sum(),
+                    dispatch,
                     decision_log: res.dispatch_log,
                 });
             }
@@ -330,6 +352,7 @@ pub fn render(result: &MixResult) -> String {
             "shared",
             "slowdown",
             "L2-miss %",
+            "disp L2-hit",
             "xbar KB rq/rp",
         ],
     );
@@ -344,6 +367,11 @@ pub fn render(result: &MixResult) -> String {
                 format!("{:.4}", t.shared_ipc),
                 if t.starved { "starved".to_string() } else { format!("{:.2}x", t.slowdown) },
                 format!("{:.1}%", t.l2_miss_share * 100.0),
+                if t.dispatch_l2_hit_rate < 0.0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", t.dispatch_l2_hit_rate * 100.0)
+                },
                 format!("{}/{}", t.fabric_request_bytes / 1024, t.fabric_reply_bytes / 1024),
             ]);
         }
@@ -358,6 +386,17 @@ pub fn render(result: &MixResult) -> String {
         out.push_str(&format!(
             "best policy for {:<14} under {:<8}: {} (STP {:.3})\n",
             b.mix, b.scheduler, b.policy, b.stp
+        ));
+    }
+    // Dispatcher verdicts from the pre-computed digests — only policies that
+    // actually logged decisions have one to report.
+    for r in result.rows.iter().filter(|r| !r.dispatch.tenants.is_empty()) {
+        out.push_str(&format!(
+            "dispatcher for {:<14} under {:<8} ({}): {}\n",
+            r.mix,
+            r.scheduler,
+            r.policy,
+            dispatch_verdict(&r.dispatch)
         ));
     }
     out.push_str(&capped_summary(capped_runs, result.rows.len()));

@@ -18,11 +18,16 @@
 //! | §V-F (overhead analysis) | [`experiments::overhead`] | `overhead` |
 //! | Multi-tenant mixes (STP/ANTT across policies) | [`experiments::mix`] | `mix` |
 //! | Capacity curves (STP vs SM count per policy) | [`experiments::capacity`] | `capacity` |
+//! | Perfetto trace + metrics of one observed co-run | [`runner`] (`sim-obs`) | `trace` |
+//! | Wall-clock phase profile, both timing backends | [`runner`] (`sim-obs`) | `profile` |
 //! | CI performance-regression gate | [`perf`] | `perf` |
 //!
 //! Every experiment accepts the `--sms N` axis: the [`runner::Runner`]
 //! simulates each (benchmark, scheduler) pair on an N-SM chip with parallel
-//! per-SM execution and a shared banked L2/DRAM when `N > 1`.
+//! per-SM execution and a shared banked L2/DRAM when `N > 1`. Every
+//! experiment also accepts `--obs {off,metrics,full}` (the runner arms the
+//! `sim-obs` layer on each simulation it issues) and the `-v`/`--quiet`
+//! verbosity flags, which drive the [`runner::log`] diagnostics channel.
 //!
 //! Every experiment returns a serialisable result structure plus a plain-text
 //! rendering, so `cargo bench` (crate `ciao-bench`) and the `ciao-harness`

@@ -1,7 +1,7 @@
 //! Report helpers: aligned text tables, geometric means, per-SM imbalance
 //! formatting and CSV/JSON output.
 
-use gpu_sim::SmImbalance;
+use gpu_sim::{DispatchSummary, SmImbalance};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -136,6 +136,21 @@ pub fn imbalance_cell(im: &SmImbalance) -> String {
     format!("{:.3}-{:.3} (σ {:.4})", im.min_ipc, im.max_ipc, im.stddev_ipc)
 }
 
+/// Compact per-tenant dispatcher verdict from a pre-computed
+/// [`DispatchSummary`] — `t0 cache (3T/1R), t1 stream (0T/0R)` — so report
+/// loops format the digest instead of re-walking the decision log per
+/// tenant. Empty for runs whose policy logged no decisions.
+pub fn dispatch_verdict(summary: &DispatchSummary) -> String {
+    summary
+        .tenants
+        .iter()
+        .map(|t| {
+            format!("t{} {} ({}T/{}R)", t.tenant, t.final_class.label(), t.throttles, t.restores)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Visible marker appended to rows whose run hit an instruction/cycle cap
 /// instead of finishing its kernel (empty for clean runs).
 pub fn capped_marker(capped: bool) -> &'static str {
@@ -204,6 +219,29 @@ mod tests {
         assert_eq!(percent(0.1234), "12.3%");
         let im = SmImbalance { min_ipc: 0.1, max_ipc: 0.52, stddev_ipc: 0.0421 };
         assert_eq!(imbalance_cell(&im), "0.100-0.520 (σ 0.0421)");
+    }
+
+    #[test]
+    fn dispatch_verdict_formats_per_tenant_digest() {
+        use gpu_sim::{DispatchTenantSummary, TenantClass};
+        assert_eq!(dispatch_verdict(&DispatchSummary::default()), "");
+        let summary = DispatchSummary {
+            tenants: vec![
+                DispatchTenantSummary {
+                    tenant: 0,
+                    throttles: 3,
+                    restores: 1,
+                    final_class: TenantClass::CacheSensitive,
+                },
+                DispatchTenantSummary {
+                    tenant: 1,
+                    throttles: 0,
+                    restores: 0,
+                    final_class: TenantClass::Streaming,
+                },
+            ],
+        };
+        assert_eq!(dispatch_verdict(&summary), "t0 cache (3T/1R), t1 stream (0T/0R)");
     }
 
     #[test]

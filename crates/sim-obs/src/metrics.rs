@@ -1,0 +1,455 @@
+//! Metrics registry: named counters, cycle-stamped gauges and log2-bucket
+//! histograms, each optionally labelled with a tenant id, exported as
+//! deterministic JSON (keys sorted, no floating-point formatting surprises —
+//! gauge values are printed with `{:?}`, Rust's shortest round-trip float
+//! form).
+
+use std::collections::BTreeMap;
+
+/// A metric name plus optional tenant label. `BTreeMap` keying gives the
+/// exporter deterministic iteration order for free.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    tenant: Option<u32>,
+}
+
+impl MetricKey {
+    fn new(name: &str, tenant: Option<u32>) -> Self {
+        MetricKey { name: name.to_string(), tenant }
+    }
+
+    /// JSON object key: `"name"` or `"name/tenant<t>"`.
+    fn label(&self) -> String {
+        match self.tenant {
+            Some(t) => format!("{}/tenant{}", self.name, t),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A log2-bucket histogram over `u64` samples: bucket `0` holds the value
+/// `0`, bucket `i > 0` holds values in `[2^(i-1), 2^i)`. 65 buckets cover
+/// the full `u64` range; count/sum/min/max are tracked exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Number of log2 buckets (`0` plus one per bit of `u64`).
+    pub const NUM_BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; Histogram::NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: `0` for `0`, otherwise
+    /// `floor(log2(v)) + 1` (so bucket `i` spans `[2^(i-1), 2^i)`).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open `[lo, hi)` range bucket `index` covers (`hi` is `None`
+    /// for the final bucket, whose upper bound would overflow `u64`).
+    pub fn bucket_range(index: usize) -> (u64, Option<u64>) {
+        match index {
+            0 => (0, Some(1)),
+            64 => (1 << 63, None),
+            i => (1 << (i - 1), Some(1 << i)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Sample count in bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// `(bucket_lo, count)` pairs for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_range(i).0, c))
+            .collect()
+    }
+}
+
+/// The registry: counters, cycle-stamped gauge series and histograms, each
+/// keyed by `(name, tenant)`. All maps are `BTreeMap`s so the JSON export is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, Vec<(u64, f64)>>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&mut self, name: &str, tenant: Option<u32>, delta: u64) {
+        *self.counters.entry(MetricKey::new(name, tenant)).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str, tenant: Option<u32>) -> u64 {
+        self.counters.get(&MetricKey::new(name, tenant)).copied().unwrap_or(0)
+    }
+
+    /// Appends a `(cycle, value)` sample to the named gauge series.
+    pub fn gauge_push(&mut self, name: &str, tenant: Option<u32>, cycle: u64, value: f64) {
+        self.gauges.entry(MetricKey::new(name, tenant)).or_default().push((cycle, value));
+    }
+
+    /// The recorded series of a gauge (empty if never touched).
+    pub fn gauge_series(&self, name: &str, tenant: Option<u32>) -> &[(u64, f64)] {
+        self.gauges.get(&MetricKey::new(name, tenant)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn histogram_record(&mut self, name: &str, tenant: Option<u32>, value: u64) {
+        self.histograms.entry(MetricKey::new(name, tenant)).or_default().record(value);
+    }
+
+    /// Folds a pre-built histogram into the named slot (used when a
+    /// component accumulated locally and hands its histogram over at
+    /// collection time).
+    pub fn histogram_merge(&mut self, name: &str, tenant: Option<u32>, hist: &Histogram) {
+        self.histograms.entry(MetricKey::new(name, tenant)).or_default().merge(hist);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str, tenant: Option<u32>) -> Option<&Histogram> {
+        self.histograms.get(&MetricKey::new(name, tenant))
+    }
+
+    /// Re-labels every metric carrying tenant `from` as tenant `to` (values
+    /// merge if a `to`-labelled metric already exists). Used when serially
+    /// executed single-tenant runs — which all label their kernel tenant 0 —
+    /// are chained into one multi-tenant registry.
+    pub fn relabel_tenant(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        let keys: Vec<MetricKey> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .filter(|k| k.tenant == Some(from))
+            .cloned()
+            .collect();
+        for key in keys {
+            let new_key = MetricKey::new(&key.name, Some(to));
+            if let Some(v) = self.counters.remove(&key) {
+                *self.counters.entry(new_key.clone()).or_insert(0) += v;
+            }
+            if let Some(series) = self.gauges.remove(&key) {
+                self.gauges.entry(new_key.clone()).or_default().extend(series);
+            }
+            if let Some(hist) = self.histograms.remove(&key) {
+                self.histograms.entry(new_key).or_default().merge(&hist);
+            }
+        }
+    }
+
+    /// Shifts every gauge cycle stamp by `offset` (serial-run chaining).
+    pub fn shift_cycles(&mut self, offset: u64) {
+        for series in self.gauges.values_mut() {
+            for (cycle, _) in series.iter_mut() {
+                *cycle += offset;
+            }
+        }
+    }
+
+    /// Merges another registry into this one: counters add, gauge series
+    /// concatenate, histograms fold.
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        for (key, v) in other.counters {
+            *self.counters.entry(key).or_insert(0) += v;
+        }
+        for (key, series) in other.gauges {
+            self.gauges.entry(key).or_default().extend(series);
+        }
+        for (key, hist) in other.histograms {
+            self.histograms.entry(key).or_default().merge(&hist);
+        }
+    }
+
+    /// Deterministic JSON export:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name/tenant0": 12, ...},
+    ///   "gauges": {"name/tenant0": [[cycle, value], ...], ...},
+    ///   "histograms": {"name": {"count": n, "sum": s, "min": m, "max": M,
+    ///                            "buckets": [[bucket_lo, count], ...]}, ...}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (key, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            out.push_str(&key.label());
+            out.push_str("\": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (key, series) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            out.push_str(&key.label());
+            out.push_str("\": [");
+            for (i, (cycle, value)) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{cycle},{value:?}]"));
+            }
+            out.push(']');
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (key, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            out.push_str(&key.label());
+            out.push_str("\": {\"count\": ");
+            out.push_str(&hist.count().to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&hist.sum().to_string());
+            out.push_str(", \"min\": ");
+            out.push_str(&hist.min().unwrap_or(0).to_string());
+            out.push_str(", \"max\": ");
+            out.push_str(&hist.max().unwrap_or(0).to_string());
+            out.push_str(", \"buckets\": [");
+            for (i, (lo, count)) in hist.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bucket boundaries the log2 scheme promises: 0 → bucket 0, powers
+    /// of two open a new bucket, `2^i - 1` stays in the previous one.
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..Histogram::NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            if let Some(hi) = hi {
+                assert_eq!(Histogram::bucket_index(hi - 1), i, "hi-1 of bucket {i}");
+                assert_eq!(Histogram::bucket_index(hi), i + 1, "hi of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_merge() {
+        let mut a = Histogram::new();
+        assert_eq!(a.min(), None);
+        assert_eq!(a.mean(), None);
+        for v in [0, 1, 4, 5, 1000] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 1010);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.mean(), Some(202.0));
+        assert_eq!(a.bucket_count(0), 1);
+        assert_eq!(a.bucket_count(3), 2); // 4 and 5 share [4, 8)
+
+        let mut b = Histogram::new();
+        b.record(2048);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), Some(2048));
+        assert_eq!(a.nonzero_buckets(), vec![(0, 1), (1, 1), (4, 2), (512, 1), (2048, 1)]);
+    }
+
+    #[test]
+    fn registry_round_trip_and_merge() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.counter_add("throttles", Some(1), 2);
+        m.counter_add("throttles", Some(1), 1);
+        m.gauge_push("l2-hit-rate", Some(0), 500, 0.75);
+        m.histogram_record("mem-latency", None, 120);
+        assert_eq!(m.counter("throttles", Some(1)), 3);
+        assert_eq!(m.counter("throttles", Some(0)), 0);
+        assert_eq!(m.gauge_series("l2-hit-rate", Some(0)), &[(500, 0.75)]);
+        assert_eq!(m.histogram("mem-latency", None).unwrap().count(), 1);
+
+        let mut other = MetricsRegistry::new();
+        other.counter_add("throttles", Some(1), 5);
+        other.gauge_push("l2-hit-rate", Some(0), 1000, 0.5);
+        other.histogram_record("mem-latency", None, 2);
+        m.merge(other);
+        assert_eq!(m.counter("throttles", Some(1)), 8);
+        assert_eq!(m.gauge_series("l2-hit-rate", Some(0)), &[(500, 0.75), (1000, 0.5)]);
+        assert_eq!(m.histogram("mem-latency", None).unwrap().count(), 2);
+
+        m.shift_cycles(100);
+        assert_eq!(m.gauge_series("l2-hit-rate", Some(0)), &[(600, 0.75), (1100, 0.5)]);
+    }
+
+    /// Pins the JSON export byte for byte, and checks it parses with the
+    /// vendored JSON parser.
+    #[test]
+    fn json_export_is_pinned_and_parses() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("decisions", None, 4);
+        m.counter_add("throttles", Some(0), 1);
+        m.gauge_push("l2-hit-rate", Some(0), 500, 0.75);
+        m.gauge_push("l2-hit-rate", Some(0), 1000, 0.5);
+        m.histogram_record("mem-latency", Some(1), 0);
+        m.histogram_record("mem-latency", Some(1), 100);
+        let json = m.to_json();
+        let expected = concat!(
+            "{\n",
+            "  \"counters\": {\n",
+            "    \"decisions\": 4,\n",
+            "    \"throttles/tenant0\": 1\n",
+            "  },\n",
+            "  \"gauges\": {\n",
+            "    \"l2-hit-rate/tenant0\": [[500,0.75],[1000,0.5]]\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"mem-latency/tenant1\": {\"count\": 2, \"sum\": 100, \"min\": 0, ",
+            "\"max\": 100, \"buckets\": [[0,1],[64,1]]}\n",
+            "  }\n",
+            "}\n",
+        );
+        assert_eq!(json, expected);
+
+        let value: serde::Value = serde_json::from_str(&json).expect("metrics JSON parses");
+        assert!(value.get("counters").is_some());
+        assert!(value.get("gauges").is_some());
+        assert!(value.get("histograms").is_some());
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_objects() {
+        let json = MetricsRegistry::new().to_json();
+        assert_eq!(json, "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+        let value: serde::Value = serde_json::from_str(&json).expect("parses");
+        assert!(value.get("counters").is_some());
+    }
+}

@@ -1,0 +1,242 @@
+//! Wall-clock phase profiler: scoped timers around the engine's real phases
+//! (parallel SM phase, fabric passes, sharded bank service, reply release,
+//! event-loop pop/advance), aggregated into a per-phase call/total/self-time
+//! table.
+//!
+//! Wall clocks are machine-dependent, so nothing here may ever enter a
+//! `SimResult` — the profile lives in `ObsReport` only and is rendered as a
+//! human-readable table. Phases nest: time spent in an inner phase is
+//! subtracted from the enclosing phase's *self* time, so the table's
+//! self-time column sums to (roughly) the total measured wall clock.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Aggregated timing for one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the phase was entered.
+    pub calls: u64,
+    /// Total wall time inside the phase, nested phases included.
+    pub total: Duration,
+    /// Wall time inside the phase minus time in nested phases.
+    pub self_time: Duration,
+}
+
+/// One in-flight phase on the stack.
+#[derive(Debug)]
+struct OpenPhase {
+    name: &'static str,
+    started: Instant,
+    /// Wall time consumed by already-closed nested phases.
+    child_time: Duration,
+}
+
+/// The profiler. Disabled (`enabled == false`, the default) it is inert —
+/// `enter`/`exit` return immediately, so the engine can call them
+/// unconditionally from hot loops.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    enabled: bool,
+    stack: Vec<OpenPhase>,
+    phases: BTreeMap<&'static str, PhaseStat>,
+}
+
+impl PhaseProfiler {
+    /// An inert profiler (every call is a no-op).
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// A collecting profiler.
+    pub fn enabled() -> Self {
+        PhaseProfiler { enabled: true, ..PhaseProfiler::default() }
+    }
+
+    /// Whether the profiler collects.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a phase. Phases may nest; close them in LIFO order with
+    /// [`PhaseProfiler::exit`].
+    pub fn enter(&mut self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        self.stack.push(OpenPhase { name, started: Instant::now(), child_time: Duration::ZERO });
+    }
+
+    /// Closes the innermost open phase, folding its timing into the table.
+    pub fn exit(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.stack.pop() else {
+            debug_assert!(false, "PhaseProfiler::exit with no open phase");
+            return;
+        };
+        let total = open.started.elapsed();
+        let stat = self.phases.entry(open.name).or_default();
+        stat.calls += 1;
+        stat.total += total;
+        stat.self_time += total.saturating_sub(open.child_time);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_time += total;
+        }
+    }
+
+    /// Times a closure as one phase occurrence.
+    pub fn scope<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        self.enter(name);
+        let out = f();
+        self.exit();
+        out
+    }
+
+    /// The aggregated stats for one phase, if it ever ran.
+    pub fn stat(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.get(name)
+    }
+
+    /// `(name, stat)` rows sorted by descending self time (ties broken by
+    /// name, so rendering is deterministic).
+    pub fn rows(&self) -> Vec<(&'static str, PhaseStat)> {
+        let mut rows: Vec<_> = self.phases.iter().map(|(&n, &s)| (n, s)).collect();
+        rows.sort_by(|a, b| b.1.self_time.cmp(&a.1.self_time).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Folds another profiler's table into this one (stacks must be empty —
+    /// merge finished profiles, not in-flight ones).
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        debug_assert!(self.stack.is_empty() && other.stack.is_empty());
+        self.enabled |= other.enabled;
+        for (&name, stat) in &other.phases {
+            let mine = self.phases.entry(name).or_default();
+            mine.calls += stat.calls;
+            mine.total += stat.total;
+            mine.self_time += stat.self_time;
+        }
+    }
+
+    /// Renders the self-time table: one row per phase, sorted by descending
+    /// self time, with a percentage column over the summed self time.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        if rows.is_empty() {
+            return String::from("(no phases profiled)\n");
+        }
+        let grand_self: Duration = rows.iter().map(|(_, s)| s.self_time).sum();
+        let name_width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
+        let mut out = format!(
+            "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>6}\n",
+            "phase", "calls", "total", "self", "self%"
+        );
+        for (name, stat) in &rows {
+            let pct = if grand_self.is_zero() {
+                0.0
+            } else {
+                100.0 * stat.self_time.as_secs_f64() / grand_self.as_secs_f64()
+            };
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>5.1}%\n",
+                name,
+                stat.calls,
+                format_duration(stat.total),
+                format_duration(stat.self_time),
+                pct,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>6}\n",
+            "(sum)",
+            "",
+            "",
+            format_duration(grand_self),
+            "100.0%"
+        ));
+        out
+    }
+}
+
+/// Human-scaled duration: `1.234s`, `56.789ms`, `12.3µs`, `456ns`.
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1_000_000.0)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let mut p = PhaseProfiler::new();
+        assert!(!p.is_enabled());
+        p.enter("phase");
+        p.exit();
+        p.scope("other", || ());
+        assert!(p.rows().is_empty());
+        assert_eq!(p.render(), "(no phases profiled)\n");
+    }
+
+    #[test]
+    fn nesting_attributes_self_time_to_the_inner_phase() {
+        let mut p = PhaseProfiler::enabled();
+        p.enter("outer");
+        p.scope("inner", || std::thread::sleep(Duration::from_millis(5)));
+        p.exit();
+
+        let outer = *p.stat("outer").expect("outer recorded");
+        let inner = *p.stat("inner").expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(inner.self_time >= Duration::from_millis(4));
+        // The outer phase's total includes the inner phase, but its self
+        // time excludes it.
+        assert!(outer.total >= inner.total);
+        assert!(outer.self_time < inner.self_time);
+    }
+
+    #[test]
+    fn merge_adds_calls_and_times() {
+        let mut a = PhaseProfiler::enabled();
+        a.scope("x", || ());
+        let mut b = PhaseProfiler::enabled();
+        b.scope("x", || ());
+        b.scope("y", || ());
+        a.merge(&b);
+        assert_eq!(a.stat("x").unwrap().calls, 2);
+        assert_eq!(a.stat("y").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn render_lists_every_phase_with_header_and_sum() {
+        let mut p = PhaseProfiler::enabled();
+        p.scope("bank-service", || std::thread::sleep(Duration::from_micros(100)));
+        p.scope("deliver", || ());
+        let table = p.render();
+        assert!(table.starts_with("phase"));
+        assert!(table.contains("bank-service"));
+        assert!(table.contains("deliver"));
+        assert!(table.contains("(sum)"));
+        assert!(table.contains("100.0%"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(456)), "456ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(format_duration(Duration::from_millis(56)), "56.000ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,151 @@
+//! Acceptance tests for the observability layer: the canonical sim-time
+//! trace must be byte-identical across host service-thread counts and across
+//! the epoch/event timing backends, observation must never perturb
+//! simulation results, and the exported Chrome trace-event JSON must parse
+//! and name every track family (SMs, L2 banks, fabric directions, tenants,
+//! dispatcher).
+
+use ciao_harness::runner::{RunScale, Runner};
+use ciao_harness::schedulers::SchedulerKind;
+use ciao_workloads::Mix;
+use gpu_sim::{BackendKind, DispatchPolicy, ObsLevel, ObsReport, SimResult};
+use serde::Value;
+
+/// The reference observed co-run: the Tiny cache-vs-stream mix on a 15-SM
+/// chip under interference-aware dispatch — the configuration whose
+/// dispatcher actually throttles and restores.
+fn observed_mix(threads: usize, backend: BackendKind, obs: ObsLevel) -> (SimResult, ObsReport) {
+    let mut runner = Runner::new(RunScale::Tiny).with_sms(15).with_backend(backend).with_obs(obs);
+    runner.config = runner.config.with_service_threads(threads);
+    runner.run_mix_observed(
+        Mix::CacheStream,
+        DispatchPolicy::InterferenceAware,
+        SchedulerKind::CiaoT,
+    )
+}
+
+#[test]
+fn canonical_trace_is_byte_identical_across_service_thread_counts() {
+    // The barrier-phase bank service shards each epoch's batch across worker
+    // threads; that is purely a wall-clock knob, so the full observability
+    // export — trace and metrics — must not move by a byte.
+    let (res_1, rep_1) = observed_mix(1, BackendKind::Epoch, ObsLevel::Full);
+    let (res_8, rep_8) = observed_mix(8, BackendKind::Epoch, ObsLevel::Full);
+    assert!(!rep_1.events.is_empty(), "the full-obs run must have recorded events");
+    assert_eq!(rep_1.dropped_events, 0, "the ring buffers must not have overflowed");
+    assert_eq!(
+        rep_1.chrome_trace_json(),
+        rep_8.chrome_trace_json(),
+        "service-thread count changed the canonical trace"
+    );
+    assert_eq!(
+        rep_1.metrics_json(),
+        rep_8.metrics_json(),
+        "service-thread count changed the metrics"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&res_1).unwrap(),
+        serde_json::to_string_pretty(&res_8).unwrap(),
+        "service-thread count changed the simulation itself"
+    );
+}
+
+#[test]
+fn canonical_trace_is_byte_identical_across_timing_backends() {
+    // Engine-category events (idle skips, event-queue pops) differ between
+    // backends by design; the canonical export excludes them, so what is
+    // left must agree exactly — as must the metrics registry.
+    let (res_epoch, rep_epoch) = observed_mix(1, BackendKind::Epoch, ObsLevel::Full);
+    let (mut res_event, rep_event) = observed_mix(1, BackendKind::Event, ObsLevel::Full);
+    assert_eq!(
+        rep_epoch.chrome_trace_json(),
+        rep_event.chrome_trace_json(),
+        "timing backend changed the canonical trace"
+    );
+    assert_eq!(
+        rep_epoch.metrics_json(),
+        rep_event.metrics_json(),
+        "timing backend changed the metrics"
+    );
+    // The results themselves are bit-identical in everything but the
+    // backend label.
+    assert_eq!(res_event.backend, "event");
+    res_event.backend = res_epoch.backend.clone();
+    assert_eq!(
+        serde_json::to_string_pretty(&res_epoch).unwrap(),
+        serde_json::to_string_pretty(&res_event).unwrap(),
+    );
+}
+
+#[test]
+fn observation_never_perturbs_the_simulation() {
+    // --obs full must be a pure read: the serialised SimResult is
+    // byte-identical to the --obs off run, and an off-level report is empty.
+    let (res_off, rep_off) = observed_mix(1, BackendKind::Epoch, ObsLevel::Off);
+    let (res_full, _) = observed_mix(1, BackendKind::Epoch, ObsLevel::Full);
+    assert!(rep_off.events.is_empty(), "--obs off must record nothing");
+    assert!(!rep_off.profile.is_enabled(), "--obs off must not profile");
+    assert_eq!(
+        serde_json::to_string_pretty(&res_off).unwrap(),
+        serde_json::to_string_pretty(&res_full).unwrap(),
+        "observation changed the simulation"
+    );
+}
+
+/// Collects the string value at `key` of a JSON object, if present.
+fn str_field<'v>(obj: &'v Value, key: &str) -> Option<&'v str> {
+    match obj.get(key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[test]
+fn trace_export_parses_and_names_every_track_family() {
+    let (_, report) = observed_mix(1, BackendKind::Epoch, ObsLevel::Full);
+    let json = report.chrome_trace_json();
+    let root: Value = serde_json::from_str(&json).expect("the trace export must be valid JSON");
+    let Some(Value::Array(events)) = root.get("traceEvents") else {
+        panic!("the export must carry a traceEvents array");
+    };
+    assert!(!events.is_empty());
+
+    // Track names come from the thread_name metadata records.
+    let mut tracks: Vec<&str> = Vec::new();
+    let mut phases: Vec<&str> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
+    for ev in events {
+        let ph = str_field(ev, "ph").expect("every record has a phase");
+        phases.push(ph);
+        if ph == "M" {
+            if let Some(name) = ev.get("args").and_then(|a| str_field(a, "name")) {
+                tracks.push(name);
+            }
+        } else {
+            names.push(str_field(ev, "name").expect("every event is named"));
+            assert!(ev.get("ts").is_some(), "every event carries a timestamp");
+            assert!(ev.get("tid").is_some(), "every event sits on a track");
+        }
+    }
+    // One track per SM, per L2 bank, per fabric direction, per tenant, plus
+    // the dispatcher's own timeline.
+    for expected in ["SM 0", "SM 14", "L2 bank 0", "fabric request", "fabric reply", "dispatcher"] {
+        assert!(tracks.contains(&expected), "missing track {expected:?} in {tracks:?}");
+    }
+    assert!(tracks.iter().any(|t| t.starts_with("tenant 0:")), "missing tenant 0 track");
+    assert!(tracks.iter().any(|t| t.starts_with("tenant 1:")), "missing tenant 1 track");
+    // Only complete spans ("X"), instants ("i") and metadata ("M") appear.
+    assert!(phases.iter().all(|p| matches!(*p, "X" | "i" | "M")), "unexpected phase");
+    // The dispatcher timeline carries its decision instants, including the
+    // throttle/restore activity this mix provokes.
+    for expected in ["admit", "place"] {
+        assert!(names.contains(&expected), "missing dispatch instant {expected:?}");
+    }
+    assert!(
+        names.contains(&"throttle") || names.contains(&"restore"),
+        "the interference-aware co-run must surface throttle/restore instants"
+    );
+    // The engine-only categories never leak into the canonical export.
+    assert!(!names.contains(&"pop"), "engine events leaked into the canonical trace");
+    assert!(!names.contains(&"idle-skip"), "engine events leaked into the canonical trace");
+}
