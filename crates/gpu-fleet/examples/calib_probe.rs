@@ -1,0 +1,26 @@
+//! Prints the fleet calibration table as JSON — the constants the fleet
+//! tier's rate servers and the spread policy's penalty matrix are built
+//! from.
+//!
+//! ```text
+//! cargo run --release -p gpu-fleet --example calib_probe            # measured, 8 SMs
+//! cargo run --release -p gpu-fleet --example calib_probe -- 15     # measured, 15 SMs
+//! cargo run --release -p gpu-fleet --example calib_probe -- 8 ref  # pinned reference table
+//! ```
+//!
+//! Useful for seeing what the engine *actually* measures at its current
+//! scale before reasoning about placement behaviour: at Tiny scale the
+//! dominant unmanaged interference is stream-on-compute, not the
+//! cache-vs-stream pairing the reference table emphasises.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sms: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let reference = args.next().is_some_and(|a| a == "ref");
+    let calib = if reference {
+        gpu_fleet::Calibration::reference(sms)
+    } else {
+        gpu_fleet::Calibration::measure(sms)
+    };
+    println!("{}", serde_json::to_string_pretty(&calib).expect("calibration serialises"));
+}

@@ -1,0 +1,610 @@
+//! The per-chip rate-server model of the fleet tier.
+//!
+//! A [`ChipModel`] stands in for one cycle-level chip (a [`gpu_sim`] run)
+//! inside a fleet simulation. It is a discrete-event queueing server whose
+//! constants come from real chip measurements ([`crate::calib`]): up to
+//! [`MAX_RESIDENT`] jobs run concurrently, each draining at
+//!
+//! ```text
+//! rate(job) = share(job) × solo_ipc(class) / max co-resident slowdown
+//! ```
+//!
+//! where `share` divides the chip's SMs among residents (interactive jobs
+//! weigh double — the fleet-model analogue of the chip tier's
+//! [`gpu_sim::QosSpec`] floors), and the slowdown factor switches from the
+//! unmanaged [`Calibration::shared_slowdown`] matrix to the contained
+//! [`Calibration::aware_slowdown`] matrix once the on-chip dispatcher has
+//! *classified* the pair — a delay of [`Calibration::classify_delay`]
+//! cycles after admission, exactly the window the paper's dispatcher needs
+//! to observe hit rates before acting.
+//!
+//! Every admission, classification, and completion appends a real
+//! [`DispatchDecision`] to a live [`gpu_sim::DispatchLog`] — the same type
+//! the chip engine emits — so cluster placement reads chip state through
+//! the identical telemetry surface it would have against real chips (see
+//! [`ChipModel::view`]). The log is compacted once it exceeds a cap so an
+//! eight-chip, million-arrival fleet stays in bounded memory.
+//!
+//! Determinism: all state is advanced by [`ChipModel::advance_to`] with a
+//! fixed event order (completions by slot, then classifications by slot,
+//! then arrivals) and fixed-order f64 arithmetic, so a chip's trajectory is
+//! a pure function of the jobs pushed into it — independent of which fleet
+//! worker thread drives it.
+
+use gpu_sim::{DispatchAction, DispatchDecision, DispatchLog, LatencyClass, TenantClass};
+use std::collections::VecDeque;
+
+use crate::calib::Calibration;
+use crate::traffic::{Arrival, WorkClass};
+
+/// Maximum concurrently resident jobs per chip (the chip tier co-runs up to
+/// four tenants; beyond that, arrivals queue).
+pub const MAX_RESIDENT: usize = 4;
+
+/// Decision-log length that triggers compaction, and the length compaction
+/// keeps. The newest decisions always survive, so [`ChipModel::view`] reads
+/// fresh telemetry.
+const LOG_COMPACT_AT: usize = 1024;
+const LOG_KEEP: usize = 256;
+
+/// Queue-share weight per latency class: interactive jobs get a double
+/// share of the chip while resident (throughput floor) and jump the
+/// admission queue.
+fn weight(latency: LatencyClass) -> f64 {
+    match latency {
+        LatencyClass::Interactive => 2.0,
+        LatencyClass::Batch => 1.0,
+    }
+}
+
+/// One job on (or queued for) a chip.
+#[derive(Debug, Clone)]
+struct Job {
+    id: u64,
+    class: WorkClass,
+    latency: LatencyClass,
+    work: u64,
+    arrival: u64,
+    /// Instructions still to execute.
+    remaining: f64,
+    /// Cycle at which the on-chip dispatcher classifies this job.
+    classify_at: u64,
+    classified: bool,
+}
+
+impl Job {
+    fn from_arrival(a: &Arrival) -> Job {
+        Job {
+            id: a.id,
+            class: a.class,
+            latency: a.latency,
+            work: a.work,
+            arrival: a.cycle,
+            remaining: a.work as f64,
+            classify_at: 0,
+            classified: false,
+        }
+    }
+}
+
+/// A finished job, reported back to the fleet for SLO accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedJob {
+    /// Submission id from the traffic stream.
+    pub id: u64,
+    /// Tenant class.
+    pub class: WorkClass,
+    /// Latency (SLO) class.
+    pub latency: LatencyClass,
+    /// Kernel size in instructions.
+    pub work: u64,
+    /// Fleet-time arrival cycle.
+    pub arrival: u64,
+    /// Fleet-time completion cycle.
+    pub finish: u64,
+    /// Chip the job ran on.
+    pub chip: usize,
+}
+
+/// Placement-visible snapshot of one chip, derived from its live dispatch
+/// log (classification counts) and queue state (load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipView {
+    /// Chip index in the fleet.
+    pub chip: usize,
+    /// Currently resident jobs.
+    pub resident: usize,
+    /// Jobs queued or in flight to this chip (admission backlog).
+    pub queued: usize,
+    /// Resident jobs the dispatch log currently classifies as
+    /// cache-sensitive.
+    pub classified_cache: usize,
+    /// Resident jobs the dispatch log currently classifies as streaming.
+    pub classified_stream: usize,
+    /// Backlog of not-yet-resident work in solo-equivalent cycles, by
+    /// declared [`crate::traffic::WorkClass::index`] (the cluster placed
+    /// these jobs, so it knows their declared class and size even though
+    /// the chip has not classified them yet).
+    pub pending_class_cycles: [u64; 3],
+}
+
+impl ChipView {
+    /// Total pending backlog in solo-equivalent cycles, all classes.
+    pub fn pending_cycles(&self) -> u64 {
+        self.pending_class_cycles.iter().sum()
+    }
+}
+
+/// End-of-run accounting for one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipAccounting {
+    /// Cycles with at least one resident job, up to the chip's last event.
+    pub busy_cycles: u64,
+    /// Integral of resident count over time (slot-cycles).
+    pub slot_cycles: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Classification verdicts issued, by class (cache, stream, compute).
+    pub classified: [u64; 3],
+    /// Peak admission-queue depth observed.
+    pub peak_queue: usize,
+}
+
+/// One chip of the fleet: a calibrated rate server with a live
+/// [`DispatchLog`]. Driven by [`ChipModel::push`] (from fleet placement)
+/// and [`ChipModel::advance_to`] (from the fleet epoch loop).
+#[derive(Debug)]
+pub struct ChipModel {
+    id: usize,
+    calib: Calibration,
+    now: u64,
+    /// Placed but not yet arrived jobs, in arrival order.
+    inbox: VecDeque<Job>,
+    /// Arrived jobs waiting for a resident slot.
+    queue: VecDeque<Job>,
+    /// Resident slots (tenant ids of the on-chip dispatcher).
+    resident: [Option<Job>; MAX_RESIDENT],
+    log: DispatchLog,
+    /// Solo-equivalent cycles of the jobs in `inbox` + `queue`, by declared
+    /// [`WorkClass::index`].
+    pending_cycles: [u64; 3],
+    done: Vec<CompletedJob>,
+    busy_cycles: u64,
+    slot_cycles: u64,
+    classified: [u64; 3],
+    peak_queue: usize,
+}
+
+impl ChipModel {
+    /// Creates chip `id` with the given calibration table.
+    pub fn new(id: usize, calib: Calibration) -> ChipModel {
+        ChipModel {
+            id,
+            calib,
+            now: 0,
+            inbox: VecDeque::new(),
+            queue: VecDeque::new(),
+            resident: [None, None, None, None],
+            log: DispatchLog::default(),
+            pending_cycles: [0; 3],
+            done: Vec::new(),
+            busy_cycles: 0,
+            slot_cycles: 0,
+            classified: [0; 3],
+            peak_queue: 0,
+        }
+    }
+
+    /// Queues an arrival for this chip. Must be called in non-decreasing
+    /// arrival order (the fleet places the globally sorted stream).
+    pub fn push(&mut self, arrival: &Arrival) {
+        debug_assert!(
+            self.inbox.back().is_none_or(|j| j.arrival <= arrival.cycle),
+            "arrivals must be pushed in order"
+        );
+        self.pending_cycles[arrival.class.index()] +=
+            self.calib.solo_cycles(arrival.class, arrival.work).round() as u64;
+        self.inbox.push_back(Job::from_arrival(arrival));
+    }
+
+    /// Current sim time of this chip.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// True when no work is queued, resident, or in flight.
+    pub fn idle(&self) -> bool {
+        self.inbox.is_empty() && self.queue.is_empty() && self.resident.iter().all(Option::is_none)
+    }
+
+    /// The live decision log (same telemetry type the chip engine emits).
+    pub fn log(&self) -> &DispatchLog {
+        &self.log
+    }
+
+    /// Placement-visible snapshot. Classification counts are read from the
+    /// last [`DispatchDecision`] of the live log — the placement tier sees
+    /// exactly what the chip's dispatcher published, nothing more.
+    pub fn view(&self) -> ChipView {
+        let (mut cache, mut stream) = (0, 0);
+        if let Some(d) = self.log.decisions.last() {
+            for c in &d.classes {
+                match c {
+                    TenantClass::CacheSensitive => cache += 1,
+                    TenantClass::Streaming => stream += 1,
+                    TenantClass::Unclassified => {}
+                }
+            }
+        }
+        ChipView {
+            chip: self.id,
+            resident: self.resident.iter().flatten().count(),
+            queued: self.inbox.len() + self.queue.len(),
+            classified_cache: cache,
+            classified_stream: stream,
+            pending_class_cycles: self.pending_cycles,
+        }
+    }
+
+    /// End-of-run accounting.
+    pub fn accounting(&self) -> ChipAccounting {
+        ChipAccounting {
+            busy_cycles: self.busy_cycles,
+            slot_cycles: self.slot_cycles,
+            completed: self.done.len() as u64,
+            classified: self.classified,
+            peak_queue: self.peak_queue,
+        }
+    }
+
+    /// Drains the completed-job list (fleet collects after the run).
+    pub fn take_completed(&mut self) -> Vec<CompletedJob> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// The published [`TenantClass`] of the job in `slot`: its true class
+    /// once the dispatcher has classified it, `Unclassified` before.
+    fn slot_class(&self, slot: usize) -> TenantClass {
+        match &self.resident[slot] {
+            Some(j) if j.classified => match j.class {
+                WorkClass::Cache => TenantClass::CacheSensitive,
+                WorkClass::Stream => TenantClass::Streaming,
+                WorkClass::Compute => TenantClass::Unclassified,
+            },
+            _ => TenantClass::Unclassified,
+        }
+    }
+
+    /// Appends a decision mirroring the current resident state to the live
+    /// log, compacting when past the cap. Hit rates are `-1` (unmeasured):
+    /// the fleet model tracks classes and shares, not cache counters.
+    fn log_decision(&mut self, actions: Vec<DispatchAction>) {
+        let shares = self.shares();
+        let decision = DispatchDecision {
+            cycle: self.now,
+            l2_hit_rate: vec![-1.0; MAX_RESIDENT],
+            l1_hit_rate: vec![-1.0; MAX_RESIDENT],
+            classes: (0..MAX_RESIDENT).map(|s| self.slot_class(s)).collect(),
+            allowed_sms: shares
+                .iter()
+                .map(|s| ((s * self.calib.sms as f64).round() as usize).min(self.calib.sms))
+                .collect(),
+            actions,
+        };
+        self.log.decisions.push(decision);
+        if self.log.decisions.len() > LOG_COMPACT_AT {
+            let cut = self.log.decisions.len() - LOG_KEEP;
+            self.log.decisions.drain(..cut);
+        }
+    }
+
+    /// Per-slot chip share: weight(latency) / Σ weights over residents.
+    fn shares(&self) -> [f64; MAX_RESIDENT] {
+        let total: f64 = self.resident.iter().flatten().map(|j| weight(j.latency)).sum();
+        let mut shares = [0.0; MAX_RESIDENT];
+        if total <= 0.0 {
+            return shares;
+        }
+        for (slot, job) in self.resident.iter().enumerate() {
+            if let Some(j) = job {
+                shares[slot] = weight(j.latency) / total;
+            }
+        }
+        shares
+    }
+
+    /// Per-slot drain rate (instructions per cycle) under the current
+    /// resident set: share × solo rate / worst co-resident slowdown. The
+    /// contained (aware) matrix applies to a pair only once *both* jobs are
+    /// classified.
+    fn rates(&self) -> [f64; MAX_RESIDENT] {
+        let shares = self.shares();
+        let mut rates = [0.0; MAX_RESIDENT];
+        for (slot, job) in self.resident.iter().enumerate() {
+            let Some(j) = job else { continue };
+            let mut slow = 1.0f64;
+            for (other, o) in self.resident.iter().enumerate() {
+                let Some(k) = o else { continue };
+                if other == slot {
+                    continue;
+                }
+                let aware = j.classified && k.classified;
+                slow = slow.max(self.calib.slowdown(j.class, k.class, aware));
+            }
+            rates[slot] = shares[slot] * self.calib.solo_rate(j.class) / slow;
+        }
+        rates
+    }
+
+    /// Moves due inbox jobs to the queue and fills free resident slots
+    /// (interactive first, then FIFO), logging admissions.
+    fn admit_due(&mut self) {
+        while self.inbox.front().is_some_and(|j| j.arrival <= self.now) {
+            self.queue.push_back(self.inbox.pop_front().expect("front checked"));
+        }
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+        while let Some(slot) = self.resident.iter().position(Option::is_none) {
+            let pick =
+                self.queue.iter().position(|j| j.latency == LatencyClass::Interactive).unwrap_or(0);
+            let Some(mut job) = self.queue.remove(pick) else { break };
+            let solo = self.calib.solo_cycles(job.class, job.work).round() as u64;
+            self.pending_cycles[job.class.index()] =
+                self.pending_cycles[job.class.index()].saturating_sub(solo);
+            job.classify_at = self.now + self.calib.classify_delay;
+            self.resident[slot] = Some(job);
+            self.log_decision(vec![DispatchAction::Admit { tenant: slot as u32 }]);
+        }
+    }
+
+    /// Advances the chip to `t_end` (fleet time), processing admissions,
+    /// classifications, and completions in deterministic order. With
+    /// `t_end == u64::MAX` the chip runs until it drains; its clock stops
+    /// at the last event.
+    pub fn advance_to(&mut self, t_end: u64) {
+        loop {
+            self.admit_due();
+            let occupied = self.resident.iter().flatten().count();
+            if occupied == 0 {
+                // Nothing resident: jump to the next arrival or stop.
+                match self.inbox.front() {
+                    Some(j) if j.arrival <= t_end => {
+                        self.now = j.arrival;
+                        continue;
+                    }
+                    _ => {
+                        if t_end != u64::MAX {
+                            self.now = self.now.max(t_end);
+                        }
+                        return;
+                    }
+                }
+            }
+
+            // Next event: earliest completion / classification / arrival,
+            // capped at the epoch end.
+            let rates = self.rates();
+            let mut t_next = t_end;
+            for (slot, job) in self.resident.iter().enumerate() {
+                let Some(j) = job else { continue };
+                if rates[slot] > 0.0 {
+                    let dt = (j.remaining / rates[slot]).ceil().max(1.0) as u64;
+                    t_next = t_next.min(self.now.saturating_add(dt));
+                }
+                if !j.classified {
+                    t_next = t_next.min(j.classify_at);
+                }
+            }
+            if let Some(j) = self.inbox.front() {
+                if j.arrival > self.now {
+                    t_next = t_next.min(j.arrival);
+                }
+            }
+            let dt = t_next.saturating_sub(self.now);
+
+            // Integrate work over [now, t_next) at the current rates.
+            if dt > 0 {
+                for (slot, job) in self.resident.iter_mut().enumerate() {
+                    if let Some(j) = job {
+                        j.remaining -= rates[slot] * dt as f64;
+                    }
+                }
+                self.busy_cycles += dt;
+                self.slot_cycles += occupied as u64 * dt;
+                self.now = t_next;
+            }
+
+            // Completions first (slot order), then classifications.
+            let mut actions = Vec::new();
+            for slot in 0..MAX_RESIDENT {
+                let complete = self.resident[slot].as_ref().is_some_and(|j| j.remaining <= 1e-6);
+                if complete {
+                    let j = self.resident[slot].take().expect("checked occupied");
+                    self.done.push(CompletedJob {
+                        id: j.id,
+                        class: j.class,
+                        latency: j.latency,
+                        work: j.work,
+                        arrival: j.arrival,
+                        finish: self.now,
+                        chip: self.id,
+                    });
+                    actions.push(DispatchAction::Restore {
+                        tenant: slot as u32,
+                        allowed_sms: self.calib.sms,
+                    });
+                }
+            }
+            for slot in 0..MAX_RESIDENT {
+                if let Some(j) = &mut self.resident[slot] {
+                    if !j.classified && j.classify_at <= self.now {
+                        j.classified = true;
+                        self.classified[j.class.index()] += 1;
+                        let allowed = self.log.decisions.last().map_or_else(
+                            || vec![self.calib.sms; MAX_RESIDENT],
+                            |d| d.allowed_sms.clone(),
+                        );
+                        actions.push(DispatchAction::Place { allowed_sms: allowed });
+                    }
+                }
+            }
+            if !actions.is_empty() {
+                self.log_decision(actions);
+            }
+
+            if self.now >= t_end {
+                return;
+            }
+            if t_end == u64::MAX && self.idle() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficSpec;
+
+    fn arrival(id: u64, cycle: u64, class: WorkClass, latency: LatencyClass, work: u64) -> Arrival {
+        Arrival { id, cycle, class, latency, work }
+    }
+
+    #[test]
+    fn solo_job_finishes_at_solo_time() {
+        let calib = Calibration::reference(8);
+        let mut chip = ChipModel::new(0, calib.clone());
+        let a = arrival(0, 100, WorkClass::Compute, LatencyClass::Batch, 48_000);
+        chip.push(&a);
+        chip.advance_to(u64::MAX);
+        let done = chip.take_completed();
+        assert_eq!(done.len(), 1);
+        let expect = calib.solo_cycles(WorkClass::Compute, 48_000).ceil() as u64;
+        let got = done[0].finish - done[0].arrival;
+        assert!(
+            got.abs_diff(expect) <= 2,
+            "solo turnaround {got} should be ~{expect} (solo rate, full share)"
+        );
+    }
+
+    #[test]
+    fn co_residents_slow_each_other_down() {
+        let calib = Calibration::reference(8);
+        let solo = {
+            let mut chip = ChipModel::new(0, calib.clone());
+            chip.push(&arrival(0, 0, WorkClass::Cache, LatencyClass::Batch, 100_000));
+            chip.advance_to(u64::MAX);
+            chip.take_completed()[0].finish
+        };
+        let mut chip = ChipModel::new(0, calib);
+        chip.push(&arrival(0, 0, WorkClass::Cache, LatencyClass::Batch, 100_000));
+        chip.push(&arrival(1, 0, WorkClass::Stream, LatencyClass::Batch, 100_000));
+        chip.advance_to(u64::MAX);
+        let done = chip.take_completed();
+        let cache_fin = done.iter().find(|j| j.class == WorkClass::Cache).unwrap().finish;
+        assert!(
+            cache_fin > solo * 2,
+            "shared cache job ({cache_fin}) must run slower than half-share solo ({})",
+            solo * 2
+        );
+    }
+
+    #[test]
+    fn classification_switches_to_the_contained_regime() {
+        let mut fast = Calibration::reference(8);
+        fast.classify_delay = 10;
+        let mut slow_calib = Calibration::reference(8);
+        slow_calib.classify_delay = u64::MAX / 2; // effectively never classifies
+        let run = |calib: Calibration| {
+            let mut chip = ChipModel::new(0, calib);
+            chip.push(&arrival(0, 0, WorkClass::Cache, LatencyClass::Batch, 200_000));
+            chip.push(&arrival(1, 0, WorkClass::Stream, LatencyClass::Batch, 200_000));
+            chip.advance_to(u64::MAX);
+            chip.take_completed().iter().find(|j| j.class == WorkClass::Cache).unwrap().finish
+        };
+        assert!(
+            run(fast) < run(slow_calib),
+            "early classification (aware matrix) must speed the cache victim up"
+        );
+    }
+
+    #[test]
+    fn interactive_jobs_jump_the_queue_and_get_a_double_share() {
+        let calib = Calibration::reference(8);
+        let mut chip = ChipModel::new(0, calib);
+        // Fill all four slots, then queue one batch and one interactive job.
+        for id in 0..4 {
+            chip.push(&arrival(id, 0, WorkClass::Compute, LatencyClass::Batch, 50_000));
+        }
+        chip.push(&arrival(4, 10, WorkClass::Compute, LatencyClass::Batch, 50_000));
+        chip.push(&arrival(5, 20, WorkClass::Compute, LatencyClass::Interactive, 50_000));
+        chip.advance_to(u64::MAX);
+        let done = chip.take_completed();
+        let batch_queued = done.iter().find(|j| j.id == 4).unwrap();
+        let interactive = done.iter().find(|j| j.id == 5).unwrap();
+        assert!(
+            interactive.finish < batch_queued.finish,
+            "the later interactive job must be admitted first and finish earlier"
+        );
+    }
+
+    #[test]
+    fn view_reads_classifications_from_the_live_log() {
+        let mut calib = Calibration::reference(8);
+        calib.classify_delay = 100;
+        let mut chip = ChipModel::new(0, calib);
+        chip.push(&arrival(0, 0, WorkClass::Cache, LatencyClass::Batch, 1_000_000));
+        chip.push(&arrival(1, 0, WorkClass::Stream, LatencyClass::Batch, 1_000_000));
+        chip.advance_to(50);
+        let early = chip.view();
+        assert_eq!((early.classified_cache, early.classified_stream), (0, 0));
+        assert_eq!(early.resident, 2);
+        chip.advance_to(500);
+        let later = chip.view();
+        assert_eq!(
+            (later.classified_cache, later.classified_stream),
+            (1, 1),
+            "after the classify delay the log must publish both classes"
+        );
+        assert!(!chip.log().decisions.is_empty());
+    }
+
+    #[test]
+    fn advancement_is_split_invariant() {
+        // Advancing in many small epochs must equal one big advance.
+        let calib = Calibration::reference(8);
+        let arrivals = TrafficSpec::new(500, 17).with_mean_interarrival(150.0).generate();
+        let mut a = ChipModel::new(0, calib.clone());
+        let mut b = ChipModel::new(0, calib);
+        for x in &arrivals {
+            a.push(x);
+            b.push(x);
+        }
+        a.advance_to(u64::MAX);
+        let mut t = 0;
+        while !b.idle() {
+            t += 1_000;
+            b.advance_to(t);
+        }
+        let (da, db) = (a.take_completed(), b.take_completed());
+        assert_eq!(da, db, "epoch-split advancement must be bit-identical");
+    }
+
+    #[test]
+    fn log_is_compacted_under_sustained_load() {
+        let mut calib = Calibration::reference(8);
+        calib.classify_delay = 1;
+        let mut chip = ChipModel::new(0, calib);
+        let arrivals =
+            TrafficSpec::new(3_000, 5).with_mean_interarrival(50.0).with_work_range(1_000, 2_000);
+        for x in &arrivals.generate() {
+            chip.push(x);
+        }
+        chip.advance_to(u64::MAX);
+        assert!(
+            chip.log().decisions.len() <= LOG_COMPACT_AT,
+            "decision log must stay within the compaction cap"
+        );
+        assert_eq!(chip.accounting().completed, 3_000);
+    }
+}

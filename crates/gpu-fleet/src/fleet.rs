@@ -1,0 +1,618 @@
+//! The fleet driver: [`FleetRequest`] → [`Fleet::execute`] → [`FleetResult`].
+//!
+//! This is the cluster-tier mirror of the chip tier's
+//! [`gpu_sim::SimRequest`] / [`gpu_sim::Simulator::execute`] /
+//! [`gpu_sim::SimResult`] triple: describe the whole run up front with a
+//! builder (chip count and size, placement policy, traffic spec, SLO
+//! policy, worker count, observability level), execute it in one call, get
+//! a schema-versioned, deterministically serialisable result back.
+//!
+//! ## Execution model
+//!
+//! Time advances in fixed *placement epochs* (default
+//! [`FleetRequest::DEFAULT_EPOCH_CYCLES`] cycles). Each epoch the
+//! coordinator:
+//!
+//! 1. snapshots every chip's [`ChipView`] (telemetry read from the chip's
+//!    live dispatch log — one epoch of staleness, like a real cluster
+//!    scheduler polling its chips);
+//! 2. places the epoch's arrivals sequentially with the configured
+//!    [`PlacementPolicy`], updating planned-load counts as it goes;
+//! 3. advances all chips to the epoch end — in parallel across
+//!    `workers` threads (`std::thread::scope` + a barrier per phase).
+//!
+//! Chips never interact inside an epoch and placement is always
+//! sequential on the coordinator, so the result is **bit-identical for
+//! any worker count** — `workers` is a wall-clock knob, not a model knob,
+//! and deliberately does not appear in [`FleetResult`].
+//!
+//! ## Reporting
+//!
+//! [`FleetResult`] carries fleet STP (accumulated solo-equivalent work
+//! over makespan — the cluster analogue of the paper's STP metric),
+//! per-(tenant class × latency class) p50/p99 turnaround and SLO-violation
+//! counts (violation = turnaround exceeding the class's multiple of the
+//! job's solo service time), and per-chip utilization, all built from
+//! `Vec`s and fixed orders so the JSON is byte-stable.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim_obs::{chip_metric, MetricsRegistry, ObsLevel, ObsReport};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::calib::Calibration;
+use crate::chip::{ChipModel, ChipView, CompletedJob, MAX_RESIDENT};
+use crate::placement::{PlacementContext, PlacementPolicy};
+use crate::traffic::{Arrival, TrafficSpec, WorkClass};
+use gpu_sim::LatencyClass;
+
+/// Version of the [`FleetResult`] JSON schema.
+///
+/// * **v1** — initial fleet surface: `fleet_stp`, per-(class × latency)
+///   turnaround percentiles and SLO counts, per-chip utilization.
+pub const FLEET_SCHEMA_VERSION: u32 = 1;
+
+/// SLO policy: a completed job violates its SLO when its turnaround
+/// (finish − arrival) exceeds `mult × solo service time`, with the
+/// multiple chosen by latency class. Interactive jobs promise a tight
+/// multiple; batch jobs a loose one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Turnaround multiple allowed for interactive jobs.
+    pub interactive_mult: f64,
+    /// Turnaround multiple allowed for batch jobs.
+    pub batch_mult: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy { interactive_mult: 4.0, batch_mult: 20.0 }
+    }
+}
+
+impl SloPolicy {
+    /// The multiple for `latency`.
+    pub fn mult(&self, latency: LatencyClass) -> f64 {
+        match latency {
+            LatencyClass::Interactive => self.interactive_mult,
+            LatencyClass::Batch => self.batch_mult,
+        }
+    }
+}
+
+/// Builder describing one fleet run, mirroring [`gpu_sim::SimRequest`].
+#[derive(Debug, Clone)]
+pub struct FleetRequest {
+    chips: usize,
+    sms_per_chip: usize,
+    placement: PlacementPolicy,
+    traffic: TrafficSpec,
+    workers: usize,
+    slo: SloPolicy,
+    obs: ObsLevel,
+    calibration: Option<Calibration>,
+    epoch_cycles: u64,
+}
+
+impl FleetRequest {
+    /// Default placement-epoch length in cycles.
+    pub const DEFAULT_EPOCH_CYCLES: u64 = 16_384;
+
+    /// A fleet run over `traffic`: 4 chips of 8 SMs, interference-aware
+    /// spread placement, one worker, default SLO policy, observability off.
+    pub fn new(traffic: TrafficSpec) -> Self {
+        FleetRequest {
+            chips: 4,
+            sms_per_chip: 8,
+            placement: PlacementPolicy::default(),
+            traffic,
+            workers: 1,
+            slo: SloPolicy::default(),
+            obs: ObsLevel::Off,
+            calibration: None,
+            epoch_cycles: Self::DEFAULT_EPOCH_CYCLES,
+        }
+    }
+
+    /// Sets the number of chips in the fleet.
+    pub fn chips(mut self, chips: usize) -> Self {
+        assert!(chips >= 1, "a fleet needs at least one chip");
+        self.chips = chips;
+        self
+    }
+
+    /// Sets the SM count of every chip.
+    pub fn sms_per_chip(mut self, sms: usize) -> Self {
+        assert!(sms >= 1, "chips need at least one SM");
+        self.sms_per_chip = sms;
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the worker-thread count for the chip-advancement phases. Pure
+    /// wall-clock knob: any value produces the bit-identical result.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the SLO policy.
+    pub fn slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the observability level for [`Fleet::execute_observed`].
+    pub fn obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the chip calibration table. Without an override,
+    /// [`Fleet::execute`] measures one against the real chip engine at
+    /// [`FleetRequest::sms_per_chip`] SMs ([`Calibration::measure`]).
+    pub fn calibration(mut self, calib: Calibration) -> Self {
+        self.calibration = Some(calib);
+        self
+    }
+
+    /// Sets the placement-epoch length in cycles (telemetry staleness and
+    /// placement granularity).
+    pub fn epoch_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles >= 1, "epochs need at least one cycle");
+        self.epoch_cycles = cycles;
+        self
+    }
+}
+
+/// Per-(tenant class × latency class) turnaround and SLO report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Tenant class label ([`WorkClass::label`]).
+    pub class: String,
+    /// Latency class label ([`LatencyClass::label`]).
+    pub latency: String,
+    /// Completed jobs in this bucket.
+    pub jobs: u64,
+    /// Mean turnaround in cycles.
+    pub mean_turnaround: f64,
+    /// Median turnaround in cycles.
+    pub p50_turnaround: u64,
+    /// 99th-percentile turnaround in cycles.
+    pub p99_turnaround: u64,
+    /// Mean turnaround over solo service time (the per-job slowdown the
+    /// paper's ANTT metric averages).
+    pub mean_slowdown: f64,
+    /// The SLO multiple this bucket was held to.
+    pub slo_target_mult: f64,
+    /// Jobs whose turnaround exceeded `slo_target_mult ×` solo time.
+    pub slo_violations: u64,
+}
+
+/// Per-chip utilization report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipReport {
+    /// Chip index.
+    pub chip: usize,
+    /// Jobs this chip completed.
+    pub completed: u64,
+    /// Cycles the chip had at least one resident job.
+    pub busy_cycles: u64,
+    /// Resident-slot occupancy over the fleet makespan: slot-cycles /
+    /// (`MAX_RESIDENT` × makespan), in `[0, 1]`.
+    pub utilization: f64,
+    /// Cache-sensitive classification verdicts the chip's dispatcher
+    /// issued.
+    pub classified_cache: u64,
+    /// Streaming classification verdicts.
+    pub classified_stream: u64,
+    /// Peak admission-queue depth.
+    pub peak_queue: usize,
+}
+
+/// The schema-versioned result of one fleet run. Serialises to
+/// byte-identical JSON for identical requests regardless of worker count;
+/// no wall-clock data lives here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// [`FLEET_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Placement-policy label.
+    pub placement: String,
+    /// Number of chips.
+    pub chips: usize,
+    /// SMs per chip.
+    pub sms_per_chip: usize,
+    /// Traffic seed.
+    pub seed: u64,
+    /// Arrivals generated (all of them complete before the run ends).
+    pub arrivals: u64,
+    /// Cycle the last job finished at.
+    pub makespan: u64,
+    /// Fleet system throughput: Σ per-job solo service time over makespan
+    /// — solo-chip-equivalents sustained; the fleet analogue of the
+    /// paper's STP, upper-bounded by the chip count.
+    pub fleet_stp: f64,
+    /// Per-(tenant class × latency class) turnaround/SLO reports, in
+    /// ([`WorkClass::ALL`] × [batch, interactive]) order, present only for
+    /// non-empty buckets.
+    pub per_class: Vec<ClassReport>,
+    /// Per-chip reports, in chip order.
+    pub per_chip: Vec<ChipReport>,
+}
+
+impl FleetResult {
+    /// Total SLO violations across all buckets.
+    pub fn total_slo_violations(&self) -> u64 {
+        self.per_class.iter().map(|c| c.slo_violations).sum()
+    }
+}
+
+/// The cluster-tier execution engine, mirroring [`gpu_sim::Simulator`].
+#[derive(Debug, Default)]
+pub struct Fleet;
+
+impl Fleet {
+    /// Creates a fleet engine.
+    pub fn new() -> Self {
+        Fleet
+    }
+
+    /// Executes `req` and returns the fleet result. See the module docs
+    /// for the execution model and the determinism guarantee.
+    pub fn execute(&self, req: FleetRequest) -> FleetResult {
+        self.execute_observed(req).0
+    }
+
+    /// [`Fleet::execute`] plus the run's [`ObsReport`] (fleet-level
+    /// metrics with per-chip [`chip_metric`] labels at
+    /// [`ObsLevel::Metrics`] and above). The result is byte-identical to
+    /// [`Fleet::execute`] — collection is passive.
+    pub fn execute_observed(&self, req: FleetRequest) -> (FleetResult, ObsReport) {
+        let arrivals = req.traffic.generate();
+        let calib =
+            req.calibration.clone().unwrap_or_else(|| Calibration::measure(req.sms_per_chip));
+        let chips: Vec<Mutex<ChipModel>> =
+            (0..req.chips).map(|c| Mutex::new(ChipModel::new(c, calib.clone()))).collect();
+
+        // Typical per-job solo cycles of this traffic, for converting the
+        // dispatch log's resident counts into backlog-cycle units.
+        let typical = arrivals.iter().map(|a| calib.solo_cycles(a.class, a.work)).sum::<f64>()
+            / (arrivals.len().max(1) as f64);
+        let ctx = PlacementContext::new(&calib, typical);
+
+        let workers = req.workers.min(req.chips).max(1);
+        if workers == 1 {
+            run_epochs(
+                &arrivals,
+                &chips,
+                req.placement,
+                &ctx,
+                &calib,
+                req.epoch_cycles,
+                &mut |t| {
+                    for chip in &chips {
+                        chip.lock().advance_to(t);
+                    }
+                },
+            );
+        } else {
+            let barrier = Barrier::new(workers + 1);
+            let target = AtomicU64::new(0);
+            let done = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let (chips, barrier, target, done) = (&chips, &barrier, &target, &done);
+                    s.spawn(move || loop {
+                        barrier.wait();
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let t = target.load(Ordering::SeqCst);
+                        for c in (w..chips.len()).step_by(workers) {
+                            chips[c].lock().advance_to(t);
+                        }
+                        barrier.wait();
+                    });
+                }
+                run_epochs(
+                    &arrivals,
+                    &chips,
+                    req.placement,
+                    &ctx,
+                    &calib,
+                    req.epoch_cycles,
+                    &mut |t| {
+                        target.store(t, Ordering::SeqCst);
+                        barrier.wait();
+                        barrier.wait();
+                    },
+                );
+                done.store(true, Ordering::SeqCst);
+                barrier.wait();
+            });
+        }
+
+        // Chip order is fixed and completion aggregation sorts explicitly,
+        // so neither depends on worker scheduling.
+        let mut completed: Vec<CompletedJob> = Vec::with_capacity(arrivals.len());
+        let mut accounting = Vec::with_capacity(req.chips);
+        let mut makespan = 0u64;
+        for chip in &chips {
+            let mut chip = chip.lock();
+            accounting.push(chip.accounting());
+            let jobs = chip.take_completed();
+            makespan = makespan.max(jobs.iter().map(|j| j.finish).max().unwrap_or(0));
+            completed.extend(jobs);
+        }
+        debug_assert_eq!(completed.len(), arrivals.len(), "every arrival must complete");
+        let chip_reports = accounting
+            .iter()
+            .enumerate()
+            .map(|(c, acct)| {
+                let denom = (MAX_RESIDENT as u64 * makespan).max(1) as f64;
+                ChipReport {
+                    chip: c,
+                    completed: acct.completed,
+                    busy_cycles: acct.busy_cycles,
+                    utilization: acct.slot_cycles as f64 / denom,
+                    classified_cache: acct.classified[WorkClass::Cache.index()],
+                    classified_stream: acct.classified[WorkClass::Stream.index()],
+                    peak_queue: acct.peak_queue,
+                }
+            })
+            .collect();
+
+        let per_class = class_reports(&completed, &calib, &req.slo);
+        let total_solo: f64 = completed.iter().map(|j| calib.solo_cycles(j.class, j.work)).sum();
+        let fleet_stp = if makespan > 0 { total_solo / makespan as f64 } else { 0.0 };
+
+        let result = FleetResult {
+            schema_version: FLEET_SCHEMA_VERSION,
+            placement: req.placement.label().to_string(),
+            chips: req.chips,
+            sms_per_chip: req.sms_per_chip,
+            seed: req.traffic.seed,
+            arrivals: arrivals.len() as u64,
+            makespan,
+            fleet_stp,
+            per_class,
+            per_chip: chip_reports,
+        };
+
+        let mut report = ObsReport::new(req.obs);
+        if req.obs.metrics_enabled() {
+            report.metrics = fleet_metrics(&result, &completed);
+        }
+        (result, report)
+    }
+}
+
+/// The coordinator epoch loop: snapshot views, place the epoch's arrivals
+/// sequentially, then hand the epoch-advance target to `advance` (which
+/// runs the chips — inline or across worker threads). `advance(u64::MAX)`
+/// at the end drains every chip to completion.
+fn run_epochs(
+    arrivals: &[Arrival],
+    chips: &[Mutex<ChipModel>],
+    placement: PlacementPolicy,
+    ctx: &PlacementContext,
+    calib: &Calibration,
+    epoch_cycles: u64,
+    advance: &mut dyn FnMut(u64),
+) {
+    let mut idx = 0;
+    let mut t = 0u64;
+    while idx < arrivals.len() {
+        // Fast-forward over arrival gaps: the epoch grid restarts at the
+        // next arrival when the current epoch would be empty.
+        t = t.max(arrivals[idx].cycle.saturating_sub(epoch_cycles - 1));
+        let epoch_end = t.saturating_add(epoch_cycles);
+        let mut views: Vec<ChipView> = chips.iter().map(|c| c.lock().view()).collect();
+        while idx < arrivals.len() && arrivals[idx].cycle < epoch_end {
+            let a = &arrivals[idx];
+            let pick = placement.place(a.class, &views, ctx);
+            let solo = calib.solo_cycles(a.class, a.work).round() as u64;
+            views[pick].queued += 1;
+            views[pick].pending_class_cycles[a.class.index()] += solo;
+            chips[pick].lock().push(a);
+            idx += 1;
+        }
+        advance(epoch_end);
+        t = epoch_end;
+    }
+    advance(u64::MAX);
+}
+
+/// Builds the per-(class × latency) reports from the completed jobs.
+fn class_reports(
+    completed: &[CompletedJob],
+    calib: &Calibration,
+    slo: &SloPolicy,
+) -> Vec<ClassReport> {
+    let mut reports = Vec::new();
+    for class in WorkClass::ALL {
+        for latency in [LatencyClass::Batch, LatencyClass::Interactive] {
+            let mut turnarounds: Vec<u64> = Vec::new();
+            let mut slowdowns = 0.0f64;
+            let mut violations = 0u64;
+            let mult = slo.mult(latency);
+            for j in completed {
+                if j.class != class || j.latency != latency {
+                    continue;
+                }
+                let turnaround = j.finish - j.arrival;
+                let solo = calib.solo_cycles(class, j.work).max(1.0);
+                slowdowns += turnaround as f64 / solo;
+                if turnaround as f64 > mult * solo {
+                    violations += 1;
+                }
+                turnarounds.push(turnaround);
+            }
+            if turnarounds.is_empty() {
+                continue;
+            }
+            turnarounds.sort_unstable();
+            let n = turnarounds.len();
+            let sum: u64 = turnarounds.iter().sum();
+            reports.push(ClassReport {
+                class: class.label().to_string(),
+                latency: latency.label().to_string(),
+                jobs: n as u64,
+                mean_turnaround: sum as f64 / n as f64,
+                p50_turnaround: turnarounds[n / 2],
+                p99_turnaround: turnarounds[(n * 99) / 100],
+                mean_slowdown: slowdowns / n as f64,
+                slo_target_mult: mult,
+                slo_violations: violations,
+            });
+        }
+    }
+    reports
+}
+
+/// Fleet-level metrics: fleet counters plus per-chip series namespaced
+/// with [`chip_metric`]. Per-class turnaround histograms use the class
+/// index as the tenant label.
+fn fleet_metrics(result: &FleetResult, completed: &[CompletedJob]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.counter_add("fleet/arrivals", None, result.arrivals);
+    m.counter_add("fleet/slo_violations", None, result.total_slo_violations());
+    for c in &result.per_chip {
+        m.counter_add(&chip_metric(c.chip, "completed"), None, c.completed);
+        m.counter_add(&chip_metric(c.chip, "busy_cycles"), None, c.busy_cycles);
+        m.counter_add(&chip_metric(c.chip, "classified_cache"), None, c.classified_cache);
+        m.counter_add(&chip_metric(c.chip, "classified_stream"), None, c.classified_stream);
+    }
+    for j in completed {
+        m.histogram_record("fleet/turnaround", Some(j.class.index() as u32), j.finish - j.arrival);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_request(arrivals: usize, seed: u64) -> FleetRequest {
+        FleetRequest::new(
+            TrafficSpec::new(arrivals, seed)
+                .with_mean_interarrival(400.0)
+                .with_work_range(2_000, 100_000),
+        )
+        .chips(3)
+        .calibration(Calibration::reference(8))
+    }
+
+    #[test]
+    fn all_arrivals_complete_and_report_is_consistent() {
+        let res = Fleet::new().execute(quick_request(2_000, 1));
+        assert_eq!(res.schema_version, FLEET_SCHEMA_VERSION);
+        assert_eq!(res.arrivals, 2_000);
+        let per_class_jobs: u64 = res.per_class.iter().map(|c| c.jobs).sum();
+        let per_chip_jobs: u64 = res.per_chip.iter().map(|c| c.completed).sum();
+        assert_eq!(per_class_jobs, 2_000);
+        assert_eq!(per_chip_jobs, 2_000);
+        assert!(res.makespan > 0);
+        assert!(res.fleet_stp > 0.0 && res.fleet_stp <= res.chips as f64 + 1e-9);
+        for c in &res.per_class {
+            assert!(c.p50_turnaround <= c.p99_turnaround);
+            assert!(c.mean_slowdown >= 1.0 - 1e-9);
+            assert!(c.slo_violations <= c.jobs);
+        }
+        for c in &res.per_chip {
+            assert!((0.0..=1.0).contains(&c.utilization));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let base = Fleet::new().execute(quick_request(1_500, 9));
+        for workers in [2, 3, 8] {
+            let res = Fleet::new().execute(quick_request(1_500, 9).workers(workers));
+            assert_eq!(base, res, "{workers} workers must be bit-identical to 1");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let a = serde_json::to_string(&Fleet::new().execute(quick_request(800, 4))).unwrap();
+        let b = serde_json::to_string(&Fleet::new().execute(quick_request(800, 4))).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interactive_jobs_see_lower_latency_than_batch() {
+        let req = FleetRequest::new(
+            TrafficSpec::new(4_000, 2)
+                .with_mean_interarrival(150.0)
+                .with_work_range(2_000, 50_000)
+                .with_interactive_fraction(0.3),
+        )
+        .chips(2)
+        .calibration(Calibration::reference(8));
+        let res = Fleet::new().execute(req);
+        let mean = |lat: &str| {
+            let rows: Vec<_> = res.per_class.iter().filter(|c| c.latency == lat).collect();
+            rows.iter().map(|c| c.mean_slowdown * c.jobs as f64).sum::<f64>()
+                / rows.iter().map(|c| c.jobs as f64).sum::<f64>()
+        };
+        assert!(
+            mean("interactive") < mean("batch"),
+            "queue priority + double share must favour interactive jobs"
+        );
+    }
+
+    #[test]
+    fn spread_beats_bin_pack_on_a_cache_heavy_mix() {
+        let traffic = TrafficSpec::profile("cache-heavy", 3_000, 0)
+            .unwrap()
+            .with_mean_interarrival(250.0)
+            .with_work_range(5_000, 100_000);
+        let run = |placement| {
+            Fleet::new().execute(
+                FleetRequest::new(traffic.clone())
+                    .chips(4)
+                    .placement(placement)
+                    .calibration(Calibration::reference(8)),
+            )
+        };
+        let spread = run(PlacementPolicy::InterferenceSpread);
+        let pack = run(PlacementPolicy::BinPack);
+        assert!(
+            spread.fleet_stp > pack.fleet_stp,
+            "spread ({:.3}) must beat bin-pack ({:.3}) on a cache-heavy mix",
+            spread.fleet_stp,
+            pack.fleet_stp
+        );
+    }
+
+    #[test]
+    fn observed_run_collects_fleet_metrics_passively() {
+        let (plain, off_report) = Fleet::new().execute_observed(quick_request(500, 6));
+        assert!(off_report.metrics.is_empty(), "obs off collects nothing");
+        let (observed, report) =
+            Fleet::new().execute_observed(quick_request(500, 6).obs(ObsLevel::Metrics));
+        assert_eq!(plain, observed, "observation must be passive");
+        assert_eq!(report.metrics.counter("fleet/arrivals", None), 500);
+        let per_chip: u64 =
+            (0..3).map(|c| report.metrics.counter(&chip_metric(c, "completed"), None)).sum();
+        assert_eq!(per_chip, 500);
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let res = Fleet::new().execute(quick_request(300, 12));
+        let json = serde_json::to_string(&res).unwrap();
+        assert!(json.contains("\"schema_version\":1"));
+        let back: FleetResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(res, back);
+    }
+}

@@ -14,11 +14,11 @@ use serde::{Deserialize, Serialize};
 /// memory with 32 banks, a 768 KB 8-way L2, and GDDR5 DRAM with 16 banks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
-    /// Number of SMs on the chip (15 on the GTX 480). [`crate::Simulator::run`]
-    /// models a single SM with a per-SM slice of memory bandwidth (the legacy
-    /// per-SM-IPC × `num_sms` extrapolation); [`crate::Simulator::run_chip`]
-    /// instantiates this many [`crate::Sm`] engines against a shared banked
-    /// L2/DRAM backend and models inter-SM contention directly.
+    /// Number of SMs on the chip (15 on the GTX 480). A single-SM request
+    /// models one SM with a per-SM slice of memory bandwidth (the legacy
+    /// per-SM-IPC × `num_sms` extrapolation); multi-SM requests instantiate
+    /// this many [`crate::Sm`] engines against a shared banked L2/DRAM
+    /// backend and model inter-SM contention directly.
     pub num_sms: usize,
     /// Number of address-interleaved banks of the shared chip L2/DRAM backend
     /// used by multi-SM runs. Defaults to 6 — the GTX 480 has six 64-bit

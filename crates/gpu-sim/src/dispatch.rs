@@ -65,6 +65,77 @@ use gpu_mem::{CtaId, Cycle, TenantId};
 use serde::{Deserialize, Serialize};
 use sim_obs::{ObsLevel, ObsReport};
 
+/// Latency class of a tenant — the SLO tier the fleet layer schedules
+/// against and the on-chip dispatcher protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// Best-effort throughput work: no floor beyond the dispatcher's
+    /// never-starve guarantee of one SM.
+    #[default]
+    Batch,
+    /// Latency-sensitive work whose [`QosSpec`] throughput floors the
+    /// [`AdaptiveDispatcher`] must respect.
+    Interactive,
+}
+
+impl LatencyClass {
+    /// Display label used in reports and [`crate::TenantResult::qos`].
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyClass::Batch => "batch",
+            LatencyClass::Interactive => "interactive",
+        }
+    }
+
+    /// Parses a [`LatencyClass::label`] (case-insensitive).
+    pub fn from_label(label: &str) -> Option<Self> {
+        [LatencyClass::Batch, LatencyClass::Interactive]
+            .into_iter()
+            .find(|c| c.label().eq_ignore_ascii_case(label))
+    }
+}
+
+/// Per-stream quality-of-service contract the [`AdaptiveDispatcher`]
+/// enforces. Static dispatch policies compute their SM assignment up front
+/// and ignore it.
+///
+/// * `min_sms` is a *throughput floor*: the throttle controller never
+///   shrinks the stream's allowed-SM set below it (the default floor is the
+///   dispatcher's never-starve minimum of one SM).
+/// * `reserved_sms` carves that many SMs out of the head of the chip for
+///   this stream exclusively; other tenants are never fed CTAs there.
+///   Reserved ranges are assigned in tenant order and clamped so at least
+///   one SM stays shareable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// The stream's latency class (reported in [`crate::TenantResult::qos`]).
+    pub latency: LatencyClass,
+    /// Minimum allowed-SM-set size under throttling (`0` means the default
+    /// never-starve floor of 1).
+    pub min_sms: usize,
+    /// SMs at the head of the chip reserved exclusively for this stream
+    /// (`0` = none).
+    pub reserved_sms: usize,
+}
+
+impl QosSpec {
+    /// The default best-effort contract: batch class, no floors.
+    pub fn batch() -> Self {
+        QosSpec::default()
+    }
+
+    /// An interactive-class contract with an allowed-SM floor of `min_sms`.
+    pub fn interactive(min_sms: usize) -> Self {
+        QosSpec { latency: LatencyClass::Interactive, min_sms, reserved_sms: 0 }
+    }
+
+    /// Adds `reserved_sms` exclusively reserved SMs to the contract.
+    pub fn with_reserved(mut self, reserved_sms: usize) -> Self {
+        self.reserved_sms = reserved_sms;
+        self
+    }
+}
+
 /// A kernel submitted for co-execution, bound to the tenant identity used to
 /// attribute its resource usage throughout the memory system.
 #[derive(Clone)]
@@ -76,6 +147,9 @@ pub struct KernelStream {
     /// stream a *dynamic arrival*: the engine admits it at the first epoch
     /// boundary at or after this cycle.
     pub arrival_cycle: Cycle,
+    /// The stream's quality-of-service contract (floors and reservations
+    /// enforced by the [`AdaptiveDispatcher`]).
+    pub qos: QosSpec,
     kernel: Arc<dyn Kernel>,
     info: KernelInfo,
 }
@@ -88,8 +162,19 @@ impl KernelStream {
 
     /// Binds `kernel` to `tenant`, entering the queue at `arrival_cycle`.
     pub fn new_at(tenant: TenantId, kernel: Arc<dyn Kernel>, arrival_cycle: Cycle) -> Self {
+        Self::new_qos_at(tenant, kernel, arrival_cycle, QosSpec::default())
+    }
+
+    /// Binds `kernel` to `tenant` with an explicit [`QosSpec`], entering the
+    /// queue at `arrival_cycle`.
+    pub fn new_qos_at(
+        tenant: TenantId,
+        kernel: Arc<dyn Kernel>,
+        arrival_cycle: Cycle,
+        qos: QosSpec,
+    ) -> Self {
         let info = kernel.info();
-        KernelStream { tenant, arrival_cycle, kernel, info }
+        KernelStream { tenant, arrival_cycle, qos, kernel, info }
     }
 
     /// The stream's kernel.
@@ -576,6 +661,9 @@ struct TenantEntry {
     /// Size of the allowed-SM set (the *last* `allowed` SMs of the chip for
     /// streamers; the full chip for everyone else).
     allowed: usize,
+    /// QoS throughput floor: `allowed` never shrinks below this
+    /// ([`QosSpec::min_sms`] clamped to the chip, minimum 1).
+    floor: usize,
     /// Per-allowed-SM in-flight CTA multiplier (streamers only; `usize::MAX`
     /// means unthrottled).
     limit: usize,
@@ -641,6 +729,10 @@ pub struct AdaptiveDispatcher {
     window_cycles: Cycle,
     next_window_close: Cycle,
     tenants: Vec<TenantEntry>,
+    /// Per-tenant exclusively reserved SM range ([`QosSpec::reserved_sms`]),
+    /// assigned in tenant order from the head of the chip; `None` when the
+    /// tenant reserved nothing.
+    reserved: Vec<Option<std::ops::Range<usize>>>,
     last_signal: Vec<TenantSignal>,
     healthy_streak: u32,
     rotor: usize,
@@ -670,10 +762,27 @@ impl AdaptiveDispatcher {
                 classified: false,
                 probe_windows: 0,
                 allowed: num_sms,
+                floor: s.qos.min_sms.clamp(1, num_sms),
                 limit: usize::MAX,
                 best_l2_rate: 0.0,
                 best_ipc: 0.0,
                 base_signal: TenantSignal::default(),
+            })
+            .collect();
+        // Reserved ranges are carved from the head of the chip in tenant
+        // order, clamped so at least one SM stays shareable — the tail end is
+        // also where confined streamers land, so reservations and confinement
+        // sets stay disjoint as long as the chip is big enough.
+        let mut next_reserved = 0usize;
+        let reserved: Vec<Option<std::ops::Range<usize>>> = streams
+            .iter()
+            .map(|s| {
+                let want = s.qos.reserved_sms.min(num_sms.saturating_sub(next_reserved + 1));
+                (want > 0).then(|| {
+                    let range = next_reserved..next_reserved + want;
+                    next_reserved += want;
+                    range
+                })
             })
             .collect();
         let window_cycles = window_cycles.max(1);
@@ -683,6 +792,7 @@ impl AdaptiveDispatcher {
             window_cycles,
             next_window_close: window_cycles,
             tenants,
+            reserved,
             last_signal: vec![TenantSignal::default(); streams.len()],
             healthy_streak: 0,
             rotor: 0,
@@ -934,11 +1044,13 @@ impl AdaptiveDispatcher {
                     }
                     if e.allowed == self.num_sms {
                         // First reaction: confine to the tail quarter of the
-                        // chip with one in-flight CTA per allowed SM.
-                        e.allowed = self.num_sms.div_ceil(CONFINE_DIVISOR).max(1);
+                        // chip with one in-flight CTA per allowed SM. The
+                        // QoS floor bounds every shrink: a tenant with a
+                        // `min_sms` contract never drops below it.
+                        e.allowed = self.num_sms.div_ceil(CONFINE_DIVISOR).max(e.floor);
                         e.limit = e.limit.min(1);
-                    } else if e.allowed > 1 {
-                        e.allowed = (e.allowed / 2).max(1);
+                    } else if e.allowed > e.floor {
+                        e.allowed = (e.allowed / 2).max(e.floor);
                     } else {
                         continue;
                     }
@@ -988,10 +1100,19 @@ impl AdaptiveDispatcher {
         });
     }
 
-    /// True when `sm` is in `tenant`'s allowed set (the *last* `allowed` SMs
-    /// of the chip; the whole chip when unconfined).
+    /// True when `sm` is in `tenant`'s allowed set: its own reserved range
+    /// always, nobody else's reserved range ever, and otherwise the *last*
+    /// `allowed` SMs of the chip (the whole chip when unconfined).
     fn allows(&self, tenant: usize, sm: usize) -> bool {
-        sm >= self.num_sms - self.tenants[tenant].allowed
+        if self.reserved[tenant].as_ref().is_some_and(|r| r.contains(&sm)) {
+            return true;
+        }
+        let foreign_reserved = self
+            .reserved
+            .iter()
+            .enumerate()
+            .any(|(t, r)| t != tenant && r.as_ref().is_some_and(|r| r.contains(&sm)));
+        !foreign_reserved && sm >= self.num_sms - self.tenants[tenant].allowed
     }
 
     /// Deals pending CTAs to SMs: tenants round-robin over their allowed
@@ -1090,8 +1211,20 @@ impl KernelQueue {
     /// both its arrival and the previous kernel's completion). Returns the
     /// tenant id the kernel was assigned.
     pub fn push_at(&mut self, kernel: Arc<dyn Kernel>, arrival_cycle: Cycle) -> TenantId {
+        self.push_qos_at(kernel, arrival_cycle, QosSpec::default())
+    }
+
+    /// [`KernelQueue::push_at`] with an explicit [`QosSpec`] the
+    /// interference-aware dispatcher enforces (floors, reserved SMs); static
+    /// policies record the contract but place work unchanged.
+    pub fn push_qos_at(
+        &mut self,
+        kernel: Arc<dyn Kernel>,
+        arrival_cycle: Cycle,
+        qos: QosSpec,
+    ) -> TenantId {
         let tenant = self.streams.len() as TenantId;
-        self.streams.push(KernelStream::new_at(tenant, kernel, arrival_cycle));
+        self.streams.push(KernelStream::new_qos_at(tenant, kernel, arrival_cycle, qos));
         tenant
     }
 
@@ -1125,7 +1258,7 @@ impl KernelQueue {
     where
         F: FnMut(usize) -> SmUnit,
     {
-        self.run_with(config, policy, crate::event::BackendKind::Epoch, build_unit)
+        self.run_with(config, policy, crate::event::BackendKind::default(), build_unit)
     }
 
     /// [`KernelQueue::run`] with an explicit [`crate::event::BackendKind`]
@@ -1730,5 +1863,79 @@ mod tests {
                 prop_assert_eq!(d.dealt_ctas(t as TenantId), dealt_count);
             }
         }
+    }
+
+    /// SMs reserved by one tenant's [`QosSpec`] are never fed another
+    /// tenant's CTAs, while the owner does land work there.
+    #[test]
+    fn reserved_sms_exclude_other_tenants() {
+        let streams = vec![
+            KernelStream::new_qos_at(
+                0,
+                kernel("k0", 16, 2),
+                0,
+                QosSpec::interactive(1).with_reserved(2),
+            ),
+            KernelStream::new_qos_at(1, kernel("k1", 16, 2), 0, QosSpec::batch()),
+        ];
+        let mut d = AdaptiveDispatcher::new(&streams, 4, 48, 100);
+        let signals = vec![TenantSignal::default(); 2];
+        let pushes = d.on_boundary(0, &signals, &[48; 4]);
+        let mut owner_on_reserved = false;
+        for (sm, work) in &pushes {
+            if *sm < 2 {
+                assert!(
+                    work.iter().all(|w| w.tenant == 0),
+                    "reserved SM {sm} was fed a foreign tenant's CTA"
+                );
+                owner_on_reserved |= work.iter().any(|w| w.tenant == 0);
+            }
+        }
+        assert!(owner_on_reserved, "the owner never reached its reserved SMs");
+    }
+
+    /// The throttle controller respects a streaming tenant's `min_sms`
+    /// floor: repeated degraded windows confine it no further than the
+    /// contracted allowed-SM-set size (a floorless tenant would end at 1).
+    #[test]
+    fn qos_floor_bounds_throttling() {
+        let run = |qos: QosSpec| {
+            let streams = vec![
+                KernelStream::new_qos_at(0, kernel("victim", 64, 2), 0, QosSpec::batch()),
+                KernelStream::new_qos_at(1, kernel("streamer", 64, 2), 0, qos),
+            ];
+            let mut d = AdaptiveDispatcher::new(&streams, 8, 48, 100);
+            let mut s = vec![TenantSignal::default(); 2];
+            // Feed nothing extra per boundary (free slots 0; only the small
+            // feed-ahead buffer moves) so both tenants keep pending CTAs and
+            // stay `active` for the controller.
+            let free = vec![0usize; 8];
+            for window in 1..=10u64 {
+                // Victim: strong L1/L2 reuse, classified cache-sensitive at
+                // the first window; from window 6 its L2 hit rate collapses,
+                // arming the throttle path every later window.
+                s[0].l1_accesses += 1_000;
+                s[0].l1_hits += 800;
+                s[0].l2_accesses += 1_000;
+                s[0].l2_hits += if window < 6 { 900 } else { 50 };
+                s[0].instructions += 10_000;
+                // Streamer: heavy low-reuse traffic; classifies streaming
+                // after the observation patience.
+                s[1].l1_accesses += 1_000;
+                s[1].l1_hits += 10;
+                s[1].dram_accesses += 1_000;
+                s[1].instructions += 10_000;
+                d.on_boundary(window * 100, &s, &free);
+            }
+            let last = d.log().decisions.last().expect("windows were logged");
+            assert_eq!(last.classes[1], TenantClass::Streaming);
+            last.allowed_sms[1]
+        };
+        assert_eq!(run(QosSpec::batch()), 1, "floorless streamer shrinks to the minimum");
+        assert_eq!(
+            run(QosSpec { latency: LatencyClass::Batch, min_sms: 3, reserved_sms: 0 }),
+            3,
+            "the QoS floor caps the shrink"
+        );
     }
 }

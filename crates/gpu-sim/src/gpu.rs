@@ -309,6 +309,9 @@ pub struct Gpu {
     kernel_name: String,
     scheduler_name: String,
     tenant_names: Vec<String>,
+    /// Per-tenant latency-class labels ([`crate::dispatch::LatencyClass`]),
+    /// copied into [`TenantResult::qos`].
+    tenant_qos: Vec<&'static str>,
     policy: DispatchPolicy,
     sms: Vec<Mutex<Sm>>,
     shared: Option<Arc<BankedMemorySystem>>,
@@ -349,8 +352,8 @@ impl Gpu {
     /// SMs simulated. Equivalent to [`Gpu::with_streams`] with one stream
     /// (every policy degenerates to round-robin CTA dispatch across all
     /// SMs); the result is labelled `exclusive` — the kernel owns the whole
-    /// chip, matching what [`crate::Simulator::run`] reports for the same
-    /// situation.
+    /// chip, matching what [`crate::Simulator::execute`] reports for the
+    /// same situation.
     pub fn new(config: GpuConfig, kernel: Arc<dyn Kernel>, units: Vec<SmUnit>) -> Self {
         let stream = KernelStream::new(0, kernel);
         Self::with_streams(config, vec![stream], DispatchPolicy::Exclusive, units)
@@ -382,6 +385,7 @@ impl Gpu {
         dispatch_plan.deferred.sort_by_key(|b| b.arrival);
         let assignments = std::mem::take(&mut dispatch_plan.initial);
         let tenant_names: Vec<String> = streams.iter().map(|s| s.info().name.clone()).collect();
+        let tenant_qos: Vec<&'static str> = streams.iter().map(|s| s.qos.latency.label()).collect();
         let kernel_name = tenant_names.join("+");
         let shared = (num_sms > 1).then(|| {
             // Bank count is clamped to one per two SMs (the GTX 480 ratio:
@@ -423,6 +427,7 @@ impl Gpu {
             kernel_name,
             scheduler_name,
             tenant_names,
+            tenant_qos,
             policy,
             sms,
             shared,
@@ -1384,6 +1389,7 @@ impl Gpu {
             .map(|(t, totals)| TenantResult {
                 tenant: t as TenantId,
                 kernel: self.tenant_names[t].clone(),
+                qos: self.tenant_qos[t].to_string(),
                 instructions: totals.instructions,
                 finish_cycle: totals.finish_cycle,
                 capped: !totals.done || undealt[t] > 0,

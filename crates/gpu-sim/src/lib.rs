@@ -70,7 +70,7 @@ pub use coalescer::coalesce;
 pub use config::GpuConfig;
 pub use dispatch::{
     dispatch_round_robin, spatial_sm_sets, AdaptiveDispatcher, CtaWork, DispatchPolicy,
-    KernelQueue, KernelStream, TenantSignal,
+    KernelQueue, KernelStream, LatencyClass, QosSpec, TenantSignal,
 };
 pub use event::{BackendKind, EpochBackend, EventBackend, TimingBackend};
 pub use gpu::{Gpu, MemRequest, MemoryPort, SmUnit};

@@ -7,14 +7,14 @@
 //! construction and the
 //! run loop and packages everything the experiment harness needs (aggregate
 //! stats, per-SM breakdowns, time series, interference matrix, scheduler
-//! metrics) into a [`SimResult`]. The legacy entry points
-//! ([`Simulator::run`], [`Simulator::run_chip`], [`Simulator::run_mix`],
-//! [`Simulator::run_mix_at`]) are deprecated shims over `execute`.
+//! metrics) into a [`SimResult`]. `SimRequest` + `execute` is the *only*
+//! entry point — the legacy `run` / `run_chip` / `run_mix` / `run_mix_at`
+//! quartet it subsumed is gone.
 
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
-use crate::dispatch::{DispatchPolicy, KernelQueue};
+use crate::dispatch::{DispatchPolicy, KernelQueue, QosSpec};
 use crate::event::BackendKind;
 use crate::gpu::SmUnit;
 use crate::kernel::Kernel;
@@ -33,7 +33,9 @@ use sim_obs::{ObsLevel, ObsReport, PhaseProfiler};
 ///   the pipelined shared-memory backend.
 /// * **v2** — adds `schema_version` itself and `backend` (the label of the
 ///   timing backend that produced the result).
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **v3** — adds per-tenant `qos` (the [`crate::dispatch::LatencyClass`]
+///   label of the stream's [`QosSpec`]) for the fleet tier's SLO reports.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One tenant's (kernel stream's) share of a chip run: its own progress
 /// counters plus the shared-resource usage attributed to it throughout the
@@ -45,6 +47,9 @@ pub struct TenantResult {
     pub tenant: TenantId,
     /// Name of the tenant's kernel / benchmark.
     pub kernel: String,
+    /// Latency-class label of the stream's [`QosSpec`] (`"batch"` /
+    /// `"interactive"`) — the SLO tier fleet reports group by.
+    pub qos: String,
     /// Dynamic warp instructions the tenant executed.
     pub instructions: u64,
     /// Chip cycle at which the tenant's last warp finished (its turnaround
@@ -172,25 +177,14 @@ impl SimResult {
 }
 
 /// A builder-style description of one simulation run: which kernel streams
-/// to co-execute (with their arrival cycles), under which
-/// [`DispatchPolicy`], on how many SMs, driven by which [`BackendKind`]
-/// timing backend. Consumed by [`Simulator::execute`].
-///
-/// Subsumes the legacy `run` / `run_chip` / `run_mix` / `run_mix_at`
-/// quartet:
-///
-/// ```ignore
-/// // was: sim.run_mix_at(kernels, &arrivals, policy, build)
-/// let mut req = SimRequest::new().policy(policy).backend(BackendKind::Event);
-/// for (k, arrival) in kernels.into_iter().zip(arrivals) {
-///     req = req.stream_at(k, arrival);
-/// }
-/// let result = sim.execute(req, build);
-/// ```
+/// to co-execute (with their arrival cycles and [`QosSpec`] contracts),
+/// under which [`DispatchPolicy`], on how many SMs, driven by which
+/// [`BackendKind`] timing backend. Consumed by [`Simulator::execute`].
 #[derive(Clone)]
 pub struct SimRequest {
     kernels: Vec<Arc<dyn Kernel>>,
     arrivals: Vec<Cycle>,
+    qos: Vec<QosSpec>,
     policy: DispatchPolicy,
     backend: BackendKind,
     num_sms: Option<usize>,
@@ -202,6 +196,7 @@ impl Default for SimRequest {
         SimRequest {
             kernels: Vec::new(),
             arrivals: Vec::new(),
+            qos: Vec::new(),
             policy: DispatchPolicy::Exclusive,
             backend: BackendKind::default(),
             num_sms: None,
@@ -212,7 +207,7 @@ impl Default for SimRequest {
 
 impl SimRequest {
     /// An empty request: no streams yet, [`DispatchPolicy::Exclusive`], the
-    /// epoch backend, and the configuration's SM count.
+    /// default (event) backend, and the configuration's SM count.
     pub fn new() -> Self {
         SimRequest::default()
     }
@@ -232,9 +227,18 @@ impl SimRequest {
     /// the first epoch boundary at or after it; the serial `Exclusive`
     /// policy starts it no earlier than both its arrival and the previous
     /// kernel's completion).
-    pub fn stream_at(mut self, kernel: Arc<dyn Kernel>, arrival: Cycle) -> Self {
+    pub fn stream_at(self, kernel: Arc<dyn Kernel>, arrival: Cycle) -> Self {
+        self.stream_qos_at(kernel, arrival, QosSpec::default())
+    }
+
+    /// Appends a kernel stream arriving at `arrival` with an explicit
+    /// [`QosSpec`]: the interference-aware dispatcher enforces its floors
+    /// and reserved SMs, and every policy reports its latency class in
+    /// [`TenantResult::qos`].
+    pub fn stream_qos_at(mut self, kernel: Arc<dyn Kernel>, arrival: Cycle, qos: QosSpec) -> Self {
         self.kernels.push(kernel);
         self.arrivals.push(arrival);
+        self.qos.push(qos);
         self
     }
 
@@ -244,7 +248,8 @@ impl SimRequest {
         self
     }
 
-    /// Sets the timing backend (default [`BackendKind::Epoch`]).
+    /// Sets the timing backend (default [`BackendKind::Event`]; `epoch` is
+    /// the bit-exact reference oracle).
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
@@ -292,11 +297,11 @@ impl Simulator {
     /// called once per SM per engine (per kernel for the serial `Exclusive`
     /// policy) to construct that SM's scheduler and optional redirect cache.
     ///
-    /// Routing, all bit-identical to the legacy entry points they subsume:
+    /// Routing, all bit-identical to the legacy entry points it subsumed:
     ///
     /// * one stream, one SM, arrival 0, `Exclusive` — the single-SM engine
-    ///   with a private memory partition (the legacy [`Simulator::run`]
-    ///   configuration every recorded baseline number comes from);
+    ///   with a private memory partition (the legacy configuration every
+    ///   recorded baseline number comes from);
     /// * everything else — a chip of `num_sms` SMs against the shared banked
     ///   L2/DRAM backend via [`KernelQueue`] (see [`KernelQueue::run`] for
     ///   the policy semantics).
@@ -331,8 +336,9 @@ impl Simulator {
             && matches!(req.policy, DispatchPolicy::Exclusive);
         if static_single {
             let kernel = req.kernels.into_iter().next().expect("one stream");
+            let qos = req.qos.into_iter().next().unwrap_or_default();
             let (scheduler, redirect) = build_unit(0);
-            return self.run_single(kernel, scheduler, redirect, req.backend, req.obs);
+            return self.run_single(kernel, scheduler, redirect, req.backend, req.obs, qos);
         }
         let config = if num_sms == self.config.num_sms {
             self.config.clone()
@@ -340,8 +346,8 @@ impl Simulator {
             self.config.clone().with_num_sms(num_sms)
         };
         let mut queue = KernelQueue::new();
-        for (kernel, arrival) in req.kernels.into_iter().zip(req.arrivals) {
-            queue.push_at(kernel, arrival);
+        for ((kernel, arrival), qos) in req.kernels.into_iter().zip(req.arrivals).zip(req.qos) {
+            queue.push_qos_at(kernel, arrival, qos);
         }
         queue.run_with_observed(&config, req.policy, req.backend, req.obs, build_unit)
     }
@@ -356,6 +362,7 @@ impl Simulator {
         redirect: Option<Box<dyn RedirectCache>>,
         backend: BackendKind,
         obs: ObsLevel,
+        qos: QosSpec,
     ) -> (SimResult, ObsReport) {
         let kernel_name = kernel.info().name.clone();
         let scheduler_name = scheduler.name().to_string();
@@ -406,6 +413,7 @@ impl Simulator {
         let per_tenant = vec![TenantResult {
             tenant: 0,
             kernel: kernel_name.clone(),
+            qos: qos.latency.label().to_string(),
             instructions: totals.instructions,
             finish_cycle: totals.finish_cycle,
             capped: !totals.done,
@@ -436,83 +444,6 @@ impl Simulator {
             dispatch_log: DispatchLog::default(),
         };
         (result, report)
-    }
-
-    /// Runs `kernel` under `scheduler` (and an optional redirect cache) on a
-    /// single SM with a private memory partition — the legacy configuration
-    /// every recorded number in EXPERIMENTS-style baselines comes from.
-    #[deprecated(note = "use `SimRequest::kernel(..).num_sms(1)` + `Simulator::execute`")]
-    pub fn run(
-        &self,
-        kernel: Box<dyn Kernel>,
-        scheduler: Box<dyn WarpScheduler>,
-        redirect: Option<Box<dyn RedirectCache>>,
-    ) -> SimResult {
-        let mut unit = Some((scheduler, redirect));
-        self.execute(SimRequest::kernel(Arc::from(kernel)).num_sms(1), move |_| {
-            unit.take().expect("the single-SM path builds exactly one unit")
-        })
-    }
-
-    /// Runs `kernel` on a chip of `config.num_sms` SMs executing in parallel
-    /// against the shared banked L2/DRAM backend. `build_unit` is called once
-    /// per SM index to construct that SM's scheduler (and optional redirect
-    /// cache) — multi-SM chips need one policy instance per SM because
-    /// schedulers carry per-SM state (VTAs, interference lists, throttle
-    /// sets) even though results are reported chip-wide.
-    ///
-    /// With `config.num_sms == 1` this reproduces [`Simulator::run`]
-    /// bit-exactly (same engine, private partition, serial loop) — the
-    /// correctness anchor for the multi-SM path.
-    #[deprecated(note = "use `SimRequest::kernel(..)` + `Simulator::execute`")]
-    pub fn run_chip<F>(&self, kernel: Arc<dyn Kernel>, build_unit: F) -> SimResult
-    where
-        F: FnMut(usize) -> crate::gpu::SmUnit,
-    {
-        self.execute(SimRequest::kernel(kernel), build_unit)
-    }
-
-    /// Co-runs `kernels` as one tenant each (tenant ids follow submission
-    /// order) on a chip of `config.num_sms` SMs under `policy`, returning the
-    /// combined result with per-tenant attribution. See
-    /// [`KernelQueue::run`] for the exact policy semantics.
-    #[deprecated(note = "use `SimRequest::new().stream(..).policy(..)` + `Simulator::execute`")]
-    pub fn run_mix<F>(
-        &self,
-        kernels: Vec<Arc<dyn Kernel>>,
-        policy: DispatchPolicy,
-        build_unit: F,
-    ) -> SimResult
-    where
-        F: FnMut(usize) -> crate::gpu::SmUnit,
-    {
-        let mut req = SimRequest::new().policy(policy);
-        for kernel in kernels {
-            req = req.stream(kernel);
-        }
-        self.execute(req, build_unit)
-    }
-
-    /// [`Simulator::run_mix`] with *dynamic arrivals*: `arrivals[k]` is the
-    /// chip cycle at which kernel `k` enters the queue (admitted at the first
-    /// epoch boundary at or after it; missing entries arrive at cycle 0).
-    /// With all arrivals 0 this is exactly [`Simulator::run_mix`].
-    #[deprecated(note = "use `SimRequest::new().stream_at(..).policy(..)` + `Simulator::execute`")]
-    pub fn run_mix_at<F>(
-        &self,
-        kernels: Vec<Arc<dyn Kernel>>,
-        arrivals: &[Cycle],
-        policy: DispatchPolicy,
-        build_unit: F,
-    ) -> SimResult
-    where
-        F: FnMut(usize) -> crate::gpu::SmUnit,
-    {
-        let mut req = SimRequest::new().policy(policy);
-        for (k, kernel) in kernels.into_iter().enumerate() {
-            req = req.stream_at(kernel, arrivals.get(k).copied().unwrap_or(0));
-        }
-        self.execute(req, build_unit)
     }
 }
 
@@ -547,7 +478,7 @@ mod tests {
         let sim = Simulator::new(GpuConfig::gtx480().with_sample_interval(20));
         let res = sim.execute(SimRequest::kernel(kernel(20)).num_sms(1), gto);
         assert_eq!(res.schema_version, SCHEMA_VERSION);
-        assert_eq!(res.backend, "epoch");
+        assert_eq!(res.backend, "event", "the event core is the default backend");
         assert_eq!(res.scheduler, "GTO");
         assert_eq!(res.kernel, "drv");
         assert!(!res.capped);
@@ -578,59 +509,40 @@ mod tests {
         assert_eq!(a.stats.mem_transactions, b.stats.mem_transactions);
     }
 
+    /// The QoS contract rides along every request path: the latency-class
+    /// label lands in `TenantResult::qos` on both the single-SM route and
+    /// the chip route, and defaults to `batch`.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_execute() {
+    fn qos_labels_reach_tenant_results() {
         let sim = Simulator::new(GpuConfig::gtx480());
-        let via_run = sim.run(
-            Box::new(ClosureKernel::new(
-                KernelInfo {
-                    name: "drv".into(),
-                    num_ctas: 2,
-                    warps_per_cta: 4,
-                    shared_mem_per_cta: 0,
-                },
-                move |cta, w| {
-                    let ops = (0..30)
-                        .map(|i| {
-                            WarpOp::coalesced_load(
-                                ((cta as u64 * 29 + w as u64 * 7 + i as u64) % 4096) * 128,
-                            )
-                        })
-                        .collect();
-                    Box::new(VecProgram::new(ops))
-                },
-            )),
-            Box::new(GtoScheduler::new()),
-            None,
+        let single = sim.execute(
+            SimRequest::new().stream_qos_at(kernel(10), 0, QosSpec::interactive(2)).num_sms(1),
+            gto,
         );
-        let via_execute = sim.execute(SimRequest::kernel(kernel(30)).num_sms(1), gto);
         assert_eq!(
-            serde_json::to_string(&via_run).unwrap(),
-            serde_json::to_string(&via_execute).unwrap()
+            single.per_tenant[0].qos, "interactive",
+            "1-SM exclusive ignores floors but the label rides along"
         );
-        let sim15 = Simulator::new(GpuConfig::gtx480().with_num_sms(4));
-        let via_mix =
-            sim15.run_mix(vec![kernel(20), kernel(20)], DispatchPolicy::SharedRoundRobin, gto);
-        let via_exec = sim15.execute(
+        let sim4 = Simulator::new(GpuConfig::gtx480().with_num_sms(4));
+        let res = sim4.execute(
             SimRequest::new()
-                .stream(kernel(20))
+                .stream_qos_at(kernel(20), 0, QosSpec::interactive(2))
                 .stream(kernel(20))
                 .policy(DispatchPolicy::SharedRoundRobin),
             gto,
         );
-        assert_eq!(
-            serde_json::to_string(&via_mix).unwrap(),
-            serde_json::to_string(&via_exec).unwrap()
-        );
+        assert_eq!(res.per_tenant[0].qos, "interactive");
+        assert_eq!(res.per_tenant[1].qos, "batch");
     }
 
     #[test]
     fn event_backend_matches_epoch_on_single_sm() {
         let sim = Simulator::new(GpuConfig::gtx480());
-        let epoch = sim.execute(SimRequest::kernel(kernel(30)).num_sms(1), gto);
+        let epoch =
+            sim.execute(SimRequest::kernel(kernel(30)).num_sms(1).backend(BackendKind::Epoch), gto);
         let mut event =
             sim.execute(SimRequest::kernel(kernel(30)).num_sms(1).backend(BackendKind::Event), gto);
+        assert_eq!(epoch.backend, "epoch");
         assert_eq!(event.backend, "event");
         event.backend = epoch.backend.clone();
         assert_eq!(
@@ -640,17 +552,18 @@ mod tests {
         );
     }
 
-    /// Pins the v2 JSON shape: `schema_version` and `backend` are plain,
-    /// always-present top-level fields (the vendored serde derive has no
-    /// field defaults, so consumers rely on them being written out), and the
-    /// result round-trips.
+    /// Pins the v3 JSON shape: `schema_version`, `backend` and the
+    /// per-tenant `qos` label are plain, always-present fields (the vendored
+    /// serde derive has no field defaults, so consumers rely on them being
+    /// written out), and the result round-trips.
     #[test]
-    fn schema_v2_round_trips_and_pins_new_fields() {
+    fn schema_v3_round_trips_and_pins_new_fields() {
         let sim = Simulator::new(GpuConfig::gtx480().with_sample_interval(20));
         let res = sim.execute(SimRequest::kernel(kernel(10)).num_sms(1), gto);
         let json = serde_json::to_string(&res).unwrap();
-        assert!(json.contains("\"schema_version\":2"), "v2 tag missing: {json}");
-        assert!(json.contains("\"backend\":\"epoch\""), "backend label missing: {json}");
+        assert!(json.contains("\"schema_version\":3"), "v3 tag missing: {json}");
+        assert!(json.contains("\"backend\":\"event\""), "backend label missing: {json}");
+        assert!(json.contains("\"qos\":\"batch\""), "per-tenant qos label missing: {json}");
         let back: SimResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.backend, res.backend);

@@ -29,6 +29,15 @@
 //! phase table. `--obs {off,metrics,full}` arms observability on any other
 //! experiment; `-v`/`--quiet` adjust diagnostic verbosity.
 //!
+//! `fleet` runs the cluster tier: `--chips N` chips of `--sms N` SMs fed by
+//! `--arrivals N` open-loop kernel arrivals (`--traffic` picks the profile,
+//! `--mean-interarrival` the load) placed by `--placement` (default `both`:
+//! bin-pack and interference-spread on identical traffic, closing with the
+//! STP verdict). The chip model is calibrated against the real engine once
+//! per invocation (`--reference-calibration` uses the pinned table
+//! instead); `--workers N` parallelises chip advancement without changing a
+//! single output bit.
+//!
 //! `perf` is the CI performance gate: it measures the benchmark suite under
 //! GTO and CIAO-C, writes `BENCH_PR.json` (override with `--bench-out`), and
 //! exits non-zero if the gated geomean IPCs drift more than ±10% from the
@@ -41,7 +50,7 @@
 //! writes `<experiment>.txt` and `<experiment>.json` into the directory.
 
 use ciao_harness::experiments::{
-    capacity, fig1, fig10, fig11, fig12, fig4, fig8, fig9, mix, overhead, table1, table2,
+    capacity, fig1, fig10, fig11, fig12, fig4, fig8, fig9, fleet, mix, overhead, table1, table2,
 };
 use ciao_harness::perf;
 use ciao_harness::report::write_json;
@@ -71,6 +80,12 @@ struct Options {
     obs: ObsLevel,
     trace_out: PathBuf,
     metrics_out: PathBuf,
+    chips: usize,
+    placement_filter: Option<String>,
+    traffic_profile: String,
+    workers: Option<usize>,
+    mean_interarrival: Option<f64>,
+    reference_calibration: bool,
 }
 
 impl Options {
@@ -112,6 +127,12 @@ fn parse_args() -> Options {
     let mut obs = ObsLevel::Off;
     let mut trace_out = PathBuf::from("run.trace.json");
     let mut metrics_out = PathBuf::from("metrics.json");
+    let mut chips = 4usize;
+    let mut placement_filter = None;
+    let mut traffic_profile = String::from("balanced");
+    let mut workers = None;
+    let mut mean_interarrival = None;
+    let mut reference_calibration = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,6 +215,49 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--chips" => {
+                chips =
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--chips expects a positive integer");
+                            std::process::exit(2);
+                        },
+                    );
+            }
+            "--placement" => {
+                placement_filter = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--placement expects bin-pack|interference-spread|both");
+                    std::process::exit(2);
+                }));
+            }
+            "--traffic" => {
+                traffic_profile = args.next().unwrap_or_else(|| {
+                    eprintln!("--traffic expects {}", gpu_fleet::TrafficSpec::PROFILES.join("|"));
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("--workers expects a positive integer");
+                            std::process::exit(2);
+                        },
+                    ),
+                );
+            }
+            "--mean-interarrival" => {
+                mean_interarrival = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&m| m > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--mean-interarrival expects a positive cycle count");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--reference-calibration" => reference_calibration = true,
             "-v" | "--verbose" => set_verbosity(1),
             "-q" | "--quiet" => set_verbosity(-1),
             "--allow-missing-baseline" => allow_missing_baseline = true,
@@ -213,11 +277,14 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|trace|profile|perf|all> \
-                     [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals STRIDE] \
+                    "usage: ciao-harness <table1|table2|fig1|fig4|fig8|fig9|fig10|fig11|fig12|overhead|mix|capacity|fleet|trace|profile|perf|all> \
+                     [--quick|--tiny|--full] [--sms N] [--seed N|A..B] [--arrivals N] \
                      [--backend epoch|event] [--out DIR] [--mix NAME] \
                      [--policy exclusive|spatial|shared-rr|interference-aware] \
                      [--capacity-curve] [--sm-counts A,B,..] \
+                     [--chips N] [--placement bin-pack|interference-spread|both] \
+                     [--traffic balanced|cache-heavy|stream-heavy] [--workers N] \
+                     [--mean-interarrival CYCLES] [--reference-calibration] \
                      [--obs off|metrics|full] [--trace-out FILE] [--metrics-out FILE] \
                      [--baseline FILE] [--bench-out FILE] \
                      [--allow-missing-baseline] [--with-mixes] [--merge-baseline] \
@@ -251,6 +318,12 @@ fn parse_args() -> Options {
         obs,
         trace_out,
         metrics_out,
+        chips,
+        placement_filter,
+        traffic_profile,
+        workers,
+        mean_interarrival,
+        reference_calibration,
     }
 }
 
@@ -446,6 +519,53 @@ fn observed_corun(opts: &Options) -> (Mix, DispatchPolicy, SchedulerKind) {
     (mix, policy, SchedulerKind::CiaoT)
 }
 
+/// `fleet`: the cluster-tier experiment. `--placement both` (the default)
+/// runs bin-pack and interference-spread on the identical traffic and
+/// calibration and prints the STP verdict.
+fn run_fleet(opts: &Options) {
+    let policies = match opts.placement_filter.as_deref() {
+        None | Some("both") => gpu_fleet::PlacementPolicy::ALL.to_vec(),
+        Some(label) => match gpu_fleet::PlacementPolicy::from_label(label) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!(
+                    "unknown placement: {label} (known: both, {})",
+                    gpu_fleet::PlacementPolicy::ALL
+                        .iter()
+                        .map(|p| p.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let plan = fleet::FleetPlan {
+        chips: opts.chips,
+        sms: if opts.sms > 1 { opts.sms } else { 8 },
+        arrivals: if opts.arrivals > 0 { opts.arrivals as usize } else { 100_000 },
+        seed: opts.seed(),
+        profile: opts.traffic_profile.clone(),
+        mean_interarrival: opts.mean_interarrival,
+        policies,
+        workers: opts
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        reference_calibration: opts.reference_calibration,
+        obs: opts.obs,
+    };
+    if fleet::traffic_for(&plan).is_none() {
+        eprintln!(
+            "unknown traffic profile: {} (known: {})",
+            plan.profile,
+            gpu_fleet::TrafficSpec::PROFILES.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let r = fleet::run(&plan);
+    emit(opts, "fleet", &fleet::render(&r), &r);
+}
+
 /// `trace`: one fully observed co-run; writes the Perfetto-loadable Chrome
 /// trace and the metrics-registry JSON, prints a one-line summary.
 fn run_trace(opts: &Options, runner: &Runner) {
@@ -596,6 +716,7 @@ fn run_experiment(opts: &Options, name: &str, runner: &Runner) {
                 emit(opts, "mix", &mix::render(&r), &r);
             }
         }
+        "fleet" => run_fleet(opts),
         "trace" => run_trace(opts, runner),
         "profile" => run_profile(opts, runner),
         "perf" => run_perf_gate(opts, runner),

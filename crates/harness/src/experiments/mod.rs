@@ -15,6 +15,7 @@ pub mod fig12;
 pub mod fig4;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod mix;
 pub mod overhead;
 pub mod table1;

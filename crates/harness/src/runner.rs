@@ -537,7 +537,9 @@ mod tests {
 
     #[test]
     fn event_backend_matches_epoch_on_a_real_benchmark() {
-        let epoch = Runner::new(RunScale::Quick).run_one(Benchmark::Syrk, SchedulerKind::CiaoC);
+        let epoch = Runner::new(RunScale::Quick)
+            .with_backend(BackendKind::Epoch)
+            .run_one(Benchmark::Syrk, SchedulerKind::CiaoC);
         let event = Runner::new(RunScale::Quick)
             .with_backend(BackendKind::Event)
             .run_one(Benchmark::Syrk, SchedulerKind::CiaoC);

@@ -37,7 +37,7 @@ pub mod metrics;
 pub mod profile;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{chip_metric, Histogram, MetricsRegistry};
 pub use profile::{PhaseProfiler, PhaseStat};
 pub use trace::{chrome_trace_json, TraceCategory, TraceEvent, TraceRecorder, Tracer, Track};
 

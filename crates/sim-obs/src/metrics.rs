@@ -28,6 +28,14 @@ impl MetricKey {
     }
 }
 
+/// Namespaces a metric name under one chip of a multi-chip (fleet) run:
+/// `chip3/completed`. The tenant label stays available for per-tenant
+/// series *within* a chip, so a fleet-level registry addresses a series by
+/// `(chip_metric(chip, name), tenant)` without colliding across chips.
+pub fn chip_metric(chip: usize, name: &str) -> String {
+    format!("chip{chip}/{name}")
+}
+
 /// A log2-bucket histogram over `u64` samples: bucket `0` holds the value
 /// `0`, bucket `i > 0` holds values in `[2^(i-1), 2^i)`. 65 buckets cover
 /// the full `u64` range; count/sum/min/max are tracked exactly.

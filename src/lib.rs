@@ -9,6 +9,8 @@
 //! * [`schedulers`] (`ciao-schedulers`) — GTO's companions: CCWS, Best-SWL, statPCAL;
 //! * [`ciao`] (`ciao-core`) — the paper's contribution (detector, shared-memory
 //!   cache, CIAO-T/P/C scheduling, overhead model);
+//! * [`fleet`] (`gpu-fleet`) — the cluster tier: open-loop traffic over a
+//!   multi-chip fleet with interference-aware placement and SLO reporting;
 //! * [`harness`] (`ciao-harness`) — per-figure experiment runners.
 //!
 //! ```
@@ -25,6 +27,7 @@ pub use ciao_core as ciao;
 pub use ciao_harness as harness;
 pub use ciao_schedulers as schedulers;
 pub use ciao_workloads as workloads;
+pub use gpu_fleet as fleet;
 pub use gpu_mem as mem;
 pub use gpu_sim as sim;
 
@@ -35,6 +38,7 @@ pub mod prelude {
     pub use ciao_harness::schedulers::SchedulerKind;
     pub use ciao_schedulers::{CcwsScheduler, PcalScheduler, SwlScheduler};
     pub use ciao_workloads::{Benchmark, BenchmarkClass, ScaleConfig};
+    pub use gpu_fleet::{Fleet, FleetRequest, FleetResult, PlacementPolicy, TrafficSpec};
     pub use gpu_sim::{BackendKind, GpuConfig, SimRequest, SimResult, Simulator, TimingBackend};
 }
 

@@ -1,0 +1,91 @@
+//! Integration tests for the fleet tier: traffic generation statistics,
+//! seed purity, and the fleet determinism guarantee (worker count is a
+//! wall-clock knob, never a model knob) checked property-style across
+//! random fleet shapes.
+
+use ciao_suite::fleet::{
+    Calibration, Fleet, FleetRequest, PlacementPolicy, TrafficSpec, FLEET_SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// One fleet run at a given worker count, serialised to JSON.
+fn run_json(
+    chips: usize,
+    arrivals: usize,
+    seed: u64,
+    placement: PlacementPolicy,
+    workers: usize,
+) -> String {
+    let traffic = TrafficSpec::new(arrivals, seed)
+        .with_mean_interarrival(500.0)
+        .with_work_range(2_000, 100_000);
+    let req = FleetRequest::new(traffic)
+        .chips(chips)
+        .placement(placement)
+        .workers(workers)
+        .calibration(Calibration::reference(8));
+    serde_json::to_string(&Fleet::new().execute(req)).expect("fleet result serialises")
+}
+
+#[test]
+fn traffic_generation_is_seed_pure() {
+    let spec = TrafficSpec::new(50_000, 7);
+    let a = spec.generate();
+    let b = spec.generate();
+    assert_eq!(a, b, "same spec, same stream");
+    let json_a = serde_json::to_string(&a).unwrap();
+    let json_b = serde_json::to_string(&b).unwrap();
+    assert_eq!(json_a, json_b, "byte-identical serialisation");
+    let other = TrafficSpec::new(50_000, 8).generate();
+    assert_ne!(a, other, "different seed, different stream");
+}
+
+#[test]
+fn traffic_mean_interarrival_matches_the_spec() {
+    let mean = 1_250.0;
+    let arrivals = TrafficSpec::new(200_000, 3).with_mean_interarrival(mean).generate();
+    let span = arrivals.last().unwrap().cycle - arrivals.first().unwrap().cycle;
+    let measured = span as f64 / (arrivals.len() - 1) as f64;
+    let err = (measured - mean).abs() / mean;
+    assert!(err < 0.05, "measured mean {measured:.1} vs spec {mean} ({:.1}% off)", err * 100.0);
+}
+
+#[test]
+fn fleet_acceptance_shape_runs_and_reports() {
+    // A scaled-down version of the acceptance command
+    // (`fleet --chips 8 --arrivals 1000000 --seed 0`): every arrival
+    // completes, STP is within physical bounds, SLO counts are populated.
+    let traffic = TrafficSpec::new(50_000, 0);
+    let req = FleetRequest::new(traffic).chips(8).workers(8).calibration(Calibration::reference(8));
+    let res = Fleet::new().execute(req);
+    assert_eq!(res.schema_version, FLEET_SCHEMA_VERSION);
+    assert_eq!(res.arrivals, 50_000);
+    assert_eq!(res.per_class.iter().map(|c| c.jobs).sum::<u64>(), 50_000);
+    assert!(res.fleet_stp > 0.0 && res.fleet_stp <= 8.0 + 1e-9);
+    assert!(res.per_class.iter().any(|c| c.latency == "interactive"));
+    assert!(res.per_class.iter().any(|c| c.latency == "batch"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The fleet determinism guarantee: for any small fleet shape and both
+    /// placement policies, running with 1 worker and 8 workers produces
+    /// JSON-identical results.
+    #[test]
+    fn fleet_results_are_json_identical_across_worker_counts(
+        chips in 2usize..5,
+        arrivals in 500usize..2_000,
+        seed in 0u64..1_000,
+        spread in any::<bool>(),
+    ) {
+        let placement = if spread {
+            PlacementPolicy::InterferenceSpread
+        } else {
+            PlacementPolicy::BinPack
+        };
+        let solo = run_json(chips, arrivals, seed, placement, 1);
+        let fleet = run_json(chips, arrivals, seed, placement, 8);
+        prop_assert_eq!(solo, fleet, "worker count leaked into the model");
+    }
+}
