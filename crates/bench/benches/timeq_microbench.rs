@@ -1,0 +1,86 @@
+//! Microbenchmarks of [`gpu_sim::TimeQueue`], the min-heap at the heart of
+//! the event-driven timing core. Not a paper figure: these document the cost
+//! of the event engine's scheduling primitives at the unit counts the
+//! simulator actually runs — 15 units (the paper's GTX 480 chip), 64 and 128
+//! (the large-SM capacity points).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sim::TimeQueue;
+
+/// Unit counts matching the chip configurations the harness simulates.
+const UNIT_COUNTS: [usize; 3] = [15, 64, 128];
+
+fn bench_timeq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeq");
+
+    // Steady-state schedule + pop_next churn: every iteration pops the due
+    // unit and reschedules it a pseudo-random distance ahead — the event
+    // loop's boundary pattern with all units busy.
+    for units in UNIT_COUNTS {
+        group.bench_function(format!("schedule_pop_{units}u"), |b| {
+            let mut q = TimeQueue::new(units);
+            for u in 0..units {
+                q.schedule(u, u as u64);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                let (t, u) = q.pop_next().expect("queue stays full");
+                i = i.wrapping_add(1);
+                q.schedule(u, t + 1 + (i.wrapping_mul(2654435761) % 97));
+                black_box((t, u))
+            })
+        });
+    }
+
+    // Lazy-invalidation churn: each iteration reschedules a unit several
+    // times before popping, leaving stale heap nodes for skim/pop to
+    // discard — the reply-delivery `schedule_min` pattern under load.
+    for units in UNIT_COUNTS {
+        group.bench_function(format!("reschedule_churn_{units}u"), |b| {
+            let mut q = TimeQueue::new(units);
+            for u in 0..units {
+                q.schedule(u, u as u64);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                let (t, u) = q.pop_next().expect("queue stays full");
+                i = i.wrapping_add(1);
+                // Three supersessions per pop: schedule far, pull forward
+                // twice. Only the last entry stays live.
+                q.schedule(u, t + 1000);
+                q.schedule_min(u, t + 100 + (i % 31));
+                q.schedule_min(u, t + 1 + (i.wrapping_mul(2654435761) % 97));
+                black_box((t, u))
+            })
+        });
+    }
+
+    // Horizon scans: pop_due draining a mostly-parked queue, the per-boundary
+    // pattern of the event loop when few SMs are due (the common case that
+    // makes parking pay).
+    for units in UNIT_COUNTS {
+        group.bench_function(format!("pop_due_sparse_{units}u"), |b| {
+            let mut now = 0u64;
+            b.iter(|| {
+                let mut q = TimeQueue::new(units);
+                // One unit in eight is due this boundary; the rest park far
+                // in the future.
+                for u in 0..units {
+                    q.schedule(u, if u % 8 == 0 { now + 1 } else { now + 1_000_000 });
+                }
+                now += 64;
+                let mut popped = 0usize;
+                while let Some((t, u)) = q.pop_due(now) {
+                    popped += 1;
+                    black_box((t, u));
+                }
+                black_box(popped)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeq);
+criterion_main!(benches);

@@ -217,6 +217,21 @@ impl ChipModel {
         self.inbox.is_empty() && self.queue.is_empty() && self.resident.iter().all(Option::is_none)
     }
 
+    /// Conservative lower bound on the next cycle at which advancing this
+    /// chip can change its state: `u64::MAX` when fully drained, the first
+    /// in-flight arrival when nothing is resident or queued, [`Self::now`]
+    /// otherwise. The fleet epoch loop skips advancing (and re-polling)
+    /// chips whose hint lies beyond the epoch end — sound because a
+    /// skipped chip's clock simply stays frozen and [`Self::advance_to`]
+    /// fast-forwards over arrival gaps, so its trajectory is unchanged.
+    pub fn next_event_time(&self) -> u64 {
+        if self.resident.iter().any(Option::is_some) || !self.queue.is_empty() {
+            self.now
+        } else {
+            self.inbox.front().map_or(u64::MAX, |j| j.arrival)
+        }
+    }
+
     /// The live decision log (same telemetry type the chip engine emits).
     pub fn log(&self) -> &DispatchLog {
         &self.log
@@ -567,6 +582,43 @@ mod tests {
             "after the classify delay the log must publish both classes"
         );
         assert!(!chip.log().decisions.is_empty());
+    }
+
+    #[test]
+    fn next_event_time_tracks_the_chip_lifecycle() {
+        let calib = Calibration::reference(8);
+        let mut chip = ChipModel::new(0, calib);
+        assert_eq!(chip.next_event_time(), u64::MAX, "a fresh chip sleeps forever");
+        chip.push(&arrival(0, 5_000, WorkClass::Compute, LatencyClass::Batch, 10_000));
+        assert_eq!(chip.next_event_time(), 5_000, "in-flight arrival bounds the next event");
+        chip.advance_to(6_000);
+        assert_eq!(chip.next_event_time(), chip.now(), "resident work is due immediately");
+        chip.advance_to(u64::MAX);
+        assert_eq!(chip.next_event_time(), u64::MAX, "drained chips sleep forever again");
+        assert_eq!(chip.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn skipping_an_idle_chip_is_trajectory_invariant() {
+        // Advancing an idle chip epoch-by-epoch and leaving it asleep until
+        // its next arrival must produce bit-identical completions.
+        let calib = Calibration::reference(8);
+        let mut stepped = ChipModel::new(0, calib.clone());
+        let mut slept = ChipModel::new(0, calib);
+        let late = arrival(0, 100_000, WorkClass::Cache, LatencyClass::Batch, 40_000);
+        stepped.push(&late);
+        slept.push(&late);
+        let mut t = 0;
+        while t < 200_000 {
+            t += 1_000;
+            stepped.advance_to(t);
+            if slept.next_event_time() <= t {
+                slept.advance_to(t);
+            }
+        }
+        stepped.advance_to(u64::MAX);
+        slept.advance_to(u64::MAX);
+        assert_eq!(stepped.take_completed(), slept.take_completed());
     }
 
     #[test]

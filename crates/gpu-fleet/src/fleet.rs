@@ -18,13 +18,19 @@
 //!    scheduler polling its chips);
 //! 2. places the epoch's arrivals sequentially with the configured
 //!    [`PlacementPolicy`], updating planned-load counts as it goes;
-//! 3. advances all chips to the epoch end — in parallel across
+//! 3. advances all *due* chips to the epoch end — in parallel across
 //!    `workers` threads (`std::thread::scope` + a barrier per phase).
+//!    Chips whose [`ChipModel::next_event_time`] sleep hint lies beyond
+//!    the epoch end are skipped outright (no lock, no advance, no
+//!    re-polled view), so mostly-idle chips cost ~nothing per epoch; the
+//!    elided chip-epochs are surfaced as the engine-namespaced
+//!    `engine/skipped-chip-epochs` metric.
 //!
-//! Chips never interact inside an epoch and placement is always
-//! sequential on the coordinator, so the result is **bit-identical for
-//! any worker count** — `workers` is a wall-clock knob, not a model knob,
-//! and deliberately does not appear in [`FleetResult`].
+//! Chips never interact inside an epoch, placement is always sequential
+//! on the coordinator, and the sleep-skip predicate is a pure function of
+//! chip state, so the result is **bit-identical for any worker count** —
+//! `workers` is a wall-clock knob, not a model knob, and deliberately
+//! does not appear in [`FleetResult`].
 //!
 //! ## Reporting
 //!
@@ -288,8 +294,14 @@ impl Fleet {
             / (arrivals.len().max(1) as f64);
         let ctx = PlacementContext::new(&calib, typical);
 
+        // Per-chip sleep hints ([`ChipModel::next_event_time`]): a chip
+        // whose hint lies beyond the advance target is skipped entirely —
+        // no lock, no advance, no re-polled view — so mostly-idle chips
+        // cost nothing per epoch. Hints are lowered when placement pushes
+        // an arrival and refreshed by whichever worker advances the chip.
+        let hints: Vec<AtomicU64> = (0..req.chips).map(|_| AtomicU64::new(u64::MAX)).collect();
         let workers = req.workers.min(req.chips).max(1);
-        if workers == 1 {
+        let skipped_chip_epochs = if workers == 1 {
             run_epochs(
                 &arrivals,
                 &chips,
@@ -297,19 +309,26 @@ impl Fleet {
                 &ctx,
                 &calib,
                 req.epoch_cycles,
+                &hints,
                 &mut |t| {
-                    for chip in &chips {
-                        chip.lock().advance_to(t);
+                    for (c, chip) in chips.iter().enumerate() {
+                        if hints[c].load(Ordering::SeqCst) > t {
+                            continue;
+                        }
+                        let mut chip = chip.lock();
+                        chip.advance_to(t);
+                        hints[c].store(chip.next_event_time(), Ordering::SeqCst);
                     }
                 },
-            );
+            )
         } else {
             let barrier = Barrier::new(workers + 1);
             let target = AtomicU64::new(0);
             let done = AtomicBool::new(false);
             std::thread::scope(|s| {
                 for w in 0..workers {
-                    let (chips, barrier, target, done) = (&chips, &barrier, &target, &done);
+                    let (chips, barrier, target, done, hints) =
+                        (&chips, &barrier, &target, &done, &hints);
                     s.spawn(move || loop {
                         barrier.wait();
                         if done.load(Ordering::SeqCst) {
@@ -317,18 +336,24 @@ impl Fleet {
                         }
                         let t = target.load(Ordering::SeqCst);
                         for c in (w..chips.len()).step_by(workers) {
-                            chips[c].lock().advance_to(t);
+                            if hints[c].load(Ordering::SeqCst) > t {
+                                continue;
+                            }
+                            let mut chip = chips[c].lock();
+                            chip.advance_to(t);
+                            hints[c].store(chip.next_event_time(), Ordering::SeqCst);
                         }
                         barrier.wait();
                     });
                 }
-                run_epochs(
+                let skipped = run_epochs(
                     &arrivals,
                     &chips,
                     req.placement,
                     &ctx,
                     &calib,
                     req.epoch_cycles,
+                    &hints,
                     &mut |t| {
                         target.store(t, Ordering::SeqCst);
                         barrier.wait();
@@ -337,8 +362,9 @@ impl Fleet {
                 );
                 done.store(true, Ordering::SeqCst);
                 barrier.wait();
-            });
-        }
+                skipped
+            })
+        };
 
         // Chip order is fixed and completion aggregation sorts explicitly,
         // so neither depends on worker scheduling.
@@ -390,6 +416,11 @@ impl Fleet {
         let mut report = ObsReport::new(req.obs);
         if req.obs.metrics_enabled() {
             report.metrics = fleet_metrics(&result, &completed);
+            // Engine-namespaced (excluded from the canonical JSON export):
+            // how many chip-epochs the sleep hints elided. Deterministic —
+            // the skip predicate is a pure function of chip state — but an
+            // execution-cost statistic, not a model output.
+            report.metrics.counter_add("engine/skipped-chip-epochs", None, skipped_chip_epochs);
         }
         (result, report)
     }
@@ -399,6 +430,10 @@ impl Fleet {
 /// sequentially, then hand the epoch-advance target to `advance` (which
 /// runs the chips — inline or across worker threads). `advance(u64::MAX)`
 /// at the end drains every chip to completion.
+/// Returns the number of skipped chip-epochs: chips left asleep (not
+/// locked, advanced, or re-polled) because their sleep hint lay beyond the
+/// epoch end.
+#[allow(clippy::too_many_arguments)] // coordinator wiring: every param is a distinct shared resource
 fn run_epochs(
     arrivals: &[Arrival],
     chips: &[Mutex<ChipModel>],
@@ -406,8 +441,16 @@ fn run_epochs(
     ctx: &PlacementContext,
     calib: &Calibration,
     epoch_cycles: u64,
+    hints: &[AtomicU64],
     advance: &mut dyn FnMut(u64),
-) {
+) -> u64 {
+    // Views are cached across epochs and refreshed only for chips that
+    // actually advanced: a sleeping chip's state — and therefore its
+    // placement-visible view — cannot change, and any chip placement
+    // pushes to becomes due (its hint drops to the arrival cycle, inside
+    // this epoch), so its view is refreshed before the next placement.
+    let mut views: Vec<ChipView> = chips.iter().map(|c| c.lock().view()).collect();
+    let mut skipped = 0u64;
     let mut idx = 0;
     let mut t = 0u64;
     while idx < arrivals.len() {
@@ -415,7 +458,6 @@ fn run_epochs(
         // next arrival when the current epoch would be empty.
         t = t.max(arrivals[idx].cycle.saturating_sub(epoch_cycles - 1));
         let epoch_end = t.saturating_add(epoch_cycles);
-        let mut views: Vec<ChipView> = chips.iter().map(|c| c.lock().view()).collect();
         while idx < arrivals.len() && arrivals[idx].cycle < epoch_end {
             let a = &arrivals[idx];
             let pick = placement.place(a.class, &views, ctx);
@@ -423,12 +465,20 @@ fn run_epochs(
             views[pick].queued += 1;
             views[pick].pending_class_cycles[a.class.index()] += solo;
             chips[pick].lock().push(a);
+            hints[pick].fetch_min(a.cycle, Ordering::SeqCst);
             idx += 1;
         }
+        let due: Vec<usize> =
+            (0..chips.len()).filter(|&c| hints[c].load(Ordering::SeqCst) <= epoch_end).collect();
+        skipped += (chips.len() - due.len()) as u64;
         advance(epoch_end);
+        for &c in &due {
+            views[c] = chips[c].lock().view();
+        }
         t = epoch_end;
     }
     advance(u64::MAX);
+    skipped
 }
 
 /// Builds the per-(class × latency) reports from the completed jobs.
@@ -605,6 +655,34 @@ mod tests {
         let per_chip: u64 =
             (0..3).map(|c| report.metrics.counter(&chip_metric(c, "completed"), None)).sum();
         assert_eq!(per_chip, 500);
+    }
+
+    #[test]
+    fn sparse_traffic_sleeps_idle_chips_without_changing_results() {
+        // Sparse arrivals on a wide fleet leave most chips idle most
+        // epochs: the sleep hints must elide chip-epochs, identically for
+        // every worker count, without perturbing the simulation.
+        let req = || {
+            FleetRequest::new(
+                TrafficSpec::new(200, 11)
+                    .with_mean_interarrival(5_000.0)
+                    .with_work_range(2_000, 20_000),
+            )
+            .chips(8)
+            .calibration(Calibration::reference(8))
+            .obs(ObsLevel::Metrics)
+        };
+        let (serial, serial_obs) = Fleet::new().execute_observed(req());
+        let (parallel, parallel_obs) = Fleet::new().execute_observed(req().workers(4));
+        assert_eq!(serial, parallel, "sleep skipping must stay worker-count invariant");
+        let skipped = serial_obs.metrics.counter("engine/skipped-chip-epochs", None);
+        assert!(skipped > 0, "sparse traffic on 8 chips must skip some chip-epochs");
+        assert_eq!(
+            skipped,
+            parallel_obs.metrics.counter("engine/skipped-chip-epochs", None),
+            "the skip count is a pure function of chip state, not worker count"
+        );
+        assert_eq!(serial.arrivals, 200);
     }
 
     #[test]

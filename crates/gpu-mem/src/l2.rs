@@ -444,6 +444,32 @@ impl BankedMemorySystem {
         })
     }
 
+    /// [`BankedMemorySystem::serve_event`] with the owning bank already
+    /// resolved by the caller. The event engine routes requests through
+    /// per-bank FIFOs keyed by [`BankedMemorySystem::bank_of`] and pops them
+    /// one at a time as each bank's next service instant comes due; passing
+    /// the bank index back in skips re-hashing the address.
+    #[allow(clippy::too_many_arguments)] // mirrors `serve_event` plus the pre-resolved bank
+    pub fn serve_event_at(
+        &self,
+        bank: usize,
+        addr: Addr,
+        wid: WarpId,
+        tenant: TenantId,
+        is_write: bool,
+        bypass: bool,
+        at: Cycle,
+    ) -> Cycle {
+        debug_assert_eq!(bank, self.bank_of(addr));
+        self.with_bank(bank, |partition| {
+            if bypass {
+                partition.access_bypass_tagged(addr, tenant, at)
+            } else {
+                partition.access_tagged(addr, wid, tenant, is_write, at)
+            }
+        })
+    }
+
     /// Attaches an observability sink to every bank (per-tenant latency
     /// histograms; per-request trace spans too when `trace_on`). Bank `i`
     /// records on trace track `Bank(i)`.

@@ -344,6 +344,34 @@ pub struct Gpu {
     /// [`sim_obs::TraceCategory::Engine`] and are excluded from the
     /// canonical sim-time export, which must be backend-invariant.
     engine_trace: Option<TraceRecorder>,
+    /// Boundaries the event engine skipped in closed form via whole-chip
+    /// sleep (always 0 under the epoch backend). Surfaced as the
+    /// `engine/skipped-boundaries` metric, which — like every `engine/`
+    /// metric — is excluded from the canonical backend-invariant export.
+    skipped_boundaries: u64,
+    /// Number of whole-chip sleep episodes (runs of consecutive skipped
+    /// boundaries) the event engine took.
+    sleeps: u64,
+}
+
+/// Reusable scratch for [`Gpu::serve_batch_event`]: unit 0 of the queue is
+/// the request fabric, unit `1 + b` is L2/DRAM bank `b`. The fabric charges
+/// requests one at a time at their true arrival cycles; each charged request
+/// joins its bank's FIFO, and the bank pops its next due request when its
+/// service instant comes up. Both queue and FIFOs drain completely within one
+/// batch, so the scratch carries no state across boundaries.
+struct ServePump {
+    timeq: TimeQueue,
+    fifos: Vec<std::collections::VecDeque<usize>>,
+}
+
+impl ServePump {
+    fn new(num_banks: usize) -> Self {
+        ServePump {
+            timeq: TimeQueue::new(1 + num_banks),
+            fifos: (0..num_banks).map(|_| std::collections::VecDeque::new()).collect(),
+        }
+    }
 }
 
 impl Gpu {
@@ -442,6 +470,8 @@ impl Gpu {
             obs: ObsLevel::Off,
             profiler: PhaseProfiler::default(),
             engine_trace: None,
+            skipped_boundaries: 0,
+            sleeps: 0,
         }
     }
 
@@ -510,6 +540,12 @@ impl Gpu {
             report.dropped_events += trace.dropped();
             report.events.extend(trace.take());
         }
+        // Engine-internal counters: how much of the run the event engine
+        // skipped in closed form. Always 0 under the epoch backend; the
+        // `engine/` prefix keeps them out of the canonical backend-invariant
+        // metrics export (full export only).
+        report.metrics.counter_add("engine/skipped-boundaries", None, self.skipped_boundaries);
+        report.metrics.counter_add("engine/sleeps", None, self.sleeps);
         self.dispatch_obs(&mut report);
         report
     }
@@ -683,17 +719,35 @@ impl Gpu {
     /// sequence (serve the held batch → advance SMs to the boundary →
     /// release and deliver replies → collect the next batch → dispatch),
     /// with identical boundary cycles, so every request is served at exactly
-    /// the cycle the epoch engine would serve it. The differences are purely
-    /// mechanical: the loop is single-threaded, SMs are advanced in the
-    /// `(next event, SM)` order maintained by a [`TimeQueue`] (wakeup hints
-    /// refreshed on reply delivery and work dispatch), and each SM settles
-    /// idle stretches with [`Sm::run_epoch_event`]'s bulk skip instead of
-    /// per-cycle stepping.
+    /// the cycle the epoch engine would serve it. Three mechanisms keep the
+    /// loop off everything that is provably idle, without changing a single
+    /// observable cycle:
+    ///
+    /// - **Per-SM parking.** Only SMs whose wakeup hint is due at the current
+    ///   boundary are popped and advanced ([`TimeQueue::pop_due`]); the rest
+    ///   stay *parked* with a frozen clock. A parked stretch is pure idle by
+    ///   construction (the hint is [`Sm::next_event_time`], and replies /
+    ///   dealt work pull hints forward), so the owed idle settle — scheduler
+    ///   decay, idle-cycle accounting — is replayed in one closed-form
+    ///   [`Sm::run_epoch_event`] call when the SM next wakes, exactly as
+    ///   `on_idle_cycles` composes per-SM. Done and capped SMs park at
+    ///   `Cycle::MAX`.
+    /// - **Whole-chip sleep.** When every hint, arrival and delivery lies
+    ///   beyond the next boundary and nothing is buffered anywhere, whole
+    ///   boundaries are skipped in closed form: the adaptive dispatcher's
+    ///   hysteresis windows are bulk-replayed per skipped boundary against
+    ///   frozen monitor signals (identical to what the epoch oracle computes,
+    ///   since no SM or bank state moves while the chip sleeps). The skipped
+    ///   count surfaces as the `engine/skipped-boundaries` metric.
+    /// - **Event-granular memory service.** Each boundary's batch runs
+    ///   through [`Gpu::serve_batch_event`]: fabric-link occupancy charged at
+    ///   each request's true arrival time, banks popping their next due
+    ///   request from per-bank FIFOs — same `(arrive, SM, seq)` global order
+    ///   as the batch-major walk, driven by a [`TimeQueue`].
     fn run_epochs_event(&mut self) {
         let epoch = self.config.effective_epoch_cycles();
         let line_size = self.config.l1d.line_size;
         let xbar_latency = self.config.interconnect_latency;
-        let service_threads = self.config.effective_service_threads();
         let reorder_window = self.config.reorder_window;
         let shared = self.shared.clone();
         let shared = shared.as_deref();
@@ -709,14 +763,24 @@ impl Gpu {
         let profiler = &mut self.profiler;
         let engine_trace = &mut self.engine_trace;
 
-        // Cycle-0 boundary: admit arrival-0 streams into the adaptive
-        // dispatcher and deal its initial (probe) CTAs.
-        Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, 0);
-
         let mut timeq = TimeQueue::new(num_sms);
         for unit in 0..num_sms {
             timeq.schedule(unit, 0);
         }
+        let mut pump = ServePump::new(shared.map_or(0, |s| s.num_banks()));
+
+        // Cycle-0 boundary: admit arrival-0 streams into the adaptive
+        // dispatcher and deal its initial (probe) CTAs.
+        Self::dispatch_boundary_event(
+            sms,
+            shared,
+            adaptive,
+            deferred,
+            num_tenants,
+            0,
+            &mut timeq,
+            0.0,
+        );
 
         // Same stall guard as the epoch engine (see `run_epochs`).
         let stall_limit = epoch
@@ -728,6 +792,15 @@ impl Gpu {
         let mut batch: Vec<(usize, MemRequest)> = Vec::new();
         // Scratch for one boundary's advancement order (refilled each epoch).
         let mut order: Vec<usize> = Vec::with_capacity(num_sms);
+        // DRAM-utilisation snapshot the current boundary's advancing SMs
+        // read — the value the oracle's deliver pass wrote at the *previous*
+        // boundary. `flush_util` lags it by one boundary: the snapshot that
+        // was in effect during the last executed boundary, i.e. what a parked
+        // SM's final oracle advancement would have observed.
+        let mut boundary_util = 0.0f64;
+        let mut flush_util = 0.0f64;
+        let mut skipped_boundaries: u64 = 0;
+        let mut sleeps: u64 = 0;
         loop {
             let alive = sms.iter().any(|s| {
                 let s = s.lock();
@@ -736,6 +809,68 @@ impl Gpu {
             let mut proceed = alive;
             if alive {
                 last_progress = now;
+                // Whole-chip sleep: skip boundaries where provably nothing
+                // happens — no SM due, nothing buffered in the request/reply
+                // pipeline, no arrival admissible, no admitted work to feed.
+                // Each skipped boundary is one the oracle would have executed
+                // as a pure no-op apart from the dispatcher's hysteresis
+                // clock, which is replayed here against frozen signals.
+                if batch.is_empty()
+                    && window.is_empty()
+                    && reply_window.is_empty()
+                    && adaptive.as_ref().is_none_or(|a| !a.has_admitted_pending())
+                {
+                    let next_sm = timeq.peek_time().unwrap_or(Cycle::MAX);
+                    let next_deferred = deferred.first().map_or(Cycle::MAX, |b| b.arrival);
+                    let next_adaptive =
+                        adaptive.as_ref().and_then(|a| a.next_arrival()).unwrap_or(Cycle::MAX);
+                    let next_due = next_sm.min(next_deferred).min(next_adaptive);
+                    if next_due > now + epoch && max_cycles.is_none_or(|m| now < m) {
+                        profiler.enter("sleep");
+                        // Signals and free slots are frozen while the chip
+                        // sleeps (no SM executes, no bank serves), so one
+                        // snapshot feeds every replayed boundary.
+                        let frozen = adaptive.as_ref().map(|_| {
+                            let signals = Self::tenant_signals(sms, shared, num_tenants);
+                            let free: Vec<usize> =
+                                sms.iter().map(|s| s.lock().free_warp_slots()).collect();
+                            (signals, free)
+                        });
+                        let mut slept: u64 = 0;
+                        while next_due > now + epoch && max_cycles.is_none_or(|m| now < m) {
+                            now += epoch;
+                            slept += 1;
+                            if let (Some(dispatcher), Some((signals, free))) =
+                                (adaptive.as_mut(), frozen.as_ref())
+                            {
+                                let dealt = dispatcher.on_boundary(now, signals, free);
+                                debug_assert!(
+                                    dealt.is_empty(),
+                                    "sleeping chip must not receive work"
+                                );
+                            }
+                        }
+                        skipped_boundaries += slept;
+                        sleeps += 1;
+                        last_progress = now;
+                        if let Some(shared) = shared {
+                            // The oracle's deliver pass refreshed the
+                            // snapshot at every slept boundary; only the last
+                            // two values can still be observed (bytes are
+                            // frozen, so both are computable after the fact).
+                            flush_util = shared.dram_bandwidth_utilization((now - epoch).max(1));
+                            boundary_util = shared.dram_bandwidth_utilization(now.max(1));
+                        }
+                        if let Some(trace) = engine_trace.as_mut() {
+                            trace.record(
+                                TraceEvent::instant(Track::Engine, "sleep", now, None)
+                                    .with_arg(slept)
+                                    .engine(),
+                            );
+                        }
+                        profiler.exit();
+                    }
+                }
             } else {
                 let undealt =
                     !deferred.is_empty() || adaptive.as_ref().is_some_and(|a| a.has_work());
@@ -768,21 +903,20 @@ impl Gpu {
             // guarantees every completion lands strictly after `now`, the
             // cycle it may be delivered at — exactly as in the epoch engine,
             // which overlaps this service with the SM epoch.
-            let completions = Self::serve_batch(
+            let completions = Self::serve_batch_event(
                 shared,
                 fabric.as_mut(),
                 std::mem::take(&mut batch),
                 line_size,
-                service_threads,
+                &mut pump,
                 profiler,
             );
-            // Advance every SM to the boundary, earliest next event first.
-            // Every SM settles each boundary (idle time accrues through the
-            // bulk skip), so the alive/cap checks above always see current
-            // clocks; the queue only decides the advancement order.
+            // Advance the SMs whose next event is due, earliest first; the
+            // rest stay parked with frozen clocks and owe their idle settle
+            // to whichever later boundary wakes them.
             profiler.enter("pop-advance");
             order.clear();
-            while let Some((_, unit)) = timeq.pop_next() {
+            while let Some((_, unit)) = timeq.pop_due(now) {
                 if let Some(trace) = engine_trace.as_mut() {
                     trace.record(
                         TraceEvent::instant(Track::Engine, "pop", now, None)
@@ -795,9 +929,16 @@ impl Gpu {
             for &unit in &order {
                 let mut sm = sms[unit].lock();
                 if !sm.is_done() && !sm.hit_cap() {
+                    if shared.is_some() {
+                        sm.set_dram_utilization(boundary_util);
+                    }
                     sm.run_epoch_event(now);
                 }
-                let hint = sm.next_event_time().unwrap_or(now);
+                let hint = if sm.is_done() || sm.hit_cap() {
+                    Cycle::MAX
+                } else {
+                    sm.next_event_time().unwrap_or(now)
+                };
                 drop(sm);
                 timeq.schedule(unit, hint);
             }
@@ -812,43 +953,71 @@ impl Gpu {
                 profiler,
             );
             profiler.enter("deliver");
-            Self::deliver_responses(sms, shared, &responses, now);
-            profiler.exit();
             // A delivered reply wakes its SM at the response cycle.
             for r in &responses {
+                sms[r.sm].lock().deliver(r.done, r.event);
                 timeq.schedule_min(r.sm, r.done);
             }
+            // The snapshot the *next* boundary's advancing SMs will read —
+            // computed now (after this boundary's serve mutated the bank
+            // counters), applied per-SM at wakeup instead of broadcast to
+            // every SM every boundary.
+            let pending_util = shared.map(|s| s.dram_bandwidth_utilization(now.max(1)));
+            profiler.exit();
             profiler.enter("collect");
-            batch = Self::collect_batch(sms, window, now, xbar_latency, reorder_window);
+            batch =
+                Self::collect_batch_from(sms, &order, window, now, xbar_latency, reorder_window);
             profiler.exit();
             profiler.enter("dispatch");
-            let dealt = Self::dispatch_boundary(sms, shared, adaptive, deferred, num_tenants, now);
+            let dealt = Self::dispatch_boundary_event(
+                sms,
+                shared,
+                adaptive,
+                deferred,
+                num_tenants,
+                now,
+                &mut timeq,
+                boundary_util,
+            );
             profiler.exit();
             if dealt {
                 last_progress = now;
-                // Freshly dealt CTAs launch at the next boundary; any SM may
-                // have received work, so pull every wakeup hint forward.
-                for unit in 0..num_sms {
-                    timeq.schedule_min(unit, now);
+            }
+            flush_util = boundary_util;
+            if let Some(util) = pending_util {
+                boundary_util = util;
+            }
+        }
+        // Parked SMs still owe their idle settle up to the final executed
+        // boundary (the oracle advances every live SM to every boundary),
+        // observing the snapshot that was in effect during that boundary.
+        // This must happen before the flush serves below: flush deliveries
+        // are not visible to any boundary-time advancement.
+        for sm in sms.iter() {
+            let mut sm = sm.lock();
+            if !sm.is_done() && !sm.hit_cap() && sm.cycle() < now {
+                if shared.is_some() {
+                    sm.set_dram_utilization(flush_util);
                 }
+                sm.run_epoch_event(now);
             }
         }
         // Flush, exactly as the epoch engine does after its loop exits.
-        let mut completions = Self::serve_batch(
+        let mut completions = Self::serve_batch_event(
             shared,
             fabric.as_mut(),
             std::mem::take(&mut batch),
             line_size,
-            service_threads,
+            &mut pump,
             profiler,
         );
         let rest = Self::collect_batch(sms, window, Cycle::MAX - xbar_latency, xbar_latency, 0);
-        completions.extend(Self::serve_batch(
+        completions.extend(Self::serve_batch_event(
             shared,
             fabric.as_mut(),
             rest,
             line_size,
-            service_threads,
+            &mut pump,
             profiler,
         ));
         let responses = Self::release_replies(
@@ -865,6 +1034,8 @@ impl Gpu {
         if let Some(dispatcher) = &mut self.adaptive {
             self.dispatch_log = dispatcher.take_log();
         }
+        self.skipped_boundaries = skipped_boundaries;
+        self.sleeps = sleeps;
         self.cycle = 0;
         for sm in &mut self.sms {
             let sm = sm.get_mut();
@@ -1103,6 +1274,30 @@ impl Gpu {
         window.drain(..split).collect()
     }
 
+    /// [`Gpu::collect_batch`] restricted to the SMs that advanced this
+    /// boundary. A parked SM cannot hold buffered requests — its buffer was
+    /// drained at the boundary it last executed (it is in that boundary's
+    /// advancement set by construction) and pure idle issues nothing — so
+    /// skipping it drains exactly what the full walk would.
+    fn collect_batch_from(
+        sms: &[Mutex<Sm>],
+        advanced: &[usize],
+        window: &mut Vec<(usize, MemRequest)>,
+        now: Cycle,
+        xbar_latency: Cycle,
+        window_limit: usize,
+    ) -> Vec<(usize, MemRequest)> {
+        for &i in advanced {
+            let mut sm = sms[i].lock();
+            window.extend(sm.drain_requests().into_iter().map(|r| (i, r)));
+        }
+        window.sort_by_key(|&(sm, r)| (r.arrive, sm, r.seq));
+        let horizon = now.saturating_add(xbar_latency);
+        let mut split = window.partition_point(|&(_, r)| r.arrive <= horizon);
+        split += (window.len() - split).saturating_sub(window_limit);
+        window.drain(..split).collect()
+    }
+
     /// Runs one batch through the service pipeline: the shared request fabric
     /// (in batch order), the bank shards (in parallel where the batch is
     /// large enough to pay for it), and the shared reply fabric (in
@@ -1210,6 +1405,81 @@ impl Gpu {
             .collect()
     }
 
+    /// Event-granular replica of [`Gpu::serve_batch`]: the same fabric
+    /// charges and bank accesses at the same cycles, but driven through a
+    /// [`TimeQueue`] instead of a batch-major walk. Unit 0 (the request
+    /// fabric) wakes at each request's true port-arrival cycle and charges
+    /// the chip-wide link budget in batch order (arrivals are non-decreasing,
+    /// ties break fabric-before-bank); the charged request joins its owning
+    /// bank's FIFO and the bank unit wakes at the head request's
+    /// fabric-delivery cycle to serve it. Per-bank service order equals
+    /// charge order equals batch order, so every counter and completion cycle
+    /// is identical to the shard walk — request at a time, no threads.
+    fn serve_batch_event(
+        shared: Option<&BankedMemorySystem>,
+        fabric: Option<&mut CrossbarFabric>,
+        batch: Vec<(usize, MemRequest)>,
+        line_size: u64,
+        pump: &mut ServePump,
+        profiler: &mut PhaseProfiler,
+    ) -> Vec<RawCompletion> {
+        let (Some(shared), Some(fabric)) = (shared, fabric) else { return Vec::new() };
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        profiler.enter("serve-events");
+        let n = batch.len();
+        let mut at_l2 = vec![0 as Cycle; n];
+        let mut done_at = vec![0 as Cycle; n];
+        let timeq = &mut pump.timeq;
+        let fifos = &mut pump.fifos;
+        debug_assert!(fifos.iter().all(|f| f.is_empty()), "pump must drain between batches");
+        let mut next_req = 0usize;
+        timeq.schedule(0, batch[0].1.arrive);
+        while let Some((_, unit)) = timeq.pop_next() {
+            if unit == 0 {
+                // Fabric: charge the next request of the batch at its arrival.
+                let r = &batch[next_req].1;
+                let t = fabric.request_transfer(line_size, r.arrive, r.tenant);
+                at_l2[next_req] = t;
+                let bank = shared.bank_of(r.block);
+                if fifos[bank].is_empty() {
+                    timeq.schedule(1 + bank, t);
+                }
+                fifos[bank].push_back(next_req);
+                next_req += 1;
+                if next_req < n {
+                    timeq.schedule(0, batch[next_req].1.arrive);
+                }
+            } else {
+                // Bank: serve its FIFO head at the head's delivery instant.
+                let bank = unit - 1;
+                let i = fifos[bank].pop_front().expect("bank event without a queued request");
+                let r = &batch[i].1;
+                done_at[i] = shared
+                    .serve_event_at(bank, r.block, r.wid, r.tenant, r.is_write, r.bypass, at_l2[i]);
+                if let Some(&next) = fifos[bank].front() {
+                    timeq.schedule(1 + bank, at_l2[next]);
+                }
+            }
+        }
+        profiler.exit();
+        // Reads produce replies; they enter the reply reorder window rather
+        // than the fabric directly (see `serve_batch`).
+        batch
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r))| !r.is_write)
+            .map(|(i, (sm, r))| RawCompletion {
+                sm: *sm,
+                seq: r.seq,
+                done: done_at[i],
+                tenant: r.tenant,
+                event: r.event,
+            })
+            .collect()
+    }
+
     /// Merges freshly served completions into the reply reorder window and
     /// releases every reply completing at or before `horizon` — replies no
     /// later-served batch can precede, so the reply fabric sees a globally
@@ -1294,6 +1564,71 @@ impl Gpu {
             }
         }
         progressed
+    }
+
+    /// [`Gpu::dispatch_boundary`] for the parking event engine: identical
+    /// admission/decision/feed protocol, but an SM receiving work while
+    /// parked is first caught up to the boundary (its lag is a provably pure
+    /// idle span — the oracle advanced it to every boundary — so one
+    /// closed-form settle against the boundary snapshot replays exactly what
+    /// per-boundary stepping would have done), and every SM that received
+    /// work has its wakeup hint pulled forward to the boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_boundary_event(
+        sms: &[Mutex<Sm>],
+        shared: Option<&BankedMemorySystem>,
+        adaptive: &mut Option<AdaptiveDispatcher>,
+        deferred: &mut Vec<DeferredBatch>,
+        num_tenants: usize,
+        now: Cycle,
+        timeq: &mut TimeQueue,
+        boundary_util: f64,
+    ) -> bool {
+        let has_shared = shared.is_some();
+        let mut progressed = false;
+        while deferred.first().is_some_and(|b| b.arrival <= now) {
+            let batch = deferred.remove(0);
+            for (sm, work) in batch.per_sm.into_iter().enumerate() {
+                if !work.is_empty() {
+                    Self::deal_event(sms, sm, work, now, timeq, boundary_util, has_shared);
+                    progressed = true;
+                }
+            }
+        }
+        if let Some(dispatcher) = adaptive {
+            let signals = Self::tenant_signals(sms, shared, num_tenants);
+            let free: Vec<usize> = sms.iter().map(|s| s.lock().free_warp_slots()).collect();
+            for (sm, work) in dispatcher.on_boundary(now, &signals, &free) {
+                Self::deal_event(sms, sm, work, now, timeq, boundary_util, has_shared);
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Hands a dealt work batch to an SM on the event path: settle any
+    /// parked idle lag first (new CTAs must launch *after* the idle span is
+    /// accounted, matching the oracle's advance-then-dispatch boundary
+    /// order), then push the work and wake the SM at the boundary.
+    fn deal_event(
+        sms: &[Mutex<Sm>],
+        unit: usize,
+        work: Vec<crate::dispatch::CtaWork>,
+        now: Cycle,
+        timeq: &mut TimeQueue,
+        boundary_util: f64,
+        has_shared: bool,
+    ) {
+        let mut sm = sms[unit].lock();
+        if !sm.is_done() && !sm.hit_cap() && sm.cycle() < now {
+            if has_shared {
+                sm.set_dram_utilization(boundary_util);
+            }
+            sm.run_epoch_event(now);
+        }
+        sm.push_work(work, now);
+        drop(sm);
+        timeq.schedule_min(unit, now);
     }
 
     /// Cumulative per-tenant monitor signals at an epoch boundary: L1 and

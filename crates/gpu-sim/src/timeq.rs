@@ -26,6 +26,10 @@ pub struct TimeQueue {
     /// Per-unit generation: the `seq` of the unit's live entry, or
     /// `NO_ENTRY` when the unit is not scheduled.
     live: Vec<u64>,
+    /// Per-unit time of the live entry (meaningful only while the matching
+    /// `live` slot is not `NO_ENTRY`) — makes [`TimeQueue::scheduled_at`] a
+    /// plain array read instead of a heap scan.
+    times: Vec<Cycle>,
     /// Monotonic sequence stamped onto every pushed entry.
     seq: u64,
 }
@@ -36,7 +40,12 @@ const NO_ENTRY: u64 = u64::MAX;
 impl TimeQueue {
     /// An empty queue tracking `units` units (indices `0..units`).
     pub fn new(units: usize) -> Self {
-        TimeQueue { heap: BinaryHeap::with_capacity(units), live: vec![NO_ENTRY; units], seq: 0 }
+        TimeQueue {
+            heap: BinaryHeap::with_capacity(units),
+            live: vec![NO_ENTRY; units],
+            times: vec![0; units],
+            seq: 0,
+        }
     }
 
     /// Number of units with a live entry.
@@ -56,6 +65,7 @@ impl TimeQueue {
         let seq = self.seq;
         self.seq += 1;
         self.live[unit] = seq;
+        self.times[unit] = time;
         self.heap.push(Reverse((time, unit, seq)));
     }
 
@@ -76,13 +86,7 @@ impl TimeQueue {
         if live == NO_ENTRY {
             return None;
         }
-        // The live entry is somewhere in the heap; find it lazily only in
-        // debug-sized queues would be wasteful, so track it via a scan of the
-        // heap's backing slice (entries are few: one live + stale per unit).
-        self.heap
-            .iter()
-            .find(|Reverse((_, u, s))| *u == unit && *s == live)
-            .map(|Reverse((t, _, _))| *t)
+        Some(self.times[unit])
     }
 
     /// The earliest scheduled time, if any unit is scheduled.

@@ -395,6 +395,27 @@ fn run_perf_gate(opts: &Options, runner: &Runner) {
              {event_secs:.2}s ({:.1}x)",
             epoch_secs / event_secs.max(1e-9)
         );
+        report.wall_clock.mix_epoch_secs = epoch_secs;
+        report.wall_clock.mix_event_secs = event_secs;
+        // Time the large-chip capacity point under both backends — the
+        // headline epoch-vs-event speedup, recorded machine-readably in the
+        // BENCH JSON's `wall_clock` section. STP divergence between the
+        // backends is a correctness bug and fails the gate.
+        log(format_args!(
+            "timing the {}-SM capacity point on both backends ...",
+            perf::CAPACITY_PROBE_SMS
+        ));
+        match perf::measure_capacity_point(runner, perf::CAPACITY_PROBE_SMS) {
+            Ok((cap_epoch, cap_event)) => {
+                report.wall_clock.capacity_sms = perf::CAPACITY_PROBE_SMS;
+                report.wall_clock.capacity_epoch_secs = cap_epoch;
+                report.wall_clock.capacity_event_secs = cap_event;
+            }
+            Err(e) => {
+                eprintln!("perf gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     print!("{}", perf::render(&report));
     if let Err(e) = write_json(&opts.bench_out, &report) {
@@ -582,7 +603,7 @@ fn run_trace(opts: &Options, runner: &Runner) {
         eprintln!("error: cannot write trace {:?}: {e}", opts.trace_out);
         std::process::exit(1);
     }
-    if let Err(e) = std::fs::write(&opts.metrics_out, report.metrics_json()) {
+    if let Err(e) = std::fs::write(&opts.metrics_out, report.metrics_json_full()) {
         eprintln!("error: cannot write metrics {:?}: {e}", opts.metrics_out);
         std::process::exit(1);
     }

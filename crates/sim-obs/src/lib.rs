@@ -131,9 +131,18 @@ impl ObsReport {
         chrome_trace_json(&self.events, &self.tenants, false)
     }
 
-    /// The metrics registry as deterministic JSON.
+    /// The metrics registry as deterministic JSON (canonical export:
+    /// engine-internal metrics excluded, so the output is identical across
+    /// timing backends).
     pub fn metrics_json(&self) -> String {
         self.metrics.to_json()
+    }
+
+    /// The metrics registry as deterministic JSON *including* engine
+    /// metrics (`engine/skipped-boundaries` etc.), which are backend
+    /// dependent by design. This is what file artifacts for humans carry.
+    pub fn metrics_json_full(&self) -> String {
+        self.metrics.to_json_full()
     }
 
     /// The wall-clock phase profile as an aligned text table.

@@ -263,7 +263,7 @@ impl MetricsRegistry {
         }
     }
 
-    /// Deterministic JSON export:
+    /// Deterministic *canonical* JSON export:
     ///
     /// ```json
     /// {
@@ -273,10 +273,37 @@ impl MetricsRegistry {
     ///                            "buckets": [[bucket_lo, count], ...]}, ...}
     /// }
     /// ```
+    ///
+    /// Metrics whose name carries an `engine` path segment (e.g.
+    /// `engine/skipped-boundaries`, `chip3/engine/sleeps`) describe how the
+    /// simulation was *computed*, not what it computed, and legitimately
+    /// differ across timing backends — they are excluded here so the
+    /// canonical export stays backend-invariant, mirroring how
+    /// engine-category trace events are excluded from the canonical trace.
+    /// Use [`MetricsRegistry::to_json_full`] to include them.
     pub fn to_json(&self) -> String {
+        self.json_export(false)
+    }
+
+    /// [`MetricsRegistry::to_json`] including `engine/` metrics — the
+    /// diagnostic export for humans and tooling that want to see how much
+    /// work the timing backend actually did.
+    pub fn to_json_full(&self) -> String {
+        self.json_export(true)
+    }
+
+    /// True when `name` denotes an engine-internal (backend-dependent)
+    /// metric: any `/`-separated segment equals `engine`, so fleet chip
+    /// prefixes (`chip3/engine/...`) are still recognised.
+    fn is_engine_metric(name: &str) -> bool {
+        name.split('/').any(|segment| segment == "engine")
+    }
+
+    fn json_export(&self, include_engine: bool) -> String {
+        let keep = |key: &MetricKey| include_engine || !Self::is_engine_metric(&key.name);
         let mut out = String::from("{\n  \"counters\": {");
         let mut first = true;
-        for (key, v) in &self.counters {
+        for (key, v) in self.counters.iter().filter(|(k, _)| keep(k)) {
             if !first {
                 out.push(',');
             }
@@ -290,7 +317,7 @@ impl MetricsRegistry {
 
         out.push_str("  \"gauges\": {");
         first = true;
-        for (key, series) in &self.gauges {
+        for (key, series) in self.gauges.iter().filter(|(k, _)| keep(k)) {
             if !first {
                 out.push(',');
             }
@@ -310,7 +337,7 @@ impl MetricsRegistry {
 
         out.push_str("  \"histograms\": {");
         first = true;
-        for (key, hist) in &self.histograms {
+        for (key, hist) in self.histograms.iter().filter(|(k, _)| keep(k)) {
             if !first {
                 out.push(',');
             }
@@ -451,6 +478,21 @@ mod tests {
         assert!(value.get("counters").is_some());
         assert!(value.get("gauges").is_some());
         assert!(value.get("histograms").is_some());
+    }
+
+    #[test]
+    fn engine_metrics_only_appear_in_the_full_export() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("decisions", None, 2);
+        m.counter_add("engine/skipped-boundaries", None, 7);
+        m.counter_add("chip3/engine/sleeps", None, 1);
+        let canonical = m.to_json();
+        assert!(canonical.contains("\"decisions\": 2"));
+        assert!(!canonical.contains("engine"), "canonical export must stay backend-invariant");
+        let full = m.to_json_full();
+        assert!(full.contains("\"engine/skipped-boundaries\": 7"));
+        assert!(full.contains("\"chip3/engine/sleeps\": 1"));
+        assert!(full.contains("\"decisions\": 2"));
     }
 
     #[test]

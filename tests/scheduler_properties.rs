@@ -91,3 +91,103 @@ proptest! {
         prop_assert_eq!(matrix_total, res.stats.cross_warp_evictions + res.stats.redirect_cross_warp_evictions);
     }
 }
+
+/// Runs `kernel` on the chip engine (`sms` SMs, shared L2/DRAM) under the
+/// chosen timing backend, with a configurable time-series sample interval.
+fn run_chip(
+    kernel: Box<dyn Kernel>,
+    sched: SchedulerKind,
+    backend: gpu_sim::BackendKind,
+    sms: usize,
+    sample_interval: u64,
+) -> SimResult {
+    let config =
+        GpuConfig::gtx480().with_max_instructions(40_000).with_sample_interval(sample_interval);
+    let sim = Simulator::new(config.clone());
+    sim.execute(
+        SimRequest::kernel(std::sync::Arc::from(kernel)).num_sms(sms).backend(backend),
+        |_sm| sched.build(Benchmark::Syrk, &config, &ciao_suite::ciao::CiaoParams::default()),
+    )
+}
+
+/// Serialises a result with the backend label normalised away, so epoch and
+/// event runs can be compared bit-for-bit.
+fn normalized_json(mut res: SimResult) -> String {
+    res.backend = String::new();
+    serde_json::to_string(&res).expect("SimResult serialises")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The event core's closed-form idle accounting must compose exactly:
+    /// one `on_idle_cycles(ctx, k)` call has to leave every scheduler in the
+    /// same state as `k` single idle cycles would. Running the same workload
+    /// under both timing backends for each scheduler family (CCWS score
+    /// decay, SWL recompute, statPCAL utilization tracking, CIAO's
+    /// throttle/redirect fixed point) proves the equivalence end-to-end:
+    /// any divergence shows up as a differing serialised result.
+    #[test]
+    fn closed_form_idle_accounting_matches_per_cycle_for_every_scheduler(
+        ctas in 1usize..5,
+        warps in 1usize..5,
+        ops in 8usize..48,
+        mem_every in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        for sched in [SchedulerKind::Ccws, SchedulerKind::BestSwl,
+                      SchedulerKind::StatPcal, SchedulerKind::CiaoT] {
+            let kernel = || arbitrary_kernel(ctas, warps, ops, mem_every, seed);
+            let epoch = run_chip(kernel(), sched, gpu_sim::BackendKind::Epoch, 2, 1_000);
+            let event = run_chip(kernel(), sched, gpu_sim::BackendKind::Event, 2, 1_000);
+            prop_assert_eq!(
+                normalized_json(epoch),
+                normalized_json(event),
+                "event backend diverged from the epoch oracle under {:?}",
+                sched
+            );
+        }
+    }
+
+    /// Sampler-due edges: with tiny (including degenerate) sample intervals
+    /// the instruction-indexed time-series sampler comes due at arbitrary
+    /// alignments — including exactly at a dispatch boundary, where the
+    /// event core must refuse to skip and step the cycle instead. Both
+    /// backends must stay bit-identical through every alignment.
+    #[test]
+    fn sampler_due_exactly_at_a_boundary_cannot_desync_the_backends(
+        warps in 1usize..5,
+        ops in 8usize..40,
+        seed in 0u64..1000,
+        sample_interval in 0u64..16,
+    ) {
+        let kernel = || arbitrary_kernel(2, warps, ops, 2, seed);
+        let epoch =
+            run_chip(kernel(), SchedulerKind::CiaoC, gpu_sim::BackendKind::Epoch, 2, sample_interval);
+        let event =
+            run_chip(kernel(), SchedulerKind::CiaoC, gpu_sim::BackendKind::Event, 2, sample_interval);
+        prop_assert_eq!(normalized_json(epoch), normalized_json(event),
+            "sample interval {} desynced the backends", sample_interval);
+    }
+
+    /// Zero-warp SMs: a one-CTA kernel on a multi-SM chip leaves every other
+    /// SM without a single warp for the whole run. Those SMs must park
+    /// harmlessly in the event core (idle-skip with nothing to wake for)
+    /// and the result must match the epoch oracle stepping them cycle by
+    /// cycle.
+    #[test]
+    fn zero_warp_sms_park_without_desyncing_the_backends(
+        warps in 1usize..5,
+        ops in 8usize..32,
+        seed in 0u64..1000,
+        sms in 2usize..6,
+    ) {
+        let expected_instructions = (warps * ops) as u64;
+        let kernel = || arbitrary_kernel(1, warps, ops, 2, seed);
+        let epoch = run_chip(kernel(), SchedulerKind::CiaoC, gpu_sim::BackendKind::Epoch, sms, 1_000);
+        let event = run_chip(kernel(), SchedulerKind::CiaoC, gpu_sim::BackendKind::Event, sms, 1_000);
+        prop_assert_eq!(epoch.stats.instructions, expected_instructions);
+        prop_assert_eq!(normalized_json(epoch), normalized_json(event),
+            "an SM with zero warps desynced the backends at {} SMs", sms);
+    }
+}
